@@ -1,0 +1,93 @@
+"""Fig. 5: communication steps vs circuit depth and vs qubit count.
+
+(a) 42-qubit circuits, depths 10-50, local qubits 29-32: global-to-local
+    swap counts (top panel) and [5]-style global-gate counts (bottom).
+(b) depth-25 circuits for 30/36/42/45/49 qubits.
+
+Shape targets: swap counts stay in the single digits and are mostly
+independent of the local qubit count, while the per-gate baseline's
+communication grows linearly with depth — the order-of-magnitude gap the
+paper's Sec. 4.1.2 turns into its 12.5x estimate.
+"""
+
+from __future__ import annotations
+
+from repro.circuit import generate_supremacy_circuit
+from repro.scheduling import baseline_global_gates, find_stages
+
+DEPTHS = (10, 15, 20, 25, 30, 40, 50)
+LOCALS = (29, 30, 31, 32)
+
+
+def bench_fig5a_depth_sweep(benchmark, report_writer):
+    rows = [
+        f"{'depth':>5} | " + " ".join(f"swaps(l={l})" for l in LOCALS)
+        + " | global gates (worst/median, l=29)"
+    ]
+    swaps_by_depth = {}
+    for depth in DEPTHS:
+        circ = generate_supremacy_circuit(
+            42, depth, seed=0, include_initial_hadamards=False
+        )
+        swaps = [
+            find_stages(circ, l, seed=1, restarts=3).num_swaps for l in LOCALS
+        ]
+        worst = baseline_global_gates(circ, 29, worst_case=True).global_gates
+        median = baseline_global_gates(circ, 29, worst_case=False).global_gates
+        swaps_by_depth[depth] = swaps
+        rows.append(
+            f"{depth:>5} | " + " ".join(f"{s:>10}" for s in swaps)
+            + f" | {worst:>5} / {median}"
+        )
+    report_writer("fig5a_depth_sweep", rows)
+
+    for depth, swaps in swaps_by_depth.items():
+        # "mostly independent of the number of local qubits"
+        assert max(swaps) - min(swaps) <= 1, (depth, swaps)
+        # single-digit swaps even at depth 50 (paper: 1-3)
+        assert max(swaps) <= 5, (depth, swaps)
+    assert swaps_by_depth[50][0] >= swaps_by_depth[10][0]
+
+    circ25 = generate_supremacy_circuit(
+        42, 25, seed=0, include_initial_hadamards=False
+    )
+    benchmark(find_stages, circ25, 30, seed=1, restarts=3)
+
+
+def bench_fig5b_qubit_sweep(benchmark, report_writer):
+    rows = [
+        f"{'qubits':>6} | " + " ".join(f"swaps(l={l})" for l in LOCALS)
+        + " | global gates (worst/median, l=29)"
+    ]
+    results = {}
+    for nq in (30, 36, 42, 45, 49):
+        circ = generate_supremacy_circuit(
+            nq, 25, seed=0, include_initial_hadamards=False
+        )
+        swaps = [
+            find_stages(circ, l, seed=1, restarts=4).num_swaps
+            for l in LOCALS
+        ]
+        worst = baseline_global_gates(circ, 29, worst_case=True).global_gates
+        median = baseline_global_gates(circ, 29, worst_case=False).global_gates
+        results[nq] = (swaps, worst, median)
+        rows.append(
+            f"{nq:>6} | " + " ".join(f"{s:>10}" for s in swaps)
+            + f" | {worst:>5} / {median}"
+        )
+    rows.append("")
+    rows.append("paper: 42q and 45q depth-25 circuits need 2 swaps; 49q needs 2")
+    report_writer("fig5b_qubit_sweep", rows)
+
+    for nq in (42, 45, 49):
+        swaps, worst, median = results[nq]
+        assert max(swaps) <= 3 and min(swaps) >= 1, (nq, swaps)
+        # the per-gate baseline needs an order of magnitude more steps
+        assert median > 8 * min(swaps), (nq, median, swaps)
+    # 30 qubits with >=30 local qubits: no communication at all.
+    assert results[30][0][LOCALS.index(30)] == 0
+
+    circ36 = generate_supremacy_circuit(
+        36, 25, seed=0, include_initial_hadamards=False
+    )
+    benchmark(baseline_global_gates, circ36, 30)

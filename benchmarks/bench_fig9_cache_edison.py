@@ -1,0 +1,41 @@
+"""Fig. 9: Edison performance drop for high-order k-qubit kernels.
+
+Same experiment as Fig. 6 on the two-socket Ivy Bridge node: 8-way
+L1/L2 caches mean kernels with 2**k > 8 gathered lines thrash when the
+access stride is a large power of two.  The paper's Sec. 4.2.1 findings:
+k <= 3 shows only a negligible drop; the k = 5 drop is much greater than
+the k = 4 drop.
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel import EDISON_NODE, kernel_performance
+
+
+def bench_fig9_cache_edison(benchmark, report_writer):
+    rows = [f"{'k':>2} {'low-order':>10} {'high-order':>11} {'drop':>7}"]
+    low, high = [], []
+    for k in range(1, 6):
+        lo = kernel_performance(EDISON_NODE, k)
+        hi = kernel_performance(EDISON_NODE, k, high_order=True)
+        low.append(lo)
+        high.append(hi)
+        rows.append(f"{k:>2} {lo:>10.1f} {hi:>11.1f} {1 - hi / lo:>6.0%}")
+    rows.append("")
+    rows.append(
+        "paper Fig. 9 / Sec. 4.2.1: negligible drop for k<=3; k=5 drop much "
+        "greater than k=4 (8-way caches)"
+    )
+    report_writer("fig9_cache_edison", rows)
+
+    # Exact paper shape.
+    for k in (1, 2, 3):
+        assert high[k - 1] == low[k - 1], k
+    drop4 = 1 - high[3] / low[3]
+    drop5 = 1 - high[4] / low[4]
+    assert drop4 > 0.2
+    assert drop5 > drop4 + 0.1  # "much greater" for the 5-qubit kernel
+    # Fig. 9's y-range: Edison node peaks in the low hundreds of GFLOPS.
+    assert 150 < max(low) < 400
+
+    benchmark(kernel_performance, EDISON_NODE, 5, high_order=True)

@@ -1,0 +1,70 @@
+"""Output-statistics validation: Porter-Thomas, XEB, heavy outputs.
+
+Not a table in the paper itself, but the statistical foundation its
+purpose rests on (calibration/benchmarking via [5]): a correct simulator
+must produce Porter-Thomas statistics for deep supremacy circuits, with
+the canonical constants:
+
+* entropy ``n ln2 - 1 + gamma`` nats,
+* heavy-output mass ``(1 + ln2)/2 ~ 0.8466``,
+* linear/log XEB of 1 for ideal samples, 0 for uniform samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    linear_xeb_fidelity,
+    log_xeb_fidelity,
+    porter_thomas_entropy_nats,
+    porter_thomas_kl_divergence,
+    shannon_entropy,
+)
+from repro.analysis.heavy_output import (
+    PORTER_THOMAS_HOG_SCORE,
+    heavy_output_probability,
+    heavy_output_score,
+)
+from repro.circuit import generate_supremacy_circuit
+from repro.statevector import Simulator
+from repro.statevector.measure import sample_bitstrings
+
+
+def bench_output_statistics(benchmark, report_writer):
+    n, depth, shots = 13, 22, 10_000
+    circ = generate_supremacy_circuit(n, depth, seed=3)
+    result = benchmark.pedantic(
+        Simulator(n).run, args=(circ,), rounds=1, iterations=1
+    )
+    state = result.state
+    probs = state.probabilities()
+
+    entropy = shannon_entropy(probs)
+    entropy_pt = porter_thomas_entropy_nats(n)
+    kl = porter_thomas_kl_divergence(probs, n)
+    hog_mass = heavy_output_probability(probs)
+    ideal = sample_bitstrings(state, shots, seed=1)
+    uniform = np.random.default_rng(2).integers(0, 1 << n, shots)
+
+    rows = [
+        f"{n}-qubit depth-{depth} supremacy circuit ({len(circ)} gates)",
+        f"entropy:        {entropy:.4f} nats (Porter-Thomas {entropy_pt:.4f})",
+        f"KL to PT law:   {kl:.5f}",
+        f"heavy mass:     {hog_mass:.4f} (PT: {PORTER_THOMAS_HOG_SCORE:.4f})",
+        f"HOG score:      ideal {heavy_output_score(ideal, probs):.4f}, "
+        f"uniform {heavy_output_score(uniform, probs):.4f} (QV line: 2/3)",
+        f"linear XEB:     ideal {linear_xeb_fidelity(ideal, probs):+.3f}, "
+        f"uniform {linear_xeb_fidelity(uniform, probs):+.3f}",
+        f"log XEB:        ideal {log_xeb_fidelity(ideal, probs):+.3f}, "
+        f"uniform {log_xeb_fidelity(uniform, probs):+.3f}",
+    ]
+    report_writer("output_statistics", rows)
+
+    assert abs(entropy - entropy_pt) < 0.05
+    assert kl < 0.01
+    assert abs(hog_mass - PORTER_THOMAS_HOG_SCORE) < 0.02
+    assert heavy_output_score(ideal, probs) > 2 / 3
+    assert heavy_output_score(uniform, probs) < 2 / 3
+    assert abs(linear_xeb_fidelity(ideal, probs) - 1.0) < 0.1
+    assert abs(linear_xeb_fidelity(uniform, probs)) < 0.1

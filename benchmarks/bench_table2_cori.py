@@ -1,0 +1,66 @@
+"""Table 2: all Cori II runs — time, communication fraction, speedup.
+
+Regenerates the four rows (30/36/42/45 qubits on 1/64/4096/8192 nodes)
+from real schedules priced by the calibrated KNL + Aries models, plus
+the Sec. 4.1.2 sustained-PFLOPS figure for the 45-qubit record run.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.perfmodel import (
+    ARIES_DRAGONFLY,
+    BaselineModel,
+    CORI_KNL_NODE,
+    TimelineModel,
+)
+
+PAPER_ROWS = {
+    # qubits: (grid, nodes, seconds, comm %, speedup over [5])
+    30: ("6x5", 1, 9.58, 0.0, 14.8),
+    36: ("6x6", 64, 28.92, 42.9, 12.8),
+    42: ("7x6", 4096, 79.53, 71.8, 12.4),
+    45: ("9x5", 8192, 552.61, 78.0, None),
+}
+
+
+def bench_table2_cori(benchmark, report_writer, schedule_cache):
+    model = TimelineModel(CORI_KNL_NODE, ARIES_DRAGONFLY)
+    baseline = BaselineModel(CORI_KNL_NODE, ARIES_DRAGONFLY)
+    rows = [
+        f"{'qubits':>6} {'nodes':>6} {'T[s]':>8} {'paper':>8} "
+        f"{'comm%':>7} {'paper':>7} {'speedup':>8} {'paper':>6} {'PFLOPS':>7}"
+    ]
+    profiles = {}
+    for nq, (grid, nodes, t_paper, comm_paper, speedup_paper) in PAPER_ROWS.items():
+        l = nq - int(math.log2(nodes))
+        circuit, sched = schedule_cache(nq, l)
+        ours = model.predict(sched)
+        base = baseline.predict(circuit, l)
+        speedup = base.total_seconds / ours.total_seconds
+        profiles[nq] = (ours, speedup)
+        rows.append(
+            f"{nq:>6} {nodes:>6} {ours.total_seconds:>8.2f} {t_paper:>8.2f} "
+            f"{100 * ours.comm_fraction:>7.1f} {comm_paper:>7.1f} "
+            f"{speedup:>8.1f} {str(speedup_paper):>6} {ours.pflops:>7.3f}"
+        )
+    rows.append("")
+    rows.append(
+        "45-qubit record run: paper 0.428 PFLOPS sustained, 78% comm; "
+        f"model {profiles[45][0].pflops:.3f} PFLOPS, "
+        f"{100 * profiles[45][0].comm_fraction:.1f}% comm"
+    )
+    report_writer("table2_cori", rows)
+
+    # Shape assertions matching the paper's claims.
+    assert profiles[30][0].comm_fraction == 0.0
+    assert profiles[36][0].comm_fraction < profiles[42][0].comm_fraction
+    assert profiles[42][0].comm_fraction < profiles[45][0].comm_fraction
+    for nq in (30, 36, 42):
+        assert profiles[nq][1] > 10.0, f"{nq}q speedup {profiles[nq][1]}"
+    assert abs(profiles[45][0].total_seconds - 552.61) / 552.61 < 0.35
+
+    # Benchmark: pricing a schedule is the harness's hot path.
+    _, sched45 = schedule_cache(45, 32)
+    benchmark(model.predict, sched45)

@@ -1,0 +1,69 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every bench regenerates one table or figure of the paper and writes a
+paper-vs-measured report to ``benchmarks/results/<name>.txt`` (also
+printed, visible with ``pytest -s``).  EXPERIMENTS.md summarises these
+reports.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.circuit import generate_supremacy_circuit
+from repro.scheduling import SchedulerConfig, schedule_circuit
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Write (and print) a named reproduction report."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, lines: list[str]) -> None:
+        text = "\n".join(lines) + "\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        print(f"\n=== {name} ===\n{text}")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def schedule_cache():
+    """Memoised (circuit, schedule) pairs shared across benches.
+
+    Scheduling a 45-qubit circuit takes ~10 s; several benches need the
+    same schedules, so they are built once per session.  Table-2-style
+    schedules follow the paper's instance convention (no trailing
+    single-qubit layer; see EXPERIMENTS.md).
+    """
+    cache: dict = {}
+
+    def get(
+        num_qubits: int,
+        local_qubits: int,
+        *,
+        depth: int = 25,
+        kmax: int = 4,
+        trailing: bool = False,
+        seed: int = 0,
+        scheduler_seed: int = 1,
+    ):
+        key = (num_qubits, local_qubits, depth, kmax, trailing, seed, scheduler_seed)
+        if key not in cache:
+            circuit = generate_supremacy_circuit(
+                num_qubits, depth, seed=seed, include_trailing_singles=trailing
+            )
+            schedule = schedule_circuit(
+                circuit,
+                SchedulerConfig(
+                    local_qubits=local_qubits, kmax=kmax, seed=scheduler_seed
+                ),
+            )
+            cache[key] = (circuit, schedule)
+        return cache[key]
+
+    return get

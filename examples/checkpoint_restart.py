@@ -1,0 +1,55 @@
+"""Checkpoint / restart of a long distributed run.
+
+At the paper's scale (0.5 PB for ~10 minutes across 8,192 nodes),
+production simulations checkpoint.  This example runs a scheduled
+simulation that is killed mid-flight by an injected failure, then
+resumes from the last checkpoint and finishes — producing exactly the
+same amplitudes as an uninterrupted run.
+
+Run:  python examples/checkpoint_restart.py
+"""
+
+import tempfile
+
+from repro import (
+    SchedulerConfig,
+    Simulator,
+    generate_supremacy_circuit,
+    schedule_circuit,
+)
+from repro.distributed.checkpoint import CheckpointManager
+
+
+def main() -> None:
+    n, depth, l = 14, 14, 10
+    circuit = generate_supremacy_circuit(n, depth, seed=21)
+    schedule = schedule_circuit(circuit, SchedulerConfig(local_qubits=l, seed=1))
+    ops = len(list(schedule.operations()))
+    print(
+        f"{n}-qubit depth-{depth} schedule: {ops} operations, "
+        f"{schedule.num_swaps} swaps"
+    )
+
+    reference = Simulator(n).run(circuit).state
+
+    with tempfile.TemporaryDirectory(prefix="repro_ckpt_") as tmp:
+        manager = CheckpointManager(tmp)
+        try:
+            manager.run_with_checkpoints(schedule, every=4, fail_after=9)
+        except RuntimeError as exc:
+            print(f"simulated node failure: {exc}")
+
+        state, next_op = manager.load()
+        print(
+            f"checkpoint holds op index {next_op}/{ops} "
+            f"with layout {sorted(state.global_qubit_set())} global"
+        )
+
+        final = manager.resume(schedule, every=4)
+        matches = final.to_statevector().allclose(reference, atol=1e-9)
+        print(f"resumed to completion; matches uninterrupted run: {matches}")
+        assert matches
+
+
+if __name__ == "__main__":
+    main()

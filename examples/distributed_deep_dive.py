@@ -1,0 +1,77 @@
+"""Deep dive into the multi-node machinery (Secs. 3.4-3.5).
+
+Walks through the distributed layer's moving parts on a 12-qubit state
+split across 16 virtual nodes:
+
+* gates on local qubits run without communication,
+* diagonal gates (CZ, T) on *global* qubits specialize to per-rank
+  phases — zero communication,
+* monomial gates (X, CNOT) on global qubits become rank renumberings,
+* a dense gate on a global qubit forces a global-to-local swap — one
+  group-local all-to-all (Fig. 3),
+* per-gate execution vs a scheduled program: the scheduled run needs a
+  fraction of the communication steps.
+
+Run:  python examples/distributed_deep_dive.py
+"""
+
+from repro import (
+    DistributedSimulator,
+    DistributedState,
+    Gate,
+    SchedulerConfig,
+    Simulator,
+    generate_supremacy_circuit,
+    schedule_circuit,
+)
+
+
+def main() -> None:
+    n, l = 12, 8  # 16 virtual nodes x 256 amplitudes
+
+    print("=== gate specialization on global qubits ===")
+    state = DistributedState(n, l, init="plus")
+    print(f"layout: local qubits {sorted(state.local_qubit_set())}, "
+          f"global {sorted(state.global_qubit_set())}")
+
+    for gate, expectation in [
+        (Gate("h", (3,)), "local kernel, no communication"),
+        (Gate("cz", (10, 11)), "global CZ -> conditional phase, free"),
+        (Gate("t", (9,)), "global T -> per-rank phase, free"),
+        (Gate("cnot", (11, 2)), "global control -> rank-conditional X, free"),
+        (Gate("x", (8,)), "global X -> rank renumbering, free"),
+    ]:
+        before = state.stats.alltoall_steps
+        state.apply_gate(gate)
+        moved = state.stats.alltoall_steps - before
+        print(f"  {gate!r:<24} -> {expectation} (all-to-alls: {moved})")
+
+    print("\n=== a dense global gate needs a swap ===")
+    before = state.stats.alltoall_steps
+    state.apply_gate(Gate("h", (10,)), auto_swap=True)
+    print(
+        f"  H on global qubit 10: auto_swap performed "
+        f"{state.stats.alltoall_steps - before} all-to-all step(s); "
+        f"new global set {sorted(state.global_qubit_set())}"
+    )
+
+    print("\n=== per-gate execution vs scheduled program ===")
+    circuit = generate_supremacy_circuit(n, 12, seed=3)
+    reference = Simulator(n).run(circuit).state
+
+    naive = DistributedSimulator(n, l).run(circuit, auto_swap=True)
+    schedule = schedule_circuit(circuit, SchedulerConfig(local_qubits=l, seed=1))
+    scheduled = DistributedSimulator(n, l).run_schedule(schedule)
+
+    assert naive.state.to_statevector().allclose(reference, atol=1e-9)
+    assert scheduled.state.to_statevector().allclose(reference, atol=1e-9)
+    print(f"  per-gate: {naive.comm.alltoall_steps} communication steps, "
+          f"{naive.comm.bytes_on_network / 1e6:.1f} MB")
+    print(f"  scheduled: {scheduled.comm.alltoall_steps} communication steps, "
+          f"{scheduled.comm.bytes_on_network / 1e6:.1f} MB "
+          f"({schedule.num_clusters} fused clusters, kmax={schedule.kmax})")
+    print("  both agree with the single-node reference bit for bit")
+
+
+if __name__ == "__main__":
+    main()

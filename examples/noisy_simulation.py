@@ -1,0 +1,64 @@
+"""Noise studies with quantum trajectories.
+
+The paper's introduction motivates classical simulation with "carrying
+out studies of [algorithm] behavior under noise".  This example sweeps a
+depolarizing error rate on a supremacy circuit and shows the two
+signatures hardware teams watch:
+
+* state fidelity decays roughly as (1 - p)^(#noise events),
+* the cross-entropy-benchmarking fidelity estimated from *samples*
+  tracks the true fidelity — so XEB measured on a device tells you its
+  effective error rate, which is precisely the calibration loop the
+  45-qubit simulation supports.
+
+Run:  python examples/noisy_simulation.py
+"""
+
+import numpy as np
+
+from repro import Simulator, generate_supremacy_circuit
+from repro.analysis import linear_xeb_fidelity, shannon_entropy
+from repro.noise import NoisySimulator, depolarizing_channel
+
+
+def main() -> None:
+    num_qubits, depth, trajectories = 8, 16, 30
+    circuit = generate_supremacy_circuit(num_qubits, depth, seed=4)
+    ideal = Simulator(num_qubits).run(circuit).state
+    ideal_probs = ideal.probabilities()
+    noise_events = sum(gate.num_qubits for gate in circuit)
+    print(
+        f"{num_qubits}-qubit depth-{depth} circuit, {len(circuit)} gates, "
+        f"{noise_events} noise events per trajectory\n"
+    )
+    print(
+        f"{'error rate':>10} {'fidelity':>9} {'(1-p)^events':>13} "
+        f"{'entropy':>8} {'XEB':>6}"
+    )
+    rng = np.random.default_rng(0)
+    for p in (0.0, 0.002, 0.01, 0.03):
+        result = NoisySimulator(num_qubits, depolarizing_channel(p), seed=1).run(
+            circuit, trajectories
+        )
+        prediction = (1 - p) ** noise_events
+        # Sample from the trajectory-averaged distribution and estimate
+        # fidelity via XEB, as an experiment would.
+        samples = rng.choice(
+            len(result.mean_probabilities),
+            size=8000,
+            p=result.mean_probabilities / result.mean_probabilities.sum(),
+        )
+        xeb = linear_xeb_fidelity(samples, ideal_probs)
+        print(
+            f"{p:>10.3f} {result.mean_fidelity_to_ideal:>9.3f} "
+            f"{prediction:>13.3f} "
+            f"{shannon_entropy(result.mean_probabilities):>8.3f} {xeb:>6.2f}"
+        )
+    print(
+        "\nfidelity tracks the exponential-decay prediction and XEB tracks "
+        "fidelity — noise calibration via classical simulation."
+    )
+
+
+if __name__ == "__main__":
+    main()

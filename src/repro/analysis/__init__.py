@@ -1,0 +1,50 @@
+"""Output-distribution analysis for supremacy circuits.
+
+The 36-qubit Edison run of Sec. 4.2.2 computes the *entropy* of the
+output distribution (the final reduction costing 8.1 of the 99 seconds);
+Boixo et al. [5] characterise supremacy circuits through the
+Porter-Thomas shape of that distribution and cross-entropy benchmarking.
+
+* :mod:`repro.analysis.entropy` — Shannon entropy and the distributed
+  entropy reduction.
+* :mod:`repro.analysis.porter_thomas` — the Porter-Thomas law, its
+  expected entropy, and distribution-shape tests.
+* :mod:`repro.analysis.xeb` — linear and logarithmic cross-entropy
+  benchmarking fidelities.
+"""
+
+from repro.analysis.depth_scan import (
+    DepthPoint,
+    convergence_depth,
+    entropy_depth_scan,
+)
+from repro.analysis.entropy import distributed_entropy, shannon_entropy
+from repro.analysis.heavy_output import (
+    PORTER_THOMAS_HOG_SCORE,
+    heavy_output_probability,
+    heavy_output_score,
+    heavy_outputs,
+)
+from repro.analysis.porter_thomas import (
+    porter_thomas_entropy_nats,
+    porter_thomas_kl_divergence,
+    porter_thomas_pdf,
+)
+from repro.analysis.xeb import linear_xeb_fidelity, log_xeb_fidelity
+
+__all__ = [
+    "DepthPoint",
+    "PORTER_THOMAS_HOG_SCORE",
+    "convergence_depth",
+    "distributed_entropy",
+    "entropy_depth_scan",
+    "heavy_output_probability",
+    "heavy_output_score",
+    "heavy_outputs",
+    "linear_xeb_fidelity",
+    "log_xeb_fidelity",
+    "porter_thomas_entropy_nats",
+    "porter_thomas_kl_divergence",
+    "porter_thomas_pdf",
+    "shannon_entropy",
+]

@@ -1,0 +1,87 @@
+"""Entropy-vs-depth convergence scans.
+
+Boixo et al. [5] characterise when a random circuit becomes "supremacy
+hard" by the convergence of its output statistics to Porter-Thomas; the
+depth-25 choice of the paper's circuits comes from such scans.  This
+module produces the curve for our generator: entropy (and KL to the
+Porter-Thomas law) as a function of circuit depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.entropy import shannon_entropy
+from repro.analysis.porter_thomas import (
+    porter_thomas_entropy_nats,
+    porter_thomas_kl_divergence,
+)
+from repro.circuit.supremacy import GridSpec, generate_supremacy_circuit
+from repro.statevector.simulator import Simulator
+
+__all__ = ["DepthPoint", "entropy_depth_scan", "convergence_depth"]
+
+
+@dataclass(frozen=True)
+class DepthPoint:
+    """One depth sample of the convergence scan."""
+
+    depth: int
+    entropy_nats: float
+    entropy_gap: float  # porter_thomas_entropy - entropy
+    kl_to_porter_thomas: float
+
+
+def entropy_depth_scan(
+    grid: GridSpec | int,
+    depths: list[int] | range,
+    *,
+    seed: int = 0,
+) -> list[DepthPoint]:
+    """Simulate the circuit at each depth and record convergence metrics.
+
+    Amplitude simulation is required, so keep the grid at laptop scale
+    (<= ~20 qubits); the *structure*-level analyses (Fig. 5) have no such
+    limit.
+    """
+    if isinstance(grid, int):
+        from repro.circuit.supremacy import grid_for_qubits
+
+        grid = grid_for_qubits(grid)
+    n = grid.num_qubits
+    if n > 22:
+        raise ValueError(f"depth scan needs amplitude simulation; {n} qubits is too large")
+    target = porter_thomas_entropy_nats(n)
+    simulator = Simulator(n)
+    points = []
+    for depth in depths:
+        circuit = generate_supremacy_circuit(grid, int(depth), seed=seed)
+        probs = simulator.run(circuit).state.probabilities()
+        h = shannon_entropy(probs)
+        points.append(
+            DepthPoint(
+                depth=int(depth),
+                entropy_nats=h,
+                entropy_gap=target - h,
+                kl_to_porter_thomas=porter_thomas_kl_divergence(probs, n),
+            )
+        )
+    return points
+
+
+def convergence_depth(
+    points: list[DepthPoint], *, kl_threshold: float = 0.02
+) -> int | None:
+    """First depth whose KL to Porter-Thomas stays below *kl_threshold*.
+
+    Returns ``None`` when the scan never converges (circuit too shallow
+    throughout).
+    """
+    converged_from: int | None = None
+    for point in points:
+        if point.kl_to_porter_thomas <= kl_threshold:
+            if converged_from is None:
+                converged_from = point.depth
+        else:
+            converged_from = None
+    return converged_from

@@ -1,0 +1,49 @@
+"""Circuit intermediate representation and generators.
+
+* :mod:`repro.circuit.circuit` — the :class:`Circuit` container: an ordered
+  gate list with per-qubit sequences and dependency queries.  Gate order on
+  a single qubit is a hard constraint (supremacy gates never commute on a
+  shared qubit, Sec. 3.6.1); gates on disjoint qubits commute trivially.
+* :mod:`repro.circuit.supremacy` — the Google quantum-supremacy circuit
+  generator following the Fig. 1 rules and the published GRCS ``cz_v2``
+  CZ-pattern layout.
+* :mod:`repro.circuit.dag` — dependency DAG construction (networkx) and
+  derived quantities (critical path, frontier iteration).
+* :mod:`repro.circuit.stats` — gate-count statistics used by Table 1 and
+  the Fig. 5 communication analysis.
+* :mod:`repro.circuit.text` — a minimal line-based text format for saving
+  and loading circuits.
+"""
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.dag import circuit_dag, critical_path_length
+from repro.circuit.library import (
+    ghz_circuit,
+    hardware_efficient_ansatz,
+    random_brickwork_circuit,
+)
+from repro.circuit.stats import CircuitStats, circuit_stats
+from repro.circuit.supremacy import (
+    GridSpec,
+    cz_layer_pairs,
+    generate_supremacy_circuit,
+    grid_for_qubits,
+)
+from repro.circuit.text import circuit_from_text, circuit_to_text
+
+__all__ = [
+    "Circuit",
+    "CircuitStats",
+    "GridSpec",
+    "circuit_dag",
+    "circuit_from_text",
+    "circuit_stats",
+    "circuit_to_text",
+    "critical_path_length",
+    "cz_layer_pairs",
+    "generate_supremacy_circuit",
+    "ghz_circuit",
+    "grid_for_qubits",
+    "hardware_efficient_ansatz",
+    "random_brickwork_circuit",
+]

@@ -1,0 +1,145 @@
+"""The :class:`Circuit` container."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.gates.fusion import fuse_gates
+from repro.gates.gate import Gate
+
+__all__ = ["Circuit"]
+
+
+class Circuit:
+    """An ordered list of gates on ``num_qubits`` qubits.
+
+    The list order is the application order.  Only the *relative* order of
+    gates sharing a qubit is semantically meaningful; schedulers exploit
+    this freedom (Sec. 3.6.1) but must preserve per-qubit order, which
+    :meth:`same_qubit_order_preserved` lets tests verify.
+    """
+
+    def __init__(self, num_qubits: int, gates: Iterable[Gate] = ()) -> None:
+        if num_qubits <= 0:
+            raise ValueError(f"num_qubits must be positive, got {num_qubits}")
+        self.num_qubits = int(num_qubits)
+        self._gates: list[Gate] = []
+        for gate in gates:
+            self.append(gate)
+
+    # ------------------------------------------------------------------
+    # Mutation / access
+    # ------------------------------------------------------------------
+    def append(self, gate: Gate) -> "Circuit":
+        """Append *gate*, validating its qubit indices. Returns self."""
+        if not isinstance(gate, Gate):
+            raise TypeError(f"expected Gate, got {type(gate).__name__}")
+        for q in gate.qubits:
+            if not 0 <= q < self.num_qubits:
+                raise ValueError(
+                    f"gate {gate!r} out of range for {self.num_qubits} qubits"
+                )
+        self._gates.append(gate)
+        return self
+
+    def extend(self, gates: Iterable[Gate]) -> "Circuit":
+        """Append every gate in *gates*. Returns self."""
+        for gate in gates:
+            self.append(gate)
+        return self
+
+    @property
+    def gates(self) -> tuple[Gate, ...]:
+        """The gates in application order (immutable view)."""
+        return tuple(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Circuit(self.num_qubits, self._gates[index])
+        return self._gates[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        return self.num_qubits == other.num_qubits and self._gates == other._gates
+
+    def __repr__(self) -> str:
+        return f"Circuit(num_qubits={self.num_qubits}, gates={len(self._gates)})"
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def gate_indices_by_qubit(self) -> list[list[int]]:
+        """For each qubit, the ordered indices of gates acting on it."""
+        per_qubit: list[list[int]] = [[] for _ in range(self.num_qubits)]
+        for i, gate in enumerate(self._gates):
+            for q in gate.qubits:
+                per_qubit[q].append(i)
+        return per_qubit
+
+    def used_qubits(self) -> set[int]:
+        """Qubits touched by at least one gate."""
+        used: set[int] = set()
+        for gate in self._gates:
+            used.update(gate.qubits)
+        return used
+
+    def max_gate_size(self) -> int:
+        """Largest k among the circuit's gates (0 for an empty circuit)."""
+        return max((g.num_qubits for g in self._gates), default=0)
+
+    def same_qubit_order_preserved(self, other: "Circuit") -> bool:
+        """True when *other* is a per-qubit-order-preserving reordering.
+
+        Compares, for each qubit, the sequence of (name, qubits, matrix)
+        triples; this is the invariant every scheduler output must satisfy.
+        """
+        if self.num_qubits != other.num_qubits or len(self) != len(other):
+            return False
+
+        def per_qubit_seq(circ: "Circuit") -> list[list[Gate]]:
+            seqs: list[list[Gate]] = [[] for _ in range(circ.num_qubits)]
+            for gate in circ:
+                for q in gate.qubits:
+                    seqs[q].append(gate)
+            return seqs
+
+        return per_qubit_seq(self) == per_qubit_seq(other)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def remap(self, mapping: dict[int, int] | Sequence[int]) -> "Circuit":
+        """Return a circuit with qubits renamed by *mapping* (Sec. 3.6.2).
+
+        *mapping* maps old index -> new index and must be a bijection over
+        ``range(num_qubits)``.
+        """
+        if not isinstance(mapping, dict):
+            mapping = {old: new for old, new in enumerate(mapping)}
+        if sorted(mapping) != list(range(self.num_qubits)) or sorted(
+            mapping.values()
+        ) != list(range(self.num_qubits)):
+            raise ValueError("mapping must be a bijection on range(num_qubits)")
+        return Circuit(self.num_qubits, (g.remap(mapping) for g in self._gates))
+
+    def dagger(self) -> "Circuit":
+        """Return the inverse circuit (reversed order of adjoint gates)."""
+        return Circuit(self.num_qubits, (g.dagger() for g in reversed(self._gates)))
+
+    def unitary(self) -> np.ndarray:
+        """Full ``2**n x 2**n`` unitary of the circuit (small n only)."""
+        if self.num_qubits > 12:
+            raise ValueError(
+                f"refusing to build a dense unitary for {self.num_qubits} qubits"
+            )
+        fused = fuse_gates(self._gates, tuple(range(self.num_qubits)))
+        return fused.matrix

@@ -1,0 +1,55 @@
+"""Dependency DAG over circuit gates.
+
+Two gates depend on each other iff they share a qubit and appear in a
+fixed relative order (supremacy gates on a shared qubit never commute,
+Sec. 3.6.1).  The DAG is the structure both the stage finder and the
+clustering pass walk.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.circuit.circuit import Circuit
+
+__all__ = ["circuit_dag", "critical_path_length", "frontier_gates"]
+
+
+def circuit_dag(circuit: Circuit) -> nx.DiGraph:
+    """Build the gate-dependency DAG.
+
+    Nodes are gate indices into ``circuit.gates``; an edge ``u -> v`` means
+    gate ``u`` is the immediate predecessor of gate ``v`` on some shared
+    qubit.  Node attribute ``"gate"`` holds the :class:`Gate`.
+    """
+    dag = nx.DiGraph()
+    last_on_qubit: dict[int, int] = {}
+    for i, gate in enumerate(circuit):
+        dag.add_node(i, gate=gate)
+        for q in gate.qubits:
+            if q in last_on_qubit:
+                dag.add_edge(last_on_qubit[q], i)
+            last_on_qubit[q] = i
+    return dag
+
+
+def critical_path_length(circuit: Circuit) -> int:
+    """Length (in gates) of the longest dependency chain."""
+    if len(circuit) == 0:
+        return 0
+    dag = circuit_dag(circuit)
+    return nx.dag_longest_path_length(dag) + 1
+
+
+def frontier_gates(dag: nx.DiGraph, executed: set[int]) -> list[int]:
+    """Gate indices whose predecessors are all in *executed*.
+
+    The classic Kahn frontier; the stage finder consumes it repeatedly.
+    """
+    frontier = []
+    for node in dag.nodes:
+        if node in executed:
+            continue
+        if all(pred in executed for pred in dag.predecessors(node)):
+            frontier.append(node)
+    return sorted(frontier)

@@ -1,0 +1,93 @@
+"""Additional circuit families.
+
+Beyond the supremacy circuits the paper evaluates, a simulator library
+needs reference workloads: entangling benchmarks (GHZ), structured
+transforms (QFT — see :mod:`repro.emulation` for its shortcut), and
+generic random brickwork circuits for stress-testing schedulers on
+geometries other than the 2D supremacy grid.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import Circuit
+from repro.gates.gate import Gate
+from repro.gates.matrices import random_unitary
+from repro.util.rng import ensure_rng
+
+__all__ = ["ghz_circuit", "random_brickwork_circuit", "hardware_efficient_ansatz"]
+
+
+def ghz_circuit(num_qubits: int) -> Circuit:
+    """H + CNOT ladder preparing ``(|0...0> + |1...1>)/sqrt(2)``."""
+    circuit = Circuit(num_qubits)
+    circuit.append(Gate("h", (0,)))
+    for q in range(num_qubits - 1):
+        circuit.append(Gate("cnot", (q, q + 1)))
+    return circuit
+
+
+def random_brickwork_circuit(
+    num_qubits: int,
+    depth: int,
+    seed=None,
+    *,
+    two_qubit_fraction: float = 1.0,
+) -> Circuit:
+    """1D brickwork of Haar-random two-qubit gates.
+
+    Layer ``t`` couples pairs ``(2i + t%2, 2i + t%2 + 1)``; with
+    ``two_qubit_fraction < 1`` some bricks degrade to independent
+    single-qubit unitaries, thinning the entanglement structure (useful
+    for scheduler stress tests with varying light-cone speeds).
+    """
+    if depth < 0:
+        raise ValueError(f"depth must be non-negative, got {depth}")
+    if not 0.0 <= two_qubit_fraction <= 1.0:
+        raise ValueError("two_qubit_fraction must be in [0, 1]")
+    rng = ensure_rng(seed)
+    circuit = Circuit(num_qubits)
+    for layer in range(depth):
+        start = layer % 2
+        for a in range(start, num_qubits - 1, 2):
+            b = a + 1
+            if rng.random() < two_qubit_fraction:
+                circuit.append(
+                    Gate("haar2", (a, b), random_unitary(2, rng), cycle=layer)
+                )
+            else:
+                circuit.append(
+                    Gate("haar1", (a,), random_unitary(1, rng), cycle=layer)
+                )
+                circuit.append(
+                    Gate("haar1", (b,), random_unitary(1, rng), cycle=layer)
+                )
+    return circuit
+
+
+def hardware_efficient_ansatz(
+    num_qubits: int, layers: int, seed=None
+) -> Circuit:
+    """A VQE-style ansatz: random single-qubit rotations + CZ ladders.
+
+    The local-interaction workload the paper contrasts with supremacy
+    circuits ("actual quantum algorithms, where interactions remain
+    local over longer periods of time", Sec. 4.1.2) — schedulers get far
+    more clustering head-room here.
+    """
+    import math
+
+    rng = ensure_rng(seed)
+    circuit = Circuit(num_qubits)
+    for layer in range(layers):
+        for q in range(num_qubits):
+            from repro.gates.matrices import rotation_matrix
+
+            axis = "xyz"[int(rng.integers(3))]
+            theta = float(rng.uniform(0, 2 * math.pi))
+            circuit.append(
+                Gate(f"r{axis}({theta:.3f})", (q,), rotation_matrix(axis, theta),
+                     cycle=layer)
+            )
+        for q in range(layer % 2, num_qubits - 1, 2):
+            circuit.append(Gate("cz", (q, q + 1), cycle=layer))
+    return circuit

@@ -1,0 +1,58 @@
+"""Circuit statistics (gate counts, composition, depth)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.dag import critical_path_length
+
+__all__ = ["CircuitStats", "circuit_stats"]
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Summary statistics of a circuit.
+
+    ``total_gates`` matches the "Number of Gates" column of Table 1 when
+    computed on a full depth-25 supremacy circuit (including the cycle-0
+    Hadamards).
+    """
+
+    num_qubits: int
+    total_gates: int
+    counts_by_name: dict[str, int] = field(default_factory=dict)
+    counts_by_size: dict[int, int] = field(default_factory=dict)
+    diagonal_gates: int = 0
+    critical_path: int = 0
+
+    @property
+    def single_qubit_gates(self) -> int:
+        """Number of 1-qubit gates."""
+        return self.counts_by_size.get(1, 0)
+
+    @property
+    def two_qubit_gates(self) -> int:
+        """Number of 2-qubit gates."""
+        return self.counts_by_size.get(2, 0)
+
+
+def circuit_stats(circuit: Circuit) -> CircuitStats:
+    """Compute :class:`CircuitStats` for *circuit*."""
+    by_name: Counter[str] = Counter()
+    by_size: Counter[int] = Counter()
+    diagonal = 0
+    for gate in circuit:
+        by_name[gate.name] += 1
+        by_size[gate.num_qubits] += 1
+        if gate.is_diagonal:
+            diagonal += 1
+    return CircuitStats(
+        num_qubits=circuit.num_qubits,
+        total_gates=len(circuit),
+        counts_by_name=dict(by_name),
+        counts_by_size=dict(by_size),
+        diagonal_gates=diagonal,
+        critical_path=critical_path_length(circuit),
+    )

@@ -1,0 +1,202 @@
+"""Google quantum-supremacy circuit generator (Fig. 1 of the paper).
+
+Construction rules, quoted from the Fig. 1 caption:
+
+1. Clock cycle 0: a Hadamard gate on every qubit.
+2. Cycles 1..depth: one of eight CZ patterns, repeated cyclically, such
+   that every nearest-neighbour pair on the 2D grid interacts once every
+   8 cycles.
+3. In each cycle, single-qubit gates are applied to all qubits which in
+   the *previous* cycle (but not the current one) performed a CZ.  The
+   gate is randomly chosen from {T, X^(1/2), Y^(1/2)}, except that the
+   second single-qubit gate on each qubit (the first being the cycle-0
+   Hadamard) is always T, and a randomly chosen gate must differ from the
+   previous single-qubit gate on that qubit.
+
+The CZ patterns follow the published GRCS ``cz_v2`` layout (the labelled-
+edge rule used by Boixo et al.'s public circuits): horizontal edges carry
+labels ``(2*row + col) mod 4 -> pattern {0,2,4,6}`` and vertical edges
+``(row + 2*col) mod 4 -> pattern {1,3,5,7}``, with the public cycle order
+``[0, 3, 2, 1, 4, 7, 6, 5]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.circuit import Circuit
+from repro.gates.gate import Gate
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "GridSpec",
+    "grid_for_qubits",
+    "cz_layer_pairs",
+    "generate_supremacy_circuit",
+]
+
+#: Mapping from public clock-cycle order to internal pattern index, as in
+#: the published GRCS cz_v2 circuits.
+_LAYER_ORDER = (0, 3, 2, 1, 4, 7, 6, 5)
+
+#: Grid shapes used in the paper (Table 2): 30 = 6x5, 36 = 6x6, 42 = 7x6,
+#: 45 = 9x5, and 49 = 7x7 for the feasibility discussion.
+_PAPER_GRIDS = {30: (6, 5), 36: (6, 6), 42: (7, 6), 45: (9, 5), 49: (7, 7)}
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A 2D qubit grid; qubit index = ``row * cols + col``."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError(f"grid dimensions must be positive, got {self}")
+
+    @property
+    def num_qubits(self) -> int:
+        """Total number of qubits on the grid."""
+        return self.rows * self.cols
+
+    def qubit(self, row: int, col: int) -> int:
+        """Qubit index at (row, col)."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"({row}, {col}) outside {self}")
+        return row * self.cols + col
+
+    def position(self, qubit: int) -> tuple[int, int]:
+        """(row, col) of a qubit index."""
+        if not 0 <= qubit < self.num_qubits:
+            raise ValueError(f"qubit {qubit} outside {self}")
+        return divmod(qubit, self.cols)
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All nearest-neighbour qubit pairs on the grid."""
+        pairs = []
+        for r in range(self.rows):
+            for c in range(self.cols):
+                if c + 1 < self.cols:
+                    pairs.append((self.qubit(r, c), self.qubit(r, c + 1)))
+                if r + 1 < self.rows:
+                    pairs.append((self.qubit(r, c), self.qubit(r + 1, c)))
+        return pairs
+
+
+def grid_for_qubits(num_qubits: int) -> GridSpec:
+    """The grid shape the paper uses for a given qubit count.
+
+    Falls back to the most square factorisation for sizes the paper does
+    not mention.
+    """
+    if num_qubits in _PAPER_GRIDS:
+        rows, cols = _PAPER_GRIDS[num_qubits]
+        return GridSpec(rows, cols)
+    best = (num_qubits, 1)
+    for cols in range(1, int(num_qubits**0.5) + 1):
+        if num_qubits % cols == 0:
+            best = (num_qubits // cols, cols)
+    return GridSpec(*best)
+
+
+def cz_layer_pairs(grid: GridSpec, cycle_index: int) -> list[tuple[int, int]]:
+    """CZ pairs applied in clock cycle ``cycle_index + 1`` (0-based layer).
+
+    Implements the labelled-edge rule described in the module docstring.
+    Every grid edge appears in exactly one of 8 consecutive layers.
+    """
+    internal = _LAYER_ORDER[cycle_index % 8]
+    dir_row = internal % 2
+    dir_col = 1 - dir_row
+    shift = (internal >> 1) % 4
+    pairs = []
+    for r in range(grid.rows):
+        for c in range(grid.cols):
+            r2, c2 = r + dir_row, c + dir_col
+            if r2 >= grid.rows or c2 >= grid.cols:
+                continue
+            if (r * (2 - dir_row) + c * (2 - dir_col)) % 4 != shift:
+                continue
+            pairs.append((grid.qubit(r, c), grid.qubit(r2, c2)))
+    return pairs
+
+
+def generate_supremacy_circuit(
+    grid: GridSpec | int,
+    depth: int,
+    seed: int | None = 0,
+    *,
+    include_initial_hadamards: bool = True,
+    include_trailing_singles: bool = True,
+) -> Circuit:
+    """Generate a depth-``depth`` supremacy circuit on *grid*.
+
+    Parameters
+    ----------
+    grid:
+        A :class:`GridSpec`, or a qubit count (resolved by
+        :func:`grid_for_qubits` to the paper's grid shapes).
+    depth:
+        Number of CZ clock cycles (cycles 1..depth; the Hadamard layer is
+        cycle 0 and not counted, matching the paper's "depth-25" label).
+    seed:
+        Seed for the random single-qubit gate choices.  Gate *counts* are
+        seed-independent (the placement rule is deterministic); only the
+        T / X^(1/2) / Y^(1/2) choice is random.
+    include_initial_hadamards:
+        When False, omits the cycle-0 Hadamards (the simulator shortcut of
+        Sec. 3.6: initialise the state to ``(2^(-n/2), ...)`` directly).
+    include_trailing_singles:
+        When True (default, matching the public GRCS instances), qubits
+        that performed a CZ in the final cycle receive their pending
+        single-qubit gate in a trailing layer (cycle ``depth + 1``).  With
+        this convention the depth-25 gate totals land on or within ±6 of
+        the paper's Table 1 counts (369/447/528/569).
+
+    Each gate's ``cycle`` attribute records its clock cycle.
+    """
+    if isinstance(grid, int):
+        grid = grid_for_qubits(grid)
+    if depth < 0:
+        raise ValueError(f"depth must be non-negative, got {depth}")
+    rng = ensure_rng(seed)
+    n = grid.num_qubits
+    circuit = Circuit(n)
+
+    if include_initial_hadamards:
+        for q in range(n):
+            circuit.append(Gate("h", (q,), cycle=0))
+
+    # Per-qubit single-qubit-gate history: None until the first random
+    # single-qubit gate ("h" does not count, per the Fig. 1 rule).
+    last_single: list[str | None] = [None] * n
+    prev_cz_qubits: set[int] = set()
+
+    for cycle in range(1, depth + 1):
+        pairs = cz_layer_pairs(grid, cycle - 1)
+        current_cz_qubits = {q for pair in pairs for q in pair}
+        # Single-qubit gates: CZ'd last cycle, idle this cycle.
+        for q in sorted(prev_cz_qubits - current_cz_qubits):
+            if last_single[q] is None:
+                name = "t"
+            else:
+                options = [g for g in ("t", "x_1_2", "y_1_2") if g != last_single[q]]
+                name = options[int(rng.integers(len(options)))]
+            last_single[q] = name
+            circuit.append(Gate(name, (q,), cycle=cycle))
+        for a, b in pairs:
+            circuit.append(Gate("cz", (a, b), cycle=cycle))
+        prev_cz_qubits = current_cz_qubits
+
+    if include_trailing_singles:
+        for q in sorted(prev_cz_qubits):
+            if last_single[q] is None:
+                name = "t"
+            else:
+                options = [g for g in ("t", "x_1_2", "y_1_2") if g != last_single[q]]
+                name = options[int(rng.integers(len(options)))]
+            last_single[q] = name
+            circuit.append(Gate(name, (q,), cycle=depth + 1))
+
+    return circuit

@@ -1,0 +1,76 @@
+"""Line-based text serialization for circuits.
+
+Format (one gate per line, ``#`` comments, blank lines ignored)::
+
+    qubits 36
+    h 0
+    h 1
+    cz 3 4        # named gates use the registry matrix
+    t 3 @cycle=5  # optional cycle tag
+
+Only named gates round-trip; gates carrying custom matrices (e.g. fused
+clusters) are rejected with a clear error, since the format stores no
+matrix data.  The format mirrors the published GRCS instance files closely
+enough that converting between the two is a one-liner.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import Circuit
+from repro.gates.gate import Gate
+from repro.gates.matrices import gate_matrix
+
+import numpy as np
+
+__all__ = ["circuit_to_text", "circuit_from_text"]
+
+
+def circuit_to_text(circuit: Circuit) -> str:
+    """Serialize *circuit* to the text format."""
+    lines = [f"qubits {circuit.num_qubits}"]
+    for gate in circuit:
+        try:
+            registry = gate_matrix(gate.name)
+        except KeyError:
+            raise ValueError(
+                f"gate {gate.name!r} is not a named gate and cannot be serialized"
+            ) from None
+        if not np.allclose(registry, gate.matrix):
+            raise ValueError(
+                f"gate {gate.name!r} carries a custom matrix and cannot be serialized"
+            )
+        line = f"{gate.name} " + " ".join(map(str, gate.qubits))
+        if gate.cycle is not None:
+            line += f" @cycle={gate.cycle}"
+        lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
+def circuit_from_text(text: str) -> Circuit:
+    """Parse the text format back into a :class:`Circuit`."""
+    circuit: Circuit | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        if tokens[0] == "qubits":
+            if circuit is not None:
+                raise ValueError(f"line {lineno}: duplicate 'qubits' header")
+            if len(tokens) != 2:
+                raise ValueError(f"line {lineno}: expected 'qubits N'")
+            circuit = Circuit(int(tokens[1]))
+            continue
+        if circuit is None:
+            raise ValueError(f"line {lineno}: missing 'qubits N' header")
+        cycle = None
+        if tokens[-1].startswith("@cycle="):
+            cycle = int(tokens[-1].split("=", 1)[1])
+            tokens = tokens[:-1]
+        name, qubit_tokens = tokens[0], tokens[1:]
+        if not qubit_tokens:
+            raise ValueError(f"line {lineno}: gate {name!r} has no qubits")
+        circuit.append(Gate(name, tuple(int(t) for t in qubit_tokens), cycle=cycle))
+    if circuit is None:
+        raise ValueError("empty circuit text (no 'qubits N' header)")
+    return circuit

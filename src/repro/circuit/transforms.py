@@ -1,0 +1,86 @@
+"""Circuit-level transformations.
+
+Two of these come straight from the paper's Sec. 3.6:
+
+* the initial Hadamard layer is replaced by direct ``|+...+>``
+  initialisation (handled by the scheduler's ``skip_initial_hadamards``);
+* "we do not simulate the final CZ gates as they only alter the phases
+  of the probability amplitudes, but not the probabilities" —
+  generalised here to :func:`drop_final_diagonal_gates`, which removes
+  *every* trailing diagonal gate with no dense successor.
+
+:func:`merge_single_qubit_runs` is the classic peephole pass: runs of
+consecutive single-qubit gates on one qubit collapse into a single
+unitary, shrinking the gate count the scheduler has to cluster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.gates.gate import Gate
+
+__all__ = ["drop_final_diagonal_gates", "merge_single_qubit_runs"]
+
+
+def drop_final_diagonal_gates(circuit: Circuit) -> Circuit:
+    """Remove trailing diagonal gates that cannot affect probabilities.
+
+    A gate is removable when it is diagonal and, on every one of its
+    qubits, no *dense* (non-diagonal) gate comes later — then it only
+    multiplies amplitudes by phases that ``|amp|**2`` discards.  Applied
+    iteratively until a fixpoint.  Output probabilities are exactly
+    preserved; amplitudes are not (document accordingly at call sites).
+    """
+    gates = list(circuit.gates)
+    # A diagonal gate is removable iff every later gate sharing a qubit
+    # with it is also (recursively) removable-or-diagonal.  One backward
+    # sweep suffices: track per qubit whether a dense gate was seen later.
+    dense_seen: set[int] = set()
+    keep: list[bool] = [True] * len(gates)
+    for i in range(len(gates) - 1, -1, -1):
+        gate = gates[i]
+        if gate.is_diagonal and not any(q in dense_seen for q in gate.qubits):
+            keep[i] = False
+        else:
+            dense_seen.update(gate.qubits)
+    return Circuit(
+        circuit.num_qubits, (g for i, g in enumerate(gates) if keep[i])
+    )
+
+
+def merge_single_qubit_runs(circuit: Circuit) -> Circuit:
+    """Collapse consecutive single-qubit gates per qubit into one gate.
+
+    Two single-qubit gates on qubit ``q`` are consecutive when no other
+    gate touches ``q`` between them; the merged gate's matrix is the
+    product (later @ earlier).  Multi-qubit gates pass through untouched.
+    """
+    merged: list[Gate | None] = []
+    #: per qubit, index into `merged` of a pending 1q gate to extend.
+    pending: dict[int, int] = {}
+    for gate in circuit:
+        if gate.num_qubits == 1:
+            q = gate.qubits[0]
+            if q in pending:
+                slot = pending[q]
+                prev = merged[slot]
+                combined = gate.matrix @ prev.matrix
+                merged[slot] = Gate(
+                    _merged_name(prev, gate), (q,), combined, cycle=prev.cycle
+                )
+            else:
+                pending[q] = len(merged)
+                merged.append(gate)
+        else:
+            for q in gate.qubits:
+                pending.pop(q, None)
+            merged.append(gate)
+    return Circuit(circuit.num_qubits, (g for g in merged if g is not None))
+
+
+def _merged_name(first: Gate, second: Gate) -> str:
+    base = first.name if first.name.startswith("merged[") else f"merged[{first.name}"
+    inner = base[len("merged["):].rstrip("]")
+    return f"merged[{inner};{second.name}]"

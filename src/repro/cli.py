@@ -1,0 +1,262 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``generate`` — write a supremacy circuit to the text format;
+* ``schedule`` — schedule a circuit and print the summary (optionally
+  saving the program as JSON for reuse);
+* ``simulate`` — run a circuit (single-node or distributed) and report
+  entropy / sample counts;
+* ``project`` — price a configuration on the Cori II models and print a
+  Table-2-style profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed quantum-supremacy-circuit simulator "
+        "(Häner & Steiger, SC 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a supremacy circuit")
+    gen.add_argument("--qubits", type=int, required=True)
+    gen.add_argument("--depth", type=int, default=25)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--no-trailing", action="store_true",
+                     help="omit the trailing single-qubit layer")
+    gen.add_argument("--output", type=str, default="-",
+                     help="output file ('-' for stdout)")
+
+    sch = sub.add_parser("schedule", help="schedule a circuit")
+    sch.add_argument("--circuit", type=str, help="circuit text file "
+                     "(default: generate per --qubits/--depth/--seed)")
+    sch.add_argument("--qubits", type=int)
+    sch.add_argument("--depth", type=int, default=25)
+    sch.add_argument("--seed", type=int, default=0)
+    sch.add_argument("--local-qubits", type=int, required=True)
+    sch.add_argument("--kmax", type=int, default=5)
+    sch.add_argument("--absorb", action="store_true",
+                     help="absorb diagonal gates into cluster matrices")
+    sch.add_argument("--save", type=str, help="write the schedule JSON here")
+
+    sim = sub.add_parser("simulate", help="simulate a circuit")
+    sim.add_argument("--qubits", type=int, required=True)
+    sim.add_argument("--depth", type=int, default=12)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--local-qubits", type=int,
+                     help="distributed run with this split (default: single node)")
+    sim.add_argument("--shots", type=int, default=0,
+                     help="also sample this many bitstrings")
+
+    proj = sub.add_parser("project", help="project onto Cori II (Table 2 style)")
+    proj.add_argument("--qubits", type=int, required=True)
+    proj.add_argument("--nodes", type=int, required=True)
+    proj.add_argument("--depth", type=int, default=25)
+    proj.add_argument("--kmax", type=int, default=4)
+
+    exp = sub.add_parser(
+        "experiments", help="regenerate a paper table/figure series"
+    )
+    exp.add_argument(
+        "name",
+        choices=["table1", "table2", "fig5-depth", "fig5-size", "fig8"],
+        help="which artefact to regenerate",
+    )
+    exp.add_argument("--qubits", type=int, default=36,
+                     help="circuit size for fig8")
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    from repro.circuit import circuit_to_text, generate_supremacy_circuit
+
+    circuit = generate_supremacy_circuit(
+        args.qubits,
+        args.depth,
+        seed=args.seed,
+        include_trailing_singles=not args.no_trailing,
+    )
+    text = circuit_to_text(circuit)
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {len(circuit)} gates to {args.output}")
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    from repro.circuit import circuit_from_text, generate_supremacy_circuit
+    from repro.scheduling import SchedulerConfig, schedule_circuit
+
+    if args.circuit:
+        with open(args.circuit, encoding="utf-8") as fh:
+            circuit = circuit_from_text(fh.read())
+    elif args.qubits:
+        circuit = generate_supremacy_circuit(args.qubits, args.depth, seed=args.seed)
+    else:
+        print("error: provide --circuit or --qubits", file=sys.stderr)
+        return 2
+    schedule = schedule_circuit(
+        circuit,
+        SchedulerConfig(
+            local_qubits=args.local_qubits,
+            kmax=args.kmax,
+            absorb_diagonals=args.absorb,
+        ),
+    )
+    for key, value in schedule.summary().items():
+        print(f"{key:>22}: {value}")
+    if args.save:
+        from repro.io import save_schedule_json
+
+        save_schedule_json(schedule, args.save)
+        print(f"{'saved to':>22}: {args.save}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.analysis import porter_thomas_entropy_nats, shannon_entropy
+    from repro.circuit import generate_supremacy_circuit
+    from repro.statevector import Simulator, sample_counts
+
+    if args.qubits > 24:
+        print("error: refusing > 24 qubits on a single machine", file=sys.stderr)
+        return 2
+    circuit = generate_supremacy_circuit(args.qubits, args.depth, seed=args.seed)
+    if args.local_qubits:
+        from repro.distributed import DistributedSimulator
+        from repro.scheduling import SchedulerConfig, schedule_circuit
+
+        schedule = schedule_circuit(
+            circuit, SchedulerConfig(local_qubits=args.local_qubits)
+        )
+        result = DistributedSimulator(args.qubits, args.local_qubits).run_schedule(
+            schedule
+        )
+        state = result.state.to_statevector()
+        print(
+            f"distributed run: {result.comm.alltoall_steps} all-to-all steps, "
+            f"{result.kernel_cost.total_calls} kernel calls"
+        )
+    else:
+        run = Simulator(args.qubits).run(circuit)
+        state = run.state
+        print(f"single-node run: {run.wall_seconds:.2f}s, {run.gflops:.2f} GFLOPS")
+    entropy = shannon_entropy(state.probabilities())
+    print(
+        f"output entropy: {entropy:.4f} nats "
+        f"(Porter-Thomas {porter_thomas_entropy_nats(args.qubits):.4f})"
+    )
+    if args.shots:
+        counts = sample_counts(state, args.shots, seed=args.seed)
+        top = sorted(counts.items(), key=lambda kv: -kv[1])[:5]
+        print("top outcomes:", ", ".join(f"{k:0{args.qubits}b}x{v}" for k, v in top))
+    return 0
+
+
+def _cmd_project(args) -> int:
+    from repro.circuit import generate_supremacy_circuit
+    from repro.perfmodel import (
+        ARIES_DRAGONFLY,
+        BaselineModel,
+        CORI_KNL_NODE,
+        TimelineModel,
+    )
+    from repro.scheduling import SchedulerConfig, schedule_circuit
+
+    g = int(math.log2(args.nodes))
+    if 1 << g != args.nodes:
+        print("error: --nodes must be a power of two", file=sys.stderr)
+        return 2
+    local = args.qubits - g
+    circuit = generate_supremacy_circuit(
+        args.qubits, args.depth, seed=0, include_trailing_singles=False
+    )
+    schedule = schedule_circuit(
+        circuit, SchedulerConfig(local_qubits=local, kmax=args.kmax, seed=1)
+    )
+    model = TimelineModel(CORI_KNL_NODE, ARIES_DRAGONFLY)
+    baseline = BaselineModel(CORI_KNL_NODE, ARIES_DRAGONFLY)
+    ours = model.predict(schedule)
+    base = baseline.predict(circuit, local)
+    memory_bytes = (1 << args.qubits) * 16
+    print(f"configuration : {args.qubits} qubits on {args.nodes} Cori II nodes")
+    print(f"memory        : {memory_bytes / 2**50:.3f} PiB total "
+          f"({(1 << local) * 16 / 2**30:.1f} GiB/node)")
+    print(f"schedule      : {schedule.num_swaps} swaps, "
+          f"{schedule.num_clusters} clusters (kmax={args.kmax})")
+    print(f"time          : {ours.total_seconds:.2f} s "
+          f"({100 * ours.comm_fraction:.1f}% communication)")
+    print(f"sustained     : {ours.pflops:.3f} PFLOPS")
+    print(f"speedup vs [5]: {base.total_seconds / ours.total_seconds:.1f}x")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro import experiments as ex
+
+    if args.name == "table1":
+        print(f"{'qubits':>6} {'kmax':>4} {'clusters':>8} {'paper':>6} {'g/cluster':>10}")
+        for row in ex.table1_rows():
+            print(
+                f"{row.qubits:>6} {row.kmax:>4} {row.clusters:>8} "
+                f"{str(row.paper_clusters):>6} {row.gates_per_cluster:>10.2f}"
+            )
+    elif args.name == "table2":
+        print(f"{'qubits':>6} {'nodes':>6} {'T[s]':>8} {'paper':>8} "
+              f"{'comm%':>6} {'speedup':>8}")
+        for row in ex.table2_rows():
+            print(
+                f"{row.qubits:>6} {row.nodes:>6} {row.model_seconds:>8.2f} "
+                f"{str(row.paper_seconds):>8} {100 * row.comm_fraction:>6.1f} "
+                f"{row.speedup_over_baseline:>7.1f}x"
+            )
+    elif args.name == "fig5-depth":
+        print(f"{'depth':>5} {'swaps':>5} {'baseline (median/worst)':>24}")
+        for p in ex.fig5_depth_series():
+            print(f"{p.depth:>5} {p.swaps:>5} "
+                  f"{p.baseline_global_gates_median:>11} / "
+                  f"{p.baseline_global_gates_worst}")
+    elif args.name == "fig5-size":
+        print(f"{'qubits':>6} {'swaps':>5} {'baseline (median/worst)':>24}")
+        for p in ex.fig5_size_series():
+            print(f"{p.qubits:>6} {p.swaps:>5} "
+                  f"{p.baseline_global_gates_median:>11} / "
+                  f"{p.baseline_global_gates_worst}")
+    elif args.name == "fig8":
+        nodes = (16, 32, 64) if args.qubits <= 38 else (1024, 2048, 4096)
+        print(f"{'nodes':>6} {'T[s]':>8} {'speedup':>8} {'comm%':>6}")
+        for p in ex.fig8_series(args.qubits, nodes):
+            print(f"{p.nodes:>6} {p.model_seconds:>8.2f} {p.speedup:>8.2f} "
+                  f"{100 * p.comm_fraction:>6.1f}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "schedule": _cmd_schedule,
+        "simulate": _cmd_simulate,
+        "project": _cmd_project,
+        "experiments": _cmd_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Automatic kernel code generation and autotuning.
+
+The paper's kernels are produced by "automatic code generation and
+optimization of compute kernels ... using an automatic code-generation /
+benchmarking feedback loop" (abstract, Sec. 3.2), which also buys
+performance portability.  The Python analogue:
+
+* :mod:`repro.codegen.generator` — emits *specialized Python source* for
+  a given (state size, qubit tuple) pair: a reshape/einsum kernel whose
+  axis layout, einsum subscripts and reshape dimensions are constants
+  baked into the generated code, plus specialized slicing kernels for
+  single-qubit gates.  Sources are compiled with :func:`compile`/``exec``
+  and cached.
+* :mod:`repro.codegen.autotune` — benchmarks the generated variants
+  against the generic indexed kernel (with several blocking chunk sizes)
+  on the actual array shape, then caches the winner — the same
+  measurement-driven selection loop the paper uses to pick block sizes.
+"""
+
+from repro.codegen.autotune import AutoTuner, TuneResult
+from repro.codegen.generator import (
+    generate_einsum_kernel,
+    generate_single_qubit_kernel,
+    generated_kernel,
+)
+
+__all__ = [
+    "AutoTuner",
+    "TuneResult",
+    "generate_einsum_kernel",
+    "generate_single_qubit_kernel",
+    "generated_kernel",
+]

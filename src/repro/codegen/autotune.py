@@ -1,0 +1,134 @@
+"""Measurement-driven kernel selection (the paper's feedback loop)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.codegen.generator import generated_kernel
+from repro.kernels.apply import apply_gate_indexed, apply_gate_reference
+from repro.kernels.split import SplitGateMatrix, apply_gate_split_real
+from repro.util.rng import random_statevector
+
+__all__ = ["TuneResult", "AutoTuner"]
+
+#: Blocking chunk sizes (in ``c`` substrings) tried for the indexed kernel.
+_CHUNK_CANDIDATES: tuple[int | None, ...] = (1 << 12, 1 << 14, 1 << 16, None)
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of one autotuning run."""
+
+    strategy: str
+    seconds_per_call: float
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def speedup_over(self, strategy: str) -> float:
+        """How much faster the winner is than *strategy*."""
+        return self.timings[strategy] / self.seconds_per_call
+
+
+class AutoTuner:
+    """Benchmarks kernel strategies on real shapes and caches the winner.
+
+    The candidates per (n, qubits):
+
+    * ``indexed[chunk]`` — the gather/matmul/scatter kernel with several
+      register/cache blocking sizes (the paper's block-size search);
+    * ``generated`` — the specialized reshape/einsum source from
+      :mod:`repro.codegen.generator`;
+    * ``reference`` — the generic tensordot kernel.
+
+    Tuning uses a scratch random state of the target size, so call it at
+    a representative ``n`` (timings transfer across n at equal qubit
+    *positions relative to n*, which is how :meth:`tune` buckets its
+    cache).
+    """
+
+    def __init__(self, *, repeats: int = 3, seed: int = 0) -> None:
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        self.repeats = repeats
+        self.seed = seed
+        self._cache: dict[tuple[int, tuple[int, ...]], TuneResult] = {}
+
+    # ------------------------------------------------------------------
+    def _candidates(
+        self, num_qubits: int, qubits: tuple[int, ...]
+    ) -> dict[str, Callable[[np.ndarray, np.ndarray], None]]:
+        cands: dict[str, Callable] = {}
+        for chunk in _CHUNK_CANDIDATES:
+            label = f"indexed[chunk={chunk}]"
+            cands[label] = (
+                lambda state, matrix, _c=chunk: apply_gate_indexed(
+                    state, matrix, qubits, chunk_size=_c
+                )
+            )
+        gen_fn, _src = generated_kernel(num_qubits, qubits)
+        cands["generated"] = lambda state, matrix: gen_fn(state, matrix)
+        cands["reference"] = lambda state, matrix: apply_gate_reference(
+            state, matrix, qubits
+        )
+        # Sec. 3.2's FMA trick: the complex product as four real GEMMs on
+        # pre-split matrices.
+        split_cache: dict[int, SplitGateMatrix] = {}
+
+        def split_kernel(state, matrix):
+            key = id(matrix)
+            if key not in split_cache:
+                split_cache.clear()
+                split_cache[key] = SplitGateMatrix(matrix)
+            apply_gate_split_real(state, split_cache[key], qubits)
+
+        cands["split-real"] = split_kernel
+        return cands
+
+    def tune(
+        self, num_qubits: int, qubits: Sequence[int]
+    ) -> TuneResult:
+        """Benchmark all strategies for this shape; cached per (n, qubits)."""
+        qubits = tuple(qubits)
+        key = (num_qubits, qubits)
+        if key in self._cache:
+            return self._cache[key]
+        k = len(qubits)
+        state = random_statevector(num_qubits, self.seed).copy()
+        rng = np.random.default_rng(self.seed)
+        # Any unitary works for timing; use a random dense matrix.
+        matrix = rng.standard_normal((1 << k, 1 << k)) + 1j * rng.standard_normal(
+            (1 << k, 1 << k)
+        )
+        timings: dict[str, float] = {}
+        for label, fn in self._candidates(num_qubits, qubits).items():
+            best = float("inf")
+            for _ in range(self.repeats):
+                start = time.perf_counter()
+                fn(state, matrix)
+                best = min(best, time.perf_counter() - start)
+            timings[label] = best
+        winner = min(timings, key=timings.get)
+        result = TuneResult(
+            strategy=winner, seconds_per_call=timings[winner], timings=timings
+        )
+        self._cache[key] = result
+        return result
+
+    def best_kernel(
+        self, num_qubits: int, qubits: Sequence[int]
+    ) -> Callable[[np.ndarray, np.ndarray], None]:
+        """The tuned kernel function for this shape (tunes on first use)."""
+        qubits = tuple(qubits)
+        result = self.tune(num_qubits, qubits)
+        return self._candidates(num_qubits, qubits)[result.strategy]
+
+    def apply(
+        self, state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int]
+    ) -> np.ndarray:
+        """Apply *matrix* using the tuned kernel (in place)."""
+        num_qubits = int(np.log2(state.shape[0]))
+        self.best_kernel(num_qubits, tuple(qubits))(state, matrix)
+        return state

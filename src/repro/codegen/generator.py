@@ -1,0 +1,149 @@
+"""Specialized kernel source generation.
+
+For each (state size n, target qubit tuple) the generator emits Python
+source whose reshape dimensions and einsum subscripts are *constants* —
+the numpy analogue of emitting specialized C++ with fixed strides and
+unrolled index arithmetic.  Generated sources are inspectable (returned
+alongside the compiled function) and cached.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "generate_einsum_kernel",
+    "generate_single_qubit_kernel",
+    "generated_kernel",
+    "clear_kernel_cache",
+]
+
+_LETTERS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+_CACHE: dict[tuple[int, tuple[int, ...]], tuple[Callable, str]] = {}
+
+
+def _compile(source: str, name: str) -> Callable:
+    namespace: dict = {"np": np}
+    code = compile(source, f"<generated:{name}>", "exec")
+    exec(code, namespace)
+    return namespace[name]
+
+
+def generate_single_qubit_kernel(
+    num_qubits: int, qubit: int
+) -> tuple[Callable, str]:
+    """Emit a slicing kernel for a 1-qubit gate on *qubit*.
+
+    The generated function signature is ``kernel(state, matrix)``; it
+    mutates ``state`` in place.  All strides are compile-time constants.
+    """
+    outer = 1 << (num_qubits - 1 - qubit)
+    inner = 1 << qubit
+    name = f"kernel_1q_n{num_qubits}_q{qubit}"
+    source = f'''\
+def {name}(state, matrix):
+    """Generated 1-qubit kernel: n={num_qubits}, qubit={qubit} (in place)."""
+    view = state.reshape({outer}, 2, {inner})
+    m00, m01, m10, m11 = matrix.ravel()
+    branch0 = view[:, 0, :].copy()
+    branch1 = view[:, 1, :]
+    view[:, 0, :] = m00 * branch0 + m01 * branch1
+    view[:, 1, :] = m10 * branch0 + m11 * branch1
+    return state
+'''
+    return _compile(source, name), source
+
+
+def _axis_layout(num_qubits: int, qubits: Sequence[int]) -> list[tuple[str, int]]:
+    """State-tensor axes, most-significant first.
+
+    Runs of non-target bits collapse into one axis ("free", size);
+    each target bit is its own axis ("target", qubit).
+    """
+    target = set(qubits)
+    axes: list[tuple[str, int]] = []
+    run = 0
+    for bit in range(num_qubits - 1, -1, -1):
+        if bit in target:
+            if run:
+                axes.append(("free", 1 << run))
+                run = 0
+            axes.append(("target", bit))
+        else:
+            run += 1
+    if run:
+        axes.append(("free", 1 << run))
+    return axes
+
+
+def generate_einsum_kernel(
+    num_qubits: int, qubits: Sequence[int]
+) -> tuple[Callable, str]:
+    """Emit an einsum kernel for a k-qubit gate on *qubits*.
+
+    The state tensor's axis layout (with non-target bit runs collapsed)
+    and the einsum subscript string are baked into the source.
+    """
+    qubits = tuple(qubits)
+    k = len(qubits)
+    axes = _axis_layout(num_qubits, qubits)
+    shape = tuple(
+        size if kind == "free" else 2 for kind, size in axes
+    )
+    # Subscript letters: one per state axis, then fresh row letters.
+    state_letters = list(_LETTERS[: len(axes)])
+    row_letters = list(_LETTERS[len(axes) : len(axes) + k])
+    letter_of_qubit = {
+        size: state_letters[i]
+        for i, (kind, size) in enumerate(axes)
+        if kind == "target"
+    }
+    # Gate tensor axes: rows (bit k-1 .. 0) then cols (bit k-1 .. 0);
+    # matrix bit j corresponds to qubit qubits[j].
+    row_letter_of_qubit = {q: row_letters[j] for j, q in enumerate(qubits)}
+    gate_sub = "".join(row_letter_of_qubit[qubits[j]] for j in range(k - 1, -1, -1))
+    gate_sub += "".join(letter_of_qubit[qubits[j]] for j in range(k - 1, -1, -1))
+    state_sub = "".join(state_letters)
+    out_sub = "".join(
+        row_letter_of_qubit[size] if kind == "target" else state_letters[i]
+        for i, (kind, size) in enumerate(axes)
+    )
+    subscripts = f"{gate_sub},{state_sub}->{out_sub}"
+    gate_shape = (2,) * (2 * k)
+    qtag = "_".join(map(str, qubits))
+    name = f"kernel_{k}q_n{num_qubits}_q{qtag}"
+    source = f'''\
+def {name}(state, matrix):
+    """Generated {k}-qubit einsum kernel: n={num_qubits}, qubits={qubits}."""
+    psi = state.reshape{shape!r}
+    gate = matrix.reshape{gate_shape!r}
+    out = np.einsum("{subscripts}", gate, psi)
+    state[:] = out.reshape(-1)
+    return state
+'''
+    return _compile(source, name), source
+
+
+def generated_kernel(
+    num_qubits: int, qubits: Sequence[int]
+) -> tuple[Callable, str]:
+    """Return (function, source) of the specialized kernel for *qubits*.
+
+    Single-qubit gates get the slicing kernel, larger gates the einsum
+    kernel.  Results are cached per (n, qubits).
+    """
+    key = (num_qubits, tuple(qubits))
+    if key not in _CACHE:
+        if len(key[1]) == 1:
+            _CACHE[key] = generate_single_qubit_kernel(num_qubits, key[1][0])
+        else:
+            _CACHE[key] = generate_einsum_kernel(num_qubits, key[1])
+    return _CACHE[key]
+
+
+def clear_kernel_cache() -> None:
+    """Drop all cached generated kernels (mainly for tests)."""
+    _CACHE.clear()

@@ -1,0 +1,75 @@
+"""Communication accounting for the simulated MPI layer.
+
+The paper's multi-node analysis counts two quantities:
+
+* **communication steps** — the number of (group-local) all-to-alls; the
+  top panels of Fig. 5 plot exactly this ("#Swaps"), and Sec. 3.6.1's
+  headline result is reducing it to 2 for the 45-qubit circuit;
+* **bytes on the network** — each q-qubit global-to-local swap moves
+  ``(2**q - 1)/2**q`` of every rank's ``2**l * 16`` bytes.
+
+:class:`CommStats` tracks both, plus rank renumberings (which are free on
+real MPI — Sec. 3.5 — but still interesting to count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CommStats"]
+
+
+@dataclass
+class CommStats:
+    """Accumulated communication counters for one distributed run."""
+
+    alltoall_steps: int = 0
+    group_alltoall_calls: int = 0
+    bytes_on_network: int = 0
+    rank_renumberings: int = 0
+    local_swap_kernels: int = 0
+    events: list[dict] = field(default_factory=list)
+
+    def record_alltoall(
+        self, *, num_groups: int, group_size: int, shard_bytes: int
+    ) -> None:
+        """Record one q-qubit global-to-local swap.
+
+        A swap over ``group_size = 2**q`` ranks per group is *one*
+        communication step (all group-local all-to-alls proceed in
+        parallel on a real machine), with every rank shipping all but its
+        diagonal block: ``shard_bytes * (group_size - 1) / group_size``.
+        """
+        if group_size < 1 or num_groups < 1:
+            raise ValueError("group_size and num_groups must be >= 1")
+        moved_per_rank = shard_bytes * (group_size - 1) // group_size
+        total = moved_per_rank * group_size * num_groups
+        self.alltoall_steps += 1
+        self.group_alltoall_calls += num_groups
+        self.bytes_on_network += total
+        self.events.append(
+            {
+                "kind": "alltoall",
+                "num_groups": num_groups,
+                "group_size": group_size,
+                "bytes": total,
+            }
+        )
+
+    def record_rank_renumbering(self) -> None:
+        """Record a free rank-relabeling (global monomial gate, Sec. 3.5)."""
+        self.rank_renumberings += 1
+        self.events.append({"kind": "renumber", "bytes": 0})
+
+    def record_local_swap(self) -> None:
+        """Record a local swap kernel used to stage a global-to-local swap."""
+        self.local_swap_kernels += 1
+
+    def merge(self, other: "CommStats") -> None:
+        """Fold another counter into this one."""
+        self.alltoall_steps += other.alltoall_steps
+        self.group_alltoall_calls += other.group_alltoall_calls
+        self.bytes_on_network += other.bytes_on_network
+        self.rank_renumberings += other.rank_renumberings
+        self.local_swap_kernels += other.local_swap_kernels
+        self.events.extend(other.events)

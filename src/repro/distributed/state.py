@@ -1,0 +1,535 @@
+"""The distributed state: global/local qubits, swaps, specialization.
+
+Physical layout (Sec. 3.4): with ``2**g`` ranks each owning ``2**l``
+amplitudes, the *physical* amplitude index has bits ``0..l-1`` local
+(offset within a shard) and bits ``l..n-1`` global (the rank number).
+``bit_of_qubit`` maps every *logical* qubit to its current physical bit —
+local gates, rank renumberings and global-to-local swaps all just edit
+this permutation while moving data accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.distributed.comm import CommStats
+from repro.distributed.storage import InMemoryShards, ShardStorage
+from repro.gates.gate import Gate
+from repro.gates.matrices import SWAP_MATRIX
+from repro.kernels import apply_diagonal_gate, apply_gate
+from repro.kernels.cost import KernelCostModel
+from repro.statevector.state import StateVector
+from repro.util.bits import extract_bits
+
+__all__ = ["DistributedState", "NeedsSwapError"]
+
+
+class NeedsSwapError(RuntimeError):
+    """Raised when a gate requires a global-to-local swap first."""
+
+
+class DistributedState:
+    """An ``n``-qubit state sharded over ``2**g`` virtual nodes.
+
+    Parameters
+    ----------
+    num_qubits:
+        Total logical qubits ``n``.
+    local_qubits:
+        ``l`` — each rank stores ``2**l`` amplitudes; ``g = n - l`` ranks
+        bits.  Must satisfy ``g <= l`` (required by the full swap, and true
+        for every configuration in the paper).
+    storage:
+        Shard backend; defaults to :class:`InMemoryShards`.  Pass a
+        :class:`DiskShards` for SSD-resident state.
+    init:
+        ``"zero"`` or ``"plus"`` (uniform superposition).
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        local_qubits: int,
+        *,
+        storage: ShardStorage | None = None,
+        init: str = "zero",
+        initial_global_qubits: Iterable[int] | None = None,
+        single_precision: bool = False,
+    ) -> None:
+        if not 0 < local_qubits <= num_qubits:
+            raise ValueError(
+                f"local_qubits must be in (0, {num_qubits}], got {local_qubits}"
+            )
+        self.num_qubits = num_qubits
+        self.local_qubits = local_qubits
+        self.global_qubits = num_qubits - local_qubits
+        if storage is None:
+            # Sec. 5: single precision halves the memory, buying one more
+            # qubit on the same machine (45 -> 46 qubits on Cori II).
+            dtype = np.complex64 if single_precision else np.complex128
+            storage = InMemoryShards(
+                1 << self.global_qubits, 1 << local_qubits, dtype=dtype
+            )
+        elif single_precision and storage.dtype != np.complex64:
+            raise ValueError(
+                "single_precision requested but storage dtype is "
+                f"{storage.dtype}"
+            )
+        if storage.num_shards != 1 << self.global_qubits or storage.shard_size != (
+            1 << local_qubits
+        ):
+            raise ValueError("storage dimensions inconsistent with qubit split")
+        self.storage = storage
+        #: physical bit position of each logical qubit (a permutation).
+        self.bit_of_qubit: list[int] = list(range(num_qubits))
+        if initial_global_qubits is not None:
+            # Free placement: |0...0> and |+...+> are layout-invariant, so
+            # the first stage's global set costs nothing (Sec. 3.6.1).
+            global_set = sorted({int(q) for q in initial_global_qubits})
+            if len(global_set) != self.global_qubits:
+                raise ValueError(
+                    f"initial_global_qubits must have {self.global_qubits} "
+                    f"entries, got {len(global_set)}"
+                )
+            local_set = [q for q in range(num_qubits) if q not in set(global_set)]
+            for bit, q in enumerate(local_set + global_set):
+                self.bit_of_qubit[q] = bit
+        self.stats = CommStats()
+        self.kernel_cost = KernelCostModel()
+        self._initialize(init)
+
+    # ------------------------------------------------------------------
+    # Initialisation / conversion
+    # ------------------------------------------------------------------
+    def _initialize(self, init: str) -> None:
+        if init == "zero":
+            shard0 = self.storage.get(0)
+            shard0[:] = 0
+            shard0[0] = 1.0
+            self._sync(shard0)
+            for r in range(1, self.num_ranks):
+                shard = self.storage.get(r)
+                shard[:] = 0
+                self._sync(shard)
+        elif init == "plus":
+            amp = 2.0 ** (-self.num_qubits / 2)
+            for r in range(self.num_ranks):
+                shard = self.storage.get(r)
+                shard[:] = amp
+                self._sync(shard)
+        else:
+            raise ValueError(f"unknown init {init!r}")
+
+    @property
+    def num_ranks(self) -> int:
+        """Number of virtual nodes (``2**g``)."""
+        return self.storage.num_shards
+
+    @staticmethod
+    def _sync(shard: np.ndarray) -> None:
+        if isinstance(shard, np.memmap):
+            shard.flush()
+
+    @classmethod
+    def from_statevector(
+        cls,
+        state: StateVector,
+        local_qubits: int,
+        *,
+        storage: ShardStorage | None = None,
+    ) -> "DistributedState":
+        """Scatter a logical state vector onto shards (identity layout)."""
+        dist = cls(state.num_qubits, local_qubits, storage=storage)
+        l = local_qubits
+        offsets = np.arange(1 << l, dtype=np.int64)
+        for r in range(dist.num_ranks):
+            phys = (r << l) | offsets
+            shard = dist.storage.get(r)
+            shard[:] = state.data[phys]  # identity layout: phys == logical
+            dist._sync(shard)
+        return dist
+
+    def to_statevector(self) -> StateVector:
+        """Gather all shards into a logical-order state vector."""
+        n, l = self.num_qubits, self.local_qubits
+        out = np.empty(1 << n, dtype=self.storage.dtype)
+        offsets = np.arange(1 << l, dtype=np.int64)
+        positions = list(self.bit_of_qubit)
+        for r in range(self.num_ranks):
+            phys = (r << l) | offsets
+            logical = extract_bits(phys, positions)
+            # extract_bits gathers bit positions[q] into result bit q: the
+            # logical index of each physical amplitude.
+            out[logical] = self.storage.get(r)
+        return StateVector(n, out)
+
+    # ------------------------------------------------------------------
+    # Layout queries
+    # ------------------------------------------------------------------
+    def bit_position(self, qubit: int) -> int:
+        """Current physical bit of a logical qubit."""
+        return self.bit_of_qubit[qubit]
+
+    def is_local(self, qubit: int) -> bool:
+        """True when the qubit's amplitude bit lies inside every shard."""
+        return self.bit_of_qubit[qubit] < self.local_qubits
+
+    def local_qubit_set(self) -> set[int]:
+        """Logical qubits currently local."""
+        return {q for q in range(self.num_qubits) if self.is_local(q)}
+
+    def global_qubit_set(self) -> set[int]:
+        """Logical qubits currently global (encoded in the rank number)."""
+        return {q for q in range(self.num_qubits) if not self.is_local(q)}
+
+    def _qubit_at_bit(self, bit: int) -> int:
+        return self.bit_of_qubit.index(bit)
+
+    # ------------------------------------------------------------------
+    # Gate application
+    # ------------------------------------------------------------------
+    def apply_gate(self, gate: Gate, *, auto_swap: bool = False) -> None:
+        """Apply *gate*, using specialization for global qubits (Sec. 3.5).
+
+        Dispatch order: all-local kernel, diagonal fast path, monomial
+        (rank-renumbering) fast path; otherwise a swap is needed — taken
+        automatically when ``auto_swap`` is set, else raising
+        :class:`NeedsSwapError`.
+        """
+        bits = [self.bit_of_qubit[q] for q in gate.qubits]
+        l = self.local_qubits
+        if all(b < l for b in bits):
+            self._apply_local(gate.matrix, bits, diagonal=gate.is_diagonal)
+            return
+        if gate.is_diagonal:
+            self._apply_diagonal_global(np.diagonal(gate.matrix), bits)
+            return
+        if gate.is_monomial and self._monomial_is_rank_separable(gate, bits):
+            self._apply_monomial_global(gate, bits)
+            return
+        if auto_swap:
+            self.make_local(gate.qubits)
+            self.apply_gate(gate)
+            return
+        raise NeedsSwapError(
+            f"gate {gate!r} touches global qubits "
+            f"{[q for q in gate.qubits if not self.is_local(q)]} and is not "
+            "specializable; perform a global-to-local swap first"
+        )
+
+    def _apply_local(
+        self, matrix: np.ndarray, bits: Sequence[int], *, diagonal: bool
+    ) -> None:
+        for r in range(self.num_ranks):
+            shard = self.storage.get(r)
+            if diagonal:
+                apply_diagonal_gate(shard, np.diagonal(matrix), bits)
+            else:
+                apply_gate(shard, matrix, bits)
+            self._sync(shard)
+        self.kernel_cost.record(
+            self.num_qubits, len(bits), diagonal=diagonal
+        )
+
+    def _split_gate_bits(
+        self, bits: Sequence[int]
+    ) -> tuple[list[int], list[int]]:
+        """Indices *within the gate* of local vs global qubits."""
+        l = self.local_qubits
+        local_js = [j for j, b in enumerate(bits) if b < l]
+        global_js = [j for j, b in enumerate(bits) if b >= l]
+        return local_js, global_js
+
+    def _rank_gate_bits(self, rank: int, bits: Sequence[int], global_js) -> int:
+        """Gate-basis value contributed by the rank's global bits."""
+        l = self.local_qubits
+        xg = 0
+        for j in global_js:
+            xg |= ((rank >> (bits[j] - l)) & 1) << j
+        return xg
+
+    def _apply_diagonal_global(self, diag: np.ndarray, bits: Sequence[int]) -> None:
+        """Diagonal gate touching global qubits: per-rank phases, no comm.
+
+        A CZ on two global qubits becomes a conditional global phase; a CZ
+        with one global qubit becomes a rank-conditional local Z; a T gate
+        becomes a rank-conditional phase — exactly the cases of Sec. 3.5.
+        """
+        local_js, global_js = self._split_gate_bits(bits)
+        local_bits = [bits[j] for j in local_js]
+        for r in range(self.num_ranks):
+            xg = self._rank_gate_bits(r, bits, global_js)
+            shard = self.storage.get(r)
+            if local_js:
+                sub = np.empty(1 << len(local_js), dtype=np.complex128)
+                for xl in range(1 << len(local_js)):
+                    x = xg
+                    for jj, j in enumerate(local_js):
+                        x |= ((xl >> jj) & 1) << j
+                    sub[xl] = diag[x]
+                apply_diagonal_gate(shard, sub, local_bits)
+            else:
+                shard *= diag[xg]
+            self._sync(shard)
+        self.kernel_cost.record(self.num_qubits, len(bits), diagonal=True)
+
+    def _monomial_is_rank_separable(self, gate: Gate, bits: Sequence[int]) -> bool:
+        """True when the gate's action on global bits is local-independent.
+
+        E.g. CNOT with a *global* control and local target is separable
+        (each rank either applies X or not); CNOT with a *local* control
+        and global target is not (the destination rank would depend on
+        local data), so it needs a swap.
+        """
+        perm = gate.basis_permutation
+        assert perm is not None
+        local_js, global_js = self._split_gate_bits(bits)
+        if not global_js:
+            return True
+        for xg_pattern in range(1 << len(global_js)):
+            seen: set[int] = set()
+            for xl_pattern in range(1 << len(local_js)):
+                x = 0
+                for jj, j in enumerate(global_js):
+                    x |= ((xg_pattern >> jj) & 1) << j
+                for jj, j in enumerate(local_js):
+                    x |= ((xl_pattern >> jj) & 1) << j
+                out = int(perm[x])
+                out_global = 0
+                for jj, j in enumerate(global_js):
+                    out_global |= ((out >> j) & 1) << jj
+                seen.add(out_global)
+            if len(seen) != 1:
+                return False
+        return True
+
+    def _apply_monomial_global(self, gate: Gate, bits: Sequence[int]) -> None:
+        """Monomial gate on global qubits: rank renumbering + local update."""
+        perm = gate.basis_permutation
+        phases = gate.basis_phases
+        assert perm is not None and phases is not None
+        local_js, global_js = self._split_gate_bits(bits)
+        local_bits = [bits[j] for j in local_js]
+        l = self.local_qubits
+        k_l = len(local_js)
+
+        dest_of_src = {}
+        for r in range(self.num_ranks):
+            xg = self._rank_gate_bits(r, bits, global_js)
+            # Build the per-rank local sub-matrix M[xl_out, xl_in].
+            sub = np.zeros((1 << k_l, 1 << k_l), dtype=np.complex128)
+            out_global_bits = None
+            for xl in range(1 << k_l):
+                x = xg
+                for jj, j in enumerate(local_js):
+                    x |= ((xl >> jj) & 1) << j
+                out = int(perm[x])
+                xl_out = 0
+                for jj, j in enumerate(local_js):
+                    xl_out |= ((out >> j) & 1) << jj
+                sub[xl_out, xl] = phases[x]
+                og = 0
+                for jj, j in enumerate(global_js):
+                    og |= ((out >> j) & 1) << jj
+                out_global_bits = og
+            # Destination rank: replace this rank's gate-global bits.
+            dest = r
+            for jj, j in enumerate(global_js):
+                bit_pos = bits[j] - l
+                dest &= ~(1 << bit_pos)
+                dest |= ((out_global_bits >> jj) & 1) << bit_pos
+            dest_of_src[r] = dest
+            if k_l:
+                shard = self.storage.get(r)
+                apply_gate(shard, sub, local_bits)
+                self._sync(shard)
+            elif not np.isclose(phases[xg], 1.0):
+                shard = self.storage.get(r)
+                shard *= phases[xg]
+                self._sync(shard)
+        # Relabel shards: new rank d holds old shard src with dest[src]==d.
+        permutation = np.empty(self.num_ranks, dtype=np.int64)
+        for src, dest in dest_of_src.items():
+            permutation[dest] = src
+        self.storage.permute_shards(permutation)
+        self.stats.record_rank_renumbering()
+        if k_l:
+            self.kernel_cost.record(self.num_qubits, k_l)
+
+    def apply_rank_conditional_cluster(self, op) -> None:
+        """Apply an absorbed cluster: per-rank fused matrix, one kernel.
+
+        *op* is a :class:`repro.scheduling.absorption.AbsorbedClusterOp`;
+        its cluster qubits must be local and the absorbed diagonals'
+        remaining qubits global.  The diagonal gates cost no extra sweep —
+        the Sec. 3.5 "absorbed into the next gate matrix" optimization.
+        """
+        l = self.local_qubits
+        bits = [self.bit_of_qubit[q] for q in op.qubits]
+        if any(b >= l for b in bits):
+            raise NeedsSwapError(
+                f"absorbed cluster touches global qubits "
+                f"{[q for q in op.qubits if not self.is_local(q)]}"
+            )
+        rank_qubits = sorted(op.global_qubits_used())
+        for q in rank_qubits:
+            if self.is_local(q):
+                raise ValueError(
+                    f"absorbed diagonal expects qubit {q} to be global"
+                )
+        for r in range(self.num_ranks):
+            rank_bits = {
+                q: (r >> (self.bit_of_qubit[q] - l)) & 1 for q in rank_qubits
+            }
+            matrix = op.matrix_for_rank(rank_bits)
+            shard = self.storage.get(r)
+            apply_gate(shard, matrix, bits)
+            self._sync(shard)
+        self.kernel_cost.record(self.num_qubits, len(bits))
+
+    # ------------------------------------------------------------------
+    # Swaps (Sec. 3.4)
+    # ------------------------------------------------------------------
+    def _permute_global_bits(self, new_bit_of_qubit: dict[int, int]) -> None:
+        """Rearrange which global bit each global qubit occupies (free)."""
+        l, g = self.local_qubits, self.global_qubits
+        old = {q: self.bit_of_qubit[q] for q in self.global_qubit_set()}
+        if set(new_bit_of_qubit) != set(old):
+            raise ValueError("must reassign exactly the current global qubits")
+        if sorted(new_bit_of_qubit.values()) != sorted(old.values()):
+            raise ValueError("new positions must permute the global bits")
+        if all(new_bit_of_qubit[q] == old[q] for q in old):
+            return
+        r_new = np.arange(1 << g, dtype=np.int64)
+        r_old = np.zeros_like(r_new)
+        for q, new_bit in new_bit_of_qubit.items():
+            r_old |= ((r_new >> (new_bit - l)) & 1) << (old[q] - l)
+        self.storage.permute_shards(r_old)
+        for q, new_bit in new_bit_of_qubit.items():
+            self.bit_of_qubit[q] = new_bit
+        self.stats.record_rank_renumbering()
+
+    def _swap_local_bits(self, bit_a: int, bit_b: int) -> None:
+        """Swap two local bits via a SWAP kernel on every shard."""
+        l = self.local_qubits
+        if not (bit_a < l and bit_b < l):
+            raise ValueError("both bits must be local")
+        if bit_a == bit_b:
+            return
+        for r in range(self.num_ranks):
+            shard = self.storage.get(r)
+            apply_gate(shard, SWAP_MATRIX, (bit_a, bit_b))
+            self._sync(shard)
+        qa, qb = self._qubit_at_bit(bit_a), self._qubit_at_bit(bit_b)
+        self.bit_of_qubit[qa], self.bit_of_qubit[qb] = bit_b, bit_a
+        self.stats.record_local_swap()
+        self.kernel_cost.record(self.num_qubits, 2)
+
+    def swap_global_set(self, new_global_qubits: Iterable[int]) -> None:
+        """Global-to-local swap so that exactly *new_global_qubits* are global.
+
+        Implements the Sec. 3.4 scheme: a free rank renumbering aligns the
+        incoming qubits on the lowest global bits, local SWAP kernels move
+        the outgoing qubits to the highest local bits, then one q-qubit
+        group-local all-to-all (Fig. 3) exchanges the two bit ranges.
+        """
+        new_global = {int(q) for q in new_global_qubits}
+        if len(new_global) != self.global_qubits:
+            raise ValueError(
+                f"need exactly {self.global_qubits} global qubits, got "
+                f"{len(new_global)}"
+            )
+        for q in new_global:
+            if not 0 <= q < self.num_qubits:
+                raise ValueError(f"qubit {q} out of range")
+        cur_global = self.global_qubit_set()
+        incoming = sorted(cur_global - new_global)  # become local
+        outgoing = sorted(new_global - cur_global)  # become global
+        q = len(incoming)
+        if q == 0:
+            return
+        if q > self.local_qubits:
+            raise ValueError("cannot swap more qubits than are local")
+        l = self.local_qubits
+
+        # 1. Free renumbering: incoming qubits to global bits l..l+q-1,
+        #    remaining globals packed (order-preserving) above them.
+        staying = sorted(cur_global & new_global, key=lambda qq: self.bit_of_qubit[qq])
+        new_positions = {qq: l + i for i, qq in enumerate(incoming)}
+        new_positions.update({qq: l + q + i for i, qq in enumerate(staying)})
+        self._permute_global_bits(new_positions)
+
+        # 2. Local swaps: outgoing qubits to local bits l-q..l-1.
+        for i, qq in enumerate(outgoing):
+            target = l - q + i
+            current = self.bit_of_qubit[qq]
+            if current != target:
+                self._swap_local_bits(current, target)
+
+        # 3. One communication step: group-local all-to-alls.
+        self.storage.exchange_blocks(q)
+        self.stats.record_alltoall(
+            num_groups=1 << (self.global_qubits - q),
+            group_size=1 << q,
+            shard_bytes=self.storage.shard_bytes,
+        )
+
+        # 4. The bit ranges swapped contents: update the layout.
+        for qubit in range(self.num_qubits):
+            bit = self.bit_of_qubit[qubit]
+            if l - q <= bit < l:
+                self.bit_of_qubit[qubit] = bit + q
+            elif l <= bit < l + q:
+                self.bit_of_qubit[qubit] = bit - q
+
+    def make_local(self, qubits: Iterable[int]) -> None:
+        """Ensure every qubit in *qubits* is local, evicting others.
+
+        Victims are the lowest-bit local qubits not in *qubits* — the
+        paper's upper-bound choice (Sec. 3.6.1) before its local search.
+        """
+        qubits = set(qubits)
+        needed = sorted(q for q in qubits if not self.is_local(q))
+        if not needed:
+            return
+        if len(qubits) > self.local_qubits:
+            raise ValueError(
+                f"cannot make {len(qubits)} qubits local with only "
+                f"{self.local_qubits} local slots"
+            )
+        victims_pool = sorted(
+            (q for q in self.local_qubit_set() if q not in qubits),
+            key=lambda q: self.bit_of_qubit[q],
+        )
+        victims = victims_pool[: len(needed)]
+        new_global = (self.global_qubit_set() - set(needed)) | set(victims)
+        self.swap_global_set(new_global)
+
+    def swap_all_global_to_local(self) -> None:
+        """Turn every global qubit local in one world all-to-all (Fig. 3)."""
+        l, g = self.local_qubits, self.global_qubits
+        if g == 0:
+            return
+        victims = sorted(
+            self.local_qubit_set(), key=lambda q: self.bit_of_qubit[q]
+        )[:g]
+        self.swap_global_set(set(victims))
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def norm(self) -> float:
+        """2-norm across all shards."""
+        total = 0.0
+        for r in range(self.num_ranks):
+            shard = self.storage.get(r)
+            total += float(np.sum(np.abs(shard) ** 2))
+        return float(np.sqrt(total))
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedState(n={self.num_qubits}, local={self.local_qubits}, "
+            f"ranks={self.num_ranks})"
+        )

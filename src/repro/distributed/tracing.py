@@ -1,0 +1,100 @@
+"""Op-level execution tracing.
+
+Table 2's "Comm." column comes from instrumenting the run; this module
+does the same for any schedule execution: per-operation wall time,
+classified into kernel / specialization / communication, plus a text
+timeline for eyeballing where a run spends its life.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.distributed.state import DistributedState
+from repro.scheduling.program import ClusterOp, GateOp, Schedule, SwapOp
+
+__all__ = ["TraceEvent", "ExecutionTrace", "trace_schedule_execution"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed operation."""
+
+    index: int
+    kind: str  # "cluster" | "specialized" | "swap" | "absorbed"
+    label: str
+    seconds: float
+
+
+@dataclass
+class ExecutionTrace:
+    """All events of one run, with aggregation helpers."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all event durations."""
+        return sum(e.seconds for e in self.events)
+
+    def seconds_by_kind(self) -> dict[str, float]:
+        """Wall time aggregated per event kind."""
+        out: dict[str, float] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0.0) + e.seconds
+        return out
+
+    @property
+    def comm_fraction(self) -> float:
+        """Measured share of time in swaps (compare: Table 2's column)."""
+        total = self.total_seconds
+        if total <= 0:
+            return 0.0
+        return self.seconds_by_kind().get("swap", 0.0) / total
+
+    def timeline(self, *, width: int = 60) -> str:
+        """A proportional text timeline (one row per op)."""
+        total = max(self.total_seconds, 1e-12)
+        lines = [f"{'op':>3} {'kind':<11} {'seconds':>9}  timeline"]
+        for e in self.events:
+            bar = "#" * max(1, round(width * e.seconds / total))
+            lines.append(
+                f"{e.index:>3} {e.kind:<11} {e.seconds:>9.4f}  {bar}"
+            )
+        by_kind = self.seconds_by_kind()
+        summary = ", ".join(
+            f"{kind} {seconds:.3f}s" for kind, seconds in sorted(by_kind.items())
+        )
+        lines.append(f"total {self.total_seconds:.3f}s ({summary})")
+        return "\n".join(lines)
+
+
+def _classify(op) -> tuple[str, str]:
+    if isinstance(op, SwapOp):
+        return "swap", f"swap -> globals {sorted(op.new_global_qubits)}"
+    if isinstance(op, GateOp):
+        return "specialized", f"{op.gate.name}{op.gate.qubits}"
+    if isinstance(op, ClusterOp):
+        return "cluster", f"k={op.num_qubits} ({op.num_gates} gates)"
+    return "absorbed", f"k={op.num_qubits} (+{op.num_gates - op.cluster.num_gates} diag)"
+
+
+def trace_schedule_execution(
+    state: DistributedState, schedule: Schedule
+) -> ExecutionTrace:
+    """Execute *schedule* on *state*, timing every operation."""
+    trace = ExecutionTrace()
+    for index, op in enumerate(schedule.operations()):
+        kind, label = _classify(op)
+        start = time.perf_counter()
+        op.execute(state)
+        trace.events.append(
+            TraceEvent(
+                index=index,
+                kind=kind,
+                label=label,
+                seconds=time.perf_counter() - start,
+            )
+        )
+    return trace

@@ -1,0 +1,27 @@
+"""Emulation: classical shortcuts for known quantum operations.
+
+The paper's related-work section contrasts circuit *simulation* with
+*emulation* [7]: "the quantum Fourier transform ... can be emulated by
+applying a fast Fourier transform to the state vector.  However, such
+emulation techniques are not applicable to quantum supremacy circuits."
+
+This subpackage implements that example: a gate-level QFT circuit
+generator and the FFT-based emulator, which agree exactly while the
+emulator runs asymptotically faster (O(N log N) vs O(n^2) full-state
+sweeps) — and a demonstration of *why* supremacy circuits admit no such
+shortcut (their unitaries have no exploitable structure).
+"""
+
+from repro.emulation.qft import (
+    apply_qft_emulated,
+    apply_qft_gates,
+    qft_circuit,
+    qft_matrix,
+)
+
+__all__ = [
+    "apply_qft_emulated",
+    "apply_qft_gates",
+    "qft_circuit",
+    "qft_matrix",
+]

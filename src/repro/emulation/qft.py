@@ -1,0 +1,70 @@
+"""Quantum Fourier transform: gate circuit and FFT emulation.
+
+Conventions: little-endian basis (state index bit ``q`` = qubit ``q``),
+and the QFT unitary is ``F[y, x] = exp(2*pi*i*x*y / N) / sqrt(N)`` with
+``N = 2**n`` — the textbook matrix *including* the final qubit-reversal
+swaps.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.gates.gate import Gate
+from repro.gates.matrices import controlled_phase_matrix
+from repro.statevector.state import StateVector
+
+__all__ = ["qft_matrix", "qft_circuit", "apply_qft_gates", "apply_qft_emulated"]
+
+
+def qft_matrix(num_qubits: int) -> np.ndarray:
+    """The dense QFT unitary (small n only; for testing)."""
+    if num_qubits > 12:
+        raise ValueError("dense QFT matrix only supported for n <= 12")
+    dim = 1 << num_qubits
+    x = np.arange(dim)
+    return np.exp(2j * np.pi * np.outer(x, x) / dim) / math.sqrt(dim)
+
+
+def qft_circuit(num_qubits: int) -> Circuit:
+    """The standard QFT gate decomposition.
+
+    H plus controlled-phase ladders, followed by the qubit-reversal SWAP
+    layer so the circuit equals :func:`qft_matrix` exactly.
+    ``n(n+1)/2 + n//2`` gates.
+    """
+    circuit = Circuit(num_qubits)
+    for j in range(num_qubits - 1, -1, -1):
+        circuit.append(Gate("h", (j,)))
+        for k in range(j - 1, -1, -1):
+            angle = math.pi / (1 << (j - k))
+            circuit.append(
+                Gate(
+                    f"cphase(pi/{1 << (j - k)})",
+                    (k, j),
+                    controlled_phase_matrix(angle),
+                )
+            )
+    for q in range(num_qubits // 2):
+        circuit.append(Gate("swap", (q, num_qubits - 1 - q)))
+    return circuit
+
+
+def apply_qft_gates(state: StateVector) -> StateVector:
+    """Apply the QFT gate by gate (the *simulation* route)."""
+    return state.apply_circuit(qft_circuit(state.num_qubits))
+
+
+def apply_qft_emulated(state: StateVector) -> StateVector:
+    """Apply the QFT via a fast Fourier transform (the *emulation* route).
+
+    ``(F psi)[y] = sum_x exp(2 pi i x y / N) psi[x] / sqrt(N)`` is numpy's
+    inverse FFT scaled by ``sqrt(N)`` — one O(N log N) pass instead of
+    O(n^2) full-state gate sweeps.  Mutates and returns *state*.
+    """
+    dim = state.data.shape[0]
+    state.data[:] = np.fft.ifft(state.data) * math.sqrt(dim)
+    return state

@@ -1,0 +1,36 @@
+"""Programmatic regeneration of the paper's tables and figures.
+
+The benches in ``benchmarks/`` print reports; this subpackage exposes the
+same experiment definitions as a library API returning structured rows,
+so users can regenerate any evaluation artefact (or sweep beyond the
+paper's parameter ranges) from their own code::
+
+    from repro.experiments import table2_rows, fig5_depth_series
+
+    for row in table2_rows():
+        print(row.qubits, row.nodes, row.model_seconds, row.speedup)
+"""
+
+from repro.experiments.sweeps import (
+    Fig5Point,
+    Fig8Point,
+    Table1Row,
+    Table2Row,
+    fig5_depth_series,
+    fig5_size_series,
+    fig8_series,
+    table1_rows,
+    table2_rows,
+)
+
+__all__ = [
+    "Fig5Point",
+    "Fig8Point",
+    "Table1Row",
+    "Table2Row",
+    "fig5_depth_series",
+    "fig5_size_series",
+    "fig8_series",
+    "table1_rows",
+    "table2_rows",
+]

@@ -1,0 +1,259 @@
+"""Experiment sweep definitions (structured, reusable)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.circuit.stats import circuit_stats
+from repro.circuit.supremacy import generate_supremacy_circuit
+from repro.perfmodel.machine import CORI_KNL_NODE
+from repro.perfmodel.network import ARIES_DRAGONFLY
+from repro.perfmodel.timeline import BaselineModel, TimelineModel
+from repro.scheduling.baseline import baseline_global_gates
+from repro.scheduling.scheduler import SchedulerConfig, schedule_circuit
+from repro.scheduling.stages import find_stages
+
+__all__ = [
+    "Table1Row",
+    "Table2Row",
+    "Fig5Point",
+    "Fig8Point",
+    "table1_rows",
+    "table2_rows",
+    "fig5_depth_series",
+    "fig5_size_series",
+    "fig8_series",
+]
+
+
+# ----------------------------------------------------------------------
+# Table 1
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Table1Row:
+    """One (qubits, kmax) cell of Table 1."""
+
+    qubits: int
+    kmax: int
+    gates: int
+    clusters: int
+    gates_per_cluster: float
+    paper_clusters: int | None
+
+
+_PAPER_TABLE1 = {
+    (30, 3): 82, (30, 4): 46, (30, 5): 36,
+    (36, 3): 98, (36, 4): 53, (36, 5): 41,
+    (42, 3): 111, (42, 4): 58, (42, 5): 46,
+    (45, 3): 111, (45, 4): 73, (45, 5): 51,
+}
+
+
+def table1_rows(
+    qubit_counts: Iterable[int] = (30, 36, 42, 45),
+    kmax_values: Iterable[int] = (3, 4, 5),
+    *,
+    depth: int = 25,
+    local_qubits: int = 30,
+    seed: int = 1,
+) -> list[Table1Row]:
+    """Regenerate Table 1 (clusters per circuit size and kmax)."""
+    rows = []
+    for nq in qubit_counts:
+        circuit = generate_supremacy_circuit(nq, depth, seed=0)
+        gates = circuit_stats(circuit).total_gates
+        for kmax in kmax_values:
+            sched = schedule_circuit(
+                circuit,
+                SchedulerConfig(local_qubits=local_qubits, kmax=kmax, seed=seed),
+            )
+            rows.append(
+                Table1Row(
+                    qubits=nq,
+                    kmax=kmax,
+                    gates=gates,
+                    clusters=sched.num_clusters,
+                    gates_per_cluster=sched.gates_per_cluster(),
+                    paper_clusters=_PAPER_TABLE1.get((nq, kmax)),
+                )
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 2
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Table2Row:
+    """One Cori II run of Table 2 (model prediction)."""
+
+    qubits: int
+    nodes: int
+    swaps: int
+    clusters: int
+    model_seconds: float
+    comm_fraction: float
+    pflops: float
+    speedup_over_baseline: float
+    paper_seconds: float | None
+    paper_comm_pct: float | None
+
+
+_PAPER_TABLE2 = {
+    30: (1, 9.58, 0.0),
+    36: (64, 28.92, 42.9),
+    42: (4096, 79.53, 71.8),
+    45: (8192, 552.61, 78.0),
+}
+
+
+def table2_rows(
+    configurations: Iterable[tuple[int, int]] | None = None,
+    *,
+    depth: int = 25,
+    kmax: int = 4,
+    seed: int = 1,
+) -> list[Table2Row]:
+    """Regenerate Table 2 rows from real schedules + calibrated models."""
+    if configurations is None:
+        configurations = [(nq, cfg[0]) for nq, cfg in _PAPER_TABLE2.items()]
+    model = TimelineModel(CORI_KNL_NODE, ARIES_DRAGONFLY)
+    baseline = BaselineModel(CORI_KNL_NODE, ARIES_DRAGONFLY)
+    rows = []
+    for nq, nodes in configurations:
+        g = int(math.log2(nodes))
+        if 1 << g != nodes:
+            raise ValueError(f"nodes must be a power of two, got {nodes}")
+        local = nq - g
+        circuit = generate_supremacy_circuit(
+            nq, depth, seed=0, include_trailing_singles=False
+        )
+        sched = schedule_circuit(
+            circuit, SchedulerConfig(local_qubits=local, kmax=kmax, seed=seed)
+        )
+        ours = model.predict(sched)
+        base = baseline.predict(circuit, local)
+        paper = _PAPER_TABLE2.get(nq)
+        rows.append(
+            Table2Row(
+                qubits=nq,
+                nodes=nodes,
+                swaps=sched.num_swaps,
+                clusters=sched.num_clusters,
+                model_seconds=ours.total_seconds,
+                comm_fraction=ours.comm_fraction,
+                pflops=ours.pflops,
+                speedup_over_baseline=base.total_seconds / ours.total_seconds,
+                paper_seconds=paper[1] if paper and paper[0] == nodes else None,
+                paper_comm_pct=paper[2] if paper and paper[0] == nodes else None,
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 5
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig5Point:
+    """One x-position of Fig. 5 (either panel)."""
+
+    qubits: int
+    depth: int
+    local_qubits: int
+    swaps: int
+    baseline_global_gates_median: int
+    baseline_global_gates_worst: int
+
+
+def _fig5_point(nq: int, depth: int, local: int, seed: int) -> Fig5Point:
+    circuit = generate_supremacy_circuit(
+        nq, depth, seed=0, include_initial_hadamards=False
+    )
+    plan = find_stages(circuit, local, seed=seed, restarts=3)
+    return Fig5Point(
+        qubits=nq,
+        depth=depth,
+        local_qubits=local,
+        swaps=plan.num_swaps,
+        baseline_global_gates_median=baseline_global_gates(
+            circuit, local, worst_case=False
+        ).global_gates,
+        baseline_global_gates_worst=baseline_global_gates(
+            circuit, local, worst_case=True
+        ).global_gates,
+    )
+
+
+def fig5_depth_series(
+    depths: Iterable[int] = (10, 20, 30, 40, 50),
+    *,
+    qubits: int = 42,
+    local_qubits: int = 30,
+    seed: int = 1,
+) -> list[Fig5Point]:
+    """Fig. 5a: communication vs circuit depth (42-qubit circuits)."""
+    return [_fig5_point(qubits, d, local_qubits, seed) for d in depths]
+
+
+def fig5_size_series(
+    qubit_counts: Iterable[int] = (30, 36, 42, 45, 49),
+    *,
+    depth: int = 25,
+    local_qubits: int = 30,
+    seed: int = 1,
+) -> list[Fig5Point]:
+    """Fig. 5b: communication vs qubit count at depth 25."""
+    return [_fig5_point(nq, depth, local_qubits, seed) for nq in qubit_counts]
+
+
+# ----------------------------------------------------------------------
+# Fig. 8
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig8Point:
+    """One node count of a Fig. 8 strong-scaling series."""
+
+    qubits: int
+    nodes: int
+    model_seconds: float
+    speedup: float
+    comm_fraction: float
+
+
+def fig8_series(
+    qubits: int,
+    node_counts: Iterable[int],
+    *,
+    depth: int = 25,
+    kmax: int = 4,
+    seed: int = 1,
+) -> list[Fig8Point]:
+    """Fig. 8: multi-node strong scaling for one circuit size."""
+    model = TimelineModel(CORI_KNL_NODE, ARIES_DRAGONFLY)
+    points = []
+    base_time: float | None = None
+    for nodes in node_counts:
+        g = int(math.log2(nodes))
+        local = qubits - g
+        circuit = generate_supremacy_circuit(
+            qubits, depth, seed=0, include_trailing_singles=False
+        )
+        sched = schedule_circuit(
+            circuit, SchedulerConfig(local_qubits=local, kmax=kmax, seed=seed)
+        )
+        report = model.predict(sched)
+        if base_time is None:
+            base_time = report.total_seconds
+        points.append(
+            Fig8Point(
+                qubits=qubits,
+                nodes=nodes,
+                model_seconds=report.total_seconds,
+                speedup=base_time / report.total_seconds,
+                comm_fraction=report.comm_fraction,
+            )
+        )
+    return points

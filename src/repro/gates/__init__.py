@@ -1,0 +1,54 @@
+"""Quantum gate definitions, matrices, and fusion.
+
+* :mod:`repro.gates.matrices` — the named unitaries used by quantum
+  supremacy circuits (Sec. 2 of the paper) plus common extras.
+* :mod:`repro.gates.gate` — the :class:`Gate` IR node: a named unitary
+  bound to concrete qubit indices, with structure flags (diagonal,
+  monomial/permutation) that drive the global-gate specialization of
+  Sec. 3.5.
+* :mod:`repro.gates.fusion` — lifting gates into a common k-qubit space
+  and fusing gate sequences into single cluster matrices (Sec. 3.3/3.6.1).
+"""
+
+from repro.gates.gate import Gate
+from repro.gates.fusion import fuse_gates, lift_gate_matrix
+from repro.gates.matrices import (
+    CNOT_MATRIX,
+    CZ_MATRIX,
+    H_MATRIX,
+    ID_MATRIX,
+    S_MATRIX,
+    SQRT_X_MATRIX,
+    SQRT_Y_MATRIX,
+    SWAP_MATRIX,
+    T_MATRIX,
+    X_MATRIX,
+    Y_MATRIX,
+    Z_MATRIX,
+    controlled_phase_matrix,
+    gate_matrix,
+    random_unitary,
+    rotation_matrix,
+)
+
+__all__ = [
+    "CNOT_MATRIX",
+    "CZ_MATRIX",
+    "Gate",
+    "H_MATRIX",
+    "ID_MATRIX",
+    "S_MATRIX",
+    "SQRT_X_MATRIX",
+    "SQRT_Y_MATRIX",
+    "SWAP_MATRIX",
+    "T_MATRIX",
+    "X_MATRIX",
+    "Y_MATRIX",
+    "Z_MATRIX",
+    "controlled_phase_matrix",
+    "fuse_gates",
+    "gate_matrix",
+    "lift_gate_matrix",
+    "random_unitary",
+    "rotation_matrix",
+]

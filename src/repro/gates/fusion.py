@@ -1,0 +1,80 @@
+"""Gate lifting and fusion into k-qubit cluster matrices.
+
+Sec. 3.3 of the paper: "multiple gates acting on k different qubits can be
+combined into one large k-qubit gate".  The scheduler (Sec. 3.6.1) groups
+gates into clusters; this module turns a cluster's gate sequence into the
+single ``2**k x 2**k`` unitary the tuned kernel then applies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.gates.gate import Gate
+from repro.util.bits import expand_index
+
+__all__ = ["lift_gate_matrix", "fuse_gates"]
+
+
+def lift_gate_matrix(
+    matrix: np.ndarray, positions: Sequence[int], cluster_qubits: int
+) -> np.ndarray:
+    """Embed a small gate matrix into a ``2**cluster_qubits`` space.
+
+    Parameters
+    ----------
+    matrix:
+        ``2**g x 2**g`` unitary of the gate being lifted.
+    positions:
+        For each gate qubit (matrix bit ``j``), its bit position inside the
+        cluster index.  Length ``g``, entries in ``[0, cluster_qubits)``.
+    cluster_qubits:
+        Size ``k`` of the destination space.
+
+    Returns the ``2**k x 2**k`` matrix ``I ⊗ ... ⊗ U ⊗ ... ⊗ I`` with the
+    tensor factors permuted so that gate bit ``j`` lands at ``positions[j]``.
+    """
+    g = len(positions)
+    if matrix.shape != (1 << g, 1 << g):
+        raise ValueError(
+            f"matrix shape {matrix.shape} inconsistent with {g} positions"
+        )
+    if any(not 0 <= p < cluster_qubits for p in positions):
+        raise ValueError(f"positions {positions} out of range for k={cluster_qubits}")
+    dim = 1 << cluster_qubits
+    lifted = np.zeros((dim, dim), dtype=np.complex128)
+    x = np.arange(1 << g)
+    for c in range(1 << (cluster_qubits - g)):
+        rows = expand_index(c, x, list(positions))
+        lifted[np.ix_(rows, rows)] = matrix
+    return lifted
+
+
+def fuse_gates(gates: Sequence[Gate], cluster_qubits: Sequence[int]) -> Gate:
+    """Fuse an ordered gate sequence into one gate on *cluster_qubits*.
+
+    ``cluster_qubits[j]`` is the qubit bound to bit ``j`` of the fused
+    matrix.  Gates are applied left-to-right in circuit order, i.e. the
+    fused matrix is ``U_last @ ... @ U_first``.
+
+    Every gate's qubits must be a subset of *cluster_qubits*; the scheduler
+    guarantees this by construction.
+    """
+    cluster_qubits = tuple(int(q) for q in cluster_qubits)
+    if len(set(cluster_qubits)) != len(cluster_qubits):
+        raise ValueError(f"duplicate qubits in cluster {cluster_qubits}")
+    position_of = {q: i for i, q in enumerate(cluster_qubits)}
+    k = len(cluster_qubits)
+    fused = np.eye(1 << k, dtype=np.complex128)
+    for gate in gates:
+        try:
+            positions = [position_of[q] for q in gate.qubits]
+        except KeyError as exc:
+            raise ValueError(
+                f"gate {gate!r} acts outside cluster qubits {cluster_qubits}"
+            ) from exc
+        fused = lift_gate_matrix(gate.matrix, positions, k) @ fused
+    name = "fused[" + ";".join(g.name for g in gates) + "]" if gates else "fused[id]"
+    return Gate(name, cluster_qubits, fused)

@@ -1,0 +1,159 @@
+"""The :class:`Gate` IR node.
+
+A :class:`Gate` binds a unitary matrix to concrete qubit indices and
+carries the structural flags the rest of the stack dispatches on:
+
+* ``is_diagonal`` — diagonal gates (CZ, T, Z, S, ...) applied to *global*
+  qubits need no communication (Sec. 3.5 "global gate specialization");
+* ``is_monomial`` — permutation-with-phases gates (X, CNOT, ...) applied
+  to global qubits amount to a re-numbering of MPI ranks plus a per-rank
+  phase (Sec. 3.5).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Sequence
+
+import numpy as np
+
+from repro.gates.matrices import gate_matrix
+from repro.util.validation import check_unitary
+
+__all__ = ["Gate"]
+
+
+class Gate:
+    """A unitary bound to an ordered tuple of qubit indices.
+
+    Parameters
+    ----------
+    name:
+        Human-readable gate name (``"h"``, ``"cz"``, ``"fused"``, ...).
+        Used for display, serialization and specialization dispatch.
+    qubits:
+        Target qubit indices.  ``qubits[0]`` corresponds to bit 0 of the
+        matrix row/column index (little-endian), matching the index
+        convention of Sec. 2 of the paper.
+    matrix:
+        Optional explicit ``2**k x 2**k`` unitary.  When omitted, the
+        matrix is looked up by *name* in :func:`repro.gates.gate_matrix`.
+    cycle:
+        Optional clock-cycle tag assigned by circuit generators; purely
+        metadata (used by schedulers for diagnostics).
+    """
+
+    __slots__ = ("name", "qubits", "_matrix", "cycle", "__dict__")
+
+    def __init__(
+        self,
+        name: str,
+        qubits: Sequence[int],
+        matrix: np.ndarray | None = None,
+        *,
+        cycle: int | None = None,
+    ) -> None:
+        self.name = str(name)
+        self.qubits: tuple[int, ...] = tuple(int(q) for q in qubits)
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"duplicate qubits in gate {name}: {self.qubits}")
+        if matrix is None:
+            matrix = gate_matrix(name)
+        matrix = check_unitary(matrix)
+        expected_dim = 1 << len(self.qubits)
+        if matrix.shape != (expected_dim, expected_dim):
+            raise ValueError(
+                f"gate {name!r} on {len(self.qubits)} qubit(s) needs a "
+                f"{expected_dim}x{expected_dim} matrix, got {matrix.shape}"
+            )
+        self._matrix = matrix
+        self._matrix.setflags(write=False)
+        self.cycle = cycle
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def matrix(self) -> np.ndarray:
+        """The (read-only) ``2**k x 2**k`` unitary matrix."""
+        return self._matrix
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits this gate acts on (``k``)."""
+        return len(self.qubits)
+
+    @cached_property
+    def is_diagonal(self) -> bool:
+        """True when the matrix is diagonal (e.g. CZ, T, Z, S)."""
+        off_diag = self._matrix - np.diag(np.diagonal(self._matrix))
+        return bool(np.allclose(off_diag, 0.0, atol=1e-12))
+
+    @cached_property
+    def is_monomial(self) -> bool:
+        """True for permutation-with-phases matrices (e.g. X, CNOT, SWAP).
+
+        Monomial gates map computational basis states to basis states (up to
+        phase), so on global qubits they reduce to rank renumbering plus a
+        per-rank phase — no state-vector data movement at all.
+        """
+        abs_matrix = np.abs(self._matrix)
+        ones_per_row = np.isclose(abs_matrix, 1.0, atol=1e-12).sum(axis=1)
+        zeros = np.isclose(abs_matrix, 0.0, atol=1e-12)
+        return bool(
+            np.all(ones_per_row == 1)
+            and np.all(zeros.sum(axis=1) == abs_matrix.shape[1] - 1)
+        )
+
+    @cached_property
+    def basis_permutation(self) -> np.ndarray | None:
+        """For monomial gates: ``perm[j] = i`` such that ``U|j> = phase|i>``.
+
+        Returns ``None`` for non-monomial gates.
+        """
+        if not self.is_monomial:
+            return None
+        return np.argmax(np.abs(self._matrix), axis=0)
+
+    @cached_property
+    def basis_phases(self) -> np.ndarray | None:
+        """For monomial gates: ``phase[j]`` such that ``U|j> = phase[j]|perm[j]>``."""
+        perm = self.basis_permutation
+        if perm is None:
+            return None
+        return self._matrix[perm, np.arange(self._matrix.shape[0])]
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def dagger(self) -> "Gate":
+        """Return the Hermitian adjoint as a new gate."""
+        return Gate(f"{self.name}_dg", self.qubits, self._matrix.conj().T, cycle=self.cycle)
+
+    def remap(self, mapping: dict[int, int]) -> "Gate":
+        """Return a copy acting on re-mapped qubit indices (Sec. 3.6.2)."""
+        new_qubits = tuple(mapping[q] for q in self.qubits)
+        return Gate(self.name, new_qubits, self._matrix, cycle=self.cycle)
+
+    def on(self, *qubits: int) -> "Gate":
+        """Return a copy of this gate bound to different qubits."""
+        return Gate(self.name, qubits, self._matrix, cycle=self.cycle)
+
+    # ------------------------------------------------------------------
+    # Equality / hashing / display
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Gate):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.qubits == other.qubits
+            and np.array_equal(self._matrix, other._matrix)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.qubits, self._matrix.tobytes()))
+
+    def __repr__(self) -> str:
+        qubits = ",".join(map(str, self.qubits))
+        return f"Gate({self.name!r}, q=[{qubits}])"

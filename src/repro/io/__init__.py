@@ -1,0 +1,26 @@
+"""Persistence: state vectors, circuits and schedules on disk.
+
+* :mod:`repro.io.states` — save/load :class:`StateVector` objects as
+  ``.npy`` files, and spill/restore distributed states shard by shard.
+* :mod:`repro.io.schedules` — JSON (de)serialization of circuits and
+  :class:`Schedule` programs, so an expensive scheduling pre-computation
+  (Sec. 3.6: reusable "for all instances of the same size") can be done
+  once and shipped with the workload.
+"""
+
+from repro.io.schedules import (
+    load_circuit_json,
+    load_schedule_json,
+    save_circuit_json,
+    save_schedule_json,
+)
+from repro.io.states import load_statevector, save_statevector
+
+__all__ = [
+    "load_circuit_json",
+    "load_schedule_json",
+    "load_statevector",
+    "save_circuit_json",
+    "save_schedule_json",
+    "save_statevector",
+]

@@ -1,0 +1,30 @@
+"""State-vector persistence."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.statevector.state import StateVector
+from repro.util.bits import bit_length_of_power_of_two
+
+__all__ = ["save_statevector", "load_statevector"]
+
+
+def save_statevector(state: StateVector, path: str | Path) -> Path:
+    """Write the amplitudes to an ``.npy`` file; returns the path."""
+    path = Path(path)
+    if path.suffix != ".npy":
+        path = path.with_suffix(".npy")
+    np.save(path, state.data)
+    return path
+
+
+def load_statevector(path: str | Path) -> StateVector:
+    """Load a state vector written by :func:`save_statevector`."""
+    data = np.load(Path(path))
+    if data.ndim != 1:
+        raise ValueError(f"{path}: expected a 1-D amplitude array")
+    num_qubits = bit_length_of_power_of_two(data.shape[0])
+    return StateVector(num_qubits, data)

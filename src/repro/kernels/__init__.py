@@ -1,0 +1,41 @@
+"""k-qubit gate application kernels (Secs. 3.1-3.2 of the paper).
+
+Several strategies are provided, mirroring the paper's optimization steps:
+
+* :func:`apply_gate_naive` — textbook per-index Python loop (two-vector).
+  Only useful as a correctness oracle for tiny states.
+* :func:`apply_gate_reference` — ``tensordot``-based application; numpy's
+  analogue of the compiler's auto-vectorised baseline.
+* :func:`apply_gate_indexed` — the paper's kernel: split every state index
+  into the ``c`` substring and the ``x`` substring, gather the ``2**k``
+  amplitudes of each matrix-vector product, multiply, scatter back
+  in place.  Supports blocking over ``c`` (register/MCDRAM blocking
+  stand-in) via ``chunk_size``.
+* :func:`apply_diagonal_gate` — fast path for diagonal gates
+  (CZ, T, Z, S): one complex multiply per amplitude, no gather.
+* :func:`apply_gate` — dispatcher choosing a strategy per gate structure.
+
+All in-place kernels mutate ``state`` and also return it, so call sites can
+chain or ignore the return value.
+"""
+
+from repro.kernels.apply import (
+    apply_diagonal_gate,
+    apply_gate,
+    apply_gate_indexed,
+    apply_gate_naive,
+    apply_gate_reference,
+    apply_gate_two_vector,
+)
+from repro.kernels.cost import KernelCostModel, kernel_cost
+
+__all__ = [
+    "KernelCostModel",
+    "apply_diagonal_gate",
+    "apply_gate",
+    "apply_gate_indexed",
+    "apply_gate_naive",
+    "apply_gate_reference",
+    "apply_gate_two_vector",
+    "kernel_cost",
+]

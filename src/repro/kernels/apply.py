@@ -1,0 +1,227 @@
+"""Gate-application kernels over numpy state vectors.
+
+Index conventions (little-endian) follow Sec. 2/3.2 of the paper: state
+index bit ``q`` is the value of qubit ``q``; a gate bound to qubits
+``(q0, .., q_{k-1})`` uses matrix row/column bit ``j`` for qubit ``qj``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.bits import (
+    bit_length_of_power_of_two,
+    insert_zero_bits,
+    scatter_bits,
+)
+from repro.util.validation import check_qubit_indices
+
+__all__ = [
+    "apply_gate_naive",
+    "apply_gate_reference",
+    "apply_gate_indexed",
+    "apply_gate_two_vector",
+    "apply_diagonal_gate",
+    "apply_gate",
+]
+
+#: Default number of ``c`` substrings processed per block in the indexed
+#: kernel.  Chosen so a block's gather buffer stays comfortably inside the
+#: last-level cache; overridable (and autotuned by :mod:`repro.codegen`).
+DEFAULT_CHUNK = 1 << 16
+
+
+def _num_qubits_of(state: np.ndarray) -> int:
+    if state.ndim != 1:
+        raise ValueError(f"state must be 1-D, got shape {state.shape}")
+    return bit_length_of_power_of_two(state.shape[0])
+
+
+def apply_gate_naive(
+    state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int]
+) -> np.ndarray:
+    """Correctness oracle: explicit Python loop over every state index.
+
+    O(2**n * 4**k) Python-level work — use only for n ≲ 12.
+    """
+    n = _num_qubits_of(state)
+    qubits = check_qubit_indices(qubits, n)
+    k = len(qubits)
+    out = np.zeros_like(state)
+    for idx in range(state.shape[0]):
+        x = 0
+        for j, q in enumerate(qubits):
+            x |= ((idx >> q) & 1) << j
+        base = idx
+        for q in qubits:
+            base &= ~(1 << q)
+        for xp in range(1 << k):
+            src = base
+            for j, q in enumerate(qubits):
+                src |= ((xp >> j) & 1) << q
+            out[idx] += matrix[x, xp] * state[src]
+    state[:] = out
+    return state
+
+
+def apply_gate_reference(
+    state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int]
+) -> np.ndarray:
+    """Tensor-contraction kernel via :func:`numpy.tensordot` (in place).
+
+    Reshapes the state to an n-axis tensor (axis ``i`` = qubit ``n-1-i``)
+    and contracts the gate over the target axes.  Fast and allocation-heavy
+    (one full temporary) — the "two state vectors" baseline of Sec. 3.1
+    expressed in idiomatic numpy.
+    """
+    n = _num_qubits_of(state)
+    qubits = check_qubit_indices(qubits, n)
+    k = len(qubits)
+    psi = state.reshape((2,) * n)
+    gate_tensor = np.asarray(matrix, dtype=state.dtype).reshape((2,) * (2 * k))
+    # Column (input) axis for gate bit j sits at 2k-1-j; state axis for
+    # qubit q sits at n-1-q.
+    col_axes = [2 * k - 1 - j for j in range(k)]
+    state_axes = [n - 1 - q for q in qubits]
+    out = np.tensordot(gate_tensor, psi, axes=(col_axes, state_axes))
+    # Row axes of ``out`` are [bit k-1, ..., bit 0] = qubits reversed.
+    out = np.moveaxis(out, range(k), [n - 1 - q for q in reversed(qubits)])
+    state[:] = out.reshape(-1)
+    return state
+
+
+def apply_gate_two_vector(
+    state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int]
+) -> np.ndarray:
+    """Standard two-vector implementation (Sec. 3.1): returns a NEW array.
+
+    Unlike the in-place kernels this does not mutate *state*; it models the
+    pre-optimization baseline that streams an input and an output vector.
+    """
+    out = state.copy()
+    apply_gate_reference(out, matrix, qubits)
+    return out
+
+
+def _gather_indices(
+    n: int, qubits: Sequence[int], c_start: int, c_stop: int
+) -> np.ndarray:
+    """Indices of shape ``(2**k, c_stop-c_start)`` for the indexed kernel.
+
+    Column ``m`` holds the ``2**k`` state indices participating in the
+    matrix-vector product for ``c = c_start + m`` (Sec. 3.2); row ``x`` is
+    the entry whose target-qubit bits spell ``x``.
+    """
+    k = len(qubits)
+    sorted_pos = sorted(qubits)
+    c = np.arange(c_start, c_stop, dtype=np.int64)
+    base = insert_zero_bits(c, sorted_pos)
+    offsets = scatter_bits(np.arange(1 << k, dtype=np.int64), list(qubits))
+    return offsets[:, None] + base[None, :]
+
+
+def apply_gate_indexed(
+    state: np.ndarray,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    *,
+    chunk_size: int | None = None,
+) -> np.ndarray:
+    """The paper's kernel: gather / small matmul / scatter, in place.
+
+    For each block of ``c`` index substrings, gathers a ``(2**k, block)``
+    panel of amplitudes, multiplies by the ``2**k x 2**k`` gate matrix
+    (one BLAS call covering ``block`` matrix-vector products at once), and
+    scatters the result back.  ``chunk_size`` is the number of ``c`` values
+    per block — the numpy analogue of the paper's register/MCDRAM blocking.
+    """
+    n = _num_qubits_of(state)
+    qubits = check_qubit_indices(qubits, n)
+    k = len(qubits)
+    matrix = np.ascontiguousarray(matrix, dtype=state.dtype)
+    total_c = 1 << (n - k)
+    chunk = total_c if chunk_size is None else min(chunk_size, total_c)
+    for c_start in range(0, total_c, chunk):
+        c_stop = min(c_start + chunk, total_c)
+        idx = _gather_indices(n, qubits, c_start, c_stop)
+        gathered = state[idx]
+        state[idx] = matrix @ gathered
+    return state
+
+
+def _diagonal_factor_tensor(
+    diag: np.ndarray, qubits: Sequence[int], n: int
+) -> np.ndarray:
+    """Broadcastable tensor of per-amplitude phases for a diagonal gate."""
+    k = len(qubits)
+    d_t = np.asarray(diag).reshape((2,) * k)
+    # d_t axis a corresponds to qubit qubits[k-1-a]; transpose to descending
+    # qubit order so it lines up with the state tensor's axis layout.
+    qubit_of_axis = [qubits[k - 1 - a] for a in range(k)]
+    order = np.argsort(qubit_of_axis)[::-1]
+    d_t = np.transpose(d_t, order)
+    shape = []
+    qs = sorted(qubits, reverse=True)
+    qi = 0
+    for bit in range(n - 1, -1, -1):
+        if qi < k and qs[qi] == bit:
+            shape.append(2)
+            qi += 1
+        else:
+            shape.append(1)
+    return d_t.reshape(shape)
+
+
+def apply_diagonal_gate(
+    state: np.ndarray, diag: np.ndarray, qubits: Sequence[int]
+) -> np.ndarray:
+    """Apply a diagonal gate given its diagonal (length ``2**k``), in place.
+
+    One complex multiply per amplitude via broadcasting — no index gather,
+    no temporary of state size.  This is the specialization that makes CZ
+    and T gates (Sec. 3.5) cheap even locally.
+    """
+    n = _num_qubits_of(state)
+    qubits = check_qubit_indices(qubits, n)
+    factor = _diagonal_factor_tensor(np.asarray(diag, dtype=state.dtype), qubits, n)
+    psi = state.reshape((2,) * n)
+    psi *= factor
+    return state
+
+
+def apply_gate(
+    state: np.ndarray,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    *,
+    strategy: str = "auto",
+    chunk_size: int | None = None,
+) -> np.ndarray:
+    """Apply a gate matrix choosing a kernel strategy.
+
+    ``strategy`` is one of ``"auto"``, ``"naive"``, ``"reference"``,
+    ``"indexed"``, ``"diagonal"``.  ``"auto"`` picks the diagonal fast path
+    when the matrix is diagonal, the indexed kernel for k ≤ 6, and the
+    tensordot kernel otherwise.
+    """
+    matrix = np.asarray(matrix)
+    if strategy == "auto":
+        off_diag = matrix - np.diag(np.diagonal(matrix))
+        if np.allclose(off_diag, 0.0, atol=1e-12):
+            return apply_diagonal_gate(state, np.diagonal(matrix), qubits)
+        if len(qubits) <= 6:
+            return apply_gate_indexed(
+                state, matrix, qubits, chunk_size=chunk_size or DEFAULT_CHUNK
+            )
+        return apply_gate_reference(state, matrix, qubits)
+    if strategy == "naive":
+        return apply_gate_naive(state, matrix, qubits)
+    if strategy == "reference":
+        return apply_gate_reference(state, matrix, qubits)
+    if strategy == "indexed":
+        return apply_gate_indexed(state, matrix, qubits, chunk_size=chunk_size)
+    if strategy == "diagonal":
+        return apply_diagonal_gate(state, np.diagonal(matrix), qubits)
+    raise ValueError(f"unknown kernel strategy {strategy!r}")

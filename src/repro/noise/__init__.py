@@ -1,0 +1,33 @@
+"""Noise channels and trajectory-based noisy simulation.
+
+The paper's introduction motivates large simulations with "carrying out
+studies of their behavior under noise" for near-term devices.  This
+subpackage provides the standard single-qubit channels (depolarizing,
+dephasing, amplitude damping) as Kraus families and a Monte-Carlo
+*quantum trajectories* simulator: each trajectory stochastically applies
+one Kraus operator per channel invocation (selected with the correct
+Born weights), so averaging trajectories converges to the exact
+density-matrix evolution while never storing more than one pure state —
+the only noise method that fits the state-vector memory budget at scale.
+"""
+
+from repro.noise.channels import (
+    KrausChannel,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    raise_if_not_cptp,
+    dephasing_channel,
+    depolarizing_channel,
+)
+from repro.noise.trajectories import NoisySimulator, TrajectoryResult
+
+__all__ = [
+    "KrausChannel",
+    "NoisySimulator",
+    "TrajectoryResult",
+    "amplitude_damping_channel",
+    "bit_flip_channel",
+    "dephasing_channel",
+    "depolarizing_channel",
+    "raise_if_not_cptp",
+]

@@ -1,0 +1,104 @@
+"""Single-qubit Kraus channels."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gates.matrices import ID_MATRIX, X_MATRIX, Y_MATRIX, Z_MATRIX
+
+__all__ = [
+    "KrausChannel",
+    "depolarizing_channel",
+    "dephasing_channel",
+    "bit_flip_channel",
+    "amplitude_damping_channel",
+    "raise_if_not_cptp",
+]
+
+
+@dataclass(frozen=True)
+class KrausChannel:
+    """A CPTP map given by Kraus operators ``{K_i}``.
+
+    Completeness ``sum_i K_i^dag K_i = I`` is validated at construction.
+    """
+
+    name: str
+    operators: tuple[np.ndarray, ...]
+
+    def __post_init__(self) -> None:
+        raise_if_not_cptp(self.operators)
+
+    @property
+    def dim(self) -> int:
+        """Hilbert-space dimension the channel acts on."""
+        return self.operators[0].shape[0]
+
+    def __repr__(self) -> str:
+        return f"KrausChannel({self.name!r}, {len(self.operators)} operators)"
+
+
+def raise_if_not_cptp(operators, *, atol: float = 1e-10) -> None:
+    """Validate the Kraus completeness relation; raises ValueError."""
+    if not operators:
+        raise ValueError("a channel needs at least one Kraus operator")
+    dim = operators[0].shape[0]
+    total = np.zeros((dim, dim), dtype=np.complex128)
+    for op in operators:
+        op = np.asarray(op)
+        if op.shape != (dim, dim):
+            raise ValueError("all Kraus operators must share one square shape")
+        total += op.conj().T @ op
+    if not np.allclose(total, np.eye(dim), atol=atol):
+        raise ValueError("Kraus operators do not satisfy sum K^dag K = I")
+
+
+def depolarizing_channel(p: float) -> KrausChannel:
+    """Single-qubit depolarizing noise with error probability *p*.
+
+    With probability ``p`` the qubit is hit by a uniformly random Pauli.
+    """
+    _check_probability(p)
+    return KrausChannel(
+        name=f"depolarizing({p})",
+        operators=(
+            math.sqrt(1 - p) * ID_MATRIX,
+            math.sqrt(p / 3) * X_MATRIX,
+            math.sqrt(p / 3) * Y_MATRIX,
+            math.sqrt(p / 3) * Z_MATRIX,
+        ),
+    )
+
+
+def dephasing_channel(p: float) -> KrausChannel:
+    """Phase-flip (dephasing) noise: Z with probability *p*."""
+    _check_probability(p)
+    return KrausChannel(
+        name=f"dephasing({p})",
+        operators=(math.sqrt(1 - p) * ID_MATRIX, math.sqrt(p) * Z_MATRIX),
+    )
+
+
+def bit_flip_channel(p: float) -> KrausChannel:
+    """Bit-flip noise: X with probability *p*."""
+    _check_probability(p)
+    return KrausChannel(
+        name=f"bit_flip({p})",
+        operators=(math.sqrt(1 - p) * ID_MATRIX, math.sqrt(p) * X_MATRIX),
+    )
+
+
+def amplitude_damping_channel(gamma: float) -> KrausChannel:
+    """Amplitude damping (T1 decay) with decay probability *gamma*."""
+    _check_probability(gamma)
+    k0 = np.array([[1.0, 0.0], [0.0, math.sqrt(1 - gamma)]], dtype=np.complex128)
+    k1 = np.array([[0.0, math.sqrt(gamma)], [0.0, 0.0]], dtype=np.complex128)
+    return KrausChannel(name=f"amplitude_damping({gamma})", operators=(k0, k1))
+
+
+def _check_probability(p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {p}")

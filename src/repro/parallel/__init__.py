@@ -1,0 +1,18 @@
+"""Node-level parallel kernel execution (the paper's OpenMP layer, Sec. 3.3).
+
+The paper parallelises k-qubit kernels over cores with OpenMP (with
+``collapse`` to expose enough outer-loop iterations and NUMA-aware state
+initialisation).  The Python analogue here partitions the ``c`` index
+range of the indexed kernel across a thread pool: different ``c`` blocks
+touch disjoint state entries, so workers need no synchronisation, and
+numpy's BLAS matmul releases the GIL for the per-block panel products.
+
+On the single-core container this layer is validated for correctness and
+determinism; the *scaling* curves of Figs. 7 and 10 come from
+:mod:`repro.perfmodel.scaling`.
+"""
+
+from repro.parallel.executor import ChunkedExecutor
+from repro.parallel.partition import partition_range, partition_work
+
+__all__ = ["ChunkedExecutor", "partition_range", "partition_work"]

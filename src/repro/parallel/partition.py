@@ -1,0 +1,43 @@
+"""Work partitioning across threads."""
+
+from __future__ import annotations
+
+__all__ = ["partition_range", "partition_work"]
+
+
+def partition_range(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into at most *parts* contiguous spans.
+
+    Spans differ in length by at most one; empty spans are dropped, so
+    fewer than *parts* spans are returned when ``total < parts``.
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    base, extra = divmod(total, parts)
+    spans = []
+    start = 0
+    for i in range(parts):
+        length = base + (1 if i < extra else 0)
+        if length == 0:
+            continue
+        spans.append((start, start + length))
+        start += length
+    return spans
+
+
+def partition_work(
+    total_c: int, threads: int, *, min_chunk: int = 1024
+) -> list[tuple[int, int]]:
+    """Partition the kernel's ``c`` index range for a thread pool.
+
+    Mirrors the paper's OpenMP ``collapse`` reasoning: when the outermost
+    loop has too few iterations to feed all threads, we still hand each
+    thread a span of at least *min_chunk* products so per-task overhead
+    stays negligible.
+    """
+    if total_c <= min_chunk or threads <= 1:
+        return [(0, total_c)] if total_c else []
+    parts = min(threads, max(1, total_c // min_chunk))
+    return partition_range(total_c, parts)

@@ -1,0 +1,59 @@
+"""Performance models for the paper's evaluation hardware.
+
+The repository runs on commodity hardware, so the Cori II / Edison
+figures are reproduced through calibrated analytic models driven by the
+*real* schedules, cluster counts and communication volumes produced by
+the rest of the stack:
+
+* :mod:`repro.perfmodel.machine` — machine descriptions with the paper's
+  published constants (peaks, bandwidths, cache associativity).
+* :mod:`repro.perfmodel.roofline` — the roofline model behind Fig. 2.
+* :mod:`repro.perfmodel.cache_model` — the set-associativity penalty for
+  high-order qubits (Figs. 6 and 9).
+* :mod:`repro.perfmodel.scaling` — single-node strong scaling of k-qubit
+  kernels over cores (Figs. 7 and 10).
+* :mod:`repro.perfmodel.network` — the dragonfly all-to-all model behind
+  the communication columns of Table 2 and Fig. 8.
+* :mod:`repro.perfmodel.timeline` — end-to-end time-to-solution of a
+  schedule on a machine (Table 2, Fig. 8, Sec. 4.2).
+"""
+
+from repro.perfmodel.cache_model import CacheModel, kernel_performance
+from repro.perfmodel.machine import (
+    CORI_KNL_NODE,
+    EDISON_NODE,
+    EDISON_SOCKET,
+    MachineSpec,
+)
+from repro.perfmodel.network import ARIES_DRAGONFLY, NetworkSpec
+from repro.perfmodel.roofline import (
+    KERNEL_OPT_STEPS,
+    RooflinePoint,
+    attainable_gflops,
+    roofline_table,
+)
+from repro.perfmodel.scaling import strong_scaling_speedup
+from repro.perfmodel.timeline import (
+    BaselineModel,
+    TimelineModel,
+    TimelineReport,
+)
+
+__all__ = [
+    "ARIES_DRAGONFLY",
+    "BaselineModel",
+    "CORI_KNL_NODE",
+    "CacheModel",
+    "EDISON_NODE",
+    "EDISON_SOCKET",
+    "KERNEL_OPT_STEPS",
+    "MachineSpec",
+    "NetworkSpec",
+    "RooflinePoint",
+    "TimelineModel",
+    "TimelineReport",
+    "attainable_gflops",
+    "kernel_performance",
+    "roofline_table",
+    "strong_scaling_speedup",
+]

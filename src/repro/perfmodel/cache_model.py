@@ -1,0 +1,77 @@
+"""Cache-associativity penalty for high-order qubits (Figs. 6 and 9).
+
+Sec. 3.3: applying a k-qubit kernel gathers ``2**k`` state entries that
+are at least ``2**m`` apart (m = lowest target bit).  For large m all
+``2**k`` cache lines map into the same set; once ``2**k`` exceeds the
+last-level cache's effective associativity, lines evict each other and
+every matrix-vector product re-loads its operands from memory.
+
+The model: high-order kernels with ``2**k > ways`` lose bandwidth by
+``(ways / 2**k) ** p`` with ``p = 1.5`` — one factor for the extra
+reloads, half a factor for the loss of streaming (the prefetcher cannot
+follow the thrashing pattern).  ``p`` is a fit; the resulting curves
+match the paper's qualitative findings: no drop for k <= 3 on 8-way
+caches, a visible drop at k = 4 and a much larger one at k = 5
+(Sec. 4.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.machine import MachineSpec
+from repro.util.flops import operational_intensity
+
+__all__ = ["CacheModel", "kernel_performance"]
+
+#: Exponent of the associativity penalty (fit; see module docstring).
+_PENALTY_EXPONENT = 1.5
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """Bandwidth degradation of high-order k-qubit kernels."""
+
+    machine: MachineSpec
+
+    def bandwidth_factor(self, kernel_qubits: int, *, high_order: bool) -> float:
+        """Multiplier on stream bandwidth for this kernel placement."""
+        ways = self.machine.effective_associativity
+        footprint = 1 << kernel_qubits
+        if not high_order or footprint <= ways:
+            return 1.0
+        return (ways / footprint) ** _PENALTY_EXPONENT
+
+
+def _compute_ceiling(machine: MachineSpec, kernel_qubits: int) -> float:
+    """Achievable compute rate of a k-qubit kernel (GFLOPS).
+
+    Vector efficiency grows with k (larger matrix-vector products keep
+    the FMA pipes busy); the ceiling is the machine's calibrated
+    compute efficiency at k = 5.
+    """
+    k_eff = min(kernel_qubits, 5) / 5.0
+    return machine.peak_gflops * machine.compute_efficiency * (0.55 + 0.45 * k_eff)
+
+
+def kernel_performance(
+    machine: MachineSpec,
+    kernel_qubits: int,
+    *,
+    high_order: bool = False,
+    state_bytes: float | None = None,
+) -> float:
+    """Modeled GFLOPS of a k-qubit kernel on *machine* (Figs. 6 / 9).
+
+    ``high_order=True`` places the kernel on the highest qubit indices,
+    triggering the associativity penalty; ``state_bytes`` selects the
+    memory level (MCDRAM vs DRAM on KNL).
+    """
+    oi = operational_intensity(kernel_qubits)
+    bw = (
+        machine.best_bw_gbs
+        if state_bytes is None
+        else machine.stream_bw_gbs(state_bytes)
+    )
+    bw *= CacheModel(machine).bandwidth_factor(kernel_qubits, high_order=high_order)
+    return min(_compute_ceiling(machine, kernel_qubits), oi * bw)

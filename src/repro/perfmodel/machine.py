@@ -1,0 +1,104 @@
+"""Machine descriptions with the paper's published constants.
+
+All headline numbers are taken verbatim from Sec. 4 and the Fig. 2
+annotations:
+
+* **Edison socket**: 12-core Intel Xeon E5-2695 v2 (Ivy Bridge) at
+  2.4 GHz; peak 230.4 GFLOPS (12 cores x 2.4 GHz x 8 DP FLOP/cycle with
+  AVX); STREAM TRIAD 52 GB/s; 8-way set-associative L1/L2.
+* **Cori II KNL node**: 68-core Intel Xeon Phi 7250 at 1.4 GHz; peak
+  3133.4 GFLOPS (AVX512 + FMA); MCDRAM 460 GB/s (16 GiB), DRAM
+  115.2 GB/s; L2 16-way but shared between 2 cores, so effectively 8-way
+  per core (Fig. 6 caption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineSpec", "EDISON_SOCKET", "EDISON_NODE", "CORI_KNL_NODE"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A compute node (or socket) as seen by the performance models."""
+
+    name: str
+    cores: int
+    frequency_ghz: float
+    peak_gflops: float
+    #: Sustained main-memory bandwidth in GB/s (STREAM TRIAD).
+    dram_bw_gbs: float
+    #: High-bandwidth memory (MCDRAM) bandwidth, or None if absent.
+    fast_mem_bw_gbs: float | None = None
+    #: High-bandwidth memory capacity in GiB (None if absent).
+    fast_mem_gib: float | None = None
+    #: Effective last-level-cache set associativity per core (the paper's
+    #: analysis: performance drops once 2**k exceeds this).
+    effective_associativity: int = 8
+    #: Fraction of total memory bandwidth one core can draw.  Controls
+    #: where memory-bound kernels stop scaling (Figs. 7 and 10).
+    single_core_bw_fraction: float = 0.25
+    #: Vector efficiency of the k-qubit kernel as a function of k is
+    #: modelled elsewhere; this is the ceiling for k >= 4 kernels.
+    compute_efficiency: float = 0.5
+
+    @property
+    def per_core_gflops(self) -> float:
+        """Peak GFLOPS of a single core."""
+        return self.peak_gflops / self.cores
+
+    @property
+    def best_bw_gbs(self) -> float:
+        """The bandwidth the state vector streams at when it fits the
+        fastest memory level (MCDRAM when present, DRAM otherwise)."""
+        return self.fast_mem_bw_gbs or self.dram_bw_gbs
+
+    def stream_bw_gbs(self, state_bytes: float) -> float:
+        """Bandwidth available for a state vector of *state_bytes*.
+
+        On KNL, state vectors larger than MCDRAM fall back to DRAM; the
+        paper (Sec. 4.1.2) models this as a 2x drop since the 4-qubit
+        kernel sustains about half the MCDRAM bandwidth.
+        """
+        if self.fast_mem_bw_gbs is None or self.fast_mem_gib is None:
+            return self.dram_bw_gbs
+        if state_bytes <= self.fast_mem_gib * 2**30:
+            return self.fast_mem_bw_gbs
+        return self.dram_bw_gbs
+
+
+EDISON_SOCKET = MachineSpec(
+    name="Edison socket (Ivy Bridge E5-2695 v2)",
+    cores=12,
+    frequency_ghz=2.4,
+    peak_gflops=230.4,
+    dram_bw_gbs=52.0,
+    effective_associativity=8,
+    single_core_bw_fraction=0.22,
+    compute_efficiency=0.72,
+)
+
+EDISON_NODE = MachineSpec(
+    name="Edison node (2x Ivy Bridge E5-2695 v2)",
+    cores=24,
+    frequency_ghz=2.4,
+    peak_gflops=460.8,
+    dram_bw_gbs=104.0,
+    effective_associativity=8,
+    single_core_bw_fraction=0.11,
+    compute_efficiency=0.72,
+)
+
+CORI_KNL_NODE = MachineSpec(
+    name="Cori II KNL node (Xeon Phi 7250)",
+    cores=68,
+    frequency_ghz=1.4,
+    peak_gflops=3133.4,
+    dram_bw_gbs=115.2,
+    fast_mem_bw_gbs=460.0,
+    fast_mem_gib=16.0,
+    effective_associativity=8,  # 16-way L2 shared between 2 cores
+    single_core_bw_fraction=0.035,
+    compute_efficiency=0.33,
+)

@@ -1,0 +1,92 @@
+"""Dragonfly network model (Cray Aries) for all-to-all exchanges.
+
+Both Edison and Cori II use a Cray Aries dragonfly interconnect [9].
+The model reduces it to one quantity: the *effective per-node all-to-all
+bandwidth* as a function of node count, calibrated on the communication
+times the paper reports:
+
+* Cori II (Table 2): a 36-qubit run on 64 nodes spends 12.4 s moving one
+  global-to-local swap of a 16 GiB shard -> ~1.39 GB/s/node; the 42-qubit
+  run on 4096 nodes gives ~0.60 GB/s/node and the 45-qubit run on 8192
+  nodes ~0.32 GB/s/node.
+* Edison (Sec. 4.2.2): the 36-qubit 64-socket run implies
+  ~0.53 GB/s/socket.
+
+Between anchors the model interpolates log-log; outside, it extrapolates
+with the nearest segment's slope.  Everything downstream (Table 2's
+comm columns, Fig. 8's multi-node scaling, the speedup estimates) is a
+prediction of this one calibrated curve plus the real swap counts and
+shard sizes coming from the scheduler.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["NetworkSpec", "ARIES_DRAGONFLY", "ARIES_EDISON"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Effective all-to-all bandwidth curve of an interconnect."""
+
+    name: str
+    #: (nodes, effective GB/s per node) anchors, sorted by nodes.
+    anchors: tuple[tuple[int, float], ...] = field(default_factory=tuple)
+
+    def effective_bw_gbs(self, nodes: int) -> float:
+        """Per-node all-to-all bandwidth at *nodes* participants."""
+        if nodes < 2:
+            return float("inf")  # single node: no network traffic
+        anchors = self.anchors
+        if not anchors:
+            raise ValueError(f"network {self.name} has no calibration anchors")
+        if len(anchors) == 1:
+            (n0, b0) = anchors[0]
+            # Single anchor: assume a gentle dragonfly falloff.
+            return b0 * (n0 / nodes) ** 0.2
+        log_n = math.log(nodes)
+        for (n1, b1), (n2, b2) in zip(anchors, anchors[1:]):
+            if nodes <= n1:
+                slope = (math.log(b2) - math.log(b1)) / (math.log(n2) - math.log(n1))
+                return math.exp(math.log(b1) + slope * (log_n - math.log(n1)))
+            if n1 <= nodes <= n2:
+                slope = (math.log(b2) - math.log(b1)) / (math.log(n2) - math.log(n1))
+                return math.exp(math.log(b1) + slope * (log_n - math.log(n1)))
+        (n1, b1), (n2, b2) = anchors[-2], anchors[-1]
+        slope = (math.log(b2) - math.log(b1)) / (math.log(n2) - math.log(n1))
+        return math.exp(math.log(b2) + slope * (log_n - math.log(n2)))
+
+    def alltoall_seconds(self, nodes: int, shard_bytes: float) -> float:
+        """Time of one full global-to-local swap across *nodes* nodes.
+
+        Every node ships all but its diagonal block:
+        ``shard_bytes * (nodes - 1) / nodes`` at the effective bandwidth.
+        """
+        if nodes < 2:
+            return 0.0
+        useful = shard_bytes * (nodes - 1) / nodes
+        return useful / (self.effective_bw_gbs(nodes) * 1e9)
+
+    def global_gate_seconds(self, nodes: int, shard_bytes: float) -> float:
+        """Time of one dense global gate executed individually (as in [5]).
+
+        The paper (Fig. 5 caption): averaged over global qubits, a dense
+        global gate takes about half the time of a full swap, thanks to
+        the higher locality of low-order global exchanges.
+        """
+        return 0.5 * self.alltoall_seconds(nodes, shard_bytes)
+
+
+#: Cori II Aries calibration (see module docstring).
+ARIES_DRAGONFLY = NetworkSpec(
+    name="Cray Aries dragonfly (Cori II)",
+    anchors=((64, 1.39), (1024, 0.79), (4096, 0.60), (8192, 0.32)),
+)
+
+#: Edison Aries calibration (per socket: 2 MPI ranks per node).
+ARIES_EDISON = NetworkSpec(
+    name="Cray Aries dragonfly (Edison, per socket)",
+    anchors=((64, 0.53),),
+)

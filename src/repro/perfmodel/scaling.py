@@ -1,0 +1,54 @@
+"""Single-node strong scaling of k-qubit kernels (Figs. 7 and 10).
+
+The kernel's throughput on ``p`` cores is the roofline minimum of
+
+* compute: ``p`` times the per-core k-qubit rate (vector efficiency grows
+  with k — a 5-qubit kernel's 32-wide scalar products keep FMA pipes
+  busy, a 1-qubit kernel's 2-element updates do not), and
+* memory: the bandwidth ``p`` cores can draw, saturating at the socket's
+  stream bandwidth (one core draws ``single_core_bw_fraction`` of it).
+
+Speedup(p) = throughput(p) / throughput(1).  Memory-bound kernels
+(k <= 3, Fig. 10) stop scaling once bandwidth saturates; the 5-qubit
+kernel stays compute-bound and scales almost ideally — exactly the
+shapes of Figs. 7 and 10 and the reason the paper pairs "k = 4 with one
+MPI process per Edison socket".
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.cache_model import _compute_ceiling
+from repro.perfmodel.machine import MachineSpec
+from repro.util.flops import operational_intensity
+
+__all__ = ["kernel_gflops_at_cores", "strong_scaling_speedup"]
+
+
+def kernel_gflops_at_cores(
+    machine: MachineSpec, kernel_qubits: int, cores: int
+) -> float:
+    """Modeled GFLOPS of one k-qubit kernel invocation on *cores* cores."""
+    if not 1 <= cores <= machine.cores:
+        raise ValueError(
+            f"cores must be in [1, {machine.cores}], got {cores}"
+        )
+    oi = operational_intensity(kernel_qubits)
+    compute = _compute_ceiling(machine, kernel_qubits) * cores / machine.cores
+    bw = machine.best_bw_gbs * min(
+        1.0, cores * machine.single_core_bw_fraction
+    )
+    return min(compute, oi * bw)
+
+
+def strong_scaling_speedup(
+    machine: MachineSpec, kernel_qubits: int, cores: int
+) -> float:
+    """Speedup over one core for a k-qubit kernel (Fig. 7 / Fig. 10).
+
+    Capped at *cores* (mixed memory/compute regimes in the model could
+    otherwise report slightly super-linear values).
+    """
+    speedup = kernel_gflops_at_cores(
+        machine, kernel_qubits, cores
+    ) / kernel_gflops_at_cores(machine, kernel_qubits, 1)
+    return min(speedup, float(cores))

@@ -1,0 +1,196 @@
+"""End-to-end time-to-solution model (Table 2, Fig. 8, Sec. 4.2).
+
+Combines the kernel, cache, and network models with the *actual*
+schedules produced by :mod:`repro.scheduling`:
+
+* **kernel time** — one state-vector sweep per cluster, at the memory
+  bandwidth the state qualifies for.  On KNL, states larger than MCDRAM
+  stream at half the MCDRAM bandwidth *if* MCDRAM blocking is effective,
+  which requires long runs of low-order gates between swaps (Sec. 4.1.2
+  explains why this fails for supremacy circuits at scale: too few
+  gates per stage).  The effectiveness heuristic — blocking works when a
+  stage contains at least 32 clusters — is calibrated so both the
+  30-qubit single-node time and the 45-qubit GFLOPS emerge correctly.
+* **specialized gates** — diagonal/monomial global gates are absorbed
+  into neighbouring cluster matrices (Sec. 3.5: "absorbed into the next
+  gate matrix"), so they cost no kernel sweeps.
+* **communication** — one all-to-all per global-to-local swap, timed by
+  the calibrated dragonfly model.
+
+:class:`BaselineModel` prices the per-gate scheme of [5]: one two-vector
+sweep per gate (1.5x the in-place traffic) and one half-swap-equivalent
+exchange per dense global gate.  Table 2's speedup column is the ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.circuit import Circuit
+from repro.perfmodel.cache_model import _compute_ceiling
+from repro.perfmodel.machine import MachineSpec
+from repro.perfmodel.network import NetworkSpec
+from repro.scheduling.baseline import baseline_global_gates
+from repro.scheduling.program import Schedule
+from repro.util.flops import COMPLEX128_BYTES, gate_flops
+
+__all__ = ["TimelineReport", "TimelineModel", "BaselineModel"]
+
+#: Clusters per stage above which MCDRAM blocking is considered effective
+#: (calibrated; see module docstring).
+MCDRAM_BLOCKING_MIN_CLUSTERS = 32
+
+#: Fraction of stream bandwidth the real kernels sustain (loop overheads,
+#: TLB, imperfect prefetch).  Calibrated on the Table 2 kernel times.
+KERNEL_BW_EFFICIENCY = 0.85
+
+
+@dataclass(frozen=True)
+class TimelineReport:
+    """Predicted execution profile of one run."""
+
+    nodes: int
+    kernel_seconds: float
+    comm_seconds: float
+    total_flops: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock time: kernels + communication."""
+        return self.kernel_seconds + self.comm_seconds
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of time in communication (Table 2's "Comm." column)."""
+        total = self.total_seconds
+        return self.comm_seconds / total if total > 0 else 0.0
+
+    @property
+    def pflops(self) -> float:
+        """Aggregate sustained PFLOPS over the whole run."""
+        total = self.total_seconds
+        return self.total_flops / total / 1e15 if total > 0 else 0.0
+
+    @property
+    def gflops_per_node(self) -> float:
+        """Per-node sustained GFLOPS."""
+        return self.pflops * 1e6 / self.nodes
+
+
+@dataclass(frozen=True)
+class TimelineModel:
+    """Prices a :class:`Schedule` on a machine + network pair."""
+
+    machine: MachineSpec
+    network: NetworkSpec
+    kernel_bw_efficiency: float = KERNEL_BW_EFFICIENCY
+
+    def _kernel_bandwidth(self, shard_bytes: float, clusters_per_stage: float) -> float:
+        """Memory bandwidth one node's kernels stream at (GB/s)."""
+        m = self.machine
+        if m.fast_mem_bw_gbs is None or m.fast_mem_gib is None:
+            return m.dram_bw_gbs * self.kernel_bw_efficiency
+        if shard_bytes < m.fast_mem_gib * 2**30:
+            bw = m.fast_mem_bw_gbs
+        elif clusters_per_stage >= MCDRAM_BLOCKING_MIN_CLUSTERS:
+            bw = m.fast_mem_bw_gbs / 2  # blocked streaming through MCDRAM
+        else:
+            bw = m.dram_bw_gbs
+        return bw * self.kernel_bw_efficiency
+
+    def predict(self, schedule: Schedule) -> TimelineReport:
+        """Predict the execution profile of *schedule*.
+
+        The node count is implied by the schedule's qubit split:
+        ``2**(n - local_qubits)`` nodes with ``2**local_qubits``
+        amplitudes each.
+        """
+        n = schedule.num_qubits
+        l = schedule.local_qubits
+        nodes = 1 << (n - l)
+        shard_bytes = float((1 << l) * COMPLEX128_BYTES)
+        num_stages = max(1, len(schedule.stages))
+        clusters_per_stage = schedule.num_clusters / num_stages
+        bw = self._kernel_bandwidth(shard_bytes, clusters_per_stage)
+
+        kernel_seconds = 0.0
+        total_flops = 0.0
+        for k in schedule.cluster_sizes():
+            sweep_bytes = 2.0 * shard_bytes  # in-place: one load + one store
+            mem_time = sweep_bytes / (bw * 1e9)
+            node_flops = gate_flops(l, k)
+            compute_time = node_flops / (_compute_ceiling(self.machine, k) * 1e9)
+            kernel_seconds += max(mem_time, compute_time)
+            total_flops += float(gate_flops(n, k))
+
+        comm_seconds = schedule.num_swaps * self.network.alltoall_seconds(
+            nodes, shard_bytes
+        )
+        return TimelineReport(
+            nodes=nodes,
+            kernel_seconds=kernel_seconds,
+            comm_seconds=comm_seconds,
+            total_flops=total_flops,
+        )
+
+
+@dataclass(frozen=True)
+class BaselineModel:
+    """Prices the per-gate execution scheme of Boixo et al. [5]."""
+
+    machine: MachineSpec
+    network: NetworkSpec
+    kernel_bw_efficiency: float = KERNEL_BW_EFFICIENCY
+    #: Two-vector traffic (load in, store out, read-for-ownership).
+    traffic_factor: float = 1.5
+
+    def predict(
+        self,
+        circuit: Circuit,
+        local_qubits: int,
+        *,
+        worst_case: bool = False,
+    ) -> TimelineReport:
+        """Predict the per-gate baseline's profile for *circuit*.
+
+        One sweep per gate (no fusion), streamed at the machine's
+        non-blocked bandwidth; one half-swap exchange per dense global
+        gate.
+        """
+        n = circuit.num_qubits
+        l = min(local_qubits, n)
+        nodes = 1 << (n - l)
+        shard_bytes = float((1 << l) * COMPLEX128_BYTES)
+        m = self.machine
+        if (
+            m.fast_mem_bw_gbs is not None
+            and m.fast_mem_gib is not None
+            and shard_bytes < m.fast_mem_gib * 2**30
+        ):
+            bw = m.fast_mem_bw_gbs
+        else:
+            bw = m.dram_bw_gbs
+        bw *= self.kernel_bw_efficiency
+
+        kernel_seconds = 0.0
+        total_flops = 0.0
+        for gate in circuit:
+            k = gate.num_qubits
+            sweep = self.traffic_factor * 2.0 * shard_bytes
+            mem_time = sweep / (bw * 1e9)
+            compute_time = gate_flops(l, k) / (
+                _compute_ceiling(self.machine, k) * 1e9
+            )
+            kernel_seconds += max(mem_time, compute_time)
+            total_flops += float(gate_flops(n, k, diagonal=gate.is_diagonal))
+
+        report = baseline_global_gates(circuit, l, worst_case=worst_case)
+        comm_seconds = report.global_gates * self.network.global_gate_seconds(
+            nodes, shard_bytes
+        )
+        return TimelineReport(
+            nodes=nodes,
+            kernel_seconds=kernel_seconds,
+            comm_seconds=comm_seconds,
+            total_flops=total_flops,
+        )

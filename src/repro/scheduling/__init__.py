@@ -1,0 +1,42 @@
+"""Circuit scheduling and qubit mapping (Sec. 3.6 — the paper's core).
+
+The pipeline transforms a circuit into a :class:`Schedule` — an alternating
+program of *stages* (gate clusters executable without communication) and
+*global-to-local swaps*:
+
+1. :mod:`repro.scheduling.stages` — stage finding: choose which qubits are
+   global per stage so the number of swaps is minimized (Sec. 3.6.1 step 1
+   plus the "cheap search" refinement).
+2. :mod:`repro.scheduling.clustering` — merge each stage's gates into
+   fused k-qubit clusters, ``k <= kmax`` (step 2; Table 1).
+3. :mod:`repro.scheduling.scheduler` — the full pipeline, including the
+   step-3 swap-point adjustment that removes trailing small clusters.
+4. :mod:`repro.scheduling.mapping` — the qubit -> bit-location heuristic
+   dodging cache-associativity penalties (Sec. 3.6.2).
+5. :mod:`repro.scheduling.baseline` — the per-gate execution model of
+   Boixo et al. [5], used as the communication baseline in Fig. 5 and the
+   speedup column of Table 2.
+"""
+
+from repro.scheduling.baseline import BaselineCommReport, baseline_global_gates
+from repro.scheduling.clustering import cluster_stage_gates
+from repro.scheduling.mapping import cluster_bit_mapping
+from repro.scheduling.program import ClusterOp, GateOp, Schedule, Stage, SwapOp
+from repro.scheduling.scheduler import SchedulerConfig, schedule_circuit
+from repro.scheduling.stages import StagePlan, find_stages
+
+__all__ = [
+    "BaselineCommReport",
+    "ClusterOp",
+    "GateOp",
+    "Schedule",
+    "SchedulerConfig",
+    "Stage",
+    "StagePlan",
+    "SwapOp",
+    "baseline_global_gates",
+    "cluster_bit_mapping",
+    "cluster_stage_gates",
+    "find_stages",
+    "schedule_circuit",
+]

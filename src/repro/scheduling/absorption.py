@@ -1,0 +1,216 @@
+"""Absorption of specialized diagonal gates into cluster matrices.
+
+Sec. 3.5: a T gate on a global qubit "results in a global phase, which
+can be absorbed into the next gate matrix to be applied"; a CZ with a
+global qubit becomes a rank-conditional local Z that can likewise ride
+along with a neighbouring cluster.  Absorbing them removes their state
+sweeps entirely — the specialized gate costs *nothing* at execution time,
+which is the assumption the Table-2 performance model makes.
+
+:func:`absorb_diagonals` rewrites a stage's op list, folding each
+diagonal :class:`GateOp` into the nearest cluster that covers its local
+qubits (forward first — "the next gate matrix" — falling back to the
+preceding cluster).  The result uses :class:`AbsorbedClusterOp`, whose
+per-rank matrix is ``post_diag @ cluster @ pre_diag`` with the diagonal
+factors evaluated at each rank's global bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gates.fusion import lift_gate_matrix
+from repro.gates.gate import Gate
+from repro.scheduling.program import ClusterOp, GateOp
+
+__all__ = ["AbsorbedClusterOp", "absorb_diagonals"]
+
+
+@dataclass(frozen=True)
+class AbsorbedClusterOp:
+    """A cluster with rank-conditional diagonal gates folded in.
+
+    ``pre_diagonals`` apply before the cluster (circuit order), and
+    ``post_diagonals`` after; every diagonal's *local* qubits are members
+    of ``cluster.qubits`` while its remaining qubits are stage-global
+    (their values come from the rank number at execution time).
+    """
+
+    cluster: ClusterOp
+    pre_diagonals: tuple[Gate, ...] = field(default_factory=tuple)
+    post_diagonals: tuple[Gate, ...] = field(default_factory=tuple)
+
+    @property
+    def qubits(self) -> tuple[int, ...]:
+        """The cluster's qubit tuple (the kernel footprint)."""
+        return self.cluster.qubits
+
+    @property
+    def num_qubits(self) -> int:
+        """Cluster size k."""
+        return len(self.cluster.qubits)
+
+    @property
+    def num_gates(self) -> int:
+        """Original gates covered, including the absorbed diagonals."""
+        return (
+            self.cluster.num_gates
+            + len(self.pre_diagonals)
+            + len(self.post_diagonals)
+        )
+
+    def gates_in_order(self) -> list[Gate]:
+        """All covered gates in application order."""
+        return (
+            list(self.pre_diagonals)
+            + list(self.cluster.gates)
+            + list(self.post_diagonals)
+        )
+
+    def _rank_diagonal(
+        self, gate: Gate, rank_bits: dict[int, int]
+    ) -> np.ndarray:
+        """Lift one absorbed diagonal to the cluster space for one rank."""
+        position_of = {q: i for i, q in enumerate(self.cluster.qubits)}
+        local_js = [j for j, q in enumerate(gate.qubits) if q in position_of]
+        global_js = [j for j, q in enumerate(gate.qubits) if q not in position_of]
+        diag = np.diagonal(gate.matrix)
+        xg = 0
+        for j in global_js:
+            xg |= rank_bits[gate.qubits[j]] << j
+        k_l = len(local_js)
+        sub = np.empty(1 << k_l, dtype=np.complex128)
+        for xl in range(1 << k_l):
+            x = xg
+            for jj, j in enumerate(local_js):
+                x |= ((xl >> jj) & 1) << j
+            sub[xl] = diag[x]
+        if not local_js:
+            return sub[0] * np.eye(1 << self.num_qubits, dtype=np.complex128)
+        positions = [position_of[gate.qubits[j]] for j in local_js]
+        return lift_gate_matrix(np.diag(sub), positions, self.num_qubits)
+
+    def matrix_for_rank(self, rank_bits: dict[int, int]) -> np.ndarray:
+        """The fused per-rank matrix ``post @ cluster @ pre``.
+
+        *rank_bits* maps each absorbed gate's global qubit to its bit
+        value on the executing rank.
+        """
+        matrix = self.cluster.fused.matrix.copy()
+        for gate in self.pre_diagonals:
+            matrix = matrix @ self._rank_diagonal(gate, rank_bits)
+        for gate in self.post_diagonals:
+            matrix = self._rank_diagonal(gate, rank_bits) @ matrix
+        return matrix
+
+    def global_qubits_used(self) -> set[int]:
+        """Global qubits whose rank bits the execution needs."""
+        member = set(self.cluster.qubits)
+        out: set[int] = set()
+        for gate in list(self.pre_diagonals) + list(self.post_diagonals):
+            out.update(q for q in gate.qubits if q not in member)
+        return out
+
+    def execute(self, state) -> None:
+        """Apply the rank-conditional fused matrix on every shard."""
+        state.apply_rank_conditional_cluster(self)
+
+
+def _local_qubits(gate: Gate, global_set: frozenset[int]) -> list[int]:
+    return [q for q in gate.qubits if q not in global_set]
+
+
+def absorb_diagonals(ops: list, global_set: frozenset[int]) -> list:
+    """Fold diagonal GateOps of one stage into neighbouring clusters.
+
+    Only diagonal gates are folded (monomial non-diagonal gates keep
+    their rank-renumbering path).  A gate is folded forward into the
+    first subsequent op touching any of its local qubits, provided that
+    op is a cluster containing *all* of them; otherwise backward into
+    the last preceding such cluster; otherwise it stays standalone.
+    Purely-global diagonals (per-rank phases) fold into the next cluster
+    unconditionally.
+    """
+    result: list = []
+    pending: list[tuple[Gate, list[int]]] = []  # awaiting a forward host
+
+    def try_backward(gate: Gate, local: list[int]) -> bool:
+        # Walk back to the most recent op sharing ANY qubit with the gate
+        # (global qubits included: crossing a rank renumbering would
+        # change the rank bits the diagonal evaluates).  Host only if it
+        # is a cluster covering every local qubit of the gate.
+        for i in range(len(result) - 1, -1, -1):
+            op = result[i]
+            if not set(gate.qubits) & set(_op_qubits(op)):
+                continue
+            if isinstance(op, (ClusterOp, AbsorbedClusterOp)) and set(
+                local
+            ) <= set(_op_qubits(op)):
+                result[i] = _add_post(op, gate)
+                return True
+            return False
+        return False
+
+    for op in ops:
+        if isinstance(op, GateOp) and op.gate.is_diagonal:
+            local = _local_qubits(op.gate, global_set)
+            pending.append((op.gate, local))
+            continue
+        if isinstance(op, ClusterOp):
+            cluster_qubits = set(op.qubits)
+            still_pending: list[tuple[Gate, list[int]]] = []
+            pre: list[Gate] = []
+            for gate, local in pending:
+                if not local or set(local) <= cluster_qubits:
+                    pre.append(gate)
+                elif set(local) & cluster_qubits:
+                    # Partially covered: ordering forces resolution now.
+                    if not try_backward(gate, local):
+                        result.append(GateOp(gate))
+                else:
+                    still_pending.append((gate, local))
+            pending = still_pending
+            result.append(
+                AbsorbedClusterOp(cluster=op, pre_diagonals=tuple(pre))
+                if pre
+                else op
+            )
+            continue
+        # Non-cluster op (e.g. a monomial GateOp): any pending diagonal
+        # sharing ANY qubit with it — local or global — must resolve
+        # before it executes.
+        op_qubits = set(_op_qubits(op))
+        still_pending = []
+        for gate, local in pending:
+            if set(gate.qubits) & op_qubits:
+                if not try_backward(gate, local):
+                    result.append(GateOp(gate))
+            else:
+                still_pending.append((gate, local))
+        pending = still_pending
+        result.append(op)
+
+    for gate, local in pending:  # stage ended: fold backward or keep
+        if not try_backward(gate, local):
+            result.append(GateOp(gate))
+    return result
+
+
+def _op_qubits(op) -> tuple[int, ...]:
+    if isinstance(op, (ClusterOp, AbsorbedClusterOp)):
+        return op.qubits
+    if isinstance(op, GateOp):
+        return op.gate.qubits
+    return ()
+
+
+def _add_post(op, gate: Gate) -> AbsorbedClusterOp:
+    if isinstance(op, ClusterOp):
+        return AbsorbedClusterOp(cluster=op, post_diagonals=(gate,))
+    return AbsorbedClusterOp(
+        cluster=op.cluster,
+        pre_diagonals=op.pre_diagonals,
+        post_diagonals=op.post_diagonals + (gate,),
+    )

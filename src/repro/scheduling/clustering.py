@@ -1,0 +1,270 @@
+"""Clustering: merge stage gates into fused k-qubit kernels (Sec. 3.6.1, step 2).
+
+Within one stage every gate is either local (all qubits local) or
+specializable on global qubits.  Local gates are merged greedily into
+clusters of at most ``kmax`` qubits; specializable global gates become
+standalone :class:`GateOp` items (they cost no kernel time and no
+communication).
+
+The scan respects per-qubit gate order with a *blocking* rule: once a
+gate is skipped (not admitted to the growing cluster), its qubits are
+blocked and no later gate touching them may join the cluster.  The
+paper's "small local search" is implemented per cluster: several seed
+gates propose qubit sets, each grown by absorption lookahead and then
+improved by a first-improvement hill climb exchanging one cluster qubit
+at a time; the candidate absorbing the most gates wins.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.gates.gate import Gate
+from repro.scheduling.program import ClusterOp, GateOp, gate_specializable_under
+from repro.util.rng import ensure_rng
+
+__all__ = ["cluster_stage_gates"]
+
+#: How many distinct local seed gates to try per cluster.
+_SEED_GATES = 4
+#: Lookahead window (in pending gates) used to score candidate qubits.
+_HORIZON = 96
+#: Scan cap: a cluster's gates always lie near the front of the pending
+#: list (all its qubits block quickly), so scans need not walk the tail.
+_SCAN_LIMIT = 192
+
+
+def _scan_with_set(
+    gates: Sequence[Gate],
+    order: Sequence[int],
+    global_qubits: frozenset[int],
+    allowed: frozenset[int],
+) -> list[int]:
+    """Collect, in order, the gates fitting entirely inside *allowed*.
+
+    Applies the blocking rule: skipped gates (global, oversize, or
+    touching blocked qubits) block their qubits for the rest of the scan.
+    Returns positions (into *order*) of the cluster's gates.
+    """
+    cluster: list[int] = []
+    blocked: set[int] = set()
+    for pos in order[:_SCAN_LIMIT]:
+        qubits = gates[pos].qubits
+        if any(q in blocked for q in qubits):
+            blocked.update(qubits)
+            continue
+        if all(q in allowed for q in qubits):
+            cluster.append(pos)
+        else:
+            blocked.update(qubits)
+            if allowed <= blocked:
+                break  # every cluster qubit is blocked: nothing more fits
+    return cluster
+
+
+def _grow_lookahead(
+    gates: Sequence[Gate],
+    order: Sequence[int],
+    global_qubits: frozenset[int],
+    base: set[int],
+    kmax: int,
+    rng,
+) -> set[int]:
+    """Grow *base* to ``kmax`` qubits by absorption-count lookahead."""
+    horizon = []
+    for pos in order[:_HORIZON]:
+        qubits = gates[pos].qubits
+        if not any(q in global_qubits for q in qubits):
+            horizon.append(qubits)
+    qubit_set = set(base)
+    while len(qubit_set) < kmax:
+        scores: dict[int, int] = {}
+        for qubits in horizon:
+            outside = [q for q in qubits if q not in qubit_set]
+            if len(outside) == 1:
+                scores[outside[0]] = scores.get(outside[0], 0) + 1
+        if not scores:
+            break
+        best = max(scores.values())
+        ties = sorted(q for q, s in scores.items() if s == best)
+        qubit_set.add(int(ties[int(rng.integers(len(ties)))]))
+    return qubit_set
+
+
+def _hill_climb_set(
+    gates: Sequence[Gate],
+    order: Sequence[int],
+    global_qubits: frozenset[int],
+    qubit_set: set[int],
+    kmax: int,
+    rng,
+) -> tuple[list[int], set[int]]:
+    """Improve a candidate qubit set by single-qubit exchanges."""
+    horizon_qubits: set[int] = set()
+    for pos in order[:_HORIZON]:
+        qubits = gates[pos].qubits
+        if not any(q in global_qubits for q in qubits):
+            horizon_qubits.update(qubits)
+    best_cluster = _scan_with_set(gates, order, global_qubits, frozenset(qubit_set))
+    best_size = len(best_cluster)
+    improved = True
+    while improved:
+        improved = False
+        outside = sorted(horizon_qubits - qubit_set)
+        rng.shuffle(outside)
+        for q_out in sorted(qubit_set):
+            for q_in in outside:
+                if q_in in qubit_set:
+                    continue
+                trial = (qubit_set - {q_out}) | {q_in}
+                cand = _scan_with_set(gates, order, global_qubits, frozenset(trial))
+                if len(cand) > best_size:
+                    qubit_set = trial
+                    best_cluster, best_size = cand, len(cand)
+                    improved = True
+                    break
+            if improved:
+                break
+    return best_cluster, qubit_set
+
+
+def _cluster_qubit_order(
+    gates: Sequence[Gate], order: Sequence[int], cluster: Sequence[int]
+) -> tuple[int, ...]:
+    """Qubit tuple in first-touch order (defines the fused matrix bits)."""
+    qubits: list[int] = []
+    for pos in cluster:
+        for q in gates[pos].qubits:
+            if q not in qubits:
+                qubits.append(q)
+    return tuple(qubits)
+
+
+def cluster_stage_gates(
+    gates: Sequence[Gate],
+    global_qubits: frozenset[int],
+    kmax: int,
+    *,
+    trials: int = 3,
+    seed: int = 0,
+) -> list:
+    """Partition a stage's gate sequence into ordered ops.
+
+    Returns a list of :class:`ClusterOp` / :class:`GateOp` whose
+    concatenated gates are a per-qubit-order-preserving permutation of the
+    input sequence.
+
+    Parameters
+    ----------
+    gates:
+        Stage gates in a valid topological (circuit) order.
+    global_qubits:
+        Stage's global set; gates touching it become GateOps.
+    kmax:
+        Maximum cluster size (Table 1 sweeps 3, 4, 5).
+    trials:
+        Randomised lookahead growths per seed gate (the "small local
+        search" of Sec. 3.6.1).
+    """
+    if kmax < 1:
+        raise ValueError(f"kmax must be >= 1, got {kmax}")
+    for gate in gates:
+        if any(q in global_qubits for q in gate.qubits):
+            if not gate_specializable_under(gate, global_qubits):
+                raise ValueError(
+                    f"stage gate {gate!r} touches global qubits but is not "
+                    "specializable"
+                )
+        elif gate.num_qubits > kmax:
+            raise ValueError(f"gate {gate!r} is larger than kmax={kmax}")
+    rng = ensure_rng(seed)
+    remaining = list(range(len(gates)))
+    ops: list = []
+    while remaining:
+        first = remaining[0]
+        if any(q in global_qubits for q in gates[first].qubits):
+            ops.append(GateOp(gates[first]))
+            remaining.pop(0)
+            continue
+        # Seed gates: the first few distinct local gates.
+        seeds: list[int] = []
+        for pos in remaining:
+            if any(q in global_qubits for q in gates[pos].qubits):
+                continue
+            seeds.append(pos)
+            if len(seeds) >= _SEED_GATES:
+                break
+        best_cluster: list[int] = []
+        best_set: set[int] = set()
+        for seed_pos in seeds:
+            base = set(gates[seed_pos].qubits)
+            if len(base) > kmax:
+                continue
+            for _ in range(max(1, trials)):
+                grown = _grow_lookahead(
+                    gates, remaining, global_qubits, base, kmax, rng
+                )
+                cluster, improved_set = _hill_climb_set(
+                    gates, remaining, global_qubits, grown, kmax, rng
+                )
+                if len(cluster) > len(best_cluster) or (
+                    len(cluster) == len(best_cluster)
+                    and len(improved_set) < len(best_set)
+                ):
+                    best_cluster, best_set = cluster, improved_set
+        if not best_cluster:
+            # Fall back to the first local gate alone (always legal).
+            best_cluster = [first]
+        chosen = set(best_cluster)
+        ops.append(
+            ClusterOp(
+                qubits=_cluster_qubit_order(gates, remaining, best_cluster),
+                gates=tuple(gates[pos] for pos in best_cluster),
+            )
+        )
+        remaining = [pos for pos in remaining if pos not in chosen]
+    return _merge_adjacent_clusters(ops, kmax)
+
+
+def _merge_adjacent_clusters(ops: list, kmax: int) -> list:
+    """Fixpoint pass merging cluster pairs whose union fits in kmax.
+
+    Two clusters merge when their combined qubit set has at most kmax
+    qubits and no op between them touches any of those qubits (so the
+    later one can slide back without reordering shared-qubit gates).
+    """
+    changed = True
+    while changed:
+        changed = False
+        for i, first in enumerate(ops):
+            if not isinstance(first, ClusterOp):
+                continue
+            # Qubits touched by skipped intermediates: a later candidate
+            # sliding back across them must not share any.
+            blocked: set[int] = set()
+            for j in range(i + 1, len(ops)):
+                other = ops[j]
+                other_qubits = (
+                    set(other.qubits)
+                    if isinstance(other, ClusterOp)
+                    else set(other.gate.qubits)
+                )
+                mergeable = (
+                    isinstance(other, ClusterOp) and not (other_qubits & blocked)
+                )
+                if mergeable:
+                    union = list(first.qubits)
+                    union += [q for q in other.qubits if q not in first.qubits]
+                    if len(union) <= kmax:
+                        ops[i] = ClusterOp(
+                            qubits=tuple(union), gates=first.gates + other.gates
+                        )
+                        del ops[j]
+                        changed = True
+                        break
+                if other_qubits & set(first.qubits):
+                    break  # order with `first` itself now constrains
+                blocked |= other_qubits
+            if changed:
+                break
+    return ops

@@ -1,0 +1,232 @@
+"""Qubit -> bit-location mapping (Sec. 3.6.2).
+
+High-order bit locations suffer the cache-associativity penalty (Figs. 6
+and 9), so the mapping heuristic packs the most cluster-active qubits
+into the lowest bit locations:
+
+    "Assign the qubit to bit-location 0 such that the number of clusters
+    accessing bit-location 0 is maximal.  From now on, ignore all clusters
+    which act on this qubit and assign bit-locations 1, 2, and 3 in the
+    same manner.  Bit locations 4, 5, 6, and 7 are assigned the same way,
+    except that after each step, only clusters acting on two of these four
+    bit-locations are ignored when assigning the next higher bit-location."
+
+On top of the verbatim paper heuristic, the implementation runs two
+exchange hill climbs — maximizing the clusters *fully contained* in the
+low 8 bit locations and minimizing the clusters *touching* the top 8 —
+from both the heuristic's assignment and the identity assignment, and
+keeps the better result.  The identity start guarantees the returned
+mapping is never worse than no mapping at all; the paper reports up to a
+2x time-to-solution gain on its workloads (supremacy circuits, by their
+own design, leave the least room for it).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["cluster_bit_mapping", "mapping_cost"]
+
+
+def mapping_cost(
+    clusters: Sequence[Iterable[int]],
+    mapping: dict[int, int],
+    *,
+    high_order_threshold: int,
+) -> int:
+    """Number of clusters touching a bit location >= *high_order_threshold*.
+
+    The quantity the mapping minimises; the performance model converts it
+    into a slowdown via the cache-associativity penalty.
+    """
+    penalised = 0
+    for cs in clusters:
+        if any(mapping[q] >= high_order_threshold for q in cs):
+            penalised += 1
+    return penalised
+
+
+def _paper_heuristic(
+    cluster_sets: list[frozenset[int]], num_qubits: int
+) -> dict[int, int]:
+    """The verbatim Sec. 3.6.2 assignment of bit locations 0-7, with the
+    remaining qubits placed top-down by a union-minimising greedy."""
+    mapping: dict[int, int] = {}
+    active = list(cluster_sets)
+
+    def most_active_qubit() -> int | None:
+        counts: dict[int, int] = {}
+        for cs in active:
+            for q in cs:
+                if q not in mapping:
+                    counts[q] = counts.get(q, 0) + 1
+        if not counts:
+            return None
+        best = max(counts.values())
+        return min(q for q, c in counts.items() if c == best)
+
+    # Bit locations 0-3: drop every cluster touching the assigned qubit.
+    for bit in range(min(4, num_qubits)):
+        q = most_active_qubit()
+        if q is None:
+            break
+        mapping[q] = bit
+        active = [cs for cs in active if q not in cs]
+
+    # Bit locations 4-7: drop only clusters touching >= 2 of this quartet.
+    quartet: set[int] = set()
+    for bit in range(4, min(8, num_qubits)):
+        q = most_active_qubit()
+        if q is None:
+            break
+        mapping[q] = bit
+        quartet.add(q)
+        active = [cs for cs in active if len(cs & quartet) < 2]
+
+    # Remaining bits from the top down: each takes the qubit that newly
+    # penalises the fewest clusters.
+    clusters_of = _clusters_of(cluster_sets, num_qubits)
+    used_bits = set(mapping.values())
+    penalised: set[int] = set()
+    unassigned = [q for q in range(num_qubits) if q not in mapping]
+    for bit in sorted(
+        (b for b in range(num_qubits) if b not in used_bits), reverse=True
+    ):
+        best = min(
+            unassigned,
+            key=lambda q: (len(clusters_of[q] - penalised), len(clusters_of[q]), q),
+        )
+        mapping[best] = bit
+        penalised |= clusters_of[best]
+        unassigned.remove(best)
+    return mapping
+
+
+def _clusters_of(
+    cluster_sets: list[frozenset[int]], num_qubits: int
+) -> dict[int, set[int]]:
+    out: dict[int, set[int]] = {q: set() for q in range(num_qubits)}
+    for i, cs in enumerate(cluster_sets):
+        for q in cs:
+            out[q].add(i)
+    return out
+
+
+def _refine(
+    mapping: dict[int, int],
+    cluster_sets: list[frozenset[int]],
+    num_qubits: int,
+    penalty_threshold: int,
+) -> dict[int, int]:
+    """Exchange hill climbs on the low-8 and penalty bit regions."""
+    if num_qubits <= 8:
+        return dict(mapping)
+    clusters_of = _clusters_of(cluster_sets, num_qubits)
+    qubit_at = {bit: q for q, bit in mapping.items()}
+
+    def contained_low() -> int:
+        low = {qubit_at[b] for b in range(8)}
+        return sum(1 for cs in cluster_sets if cs <= low)
+
+    def penalised_top() -> int:
+        union: set[int] = set()
+        for b in range(penalty_threshold, num_qubits):
+            union |= clusters_of[qubit_at[b]]
+        return len(union)
+
+    # Climb A: maximize clusters fully inside bit locations 0-7.
+    best = contained_low()
+    improved = True
+    while improved:
+        improved = False
+        for lo in range(8):
+            for hi in range(8, num_qubits):
+                qubit_at[lo], qubit_at[hi] = qubit_at[hi], qubit_at[lo]
+                score = contained_low()
+                if score > best:
+                    best = score
+                    improved = True
+                else:
+                    qubit_at[lo], qubit_at[hi] = qubit_at[hi], qubit_at[lo]
+
+    # Climb B: minimize clusters touching the penalty region,
+    # exchanging only with the middle region so climb A's result holds.
+    top_start = penalty_threshold
+    if top_start > 8:
+        best = penalised_top()
+        improved = True
+        while improved:
+            improved = False
+            for hi in range(top_start, num_qubits):
+                for mid in range(8, top_start):
+                    qubit_at[hi], qubit_at[mid] = qubit_at[mid], qubit_at[hi]
+                    score = penalised_top()
+                    if score < best:
+                        best = score
+                        improved = True
+                    else:
+                        qubit_at[hi], qubit_at[mid] = qubit_at[mid], qubit_at[hi]
+
+    # Re-order the low 8 members by cluster participation (the paper's
+    # per-bit rule: most-accessed qubit at bit location 0).
+    low_members = [qubit_at[b] for b in range(8)]
+    low_members.sort(key=lambda q: (-len(clusters_of[q]), q))
+    for bit, q in enumerate(low_members):
+        qubit_at[bit] = q
+
+    return {q: bit for bit, q in qubit_at.items()}
+
+
+def cluster_bit_mapping(
+    clusters: Sequence[Iterable[int]],
+    num_qubits: int,
+    *,
+    penalty_threshold: int | None = None,
+) -> dict[int, int]:
+    """Compute the qubit -> bit-location mapping from cluster qubit sets.
+
+    Parameters
+    ----------
+    clusters:
+        Qubit sets of the schedule's clusters.
+    num_qubits:
+        Size of the bit-location space (the local qubit count when
+        mapping for a distributed run).
+    penalty_threshold:
+        First bit location where the cache-associativity penalty bites
+        (machine-dependent; defaults to ``max(8, num_qubits - 8)``).
+        The returned bijection is never worse than the identity mapping
+        on the number of clusters touching that region, and among
+        equally-penalised candidates maximises the clusters fully inside
+        bit locations 0-7.
+    """
+    cluster_sets = [frozenset(c) for c in clusters]
+    for cs in cluster_sets:
+        for q in cs:
+            if not 0 <= q < num_qubits:
+                raise ValueError(f"cluster qubit {q} out of range")
+    if penalty_threshold is None:
+        penalty_threshold = max(8, num_qubits - 8)
+    # Small systems (n <= 8) have no penalty region at all.
+    penalty_threshold = min(max(penalty_threshold, 8), num_qubits)
+    identity = {q: q for q in range(num_qubits)}
+    candidates = [
+        _refine(
+            _paper_heuristic(cluster_sets, num_qubits),
+            cluster_sets,
+            num_qubits,
+            penalty_threshold,
+        ),
+        _refine(identity, cluster_sets, num_qubits, penalty_threshold),
+        identity,  # floor: never return something worse than no mapping
+    ]
+
+    def key(mapping: dict[int, int]) -> tuple[int, int]:
+        penalised = mapping_cost(
+            cluster_sets, mapping, high_order_threshold=penalty_threshold
+        )
+        low = {q for q, b in mapping.items() if b < 8}
+        contained = sum(1 for cs in cluster_sets if cs <= low)
+        return (penalised, -contained)
+
+    return min(candidates, key=key)

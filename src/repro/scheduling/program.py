@@ -1,0 +1,359 @@
+"""Schedule program representation.
+
+A :class:`Schedule` is the executable output of the scheduler: a sequence
+of stages, each holding ordered operations (fused k-qubit clusters and
+specialized diagonal/monomial gates touching global qubits), separated by
+global-to-local swap points.  :class:`repro.distributed.DistributedSimulator`
+executes these programs directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterator, Sequence
+
+from repro.circuit.circuit import Circuit
+from repro.gates.fusion import fuse_gates
+from repro.gates.gate import Gate
+
+__all__ = ["ClusterOp", "GateOp", "SwapOp", "Stage", "Schedule"]
+
+
+@dataclass(frozen=True)
+class ClusterOp:
+    """A fused k-qubit gate applied by one kernel invocation.
+
+    ``qubits`` is the cluster's qubit tuple (matrix bit ``j`` = qubit
+    ``qubits[j]``); ``gates`` are the original circuit gates merged into
+    it, in application order.
+    """
+
+    qubits: tuple[int, ...]
+    gates: tuple[Gate, ...]
+
+    @cached_property
+    def fused(self) -> Gate:
+        """The fused cluster unitary (built lazily: O(4**k))."""
+        return fuse_gates(list(self.gates), self.qubits)
+
+    @property
+    def num_qubits(self) -> int:
+        """Cluster size k."""
+        return len(self.qubits)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of original gates merged into this cluster."""
+        return len(self.gates)
+
+    def execute(self, state) -> None:
+        """Apply the fused unitary to a distributed or local state."""
+        state.apply_gate(self.fused)
+
+
+@dataclass(frozen=True)
+class GateOp:
+    """A single gate executed via global-gate specialization (Sec. 3.5).
+
+    Used for diagonal (CZ, T) or monomial gates that touch global qubits
+    and therefore cannot join a local cluster, but need no communication.
+    """
+
+    gate: Gate
+
+    def execute(self, state) -> None:
+        """Apply the gate (the state dispatches to the specialized path)."""
+        state.apply_gate(self.gate)
+
+
+@dataclass(frozen=True)
+class SwapOp:
+    """A global-to-local swap establishing a new global qubit set."""
+
+    new_global_qubits: frozenset[int]
+
+    def execute(self, state) -> None:
+        """Perform the swap (one communication step)."""
+        state.swap_global_set(self.new_global_qubits)
+
+
+def gate_specializable_under(gate: Gate, global_qubits) -> bool:
+    """True when *gate* executes without communication under this layout.
+
+    Diagonal gates always specialize.  Monomial gates specialize only
+    when their action on the global qubits is independent of the local
+    qubits (e.g. CNOT with a *global* control yes; CNOT with a local
+    control and global target no) — the exact rank-separability rule the
+    distributed state enforces at execution time.
+    """
+    global_qubits = set(global_qubits)
+    if not any(q in global_qubits for q in gate.qubits):
+        return True
+    if gate.is_diagonal:
+        return True
+    if not gate.is_monomial:
+        return False
+    perm = gate.basis_permutation
+    local_js = [j for j, q in enumerate(gate.qubits) if q not in global_qubits]
+    global_js = [j for j, q in enumerate(gate.qubits) if q in global_qubits]
+    for xg_pattern in range(1 << len(global_js)):
+        seen: set[int] = set()
+        for xl_pattern in range(1 << len(local_js)):
+            x = 0
+            for jj, j in enumerate(global_js):
+                x |= ((xg_pattern >> jj) & 1) << j
+            for jj, j in enumerate(local_js):
+                x |= ((xl_pattern >> jj) & 1) << j
+            out = int(perm[x])
+            out_global = 0
+            for jj, j in enumerate(global_js):
+                out_global |= ((out >> j) & 1) << jj
+            seen.add(out_global)
+        if len(seen) != 1:
+            return False
+    return True
+
+
+def _is_cluster_like(op) -> bool:
+    """True for ClusterOp and AbsorbedClusterOp (lazy import, no cycle)."""
+    if isinstance(op, ClusterOp):
+        return True
+    from repro.scheduling.absorption import AbsorbedClusterOp
+
+    return isinstance(op, AbsorbedClusterOp)
+
+
+def _op_gates(op) -> list[Gate]:
+    """The original circuit gates an op covers, in application order."""
+    if isinstance(op, ClusterOp):
+        return list(op.gates)
+    if isinstance(op, GateOp):
+        return [op.gate]
+    return op.gates_in_order()  # AbsorbedClusterOp
+
+
+@dataclass
+class Stage:
+    """One communication-free span of the program."""
+
+    global_qubits: frozenset[int]
+    ops: list = field(default_factory=list)
+
+    @property
+    def cluster_ops(self) -> list:
+        """The fused-kernel operations of this stage (plain or absorbed)."""
+        return [op for op in self.ops if _is_cluster_like(op)]
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of k-qubit kernel invocations in this stage."""
+        return len(self.cluster_ops)
+
+    @property
+    def num_gates(self) -> int:
+        """Original gates covered by this stage (clustered + specialized)."""
+        return sum(len(_op_gates(op)) for op in self.ops)
+
+
+@dataclass
+class Schedule:
+    """A fully scheduled program for a circuit.
+
+    ``num_swaps`` is the headline metric of Sec. 3.6.1 (Fig. 5's top
+    panels): the number of global-to-local swap communication steps; the
+    initial stage's layout is adopted for free at state initialisation.
+    """
+
+    circuit: Circuit
+    local_qubits: int
+    stages: list[Stage]
+    initial_state: str = "zero"
+    kmax: int | None = None
+
+    @property
+    def num_qubits(self) -> int:
+        """Total qubits of the underlying circuit."""
+        return self.circuit.num_qubits
+
+    @property
+    def num_swaps(self) -> int:
+        """Global-to-local swaps needed to run the program."""
+        return max(0, len(self.stages) - 1)
+
+    @property
+    def num_clusters(self) -> int:
+        """Total k-qubit kernel invocations (the Table 1 quantity)."""
+        return sum(stage.num_clusters for stage in self.stages)
+
+    @property
+    def num_specialized_gates(self) -> int:
+        """Gates executed via global specialization rather than kernels.
+
+        Absorbed diagonals (folded into cluster matrices) count too —
+        they are specialized gates that additionally cost zero sweeps.
+        """
+        total = 0
+        for stage in self.stages:
+            for op in stage.ops:
+                if isinstance(op, GateOp):
+                    total += 1
+                elif not isinstance(op, ClusterOp) and _is_cluster_like(op):
+                    total += len(op.pre_diagonals) + len(op.post_diagonals)
+        return total
+
+    @property
+    def num_absorbed_gates(self) -> int:
+        """Diagonal gates folded into cluster matrices (zero sweeps)."""
+        total = 0
+        for stage in self.stages:
+            for op in stage.ops:
+                if not isinstance(op, (ClusterOp, GateOp)) and _is_cluster_like(op):
+                    total += len(op.pre_diagonals) + len(op.post_diagonals)
+        return total
+
+    @property
+    def initial_global_qubits(self) -> frozenset[int]:
+        """Global set the state should be created with (free placement)."""
+        if not self.stages:
+            return frozenset()
+        return self.stages[0].global_qubits
+
+    def cluster_sizes(self) -> list[int]:
+        """k of every cluster, in execution order."""
+        return [
+            op.num_qubits
+            for stage in self.stages
+            for op in stage.ops
+            if _is_cluster_like(op)
+        ]
+
+    def gates_per_cluster(self) -> float:
+        """Average original gates merged per cluster."""
+        clusters = [
+            op for stage in self.stages for op in stage.ops if _is_cluster_like(op)
+        ]
+        if not clusters:
+            return 0.0
+        return sum(c.num_gates for c in clusters) / len(clusters)
+
+    def operations(self) -> Iterator:
+        """The executable op stream: stage ops with SwapOps in between."""
+        for i, stage in enumerate(self.stages):
+            if i > 0:
+                yield SwapOp(stage.global_qubits)
+            yield from stage.ops
+
+    def scheduled_gates(self) -> list[Gate]:
+        """All original gates in scheduled execution order.
+
+        Absorbed diagonals are emitted adjacent to their host cluster,
+        which may reorder them relative to other *diagonal* gates on
+        shared qubits — a commuting, physically identical reordering
+        that :meth:`validate` accounts for.
+        """
+        out: list[Gate] = []
+        for stage in self.stages:
+            for op in stage.ops:
+                out.extend(_op_gates(op))
+        return out
+
+    def validate(self) -> None:
+        """Check structural invariants; raises on violation.
+
+        * every circuit gate appears exactly once,
+        * per-qubit gate order is preserved (up to reorderings of
+          mutually commuting diagonal gates, which absorption performs),
+        * cluster sizes respect ``kmax`` (when set),
+        * every cluster touches only stage-local qubits,
+        * specialized ops touching global qubits are diagonal or monomial,
+        * absorbed diagonals' non-cluster qubits are stage-global.
+        """
+        rescheduled = Circuit(self.num_qubits, self.scheduled_gates())
+        if len(rescheduled) != len(self.circuit):
+            raise AssertionError(
+                f"schedule covers {len(rescheduled)} gates, circuit has "
+                f"{len(self.circuit)}"
+            )
+        if not _order_equivalent(self.circuit, rescheduled):
+            raise AssertionError("schedule violates per-qubit gate order")
+        for stage in self.stages:
+            if len(stage.global_qubits) != self.num_qubits - self.local_qubits:
+                raise AssertionError("stage global set has wrong size")
+            for op in stage.ops:
+                if isinstance(op, GateOp):
+                    if not gate_specializable_under(op.gate, stage.global_qubits):
+                        raise AssertionError(
+                            f"non-specializable gate {op.gate!r} on global qubits"
+                        )
+                    continue
+                if self.kmax is not None and op.num_qubits > self.kmax:
+                    raise AssertionError(
+                        f"cluster of size {op.num_qubits} exceeds kmax={self.kmax}"
+                    )
+                overlap = set(op.qubits) & stage.global_qubits
+                if overlap:
+                    raise AssertionError(
+                        f"cluster touches global qubits {sorted(overlap)}"
+                    )
+                if not isinstance(op, ClusterOp):  # AbsorbedClusterOp
+                    member = set(op.qubits)
+                    for gate in list(op.pre_diagonals) + list(op.post_diagonals):
+                        if not gate.is_diagonal:
+                            raise AssertionError(
+                                f"absorbed gate {gate!r} is not diagonal"
+                            )
+                        outside = set(gate.qubits) - member
+                        if outside - stage.global_qubits:
+                            raise AssertionError(
+                                f"absorbed diagonal {gate!r} has local qubits "
+                                f"outside its host cluster"
+                            )
+
+    def summary(self) -> dict:
+        """Human-readable summary counters."""
+        return {
+            "num_qubits": self.num_qubits,
+            "local_qubits": self.local_qubits,
+            "num_gates": len(self.circuit),
+            "num_stages": len(self.stages),
+            "num_swaps": self.num_swaps,
+            "num_clusters": self.num_clusters,
+            "num_specialized_gates": self.num_specialized_gates,
+            "num_absorbed_gates": self.num_absorbed_gates,
+            "gates_per_cluster": round(self.gates_per_cluster(), 2),
+            "kmax": self.kmax,
+        }
+
+
+def _order_equivalent(original: Circuit, rescheduled: Circuit) -> bool:
+    """Per-qubit order equality, up to commuting-diagonal reorderings.
+
+    Diagonal gates commute with each other, so on every qubit the two
+    sequences must have identical *dense* gates in identical relative
+    positions, with equal multisets of diagonal gates between consecutive
+    dense anchors.
+    """
+
+    def canonical(circ: Circuit) -> list[list]:
+        per_qubit: list[list] = [[] for _ in range(circ.num_qubits)]
+        for gate in circ:
+            key = (gate.name, gate.qubits, gate.matrix.tobytes())
+            for q in gate.qubits:
+                per_qubit[q].append((gate.is_diagonal, key))
+        canon: list[list] = []
+        for seq in per_qubit:
+            blocks: list = []
+            run: list = []
+            for is_diag, key in seq:
+                if is_diag:
+                    run.append(key)
+                else:
+                    blocks.append(tuple(sorted(run)))
+                    blocks.append(key)
+                    run = []
+            blocks.append(tuple(sorted(run)))
+            canon.append(blocks)
+        return canon
+
+    return canonical(original) == canonical(rescheduled)

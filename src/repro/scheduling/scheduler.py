@@ -1,0 +1,286 @@
+"""The full scheduling pipeline (Sec. 3.6.1 steps 1-3).
+
+``schedule_circuit`` chains stage finding, per-stage clustering and the
+swap-point adjustment into an executable :class:`Schedule`.  The whole
+pre-computation runs in seconds on a laptop (the paper quotes 1-3 s) and
+its output can be reused for every instance of the same circuit shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.circuit.circuit import Circuit
+from repro.gates.gate import Gate
+from repro.scheduling.clustering import cluster_stage_gates
+from repro.scheduling.program import ClusterOp, Schedule, Stage
+from repro.scheduling.stages import find_stages
+
+__all__ = ["SchedulerConfig", "schedule_circuit"]
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tuning knobs of the scheduling pipeline.
+
+    Parameters
+    ----------
+    local_qubits:
+        ``l`` — amplitudes per node are ``2**l`` (Table 1 uses 30).
+    kmax:
+        Largest fused-kernel size (Table 1 sweeps 3/4/5; Sec. 4 finds 4-5
+        optimal depending on the machine).
+    specialize_global_diagonal:
+        The Sec. 3.5 optimization; turning it off reproduces the "3 swaps
+        instead of 2" ablation for the 45-qubit circuit.
+    worst_case_dense:
+        Stage finding treats every random single-qubit gate as dense (the
+        paper's conservative default, enabling schedule reuse across
+        instances).
+    skip_initial_hadamards:
+        Drop a leading all-qubit Hadamard layer and mark the schedule for
+        ``"plus"`` initialisation (Sec. 3.6's shortcut).
+    drop_final_diagonals:
+        Remove trailing diagonal gates (the paper: "we do not simulate
+        the final CZ gates as they only alter the phases ... not the
+        probabilities").  Output *probabilities* are preserved exactly;
+        amplitudes are not — leave off when amplitudes matter.
+    adjust_swaps:
+        Step 3: try to move each swap earlier to kill trailing small
+        clusters, when this does not increase the swap count.
+    absorb_diagonals:
+        Fold specialized diagonal gates into neighbouring cluster
+        matrices as rank-conditional factors (Sec. 3.5's "absorbed into
+        the next gate matrix"), removing their state sweeps entirely.
+    seed / stage_restarts / neighbor_samples / cluster_trials:
+        Search-effort knobs for the stochastic parts.
+    """
+
+    local_qubits: int
+    kmax: int = 5
+    specialize_global_diagonal: bool = True
+    worst_case_dense: bool = True
+    skip_initial_hadamards: bool = True
+    drop_final_diagonals: bool = False
+    adjust_swaps: bool = True
+    absorb_diagonals: bool = False
+    seed: int = 0
+    stage_restarts: int = 3
+    neighbor_samples: int = 150
+    cluster_trials: int = 3
+
+    def with_(self, **kwargs) -> "SchedulerConfig":
+        """A copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+def _strip_initial_hadamards(circuit: Circuit) -> tuple[Circuit, str]:
+    """Remove a leading H-on-every-qubit layer if present."""
+    n = circuit.num_qubits
+    if len(circuit) < n:
+        return circuit, "zero"
+    head = circuit.gates[:n]
+    covered = set()
+    for gate in head:
+        if gate.name != "h" or gate.num_qubits != 1:
+            return circuit, "zero"
+        covered.update(gate.qubits)
+    if covered != set(range(n)):
+        return circuit, "zero"
+    return Circuit(n, circuit.gates[n:]), "plus"
+
+
+def _adjust_swap_points(
+    stage_data: list[tuple[frozenset[int], list[Gate]]],
+    kmax: int,
+    config: SchedulerConfig,
+) -> list[tuple[frozenset[int], list[Gate], list]]:
+    """Step 3: migrate trailing clusters across swap points when cheaper.
+
+    For each stage boundary, repeatedly try moving the last cluster of the
+    stage into the next stage (i.e. performing the swap earlier).  The
+    move is legal when every migrated gate remains executable under the
+    next stage's global set; it is kept when the total cluster count does
+    not increase.
+    """
+    clustered: list[tuple[frozenset[int], list[Gate], list]] = []
+    for i, (global_set, gates) in enumerate(stage_data):
+        ops = cluster_stage_gates(
+            gates, global_set, kmax, trials=config.cluster_trials, seed=config.seed + i
+        )
+        clustered.append((global_set, list(gates), ops))
+
+    if not config.adjust_swaps:
+        return clustered
+
+    # Backward migration: a leading cluster of stage s+1 whose gates are
+    # all executable under stage s's global set can move into stage s,
+    # where it may fuse with s's trailing clusters.
+    for i in range(len(clustered) - 1):
+        while True:
+            global_i, gates_i, ops_i = clustered[i]
+            global_next, gates_next, ops_next = clustered[i + 1]
+            leading = None
+            for op in ops_next:
+                if isinstance(op, ClusterOp):
+                    leading = op
+                    break
+            if leading is None:
+                break
+            # Gates before `leading` in stage s+1 sharing its qubits
+            # would be reordered: disallow.
+            blocked = set()
+            for op in ops_next:
+                if op is leading:
+                    break
+                blocked.update(
+                    op.qubits if isinstance(op, ClusterOp) else op.gate.qubits
+                )
+            if blocked & set(leading.qubits):
+                break
+            if not all(_executable_under(g, global_i) for g in leading.gates):
+                break
+            to_remove = list(leading.gates)
+            new_gates_next = []
+            for g in gates_next:
+                for k, pending in enumerate(to_remove):
+                    if pending is g:
+                        to_remove.pop(k)
+                        break
+                else:
+                    new_gates_next.append(g)
+            if not new_gates_next:
+                break  # never empty a stage
+            new_gates_i = gates_i + list(leading.gates)
+            new_ops_i = cluster_stage_gates(
+                new_gates_i, global_i, kmax,
+                trials=config.cluster_trials, seed=config.seed + i,
+            )
+            new_ops_next = cluster_stage_gates(
+                new_gates_next, global_next, kmax,
+                trials=config.cluster_trials, seed=config.seed + i + 1,
+            )
+            old_total = _count_clusters(ops_i) + _count_clusters(ops_next)
+            new_total = _count_clusters(new_ops_i) + _count_clusters(new_ops_next)
+            if new_total < old_total:
+                clustered[i] = (global_i, new_gates_i, new_ops_i)
+                clustered[i + 1] = (global_next, new_gates_next, new_ops_next)
+            else:
+                break
+
+    for i in range(len(clustered) - 1):
+        while True:
+            global_i, gates_i, ops_i = clustered[i]
+            global_next, gates_next, ops_next = clustered[i + 1]
+            trailing = None
+            trailing_pos = -1
+            for pos in range(len(ops_i) - 1, -1, -1):
+                if isinstance(ops_i[pos], ClusterOp):
+                    trailing = ops_i[pos]
+                    trailing_pos = pos
+                    break
+            if trailing is None:
+                break
+            # Ops after the trailing cluster (specialized GateOps) must
+            # not touch its qubits: the move would reorder shared-qubit
+            # gates across them.
+            tail_conflict = any(
+                set(op.gate.qubits) & set(trailing.qubits)
+                for op in ops_i[trailing_pos + 1 :]
+                if hasattr(op, "gate")
+            )
+            if tail_conflict:
+                break
+            movable = all(
+                _executable_under(g, global_next) for g in trailing.gates
+            )
+            if not movable:
+                break
+            # Remove exactly the trailing cluster's gate occurrences
+            # (positional, robust to repeated identical Gate objects).
+            to_remove = list(trailing.gates)
+            new_gates_i = []
+            for g in gates_i:
+                for k, pending in enumerate(to_remove):
+                    if pending is g:
+                        to_remove.pop(k)
+                        break
+                else:
+                    new_gates_i.append(g)
+            new_gates_next = list(trailing.gates) + gates_next
+            new_ops_i = cluster_stage_gates(
+                new_gates_i, global_i, kmax,
+                trials=config.cluster_trials, seed=config.seed + i,
+            )
+            new_ops_next = cluster_stage_gates(
+                new_gates_next, global_next, kmax,
+                trials=config.cluster_trials, seed=config.seed + i + 1,
+            )
+            old_total = _count_clusters(ops_i) + _count_clusters(ops_next)
+            new_total = _count_clusters(new_ops_i) + _count_clusters(new_ops_next)
+            if new_total < old_total and new_gates_i:
+                clustered[i] = (global_i, new_gates_i, new_ops_i)
+                clustered[i + 1] = (global_next, new_gates_next, new_ops_next)
+            else:
+                break
+    return clustered
+
+
+def _executable_under(gate: Gate, global_set: frozenset[int]) -> bool:
+    from repro.scheduling.program import gate_specializable_under
+
+    return gate_specializable_under(gate, global_set)
+
+
+def _count_clusters(ops) -> int:
+    return sum(1 for op in ops if isinstance(op, ClusterOp))
+
+
+def schedule_circuit(circuit: Circuit, config: SchedulerConfig) -> Schedule:
+    """Run the full pipeline and return an executable :class:`Schedule`.
+
+    The returned schedule references the (possibly Hadamard-stripped)
+    circuit it covers; ``Schedule.initial_state`` says how the state must
+    be initialised (``"plus"`` when the H layer was absorbed).
+    """
+    work = circuit
+    initial_state = "zero"
+    if config.skip_initial_hadamards:
+        work, initial_state = _strip_initial_hadamards(circuit)
+    if config.drop_final_diagonals:
+        from repro.circuit.transforms import drop_final_diagonal_gates
+
+        work = drop_final_diagonal_gates(work)
+
+    plan = find_stages(
+        work,
+        config.local_qubits,
+        specialize=config.specialize_global_diagonal,
+        worst_case_dense=config.worst_case_dense,
+        seed=config.seed,
+        restarts=config.stage_restarts,
+        neighbor_samples=config.neighbor_samples,
+    )
+    stage_data = [
+        (global_set, [work.gates[i] for i in gate_ids])
+        for global_set, gate_ids in plan.stages
+    ]
+    clustered = _adjust_swap_points(stage_data, config.kmax, config)
+
+    if config.absorb_diagonals:
+        from repro.scheduling.absorption import absorb_diagonals
+
+        clustered = [
+            (gs, gates, absorb_diagonals(ops, gs)) for gs, gates, ops in clustered
+        ]
+
+    stages = [Stage(global_qubits=gs, ops=ops) for gs, _, ops in clustered]
+    schedule = Schedule(
+        circuit=work,
+        local_qubits=min(config.local_qubits, work.num_qubits),
+        stages=stages,
+        initial_state=initial_state,
+        kmax=config.kmax,
+    )
+    schedule.validate()
+    return schedule

@@ -1,0 +1,410 @@
+"""Stage finding: minimize the number of global-to-local swaps.
+
+Sec. 3.6.1, step 1.  A *stage* is a maximal set of gates executable with a
+fixed global-qubit assignment: dense gates need all their qubits local,
+while diagonal gates are executable anywhere thanks to the Sec. 3.5
+specialization.  Following the paper, the finder assumes the worst case in
+which every *random single-qubit* gate is dense (so a T cannot be relied
+on to specialize — schedules are reused across instances of the same
+shape), while the structural CZ gates always specialize.
+
+The global set for each stage is chosen by a greedy seed (qubits whose
+first locality-requiring gate lies furthest in the future) improved by a
+first-improvement hill climb over single qubit exchanges — the paper's
+"cheap search algorithm".  A one-stage-completion check terminates the
+loop as soon as every qubit still requiring locality fits into the local
+set, which is what recovers the 36-qubit "2 swaps -> 1 swap" result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.util.rng import ensure_rng
+
+__all__ = ["StagePlan", "find_stages"]
+
+
+@dataclass
+class StagePlan:
+    """Output of the stage finder: per stage, a global set and gate ids."""
+
+    num_qubits: int
+    local_qubits: int
+    stages: list[tuple[frozenset[int], list[int]]] = field(default_factory=list)
+
+    @property
+    def num_swaps(self) -> int:
+        """Global-to-local swaps (stage transitions)."""
+        return max(0, len(self.stages) - 1)
+
+    @property
+    def num_stages(self) -> int:
+        """Number of communication-free stages."""
+        return len(self.stages)
+
+    def all_gate_ids(self) -> list[int]:
+        """Every scheduled gate id, in execution order."""
+        out: list[int] = []
+        for _, gate_ids in self.stages:
+            out.extend(gate_ids)
+        return out
+
+
+class _CircuitView:
+    """Preprocessed circuit arrays for fast stage evaluation."""
+
+    def __init__(
+        self, circuit: Circuit, *, specialize: bool, worst_case_dense: bool
+    ) -> None:
+        self.num_qubits = circuit.num_qubits
+        self.qubits_of: list[tuple[int, ...]] = []
+        #: True when the gate is executable regardless of qubit locality.
+        self.anywhere: list[bool] = []
+        for gate in circuit:
+            self.qubits_of.append(gate.qubits)
+            ok = False
+            if specialize and gate.is_diagonal:
+                # Worst-case mode: random single-qubit gates are assumed
+                # dense (T may be an X^(1/2) in another instance); the
+                # structural multi-qubit CZs always specialize.
+                ok = gate.num_qubits >= 2 or not worst_case_dense
+            self.anywhere.append(ok)
+        self.per_qubit: list[list[int]] = [[] for _ in range(self.num_qubits)]
+        #: position of each gate within per_qubit[first_qubit], for fast
+        #: "already executed?" checks.
+        self.anchor: list[tuple[int, int]] = []
+        for gid, qubits in enumerate(self.qubits_of):
+            q0 = qubits[0]
+            self.anchor.append((q0, len(self.per_qubit[q0])))
+            for q in qubits:
+                self.per_qubit[q].append(gid)
+        self.num_gates = len(self.qubits_of)
+
+    def gate_remaining(self, gid: int, fronts: list[int]) -> bool:
+        """True when gate *gid* has not yet been executed."""
+        q0, pos = self.anchor[gid]
+        return fronts[q0] <= pos
+
+    def interaction_adjacency(self, fronts: list[int]) -> dict[int, set[int]]:
+        """Qubit adjacency via the *remaining* multi-qubit gates."""
+        adj: dict[int, set[int]] = {q: set() for q in range(self.num_qubits)}
+        for gid, qubits in enumerate(self.qubits_of):
+            if len(qubits) < 2 or not self.gate_remaining(gid, fronts):
+                continue
+            for a in qubits:
+                for b in qubits:
+                    if a != b:
+                        adj[a].add(b)
+        return adj
+
+    # ------------------------------------------------------------------
+    def max_executable(
+        self, fronts: list[int], is_global: np.ndarray
+    ) -> tuple[list[int], list[int]]:
+        """Greedily execute every gate runnable under *is_global*.
+
+        ``fronts[q]`` is the index into ``per_qubit[q]`` of the next
+        pending gate on qubit ``q``.  Returns the executed gate ids
+        (unsorted) and the advanced fronts.  Kahn-style worklist — O(gates)
+        per call, the inner loop of the whole scheduler.
+        """
+        fronts = list(fronts)
+        per_qubit = self.per_qubit
+        qubits_of = self.qubits_of
+        anywhere = self.anywhere
+        executed: list[int] = []
+        queue: list[int] = []
+        for q in range(self.num_qubits):
+            f = fronts[q]
+            if f < len(per_qubit[q]):
+                queue.append(per_qubit[q][f])
+        while queue:
+            gid = queue.pop()
+            qubits = qubits_of[gid]
+            ready = True
+            for q in qubits:
+                pq = per_qubit[q]
+                if fronts[q] >= len(pq) or pq[fronts[q]] != gid:
+                    ready = False
+                    break
+            if not ready:
+                continue
+            if not anywhere[gid]:
+                blocked = False
+                for q in qubits:
+                    if is_global[q]:
+                        blocked = True
+                        break
+                if blocked:
+                    continue
+            executed.append(gid)
+            for q in qubits:
+                fronts[q] += 1
+                pq = per_qubit[q]
+                if fronts[q] < len(pq):
+                    queue.append(pq[fronts[q]])
+        return executed, fronts
+
+    def qubits_needing_local(self, fronts: list[int]) -> set[int]:
+        """Qubits with a remaining gate that requires them to be local."""
+        needing: set[int] = set()
+        for q in range(self.num_qubits):
+            for gid in self.per_qubit[q][fronts[q] :]:
+                if not self.anywhere[gid]:
+                    needing.add(q)
+                    break
+        return needing
+
+    def first_block_distance(self, fronts: list[int]) -> list[float]:
+        """Per qubit: #pending gates before its first locality-requiring one.
+
+        ``inf`` when the qubit never needs to be local again — the safest
+        qubits to keep global.
+        """
+        dist: list[float] = []
+        for q in range(self.num_qubits):
+            pending = self.per_qubit[q][fronts[q] :]
+            d = float("inf")
+            for i, gid in enumerate(pending):
+                if not self.anywhere[gid]:
+                    d = float(i)
+                    break
+            dist.append(d)
+        return dist
+
+    def remaining(self, fronts: list[int]) -> int:
+        """Number of gate *slots* left (gate counted once per qubit)."""
+        return sum(len(self.per_qubit[q]) - fronts[q] for q in range(self.num_qubits))
+
+    def max_gate_local_requirement(self) -> int:
+        """Largest number of local qubits any single gate requires."""
+        worst = 0
+        for gid, qubits in enumerate(self.qubits_of):
+            if not self.anywhere[gid]:
+                worst = max(worst, len(qubits))
+        return worst
+
+
+def _candidate_seeds(
+    view: _CircuitView,
+    fronts: list[int],
+    dist: list[float],
+    g: int,
+    rng,
+    count: int,
+) -> list[set[int]]:
+    """Initial global-set candidates for the stage search.
+
+    Two families: (a) the g qubits whose first locality-requiring gate
+    lies furthest ahead (the paper's "lowest-order / upper-bound" analogue
+    generalised to gate distance); (b) BFS balls on the remaining
+    interaction graph — compact frozen regions minimize how far blocking
+    propagates through the circuit's light cone, which is what makes the
+    one-swap 36-qubit schedule findable.
+    """
+    n = view.num_qubits
+    seeds: list[set[int]] = []
+    order = sorted(range(n), key=lambda q: (-dist[q], q))
+    seeds.append(set(order[:g]))
+
+    # Frontier rescue: a set that provably lets the earliest pending gate
+    # run (its qubits forced local).  Without it the search can stall on
+    # circuits whose whole frontier is two-qubit gates straddling every
+    # candidate global set (seen with specialization disabled).
+    frontier_qubits: set[int] = set()
+    for q in range(n):
+        f = fronts[q]
+        if f < len(view.per_qubit[q]):
+            gid = view.per_qubit[q][f]
+            ready = all(
+                view.per_qubit[p][fronts[p]] == gid
+                for p in view.qubits_of[gid]
+                if fronts[p] < len(view.per_qubit[p])
+            )
+            if ready:
+                frontier_qubits.update(view.qubits_of[gid])
+                break
+    if frontier_qubits:
+        rescue = [q for q in order if q not in frontier_qubits][:g]
+        if len(rescue) == g and set(rescue) not in seeds:
+            seeds.append(set(rescue))
+
+    adj = view.interaction_adjacency(fronts)
+    degrees = sorted(range(n), key=lambda q: (len(adj[q]), q))
+    roots = degrees[: max(2, count)] + [
+        int(x) for x in rng.choice(n, size=max(0, count - 2), replace=False)
+    ]
+    for root in roots:
+        ball = [root]
+        seen = {root}
+        frontier = [root]
+        while len(ball) < g and frontier:
+            nxt: list[int] = []
+            for q in frontier:
+                neighbors = sorted(adj[q] - seen)
+                rng.shuffle(neighbors)
+                for nb in neighbors:
+                    if len(ball) >= g:
+                        break
+                    seen.add(nb)
+                    ball.append(nb)
+                    nxt.append(nb)
+            frontier = nxt
+        if len(ball) < g:
+            # Disconnected leftovers: pad with furthest-blocking qubits.
+            for q in order:
+                if len(ball) >= g:
+                    break
+                if q not in seen:
+                    ball.append(q)
+                    seen.add(q)
+        seed = set(ball)
+        if seed not in seeds:
+            seeds.append(seed)
+        if len(seeds) >= count + 1:
+            break
+    return seeds
+
+
+def _mask(num_qubits: int, global_set) -> np.ndarray:
+    mask = np.zeros(num_qubits, dtype=bool)
+    for q in global_set:
+        mask[q] = True
+    return mask
+
+
+def _hill_climb(
+    view: _CircuitView,
+    fronts: list[int],
+    global_set: set[int],
+    rng,
+    *,
+    local_qubits: int,
+    neighbor_samples: int,
+    max_passes: int,
+) -> tuple[set[int], list[int], list[int]]:
+    """First-improvement hill climb over single qubit exchanges.
+
+    The objective is lexicographic: primarily, whether the *remainder*
+    after this stage completes in a single further stage (this is what
+    turns two swaps into one for the 36-qubit circuit); secondarily, the
+    number of gates the stage executes.
+    """
+    n = view.num_qubits
+
+    def score(mask: np.ndarray) -> tuple[tuple[int, int], list[int], list[int]]:
+        cand_exec, cand_fronts = view.max_executable(fronts, mask)
+        finishes = int(len(view.qubits_needing_local(cand_fronts)) <= local_qubits)
+        return (finishes, len(cand_exec)), cand_exec, cand_fronts
+
+    current = set(global_set)
+    mask = _mask(n, current)
+    best_key, executed, new_fronts = score(mask)
+    for _ in range(max_passes):
+        improved = False
+        local = [q for q in range(n) if q not in current]
+        pairs = [(go, li) for go in current for li in local]
+        rng.shuffle(pairs)
+        for go, li in pairs[:neighbor_samples]:
+            if go not in current or li in current:
+                continue  # stale after an accepted move
+            mask[go], mask[li] = False, True
+            cand_key, cand_exec, cand_fronts = score(mask)
+            if cand_key > best_key:
+                current.discard(go)
+                current.add(li)
+                best_key = cand_key
+                executed, new_fronts = cand_exec, cand_fronts
+                improved = True
+            else:
+                mask[go], mask[li] = True, False
+        if not improved:
+            break
+    return current, executed, new_fronts
+
+
+def find_stages(
+    circuit: Circuit,
+    local_qubits: int,
+    *,
+    specialize: bool = True,
+    worst_case_dense: bool = True,
+    seed: int = 0,
+    restarts: int = 3,
+    neighbor_samples: int = 150,
+    max_passes: int = 4,
+) -> StagePlan:
+    """Partition *circuit* into communication-free stages.
+
+    Returns a :class:`StagePlan` whose ``num_swaps`` is the Fig. 5 metric.
+    The first stage's global set is adopted for free at initialisation.
+
+    Parameters mirror :class:`repro.scheduling.SchedulerConfig`; see the
+    module docstring for the algorithm.
+    """
+    n = circuit.num_qubits
+    view = _CircuitView(
+        circuit, specialize=specialize, worst_case_dense=worst_case_dense
+    )
+    plan = StagePlan(num_qubits=n, local_qubits=min(local_qubits, n))
+    g = n - plan.local_qubits
+    fronts = [0] * n
+    rng = ensure_rng(seed)
+
+    if g == 0:
+        executed, fronts = view.max_executable(fronts, np.zeros(n, dtype=bool))
+        plan.stages.append((frozenset(), sorted(executed)))
+        return plan
+
+    if view.max_gate_local_requirement() > plan.local_qubits:
+        raise ValueError(
+            "a gate requires more local qubits than available"
+        )
+
+    while view.remaining(fronts) > 0:
+        needing = view.qubits_needing_local(fronts)
+        if len(needing) <= plan.local_qubits:
+            # Completion: park g qubits that never need locality again.
+            candidates = sorted(
+                (q for q in range(n) if q not in needing),
+                key=lambda q: len(view.per_qubit[q]) - fronts[q],
+            )
+            final_global = frozenset(candidates[:g])
+            executed, fronts = view.max_executable(fronts, _mask(n, final_global))
+            plan.stages.append((final_global, sorted(executed)))
+            if view.remaining(fronts) != 0:
+                raise AssertionError("completion stage failed to drain circuit")
+            break
+
+        dist = view.first_block_distance(fronts)
+        seeds = _candidate_seeds(view, fronts, dist, g, rng, max(1, restarts))
+        best = None  # ((finishes_next, stage_size), set, executed, fronts)
+        for seed_set in seeds:
+            cand_set, executed, cand_fronts = _hill_climb(
+                view,
+                fronts,
+                seed_set,
+                rng,
+                local_qubits=plan.local_qubits,
+                neighbor_samples=neighbor_samples,
+                max_passes=max_passes,
+            )
+            finishes_next = len(view.qubits_needing_local(cand_fronts)) <= plan.local_qubits
+            key = (finishes_next, len(executed))
+            if best is None or key > best[0]:
+                best = (key, cand_set, executed, cand_fronts)
+                if finishes_next:
+                    break
+        _, chosen_set, executed, fronts = best
+        if not executed:
+            raise RuntimeError(
+                "stage finder made no progress; circuit may contain a gate "
+                "larger than the local qubit count"
+            )
+        plan.stages.append((frozenset(chosen_set), sorted(executed)))
+
+    return plan

@@ -1,0 +1,97 @@
+"""ASCII rendering of schedules.
+
+A schedule is easier to audit when you can see it: which qubits are
+global per stage, where the swaps fall, and how gates pack into
+clusters.  :func:`render_schedule` draws a per-qubit lane diagram::
+
+    q  0 | [A][B]    | SWAP | [C]       |
+    q  1 | [A]  t    | SWAP | [C][D]    |
+    q  5 | g..g      | SWAP | [D]       |
+
+Lane symbols: ``[X]`` cluster membership (letters cycle per stage),
+``t`` a specialized diagonal gate, ``g`` the qubit is global for the
+stage, ``SWAP`` a global-to-local swap boundary.
+"""
+
+from __future__ import annotations
+
+from string import ascii_uppercase
+
+from repro.scheduling.program import ClusterOp, GateOp, Schedule
+
+__all__ = ["render_schedule", "schedule_table"]
+
+
+def _stage_lane_tokens(stage, num_qubits: int) -> list[list[str]]:
+    """Per qubit, the ordered tokens of one stage."""
+    lanes: list[list[str]] = [[] for _ in range(num_qubits)]
+    labels = iter(ascii_uppercase)
+    label_of_op: dict[int, str] = {}
+    for op in stage.ops:
+        if isinstance(op, GateOp):
+            for q in op.gate.qubits:
+                lanes[q].append("t" if op.gate.is_diagonal else "m")
+            continue
+        try:
+            label = next(labels)
+        except StopIteration:
+            label = "#"
+        label_of_op[id(op)] = label
+        for q in op.qubits:
+            lanes[q].append(f"[{label}]")
+    for q in stage.global_qubits:
+        if not lanes[q]:
+            lanes[q] = ["g"]
+    return lanes
+
+
+def render_schedule(schedule: Schedule, *, max_width: int = 120) -> str:
+    """Render *schedule* as a per-qubit lane diagram (see module docs)."""
+    n = schedule.num_qubits
+    stage_lanes = [
+        _stage_lane_tokens(stage, n) for stage in schedule.stages
+    ]
+    stage_widths = [
+        max((len("".join(lanes[q])) for q in range(n)), default=1)
+        for lanes in stage_lanes
+    ]
+    lines = []
+    header = "      "
+    for i, width in enumerate(stage_widths):
+        header += f" stage{i:<2}".ljust(width + 3)
+        if i < len(stage_widths) - 1:
+            header += " SWAP "
+    lines.append(header.rstrip()[:max_width])
+    for q in range(n):
+        row = f"q {q:>3} |"
+        for i, lanes in enumerate(stage_lanes):
+            cell = "".join(lanes[q]) or (
+                "g" if q in schedule.stages[i].global_qubits else "."
+            )
+            row += f" {cell.ljust(stage_widths[i])} |"
+        lines.append(row[:max_width])
+    lines.append("")
+    lines.append(
+        "legend: [X] cluster membership, t specialized diagonal gate, "
+        "m specialized monomial gate, g global (idle), . idle"
+    )
+    return "\n".join(line[:max_width] for line in lines)
+
+
+def schedule_table(schedule: Schedule) -> str:
+    """A compact per-stage summary table."""
+    lines = [
+        f"{'stage':>5} {'globals':<24} {'clusters':>8} {'spec.':>6} {'gates':>6}"
+    ]
+    for i, stage in enumerate(schedule.stages):
+        globals_str = ",".join(map(str, sorted(stage.global_qubits))) or "-"
+        specialized = sum(1 for op in stage.ops if isinstance(op, GateOp))
+        lines.append(
+            f"{i:>5} {globals_str:<24} {stage.num_clusters:>8} "
+            f"{specialized:>6} {stage.num_gates:>6}"
+        )
+    lines.append(
+        f"total: {schedule.num_swaps} swaps, {schedule.num_clusters} clusters, "
+        f"{len(schedule.circuit)} gates, kmax={schedule.kmax}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Single-node state-vector simulation substrate.
+
+* :mod:`repro.statevector.state` — :class:`StateVector`: a ``2**n`` complex
+  amplitude array with gate application, probabilities and fidelity.
+* :mod:`repro.statevector.simulator` — :class:`Simulator`: runs circuits or
+  schedules over a :class:`StateVector` with cost accounting.
+* :mod:`repro.statevector.measure` — sampling and projective measurement.
+* :mod:`repro.statevector.outofcore` — :class:`OutOfCoreStateVector`: the
+  disk-shard backend motivated by the paper's outlook (two all-to-alls per
+  circuit make SSD-resident state vectors practical).
+"""
+
+from repro.statevector.measure import measure_qubit, sample_counts
+from repro.statevector.simulator import Simulator
+from repro.statevector.state import StateVector
+
+__all__ = [
+    "OutOfCoreStateVector",
+    "Simulator",
+    "StateVector",
+    "measure_qubit",
+    "sample_counts",
+]
+
+
+def __getattr__(name: str):
+    # OutOfCoreStateVector builds on the distributed layer, which itself
+    # imports repro.statevector.state — import it lazily to break the
+    # package-level cycle.
+    if name == "OutOfCoreStateVector":
+        from repro.statevector.outofcore import OutOfCoreStateVector
+
+        return OutOfCoreStateVector
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,104 @@
+"""Pauli-string expectation values.
+
+The local-interaction workloads the paper contrasts with supremacy
+circuits (variational ansätze, chemistry) consume their results as
+expectation values ``<psi| P |psi>`` of Pauli strings.  Z-only strings
+are diagonal (a signed sum over probabilities — no state copy);
+general strings apply the Pauli as a monomial gate to one scratch copy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gates.gate import Gate
+from repro.gates.matrices import X_MATRIX, Y_MATRIX, Z_MATRIX
+from repro.statevector.state import StateVector
+from repro.util.bits import extract_bits
+
+__all__ = ["PauliString", "expectation_value"]
+
+_PAULIS = {"X": X_MATRIX, "Y": Y_MATRIX, "Z": Z_MATRIX}
+
+
+class PauliString:
+    """A Pauli operator like ``Z0 X3 Y5`` with an optional coefficient.
+
+    Construct from a mapping or a compact label::
+
+        PauliString({0: "Z", 3: "X"})
+        PauliString.from_label("Z0 X3", coefficient=0.5)
+    """
+
+    def __init__(
+        self, factors: dict[int, str], *, coefficient: float = 1.0
+    ) -> None:
+        self.factors: dict[int, str] = {}
+        for qubit, letter in factors.items():
+            letter = letter.upper()
+            if letter == "I":
+                continue
+            if letter not in _PAULIS:
+                raise ValueError(f"unknown Pauli letter {letter!r}")
+            if qubit < 0:
+                raise ValueError(f"negative qubit index {qubit}")
+            self.factors[int(qubit)] = letter
+        self.coefficient = float(coefficient)
+
+    @classmethod
+    def from_label(cls, label: str, *, coefficient: float = 1.0) -> "PauliString":
+        """Parse ``"Z0 X3 Y12"`` (whitespace-separated letter+index)."""
+        factors: dict[int, str] = {}
+        for token in label.split():
+            letter, index = token[0], token[1:]
+            if not index.isdigit():
+                raise ValueError(f"malformed Pauli token {token!r}")
+            if int(index) in factors:
+                raise ValueError(f"duplicate qubit in {label!r}")
+            factors[int(index)] = letter
+        return cls(factors, coefficient=coefficient)
+
+    @property
+    def is_diagonal(self) -> bool:
+        """True for Z-only strings (computable without a state copy)."""
+        return all(letter == "Z" for letter in self.factors.values())
+
+    def support(self) -> tuple[int, ...]:
+        """Qubits the string acts on, ascending."""
+        return tuple(sorted(self.factors))
+
+    def __repr__(self) -> str:
+        body = " ".join(
+            f"{letter}{q}" for q, letter in sorted(self.factors.items())
+        )
+        return f"PauliString({body or 'I'}, coeff={self.coefficient})"
+
+
+def expectation_value(state: StateVector, pauli: PauliString) -> float:
+    """``coeff * <psi| P |psi>`` (real for Hermitian Pauli strings).
+
+    Diagonal (Z-only) strings reduce to a parity-signed probability sum;
+    general strings use one scratch copy and an inner product.
+    """
+    for qubit in pauli.support():
+        if qubit >= state.num_qubits:
+            raise ValueError(
+                f"Pauli acts on qubit {qubit}, state has {state.num_qubits}"
+            )
+    if not pauli.factors:
+        return pauli.coefficient  # identity
+
+    if pauli.is_diagonal:
+        probs = state.probabilities()
+        indices = np.arange(probs.shape[0])
+        parity = np.zeros_like(indices)
+        for qubit in pauli.support():
+            parity ^= extract_bits(indices, [qubit])
+        signs = 1.0 - 2.0 * parity
+        return pauli.coefficient * float((signs * probs).sum())
+
+    scratch = state.copy()
+    for qubit, letter in pauli.factors.items():
+        scratch.apply_gate(Gate(letter.lower(), (qubit,), _PAULIS[letter]))
+    value = state.inner(scratch)
+    return pauli.coefficient * float(value.real)

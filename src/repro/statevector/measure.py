@@ -1,0 +1,57 @@
+"""Sampling and projective measurement on state vectors."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.statevector.state import StateVector
+from repro.util.rng import ensure_rng
+
+__all__ = ["sample_counts", "sample_bitstrings", "measure_qubit"]
+
+
+def sample_bitstrings(
+    state: StateVector, shots: int, seed=None
+) -> np.ndarray:
+    """Draw *shots* basis-state indices from the output distribution.
+
+    This is the sampling task quantum-supremacy experiments perform; the
+    classical simulator reproduces it exactly from the amplitudes.
+    """
+    if shots <= 0:
+        raise ValueError(f"shots must be positive, got {shots}")
+    rng = ensure_rng(seed)
+    probs = state.probabilities()
+    probs = probs / probs.sum()  # guard against rounding drift
+    return rng.choice(len(probs), size=shots, p=probs)
+
+
+def sample_counts(state: StateVector, shots: int, seed=None) -> dict[int, int]:
+    """Histogram of :func:`sample_bitstrings` outcomes."""
+    outcomes = sample_bitstrings(state, shots, seed)
+    return dict(Counter(int(x) for x in outcomes))
+
+
+def measure_qubit(
+    state: StateVector, qubit: int, seed=None
+) -> tuple[int, StateVector]:
+    """Projective measurement of one qubit.
+
+    Returns ``(outcome, collapsed_state)``; the input state is not
+    modified.  The collapsed state is renormalised.
+    """
+    rng = ensure_rng(seed)
+    p_one = state.expectation_bit(qubit)
+    outcome = int(rng.random() < p_one)
+    collapsed = state.copy()
+    n = state.num_qubits
+    psi = collapsed.data.reshape((2,) * n)
+    axis = n - 1 - qubit
+    # Zero out the branch that was not observed, then renormalise.
+    index = [slice(None)] * n
+    index[axis] = 1 - outcome
+    psi[tuple(index)] = 0.0
+    collapsed.normalize()
+    return outcome, collapsed

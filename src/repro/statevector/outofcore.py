@@ -1,0 +1,85 @@
+"""Out-of-core (disk-resident) state vectors.
+
+The paper's outlook (Sec. 5): because scheduling reduces a full supremacy
+circuit to ~2 all-to-alls, the state vector can live on solid-state drives
+rather than DRAM.  :class:`OutOfCoreStateVector` realises that mode: it is
+a thin facade over :class:`repro.distributed.DistributedState` backed by
+:class:`repro.distributed.DiskShards`, so gate dispatch, specialization
+and swaps behave identically to the in-memory distributed state while
+block exchanges stream through bounded memory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.distributed.state import DistributedState
+from repro.distributed.storage import DiskShards
+from repro.statevector.state import StateVector
+
+__all__ = ["OutOfCoreStateVector"]
+
+
+class OutOfCoreStateVector(DistributedState):
+    """A state vector sharded across files on disk.
+
+    Parameters
+    ----------
+    num_qubits:
+        Total qubits; the files jointly hold ``2**num_qubits`` amplitudes.
+    local_qubits:
+        Amplitudes per file (``2**local_qubits``); also the largest gate
+        footprint applicable without an all-to-all pass over the files.
+    directory:
+        Where the shard files live.  Reusing a directory with matching
+        sizes reuses its contents only if ``init=None``.
+    init:
+        ``"zero"``, ``"plus"``, or ``None`` to keep existing file contents
+        (resume after a previous session).
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        local_qubits: int,
+        directory: str | Path,
+        *,
+        init: str | None = "zero",
+    ) -> None:
+        storage = DiskShards(
+            1 << (num_qubits - local_qubits), 1 << local_qubits, directory
+        )
+        if init is None:
+            # Bypass DistributedState init by initialising to zero-state
+            # semantics first, then restoring nothing — instead we call the
+            # parent with "zero" and immediately reload is wasteful; so we
+            # replicate the minimal parent setup inline.
+            self.num_qubits = num_qubits
+            self.local_qubits = local_qubits
+            self.global_qubits = num_qubits - local_qubits
+            self.storage = storage
+            self.bit_of_qubit = list(range(num_qubits))
+            from repro.distributed.comm import CommStats
+            from repro.kernels.cost import KernelCostModel
+
+            self.stats = CommStats()
+            self.kernel_cost = KernelCostModel()
+        else:
+            super().__init__(num_qubits, local_qubits, storage=storage, init=init)
+        self.directory = Path(directory)
+
+    @classmethod
+    def from_statevector_on_disk(
+        cls, state: StateVector, local_qubits: int, directory: str | Path
+    ) -> "OutOfCoreStateVector":
+        """Spill an in-memory state vector to disk shards."""
+        out = cls(state.num_qubits, local_qubits, directory)
+        import numpy as np
+
+        offsets = np.arange(1 << local_qubits, dtype=np.int64)
+        for r in range(out.num_ranks):
+            phys = (r << local_qubits) | offsets
+            shard = out.storage.get(r)
+            shard[:] = state.data[phys]
+            out._sync(shard)
+        return out

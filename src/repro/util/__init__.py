@@ -1,0 +1,54 @@
+"""Low-level utilities shared across the simulator stack.
+
+The helpers here are deliberately dependency-free (numpy only) so every
+other subpackage can import them without cycles:
+
+* :mod:`repro.util.bits` — bit-manipulation primitives used by the gate
+  kernels and the distributed layout (index gather/scatter, bit insertion,
+  pdep/pext-style operations).
+* :mod:`repro.util.rng` — seeded random-number helpers so every circuit
+  instance and test is reproducible.
+* :mod:`repro.util.flops` — FLOP and byte accounting for gate kernels,
+  following the counting conventions of Sec. 3.1 of the paper.
+* :mod:`repro.util.validation` — argument-checking helpers with consistent
+  error messages.
+"""
+
+from repro.util.bits import (
+    bit_length_of_power_of_two,
+    clear_bits,
+    expand_index,
+    extract_bits,
+    gather_bits,
+    insert_zero_bits,
+    is_power_of_two,
+    scatter_bits,
+    set_bits,
+)
+from repro.util.flops import GateCost, bytes_touched, gate_flops, operational_intensity
+from repro.util.rng import ensure_rng
+from repro.util.validation import (
+    check_power_of_two,
+    check_qubit_indices,
+    check_unitary,
+)
+
+__all__ = [
+    "GateCost",
+    "bit_length_of_power_of_two",
+    "bytes_touched",
+    "check_power_of_two",
+    "check_qubit_indices",
+    "check_unitary",
+    "clear_bits",
+    "ensure_rng",
+    "expand_index",
+    "extract_bits",
+    "gate_flops",
+    "gather_bits",
+    "insert_zero_bits",
+    "is_power_of_two",
+    "operational_intensity",
+    "scatter_bits",
+    "set_bits",
+]

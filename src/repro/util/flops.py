@@ -1,0 +1,97 @@
+"""FLOP and memory-traffic accounting for gate kernels.
+
+Follows the counting conventions of Sec. 3.1 of the paper:
+
+* a complex multiply costs 4 real multiplies + 2 real adds = 6 FLOP,
+* a complex add costs 2 FLOP,
+* applying a dense k-qubit gate computes, per output entry, a scalar
+  product of dimension ``2**k``: ``2**k`` complex multiplies and
+  ``2**k - 1`` complex adds, i.e. ``8 * 2**k - 2`` FLOP per entry.
+
+For ``k = 1`` this gives the paper's ``2*(4[mul] + 2[add]) + 2[add] = 14``
+FLOP per complex entry of the output state vector.  The in-place kernel
+touches each complex entry twice (one 16-byte load + one 16-byte store),
+so the operational intensity of a single-qubit gate is ``14/32 < 1/2`` —
+the memory-bound regime highlighted in the paper's rooflines (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "COMPLEX_MUL_FLOPS",
+    "COMPLEX_ADD_FLOPS",
+    "COMPLEX128_BYTES",
+    "gate_flops",
+    "bytes_touched",
+    "operational_intensity",
+    "GateCost",
+]
+
+COMPLEX_MUL_FLOPS = 6
+COMPLEX_ADD_FLOPS = 2
+COMPLEX128_BYTES = 16
+
+
+def gate_flops(num_qubits: int, gate_qubits: int, *, diagonal: bool = False) -> int:
+    """Total FLOPs to apply a *gate_qubits*-qubit gate to ``2**num_qubits``.
+
+    Diagonal gates need one complex multiply per entry instead of a full
+    scalar product.
+    """
+    dim = 1 << num_qubits
+    if diagonal:
+        return dim * COMPLEX_MUL_FLOPS
+    per_entry = (1 << gate_qubits) * COMPLEX_MUL_FLOPS + ((1 << gate_qubits) - 1) * COMPLEX_ADD_FLOPS
+    return dim * per_entry
+
+
+def bytes_touched(num_qubits: int, *, in_place: bool = True, single_precision: bool = False) -> int:
+    """Memory traffic of one gate application over the full state vector.
+
+    The in-place kernel (Sec. 3.2) reads and writes each complex entry once;
+    the two-vector variant additionally streams the output vector allocation
+    (read-for-ownership is ignored, as in the paper's ``< 1/2`` bound).
+    """
+    entry = COMPLEX128_BYTES // (2 if single_precision else 1)
+    dim = 1 << num_qubits
+    traffic = 2 * dim * entry  # one load + one store per entry
+    if not in_place:
+        traffic = 2 * dim * entry  # load input + store output (same total)
+    return traffic
+
+
+def operational_intensity(gate_qubits: int, *, diagonal: bool = False) -> float:
+    """FLOP/byte of a k-qubit kernel, independent of the state size.
+
+    ``operational_intensity(1) == 14/32 == 0.4375`` and
+    ``operational_intensity(4) == 126/32 ≈ 3.94`` — the two x-positions of
+    the kernels in the paper's roofline plots.
+    """
+    flops = gate_flops(gate_qubits, gate_qubits, diagonal=diagonal) / (1 << gate_qubits)
+    return flops / (2 * COMPLEX128_BYTES)
+
+
+@dataclass(frozen=True)
+class GateCost:
+    """FLOP/byte cost summary of one gate (or fused cluster) application."""
+
+    flops: int
+    bytes: int
+
+    @property
+    def intensity(self) -> float:
+        """Operational intensity in FLOP/byte."""
+        return self.flops / self.bytes
+
+    @staticmethod
+    def for_gate(num_qubits: int, gate_qubits: int, *, diagonal: bool = False) -> "GateCost":
+        """Cost of applying one gate to an ``num_qubits``-qubit state."""
+        return GateCost(
+            flops=gate_flops(num_qubits, gate_qubits, diagonal=diagonal),
+            bytes=bytes_touched(num_qubits),
+        )
+
+    def __add__(self, other: "GateCost") -> "GateCost":
+        return GateCost(self.flops + other.flops, self.bytes + other.bytes)

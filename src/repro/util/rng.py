@@ -1,0 +1,36 @@
+"""Seeded random-number helpers.
+
+Every stochastic component (circuit generation, random test states, the
+clustering local search) accepts either an integer seed, a
+:class:`numpy.random.Generator`, or ``None``; :func:`ensure_rng` normalises
+all three so instances are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "random_statevector"]
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_statevector(
+    num_qubits: int, seed: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """Return a Haar-ish random normalised state vector of ``2**num_qubits``.
+
+    Gaussian real/imaginary parts followed by normalisation — exactly the
+    distribution used for the paper's correctness checks; adequate for
+    testing kernels and communication schemes.
+    """
+    rng = ensure_rng(seed)
+    dim = 1 << num_qubits
+    vec = rng.standard_normal(dim) + 1j * rng.standard_normal(dim)
+    vec /= np.linalg.norm(vec)
+    return vec.astype(np.complex128)

@@ -1,0 +1,41 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.bits import is_power_of_two
+
+__all__ = ["check_power_of_two", "check_qubit_indices", "check_unitary"]
+
+
+def check_power_of_two(value: int, name: str = "value") -> int:
+    """Validate that *value* is a positive power of two and return it."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{name} must be a positive power of two, got {value}")
+    return value
+
+
+def check_qubit_indices(qubits: Sequence[int], num_qubits: int) -> tuple[int, ...]:
+    """Validate gate target qubits: in range and pairwise distinct."""
+    qubits = tuple(int(q) for q in qubits)
+    for q in qubits:
+        if not 0 <= q < num_qubits:
+            raise ValueError(f"qubit index {q} out of range for {num_qubits} qubits")
+    if len(set(qubits)) != len(qubits):
+        raise ValueError(f"duplicate qubit indices in {qubits}")
+    return qubits
+
+
+def check_unitary(matrix: np.ndarray, *, atol: float = 1e-10) -> np.ndarray:
+    """Validate that *matrix* is square, power-of-two sized, and unitary."""
+    matrix = np.asarray(matrix, dtype=np.complex128)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"gate matrix must be square, got shape {matrix.shape}")
+    check_power_of_two(matrix.shape[0], "gate dimension")
+    identity = np.eye(matrix.shape[0])
+    if not np.allclose(matrix.conj().T @ matrix, identity, atol=atol):
+        raise ValueError("gate matrix is not unitary")
+    return matrix

@@ -1,0 +1,28 @@
+"""Cross-validation harness.
+
+A simulator's most important property is being *right*; this subpackage
+provides the comparison tooling the paper's authors would have used to
+validate their C++ kernels against a reference (and that users of this
+library can point at their own backends):
+
+* :func:`compare_states` — amplitude-level comparison with a structured
+  report (max deviation, fidelity, worst indices);
+* :func:`spot_check_amplitudes` — random-subset comparison for states
+  too large to diff wholesale (the only option at 2**45 amplitudes);
+* :func:`cross_validate` — run one circuit through multiple backend
+  configurations and verify pairwise agreement.
+"""
+
+from repro.verify.compare import (
+    ComparisonReport,
+    compare_states,
+    cross_validate,
+    spot_check_amplitudes,
+)
+
+__all__ = [
+    "ComparisonReport",
+    "compare_states",
+    "cross_validate",
+    "spot_check_amplitudes",
+]

@@ -1,0 +1,49 @@
+"""Tests for the entropy-vs-depth convergence scan."""
+
+import pytest
+
+from repro.analysis.depth_scan import (
+    DepthPoint,
+    convergence_depth,
+    entropy_depth_scan,
+)
+from repro.circuit import GridSpec
+
+
+class TestEntropyDepthScan:
+    @pytest.fixture(scope="class")
+    def scan(self):
+        return entropy_depth_scan(GridSpec(3, 4), range(2, 21, 3), seed=0)
+
+    def test_entropy_gap_shrinks_with_depth(self, scan):
+        # Shallow circuits start at the *uniform* entropy (n ln 2, above
+        # Porter-Thomas) and converge down to it; the |gap| shrinks.
+        assert abs(scan[-1].entropy_gap) < abs(scan[0].entropy_gap)
+        assert abs(scan[-1].entropy_gap) < 0.05
+
+    def test_kl_decreases_with_depth(self, scan):
+        assert scan[-1].kl_to_porter_thomas < scan[0].kl_to_porter_thomas
+
+    def test_deep_circuit_converged(self, scan):
+        assert scan[-1].kl_to_porter_thomas < 0.03
+        assert abs(scan[-1].entropy_gap) < 0.2
+
+    def test_convergence_depth(self, scan):
+        depth = convergence_depth(scan, kl_threshold=0.05)
+        assert depth is not None
+        assert 5 <= depth <= 20
+
+    def test_convergence_none_for_shallow(self):
+        points = [
+            DepthPoint(depth=2, entropy_nats=1.0, entropy_gap=5.0,
+                       kl_to_porter_thomas=1.0)
+        ]
+        assert convergence_depth(points) is None
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError, match="too large"):
+            entropy_depth_scan(GridSpec(5, 5), [4])
+
+    def test_accepts_qubit_count(self):
+        points = entropy_depth_scan(9, [4], seed=1)
+        assert len(points) == 1 and points[0].depth == 4

@@ -1,0 +1,110 @@
+"""Tests for entanglement measures."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.entanglement import (
+    entanglement_entropy,
+    max_entanglement_entropy,
+    reduced_density_matrix,
+    schmidt_coefficients,
+)
+from repro.circuit import generate_supremacy_circuit, ghz_circuit
+from repro.gates import Gate
+from repro.statevector import Simulator, StateVector
+from repro.util.rng import random_statevector
+
+
+class TestReducedDensityMatrix:
+    def test_product_state_is_pure(self):
+        sv = StateVector(3)
+        sv.apply_gate(Gate("h", (0,)))
+        rho = reduced_density_matrix(sv, (0,))
+        assert np.allclose(rho, 0.5 * np.ones((2, 2)))
+        assert np.trace(rho) == pytest.approx(1.0)
+
+    def test_bell_pair_reduces_to_mixed(self):
+        bell = StateVector(2)
+        bell.apply_gate(Gate("h", (0,))).apply_gate(Gate("cnot", (0, 1)))
+        rho = reduced_density_matrix(bell, (0,))
+        assert np.allclose(rho, 0.5 * np.eye(2))
+
+    def test_trace_one(self):
+        sv = StateVector(6, random_statevector(6, 0))
+        rho = reduced_density_matrix(sv, (1, 4, 5))
+        assert np.trace(rho).real == pytest.approx(1.0)
+
+    def test_improper_subset_rejected(self):
+        sv = StateVector(3)
+        with pytest.raises(ValueError):
+            reduced_density_matrix(sv, ())
+        with pytest.raises(ValueError):
+            reduced_density_matrix(sv, (0, 1, 2))
+
+
+class TestEntanglementEntropy:
+    def test_product_state_zero(self):
+        sv = StateVector(4)
+        for q in range(4):
+            sv.apply_gate(Gate("h", (q,)))
+        assert entanglement_entropy(sv, (0, 1)) == pytest.approx(0.0, abs=1e-10)
+
+    def test_bell_pair_one_bit(self):
+        bell = StateVector(2)
+        bell.apply_gate(Gate("h", (0,))).apply_gate(Gate("cnot", (0, 1)))
+        assert entanglement_entropy(bell, (0,), base=2) == pytest.approx(1.0)
+
+    def test_ghz_any_cut_one_bit(self):
+        sv = Simulator(6).run(ghz_circuit(6)).state
+        for cut in [(0,), (0, 1, 2), (5, 2)]:
+            assert entanglement_entropy(sv, cut, base=2) == pytest.approx(1.0)
+
+    def test_supremacy_circuit_near_page_entropy(self):
+        """The paper's 'highly entangled' claim: deep supremacy circuits
+        approach maximal entanglement across the half cut.  (Growth is
+        limited by the number of CZs crossing the cut — the 2D geometry —
+        so 'near' means within ~1.2 bits at depth 30 on a 4x3 grid.)"""
+        n = 12
+        sv = Simulator(n).run(generate_supremacy_circuit(n, 30, seed=0)).state
+        half = tuple(range(n // 2))
+        h = entanglement_entropy(sv, half, base=2)
+        h_max = max_entanglement_entropy(n, n // 2) / np.log(2)
+        assert h > h_max - 1.2
+        assert h <= h_max + 1e-9
+
+    def test_entropy_grows_with_depth(self):
+        n = 10
+        half = tuple(range(n // 2))
+        entropies = []
+        for depth in (1, 8, 24):
+            sv = Simulator(n).run(
+                generate_supremacy_circuit(n, depth, seed=1)
+            ).state
+            entropies.append(entanglement_entropy(sv, half))
+        assert entropies[0] <= entropies[1] <= entropies[2]
+        assert entropies[2] > entropies[0] + 1.0  # substantial growth
+
+    def test_symmetric_under_complement(self):
+        sv = StateVector(6, random_statevector(6, 2))
+        a = entanglement_entropy(sv, (0, 2))
+        b = entanglement_entropy(sv, (1, 3, 4, 5))
+        assert a == pytest.approx(b)
+
+
+class TestSchmidt:
+    def test_product_state_rank_one(self):
+        sv = StateVector(4)
+        coefficients = schmidt_coefficients(sv, (0, 1))
+        assert coefficients[0] == pytest.approx(1.0)
+        assert np.all(coefficients[1:] < 1e-12)
+
+    def test_normalisation(self):
+        sv = StateVector(6, random_statevector(6, 3))
+        coefficients = schmidt_coefficients(sv, (0, 3, 5))
+        assert (coefficients**2).sum() == pytest.approx(1.0)
+
+    def test_max_entropy_formula(self):
+        assert max_entanglement_entropy(10, 5) == pytest.approx(5 * np.log(2))
+        assert max_entanglement_entropy(10, 8) == pytest.approx(2 * np.log(2))
+        with pytest.raises(ValueError):
+            max_entanglement_entropy(4, 4)

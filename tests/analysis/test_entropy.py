@@ -1,0 +1,65 @@
+"""Tests for entropy computation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import distributed_entropy, shannon_entropy
+from repro.distributed import DistributedState
+from repro.statevector import StateVector
+from repro.util.rng import random_statevector
+
+
+class TestShannonEntropy:
+    def test_uniform_distribution(self):
+        probs = np.full(16, 1 / 16)
+        assert shannon_entropy(probs) == pytest.approx(np.log(16))
+        assert shannon_entropy(probs, base=2) == pytest.approx(4.0)
+
+    def test_deterministic_distribution(self):
+        probs = np.zeros(8)
+        probs[3] = 1.0
+        assert shannon_entropy(probs) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            shannon_entropy(np.array([1.5, -0.5]))
+
+    def test_rejects_unnormalised(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            shannon_entropy(np.array([0.3, 0.3]))
+
+    def test_invariant_under_permutation(self):
+        rng = np.random.default_rng(0)
+        probs = rng.dirichlet(np.ones(32))
+        assert shannon_entropy(probs) == pytest.approx(
+            shannon_entropy(probs[rng.permutation(32)])
+        )
+
+
+class TestDistributedEntropy:
+    def test_matches_serial(self):
+        sv = StateVector(8, random_statevector(8, 1))
+        serial = shannon_entropy(sv.probabilities())
+        d = DistributedState.from_statevector(sv, 5)
+        assert distributed_entropy(d) == pytest.approx(serial)
+
+    def test_base_option(self):
+        sv = StateVector(6, random_statevector(6, 2))
+        d = DistributedState.from_statevector(sv, 4)
+        assert distributed_entropy(d, base=2) == pytest.approx(
+            distributed_entropy(d) / np.log(2)
+        )
+
+    def test_entropy_layout_invariant(self):
+        """Swapping global/local qubits must not change the entropy."""
+        sv = StateVector(8, random_statevector(8, 3))
+        d = DistributedState.from_statevector(sv, 5)
+        before = distributed_entropy(d)
+        d.swap_global_set({0, 1, 2})
+        assert distributed_entropy(d) == pytest.approx(before)
+
+    def test_unnormalised_rejected(self):
+        d = DistributedState(6, 4)
+        d.storage.get(0)[0] = 2.0
+        with pytest.raises(ValueError, match="normalis"):
+            distributed_entropy(d)

@@ -1,0 +1,72 @@
+"""Tests for heavy-output generation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.heavy_output import (
+    PORTER_THOMAS_HOG_SCORE,
+    heavy_output_probability,
+    heavy_output_score,
+    heavy_outputs,
+)
+from repro.circuit import generate_supremacy_circuit
+from repro.statevector import Simulator, StateVector
+from repro.statevector.measure import sample_bitstrings
+
+
+@pytest.fixture(scope="module")
+def supremacy_probs():
+    circ = generate_supremacy_circuit(12, 20, seed=0)
+    state = Simulator(12).run(circ).state
+    return state, state.probabilities()
+
+
+class TestHeavyOutputs:
+    def test_heavy_set_is_above_median(self):
+        probs = np.array([0.1, 0.2, 0.3, 0.4])
+        heavy = heavy_outputs(probs)
+        assert set(heavy) == {2, 3}
+
+    def test_uniform_has_empty_heavy_set(self):
+        probs = np.full(16, 1 / 16)
+        assert heavy_outputs(probs).size == 0
+        assert heavy_output_probability(probs) == 0.0
+
+    def test_porter_thomas_mass(self, supremacy_probs):
+        """Supremacy output: heavy mass ~ (1 + ln2)/2 ~ 0.8466."""
+        _, probs = supremacy_probs
+        assert heavy_output_probability(probs) == pytest.approx(
+            PORTER_THOMAS_HOG_SCORE, abs=0.02
+        )
+
+    def test_ideal_sampler_score(self, supremacy_probs):
+        state, probs = supremacy_probs
+        samples = sample_bitstrings(state, 8000, seed=1)
+        assert heavy_output_score(samples, probs) == pytest.approx(
+            PORTER_THOMAS_HOG_SCORE, abs=0.03
+        )
+
+    def test_uniform_sampler_scores_half(self, supremacy_probs):
+        _, probs = supremacy_probs
+        uniform = np.random.default_rng(2).integers(0, len(probs), 8000)
+        assert heavy_output_score(uniform, probs) == pytest.approx(0.5, abs=0.03)
+
+    def test_quantum_volume_threshold(self, supremacy_probs):
+        """The QV pass line: ideal sampler > 2/3, uniform sampler < 2/3."""
+        state, probs = supremacy_probs
+        ideal = sample_bitstrings(state, 4000, seed=3)
+        uniform = np.random.default_rng(4).integers(0, len(probs), 4000)
+        assert heavy_output_score(ideal, probs) > 2 / 3
+        assert heavy_output_score(uniform, probs) < 2 / 3
+
+    def test_structured_state_below_pt(self):
+        """The uniform superposition has no heavy outputs at all."""
+        probs = StateVector(8, init="plus").probabilities()
+        assert heavy_output_probability(probs) == pytest.approx(0.0)
+
+    def test_validation(self, supremacy_probs):
+        _, probs = supremacy_probs
+        with pytest.raises(ValueError, match="1-D"):
+            heavy_output_score(np.zeros((2, 2), dtype=int), probs)
+        with pytest.raises(ValueError, match="range"):
+            heavy_output_score(np.array([len(probs)]), probs)

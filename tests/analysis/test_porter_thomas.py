@@ -1,0 +1,68 @@
+"""Tests for the Porter-Thomas analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    porter_thomas_entropy_nats,
+    porter_thomas_kl_divergence,
+    porter_thomas_pdf,
+    shannon_entropy,
+)
+from repro.circuit import generate_supremacy_circuit
+from repro.statevector import Simulator, StateVector
+
+
+class TestPdf:
+    def test_normalised(self):
+        n = 10
+        p = np.linspace(0, 50 / (1 << n), 20_000)
+        density = porter_thomas_pdf(p, n)
+        integral = np.trapezoid(density, p)
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            porter_thomas_pdf(np.array([-0.1]), 4)
+
+
+class TestEntropy:
+    def test_formula(self):
+        # ln(2^n) - 1 + gamma
+        assert porter_thomas_entropy_nats(10) == pytest.approx(
+            10 * np.log(2) - 1 + 0.5772156649, abs=1e-9
+        )
+
+    def test_supremacy_circuit_converges_to_pt_entropy(self):
+        """The headline physics check: deep supremacy circuits produce
+        Porter-Thomas-entropy output."""
+        n = 12
+        circ = generate_supremacy_circuit(n, 20, seed=0)
+        sv = Simulator(n).run(circ).state
+        h = shannon_entropy(sv.probabilities())
+        assert h == pytest.approx(porter_thomas_entropy_nats(n), abs=0.05)
+
+    def test_shallow_circuit_below_pt_entropy(self):
+        n = 12
+        circ = generate_supremacy_circuit(n, 2, seed=0)
+        sv = Simulator(n).run(circ).state
+        h = shannon_entropy(sv.probabilities())
+        # Shallow circuits have not scrambled yet.
+        assert abs(h - porter_thomas_entropy_nats(n)) > 0.15
+
+
+class TestKl:
+    def test_deep_circuit_small_kl(self):
+        n = 12
+        circ = generate_supremacy_circuit(n, 20, seed=1)
+        probs = Simulator(n).run(circ).state.probabilities()
+        assert porter_thomas_kl_divergence(probs, n) < 0.02
+
+    def test_uniform_state_large_kl(self):
+        n = 10
+        probs = StateVector(n, init="plus").probabilities()
+        assert porter_thomas_kl_divergence(probs, n) > 0.5
+
+    def test_basis_state_large_kl(self):
+        probs = StateVector.basis_state(10, 7).probabilities()
+        assert porter_thomas_kl_divergence(probs, 10) > 0.5

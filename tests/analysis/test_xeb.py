@@ -1,0 +1,51 @@
+"""Tests for cross-entropy benchmarking fidelities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import linear_xeb_fidelity, log_xeb_fidelity
+from repro.circuit import generate_supremacy_circuit
+from repro.statevector import Simulator
+from repro.statevector.measure import sample_bitstrings
+
+
+@pytest.fixture(scope="module")
+def supremacy_output():
+    n = 12
+    circ = generate_supremacy_circuit(n, 20, seed=0)
+    state = Simulator(n).run(circ).state
+    return state, state.probabilities()
+
+
+class TestXeb:
+    def test_ideal_sampler_near_one(self, supremacy_output):
+        state, probs = supremacy_output
+        samples = sample_bitstrings(state, 6000, seed=1)
+        assert linear_xeb_fidelity(samples, probs) == pytest.approx(1.0, abs=0.15)
+        assert log_xeb_fidelity(samples, probs) == pytest.approx(1.0, abs=0.15)
+
+    def test_uniform_sampler_near_zero(self, supremacy_output):
+        _, probs = supremacy_output
+        uniform = np.random.default_rng(2).integers(0, len(probs), 6000)
+        assert abs(linear_xeb_fidelity(uniform, probs)) < 0.15
+        assert abs(log_xeb_fidelity(uniform, probs)) < 0.15
+
+    def test_mixture_interpolates(self, supremacy_output):
+        """A depolarised sampler with fidelity f scores ~f."""
+        state, probs = supremacy_output
+        rng = np.random.default_rng(3)
+        ideal = sample_bitstrings(state, 6000, seed=4)
+        uniform = rng.integers(0, len(probs), 6000)
+        mask = rng.random(6000) < 0.5
+        mixed = np.where(mask, ideal, uniform)
+        assert linear_xeb_fidelity(mixed, probs) == pytest.approx(0.5, abs=0.15)
+
+    def test_out_of_range_sample(self, supremacy_output):
+        _, probs = supremacy_output
+        with pytest.raises(ValueError, match="out of range"):
+            linear_xeb_fidelity(np.array([len(probs)]), probs)
+
+    def test_non_1d_samples(self, supremacy_output):
+        _, probs = supremacy_output
+        with pytest.raises(ValueError, match="1-D"):
+            linear_xeb_fidelity(np.zeros((2, 2), dtype=int), probs)

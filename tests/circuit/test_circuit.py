@@ -1,0 +1,104 @@
+"""Tests for the Circuit container."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.gates import Gate
+from repro.gates.matrices import H_MATRIX, T_MATRIX
+
+
+def tiny_circuit() -> Circuit:
+    return Circuit(
+        3, [Gate("h", (0,)), Gate("cz", (0, 1)), Gate("t", (1,)), Gate("h", (2,))]
+    )
+
+
+class TestConstruction:
+    def test_append_and_len(self):
+        c = Circuit(2)
+        c.append(Gate("h", (0,))).append(Gate("cz", (0, 1)))
+        assert len(c) == 2
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Circuit(2).append(Gate("h", (2,)))
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            Circuit(2).append("h")
+
+    def test_bad_num_qubits(self):
+        with pytest.raises(ValueError):
+            Circuit(0)
+
+    def test_getitem_and_slice(self):
+        c = tiny_circuit()
+        assert c[1].name == "cz"
+        assert isinstance(c[1:3], Circuit)
+        assert len(c[1:3]) == 2
+
+    def test_iteration_order(self):
+        assert [g.name for g in tiny_circuit()] == ["h", "cz", "t", "h"]
+
+    def test_equality(self):
+        assert tiny_circuit() == tiny_circuit()
+        assert tiny_circuit() != Circuit(3)
+
+
+class TestQueries:
+    def test_gate_indices_by_qubit(self):
+        per_qubit = tiny_circuit().gate_indices_by_qubit()
+        assert per_qubit[0] == [0, 1]
+        assert per_qubit[1] == [1, 2]
+        assert per_qubit[2] == [3]
+
+    def test_used_qubits(self):
+        assert tiny_circuit().used_qubits() == {0, 1, 2}
+
+    def test_max_gate_size(self):
+        assert tiny_circuit().max_gate_size() == 2
+        assert Circuit(2).max_gate_size() == 0
+
+    def test_order_preserved_true_for_commuting_reorder(self):
+        a = Circuit(3, [Gate("h", (0,)), Gate("h", (2,))])
+        b = Circuit(3, [Gate("h", (2,)), Gate("h", (0,))])
+        assert a.same_qubit_order_preserved(b)
+
+    def test_order_preserved_false_for_same_qubit_swap(self):
+        a = Circuit(1, [Gate("h", (0,)), Gate("t", (0,))])
+        b = Circuit(1, [Gate("t", (0,)), Gate("h", (0,))])
+        assert not a.same_qubit_order_preserved(b)
+
+    def test_order_preserved_false_for_missing_gate(self):
+        a = tiny_circuit()
+        b = Circuit(3, a.gates[:-1])
+        assert not a.same_qubit_order_preserved(b)
+
+
+class TestTransforms:
+    def test_remap_bijection_required(self):
+        with pytest.raises(ValueError, match="bijection"):
+            tiny_circuit().remap({0: 0, 1: 0, 2: 2})
+
+    def test_remap_changes_qubits(self):
+        c = tiny_circuit().remap({0: 2, 1: 1, 2: 0})
+        assert c[0].qubits == (2,)
+        assert c[1].qubits == (2, 1)
+
+    def test_remap_sequence_form(self):
+        c = tiny_circuit().remap([2, 1, 0])
+        assert c[3].qubits == (0,)
+
+    def test_dagger_inverts(self):
+        c = Circuit(2, [Gate("h", (0,)), Gate("t", (0,)), Gate("cz", (0, 1))])
+        combined = c.dagger().unitary() @ c.unitary()
+        assert np.allclose(combined, np.eye(4), atol=1e-10)
+
+    def test_unitary_small(self):
+        c = Circuit(1, [Gate("h", (0,)), Gate("t", (0,))])
+        assert np.allclose(c.unitary(), T_MATRIX @ H_MATRIX)
+
+    def test_unitary_refuses_large(self):
+        with pytest.raises(ValueError, match="refusing"):
+            Circuit(13).unitary()

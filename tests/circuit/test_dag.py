@@ -1,0 +1,59 @@
+"""Tests for the circuit dependency DAG."""
+
+import networkx as nx
+
+from repro.circuit import Circuit, circuit_dag, critical_path_length
+from repro.circuit.dag import frontier_gates
+from repro.gates import Gate
+
+
+def chain_circuit() -> Circuit:
+    return Circuit(
+        3,
+        [
+            Gate("h", (0,)),        # 0
+            Gate("cz", (0, 1)),     # 1 depends on 0
+            Gate("h", (2,)),        # 2 independent
+            Gate("cz", (1, 2)),     # 3 depends on 1 and 2
+            Gate("t", (0,)),        # 4 depends on 1
+        ],
+    )
+
+
+class TestDag:
+    def test_edges(self):
+        dag = circuit_dag(chain_circuit())
+        assert set(dag.edges()) == {(0, 1), (1, 3), (2, 3), (1, 4)}
+
+    def test_is_dag(self):
+        assert nx.is_directed_acyclic_graph(circuit_dag(chain_circuit()))
+
+    def test_node_attributes(self):
+        dag = circuit_dag(chain_circuit())
+        assert dag.nodes[1]["gate"].name == "cz"
+
+    def test_critical_path(self):
+        # 0 -> 1 -> 3 is the longest chain: length 3.
+        assert critical_path_length(chain_circuit()) == 3
+
+    def test_critical_path_empty(self):
+        assert critical_path_length(Circuit(2)) == 0
+
+    def test_critical_path_parallel_gates(self):
+        c = Circuit(4, [Gate("h", (q,)) for q in range(4)])
+        assert critical_path_length(c) == 1
+
+
+class TestFrontier:
+    def test_initial_frontier(self):
+        dag = circuit_dag(chain_circuit())
+        assert frontier_gates(dag, set()) == [0, 2]
+
+    def test_frontier_advances(self):
+        dag = circuit_dag(chain_circuit())
+        assert frontier_gates(dag, {0}) == [1, 2]
+        assert frontier_gates(dag, {0, 1, 2}) == [3, 4]
+
+    def test_frontier_done(self):
+        dag = circuit_dag(chain_circuit())
+        assert frontier_gates(dag, {0, 1, 2, 3, 4}) == []

@@ -1,0 +1,35 @@
+"""Tests for circuit statistics."""
+
+from repro.circuit import Circuit, circuit_stats, generate_supremacy_circuit
+from repro.gates import Gate
+
+
+class TestCircuitStats:
+    def test_counts_by_name_and_size(self):
+        c = Circuit(
+            3, [Gate("h", (0,)), Gate("h", (1,)), Gate("cz", (0, 1)), Gate("t", (2,))]
+        )
+        s = circuit_stats(c)
+        assert s.total_gates == 4
+        assert s.counts_by_name == {"h": 2, "cz": 1, "t": 1}
+        assert s.counts_by_size == {1: 3, 2: 1}
+        assert s.single_qubit_gates == 3
+        assert s.two_qubit_gates == 1
+
+    def test_diagonal_count(self):
+        c = Circuit(2, [Gate("cz", (0, 1)), Gate("t", (0,)), Gate("h", (1,))])
+        assert circuit_stats(c).diagonal_gates == 2
+
+    def test_empty_circuit(self):
+        s = circuit_stats(Circuit(4))
+        assert s.total_gates == 0
+        assert s.critical_path == 0
+
+    def test_supremacy_composition(self):
+        circ = generate_supremacy_circuit(16, 10, seed=0)
+        s = circuit_stats(circ)
+        assert s.counts_by_name["h"] == 16
+        assert s.counts_by_name["cz"] == s.two_qubit_gates
+        assert s.total_gates == len(circ)
+        # Depth-10 circuit: critical path spans many cycles.
+        assert s.critical_path >= 10

@@ -1,0 +1,141 @@
+"""Tests for the supremacy-circuit generator (Fig. 1 rules)."""
+
+import pytest
+
+from repro.circuit import (
+    GridSpec,
+    circuit_stats,
+    cz_layer_pairs,
+    generate_supremacy_circuit,
+    grid_for_qubits,
+)
+
+
+class TestGridSpec:
+    def test_indexing_roundtrip(self):
+        g = GridSpec(4, 5)
+        for r in range(4):
+            for c in range(5):
+                assert g.position(g.qubit(r, c)) == (r, c)
+
+    def test_edges_count(self):
+        g = GridSpec(3, 3)
+        # 3x3 grid: 2*3 horizontal + 3*2 vertical = 12 edges.
+        assert len(g.edges()) == 12
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            GridSpec(0, 3)
+
+    def test_paper_grids(self):
+        assert grid_for_qubits(30) == GridSpec(6, 5)
+        assert grid_for_qubits(36) == GridSpec(6, 6)
+        assert grid_for_qubits(42) == GridSpec(7, 6)
+        assert grid_for_qubits(45) == GridSpec(9, 5)
+        assert grid_for_qubits(49) == GridSpec(7, 7)
+
+    def test_fallback_grid_square(self):
+        g = grid_for_qubits(16)
+        assert g.num_qubits == 16 and g.rows == g.cols == 4
+
+
+class TestCzPatterns:
+    @pytest.mark.parametrize("rows,cols", [(6, 6), (6, 5), (7, 6), (3, 4)])
+    def test_all_edges_once_per_8_cycles(self, rows, cols):
+        """The defining Fig. 1 property: every nearest-neighbour pair
+        interacts exactly once every 8 cycles."""
+        g = GridSpec(rows, cols)
+        covered: dict[tuple[int, int], int] = {}
+        for layer in range(8):
+            for pair in cz_layer_pairs(g, layer):
+                key = tuple(sorted(pair))
+                covered[key] = covered.get(key, 0) + 1
+        assert set(covered) == {tuple(sorted(e)) for e in g.edges()}
+        assert all(v == 1 for v in covered.values())
+
+    def test_pattern_period_8(self):
+        g = GridSpec(5, 5)
+        assert cz_layer_pairs(g, 3) == cz_layer_pairs(g, 11)
+
+    def test_pairs_are_neighbours(self):
+        g = GridSpec(6, 6)
+        for layer in range(8):
+            for a, b in cz_layer_pairs(g, layer):
+                (ra, ca), (rb, cb) = g.position(a), g.position(b)
+                assert abs(ra - rb) + abs(ca - cb) == 1
+
+
+class TestGenerator:
+    def test_cycle0_hadamards(self):
+        circ = generate_supremacy_circuit(9, 4, seed=0)
+        head = circ.gates[:9]
+        assert all(g.name == "h" and g.cycle == 0 for g in head)
+        assert {g.qubits[0] for g in head} == set(range(9))
+
+    def test_skip_hadamards_option(self):
+        circ = generate_supremacy_circuit(9, 4, seed=0, include_initial_hadamards=False)
+        assert all(g.name != "h" for g in circ)
+
+    def test_gate_counts_match_table1(self):
+        """Total gate counts vs Table 1 (369/447/528/569): 30 qubits exact,
+        the rest within the +-6 documented in EXPERIMENTS.md."""
+        paper = {30: 369, 36: 447, 42: 528, 45: 569}
+        for nq, expected in paper.items():
+            stats = circuit_stats(generate_supremacy_circuit(nq, 25, seed=0))
+            assert abs(stats.total_gates - expected) <= 6
+        assert circuit_stats(generate_supremacy_circuit(30, 25, seed=0)).total_gates == 369
+
+    def test_counts_seed_independent(self):
+        # Placement is deterministic; only gate identity is random.
+        a = circuit_stats(generate_supremacy_circuit(36, 25, seed=1))
+        b = circuit_stats(generate_supremacy_circuit(36, 25, seed=99))
+        assert a.total_gates == b.total_gates
+        assert a.two_qubit_gates == b.two_qubit_gates
+
+    def test_single_qubit_gate_rules(self):
+        """Second 1q gate per qubit is T; consecutive 1q gates differ."""
+        circ = generate_supremacy_circuit(16, 25, seed=3)
+        history: dict[int, list[str]] = {q: [] for q in range(16)}
+        for gate in circ:
+            if gate.num_qubits == 1 and gate.name != "h":
+                history[gate.qubits[0]].append(gate.name)
+        for q, names in history.items():
+            if names:
+                assert names[0] == "t", f"first non-H 1q gate on {q} is {names[0]}"
+            for a, b in zip(names, names[1:]):
+                assert a != b, f"consecutive identical 1q gates on {q}"
+
+    def test_single_qubit_placement_rule(self):
+        """A 1q gate at cycle t implies a CZ at t-1 and none at t."""
+        grid = GridSpec(4, 4)
+        circ = generate_supremacy_circuit(grid, 16, seed=2)
+        cz_qubits: dict[int, set[int]] = {}
+        for gate in circ:
+            if gate.name == "cz":
+                cz_qubits.setdefault(gate.cycle, set()).update(gate.qubits)
+        for gate in circ:
+            if gate.num_qubits == 1 and gate.name != "h":
+                q, t = gate.qubits[0], gate.cycle
+                assert q in cz_qubits.get(t - 1, set())
+                assert q not in cz_qubits.get(t, set())
+
+    def test_trailing_singles_toggle(self):
+        with_t = generate_supremacy_circuit(16, 9, seed=0)
+        without = generate_supremacy_circuit(16, 9, seed=0, include_trailing_singles=False)
+        assert len(with_t) > len(without)
+
+    def test_deterministic_per_seed(self):
+        assert generate_supremacy_circuit(9, 10, seed=5) == generate_supremacy_circuit(
+            9, 10, seed=5
+        )
+        assert generate_supremacy_circuit(9, 10, seed=5) != generate_supremacy_circuit(
+            9, 10, seed=6
+        )
+
+    def test_depth_zero(self):
+        circ = generate_supremacy_circuit(9, 0, seed=0)
+        assert len(circ) == 9  # just the Hadamard layer
+
+    def test_negative_depth(self):
+        with pytest.raises(ValueError):
+            generate_supremacy_circuit(9, -1)

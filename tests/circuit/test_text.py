@@ -1,0 +1,66 @@
+"""Tests for the circuit text format."""
+
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    circuit_from_text,
+    circuit_to_text,
+    generate_supremacy_circuit,
+)
+from repro.gates import Gate, random_unitary
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        c = Circuit(3, [Gate("h", (0,)), Gate("cz", (0, 2)), Gate("t", (1,))])
+        assert circuit_from_text(circuit_to_text(c)) == c
+
+    def test_supremacy_roundtrip_with_cycles(self):
+        c = generate_supremacy_circuit(9, 10, seed=4)
+        back = circuit_from_text(circuit_to_text(c))
+        assert back == c
+        assert [g.cycle for g in back] == [g.cycle for g in c]
+
+    def test_custom_matrix_rejected(self):
+        c = Circuit(2, [Gate("rand", (0,), random_unitary(1, 0))])
+        with pytest.raises(ValueError, match="not a named gate"):
+            circuit_to_text(c)
+
+    def test_tampered_named_matrix_rejected(self):
+        c = Circuit(1, [Gate("h", (0,), random_unitary(1, 3))])
+        with pytest.raises(ValueError, match="custom matrix"):
+            circuit_to_text(c)
+
+
+class TestParsing:
+    def test_comments_and_blanks(self):
+        text = """
+        # a comment
+        qubits 2
+
+        h 0  # inline comment
+        cz 0 1
+        """
+        c = circuit_from_text(text)
+        assert len(c) == 2
+
+    def test_cycle_tag(self):
+        c = circuit_from_text("qubits 1\nt 0 @cycle=3\n")
+        assert c[0].cycle == 3
+
+    def test_missing_header(self):
+        with pytest.raises(ValueError, match="header"):
+            circuit_from_text("h 0\n")
+
+    def test_duplicate_header(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            circuit_from_text("qubits 2\nqubits 2\n")
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            circuit_from_text("# nothing\n")
+
+    def test_gate_without_qubits(self):
+        with pytest.raises(ValueError, match="no qubits"):
+            circuit_from_text("qubits 2\nh\n")

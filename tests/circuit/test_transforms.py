@@ -1,0 +1,98 @@
+"""Tests for circuit transformations."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, generate_supremacy_circuit
+from repro.circuit.transforms import (
+    drop_final_diagonal_gates,
+    merge_single_qubit_runs,
+)
+from repro.gates import Gate
+from repro.statevector import Simulator
+
+
+class TestDropFinalDiagonals:
+    def test_drops_trailing_cz(self):
+        """The paper's exact optimization: final CZ gates are skipped."""
+        c = Circuit(3, [Gate("h", (0,)), Gate("cz", (0, 1)), Gate("cz", (1, 2))])
+        reduced = drop_final_diagonal_gates(c)
+        assert [g.name for g in reduced] == ["h"]
+
+    def test_keeps_diagonal_before_dense(self):
+        c = Circuit(2, [Gate("cz", (0, 1)), Gate("h", (0,))])
+        reduced = drop_final_diagonal_gates(c)
+        # CZ has a dense successor on qubit 0: must stay.
+        assert len(reduced) == 2
+
+    def test_cascading_removal(self):
+        """T before a removable CZ is itself removable."""
+        c = Circuit(2, [Gate("h", (0,)), Gate("t", (0,)), Gate("cz", (0, 1))])
+        reduced = drop_final_diagonal_gates(c)
+        assert [g.name for g in reduced] == ["h"]
+
+    def test_probabilities_exactly_preserved(self):
+        circ = generate_supremacy_circuit(10, 12, seed=3)
+        reduced = drop_final_diagonal_gates(circ)
+        assert len(reduced) < len(circ)
+        full = Simulator(10).run(circ).state
+        cut = Simulator(10).run(reduced).state
+        assert np.allclose(full.probabilities(), cut.probabilities(), atol=1e-12)
+
+    def test_partial_dense_successor_blocks(self):
+        # CZ(0,1): dense successor on qubit 1 only — still must stay.
+        c = Circuit(2, [Gate("cz", (0, 1)), Gate("h", (1,))])
+        assert len(drop_final_diagonal_gates(c)) == 2
+
+    def test_idempotent(self):
+        circ = generate_supremacy_circuit(9, 8, seed=1)
+        once = drop_final_diagonal_gates(circ)
+        twice = drop_final_diagonal_gates(once)
+        assert once == twice
+
+
+class TestMergeSingleQubitRuns:
+    def test_merges_adjacent_pair(self):
+        c = Circuit(1, [Gate("h", (0,)), Gate("t", (0,))])
+        merged = merge_single_qubit_runs(c)
+        assert len(merged) == 1
+        assert np.allclose(
+            merged[0].matrix, Gate("t", (0,)).matrix @ Gate("h", (0,)).matrix
+        )
+
+    def test_interruption_by_two_qubit_gate(self):
+        c = Circuit(
+            2, [Gate("h", (0,)), Gate("cz", (0, 1)), Gate("t", (0,))]
+        )
+        merged = merge_single_qubit_runs(c)
+        assert len(merged) == 3  # CZ breaks the run
+
+    def test_independent_qubits_merge_separately(self):
+        c = Circuit(
+            2,
+            [Gate("h", (0,)), Gate("h", (1,)), Gate("t", (0,)), Gate("t", (1,))],
+        )
+        merged = merge_single_qubit_runs(c)
+        assert len(merged) == 2
+
+    def test_unitary_preserved(self):
+        circ = generate_supremacy_circuit(8, 10, seed=2)
+        merged = merge_single_qubit_runs(circ)
+        assert len(merged) <= len(circ)
+        a = Simulator(8).run(circ).state
+        b = Simulator(8).run(merged).state
+        assert a.allclose(b, atol=1e-9)
+
+    def test_merged_name_chains(self):
+        c = Circuit(1, [Gate("h", (0,)), Gate("t", (0,)), Gate("s", (0,))])
+        merged = merge_single_qubit_runs(c)
+        assert merged[0].name == "merged[h;t;s]"
+
+    def test_reduces_supremacy_gate_count(self):
+        """Supremacy circuits have no adjacent 1q runs past the H layer
+        (by design), so merging should barely change them — the property
+        the paper exploits when calling them 'least suitable'."""
+        circ = generate_supremacy_circuit(12, 12, seed=0)
+        merged = merge_single_qubit_runs(circ)
+        # Only trailing/boundary coincidences merge, if any.
+        assert len(circ) - len(merged) <= 12

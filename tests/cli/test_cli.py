@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--qubits", "9", "--depth", "8"]
+        )
+        assert args.command == "generate"
+        assert args.qubits == 9
+
+
+class TestGenerate:
+    def test_stdout(self, capsys):
+        assert main(["generate", "--qubits", "9", "--depth", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("qubits 9")
+        assert "cz" in out
+
+    def test_file_output_parses_back(self, tmp_path, capsys):
+        path = tmp_path / "circ.txt"
+        assert main(
+            ["generate", "--qubits", "9", "--depth", "4", "--output", str(path)]
+        ) == 0
+        from repro.circuit import circuit_from_text
+
+        circ = circuit_from_text(path.read_text())
+        assert circ.num_qubits == 9
+
+
+class TestSchedule:
+    def test_summary_printed(self, capsys):
+        code = main(
+            ["schedule", "--qubits", "12", "--depth", "8", "--local-qubits", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "num_swaps" in out
+        assert "num_clusters" in out
+
+    def test_save_json(self, tmp_path, capsys):
+        path = tmp_path / "sched.json"
+        code = main(
+            [
+                "schedule", "--qubits", "9", "--depth", "6",
+                "--local-qubits", "6", "--save", str(path),
+            ]
+        )
+        assert code == 0
+        from repro.io import load_schedule_json
+
+        assert load_schedule_json(path).num_qubits == 9
+
+    def test_from_circuit_file(self, tmp_path, capsys):
+        circ_path = tmp_path / "c.txt"
+        main(["generate", "--qubits", "9", "--depth", "6", "--output", str(circ_path)])
+        capsys.readouterr()
+        code = main(
+            ["schedule", "--circuit", str(circ_path), "--local-qubits", "6"]
+        )
+        assert code == 0
+
+    def test_missing_input(self, capsys):
+        assert main(["schedule", "--local-qubits", "6"]) == 2
+
+
+class TestSimulate:
+    def test_single_node(self, capsys):
+        code = main(["simulate", "--qubits", "8", "--depth", "8"])
+        assert code == 0
+        assert "entropy" in capsys.readouterr().out
+
+    def test_distributed_with_shots(self, capsys):
+        code = main(
+            [
+                "simulate", "--qubits", "10", "--depth", "8",
+                "--local-qubits", "7", "--shots", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all-to-all" in out
+        assert "top outcomes" in out
+
+    def test_size_guard(self, capsys):
+        assert main(["simulate", "--qubits", "30"]) == 2
+
+
+class TestExperiments:
+    def test_fig8_series(self, capsys):
+        assert main(["experiments", "fig8", "--qubits", "36"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert out.count("\n") >= 4
+
+    def test_unknown_name_rejected(self):
+        import pytest as _pytest
+
+        with _pytest.raises(SystemExit):
+            main(["experiments", "fig99"])
+
+
+class TestProject:
+    def test_table2_row(self, capsys):
+        code = main(["project", "--qubits", "36", "--nodes", "64", "--depth", "25"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup vs [5]" in out
+        assert "PFLOPS" in out
+
+    def test_rejects_non_power_nodes(self, capsys):
+        assert main(["project", "--qubits", "36", "--nodes", "63"]) == 2

@@ -1,0 +1,48 @@
+"""Tests for the autotuner (the benchmarking feedback loop)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import AutoTuner
+from repro.gates import random_unitary
+from repro.kernels import apply_gate_reference
+from repro.util.rng import random_statevector
+
+
+class TestAutoTuner:
+    def test_tune_produces_timings_for_all_candidates(self):
+        tuner = AutoTuner(repeats=1)
+        result = tuner.tune(10, (2, 6))
+        assert result.strategy in result.timings
+        assert any(label.startswith("indexed") for label in result.timings)
+        assert "generated" in result.timings
+        assert "reference" in result.timings
+        assert "split-real" in result.timings
+        assert result.seconds_per_call == min(result.timings.values())
+
+    def test_winner_is_fastest(self):
+        result = AutoTuner(repeats=1).tune(10, (4,))
+        assert result.timings[result.strategy] == result.seconds_per_call
+        assert result.speedup_over(result.strategy) == pytest.approx(1.0)
+
+    def test_cache(self):
+        tuner = AutoTuner(repeats=1)
+        r1 = tuner.tune(10, (1, 3))
+        r2 = tuner.tune(10, (1, 3))
+        assert r1 is r2
+
+    def test_apply_is_correct(self, rng):
+        tuner = AutoTuner(repeats=1)
+        n = 10
+        for qubits in [(0,), (9,), (3, 7), (8, 1, 5)]:
+            u = random_unitary(len(qubits), rng)
+            s0 = random_statevector(n, rng).copy()
+            a = s0.copy()
+            apply_gate_reference(a, u, qubits)
+            b = s0.copy()
+            tuner.apply(b, u, qubits)
+            assert np.allclose(a, b, atol=1e-10), qubits
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            AutoTuner(repeats=0)

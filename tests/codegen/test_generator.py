@@ -1,0 +1,87 @@
+"""Tests for the kernel code generator."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import (
+    generate_einsum_kernel,
+    generate_single_qubit_kernel,
+    generated_kernel,
+)
+from repro.codegen.generator import clear_kernel_cache
+from repro.gates import random_unitary
+from repro.kernels import apply_gate_reference
+from repro.util.rng import random_statevector
+
+
+class TestSingleQubitKernel:
+    @pytest.mark.parametrize("qubit", [0, 3, 7])
+    def test_matches_reference(self, qubit, rng):
+        n = 8
+        fn, src = generate_single_qubit_kernel(n, qubit)
+        u = random_unitary(1, rng)
+        s0 = random_statevector(n, rng).copy()
+        a = s0.copy()
+        apply_gate_reference(a, u, (qubit,))
+        b = s0.copy()
+        fn(b, u)
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_source_contains_constants(self):
+        _, src = generate_single_qubit_kernel(6, 2)
+        assert "reshape(8, 2, 4)" in src  # 2^(6-1-2), 2, 2^2
+        assert "def kernel_1q_n6_q2" in src
+
+    def test_in_place(self, rng):
+        fn, _ = generate_single_qubit_kernel(5, 1)
+        s0 = random_statevector(5, rng).copy()
+        out = fn(s0, random_unitary(1, rng))
+        assert out is s0
+
+
+class TestEinsumKernel:
+    @pytest.mark.parametrize(
+        "qubits", [(0, 1), (6, 2), (3, 7, 0), (5, 2, 7, 1)], ids=str
+    )
+    def test_matches_reference(self, qubits, rng):
+        n = 8
+        fn, _src = generate_einsum_kernel(n, qubits)
+        u = random_unitary(len(qubits), rng)
+        s0 = random_statevector(n, rng).copy()
+        a = s0.copy()
+        apply_gate_reference(a, u, qubits)
+        b = s0.copy()
+        fn(b, u)
+        assert np.allclose(a, b, atol=1e-10)
+
+    def test_source_has_subscripts(self):
+        _, src = generate_einsum_kernel(6, (1, 4))
+        assert "np.einsum(" in src
+        assert "->" in src
+
+    def test_adjacent_bits_collapse_axes(self):
+        # qubits (0, 1): layout is (free, 2, 2) — one free axis only.
+        _, src = generate_einsum_kernel(8, (0, 1))
+        assert "reshape(64, 2, 2)" in src
+
+
+class TestDispatchAndCache:
+    def test_dispatch_k1_uses_slicing(self):
+        clear_kernel_cache()
+        _, src = generated_kernel(6, (3,))
+        assert "kernel_1q" in src
+
+    def test_dispatch_k2_uses_einsum(self):
+        _, src = generated_kernel(6, (3, 0))
+        assert "einsum" in src
+
+    def test_cache_hit_returns_same_function(self):
+        clear_kernel_cache()
+        f1, _ = generated_kernel(7, (2, 5))
+        f2, _ = generated_kernel(7, (2, 5))
+        assert f1 is f2
+
+    def test_cache_distinguishes_qubit_order(self):
+        f1, _ = generated_kernel(7, (2, 5))
+        f2, _ = generated_kernel(7, (5, 2))
+        assert f1 is not f2

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, generate_supremacy_circuit
+from repro.gates import Gate, random_unitary
+from repro.util.rng import random_statevector
+
+
+@pytest.fixture
+def rng():
+    """A deterministically seeded generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_supremacy_circuit() -> Circuit:
+    """A 9-qubit (3x3) depth-8 supremacy circuit — fast to simulate."""
+    return generate_supremacy_circuit(9, 8, seed=7)
+
+
+@pytest.fixture
+def medium_supremacy_circuit() -> Circuit:
+    """A 16-qubit (4x4) depth-12 supremacy circuit."""
+    return generate_supremacy_circuit(16, 12, seed=11)
+
+
+def random_circuit(
+    num_qubits: int,
+    num_gates: int,
+    seed: int = 0,
+    *,
+    max_gate_qubits: int = 2,
+    include_diagonal: bool = True,
+) -> Circuit:
+    """A random circuit mixing dense and (optionally) diagonal gates."""
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits)
+    names_1q = ["h", "t", "x_1_2", "y_1_2", "x", "z"]
+    for _ in range(num_gates):
+        choice = rng.random()
+        if include_diagonal and choice < 0.3 and num_qubits >= 2:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.append(Gate("cz", (int(a), int(b))))
+        elif choice < 0.6:
+            name = names_1q[int(rng.integers(len(names_1q)))]
+            circuit.append(Gate(name, (int(rng.integers(num_qubits)),)))
+        else:
+            k = int(rng.integers(1, max_gate_qubits + 1))
+            qubits = tuple(
+                int(q) for q in rng.choice(num_qubits, size=k, replace=False)
+            )
+            circuit.append(Gate("rand", qubits, random_unitary(k, rng)))
+    return circuit
+
+
+@pytest.fixture
+def haar_state():
+    """Factory for random normalised states."""
+
+    def make(num_qubits: int, seed: int = 0):
+        return random_statevector(num_qubits, seed).copy()
+
+    return make

@@ -1,0 +1,55 @@
+"""Tests for communication accounting."""
+
+import pytest
+
+from repro.distributed import CommStats
+
+
+class TestCommStats:
+    def test_alltoall_bytes(self):
+        s = CommStats()
+        s.record_alltoall(num_groups=1, group_size=4, shard_bytes=1024)
+        # each of 4 ranks ships 3/4 of its shard
+        assert s.bytes_on_network == 4 * (1024 * 3 // 4)
+        assert s.alltoall_steps == 1
+        assert s.group_alltoall_calls == 1
+
+    def test_group_local_swap_counts_one_step(self):
+        """2**(g-q) group-local all-to-alls proceed in parallel: 1 step."""
+        s = CommStats()
+        s.record_alltoall(num_groups=4, group_size=2, shard_bytes=512)
+        assert s.alltoall_steps == 1
+        assert s.group_alltoall_calls == 4
+        assert s.bytes_on_network == 4 * 2 * (512 // 2)
+
+    def test_renumbering_free(self):
+        s = CommStats()
+        s.record_rank_renumbering()
+        assert s.bytes_on_network == 0
+        assert s.rank_renumberings == 1
+
+    def test_local_swaps(self):
+        s = CommStats()
+        s.record_local_swap()
+        s.record_local_swap()
+        assert s.local_swap_kernels == 2
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            CommStats().record_alltoall(num_groups=0, group_size=2, shard_bytes=8)
+
+    def test_merge(self):
+        a, b = CommStats(), CommStats()
+        a.record_alltoall(num_groups=1, group_size=2, shard_bytes=64)
+        b.record_alltoall(num_groups=1, group_size=4, shard_bytes=64)
+        b.record_rank_renumbering()
+        a.merge(b)
+        assert a.alltoall_steps == 2
+        assert a.rank_renumberings == 1
+        assert len(a.events) == 3
+
+    def test_events_log(self):
+        s = CommStats()
+        s.record_alltoall(num_groups=2, group_size=2, shard_bytes=32)
+        assert s.events[0]["kind"] == "alltoall"
+        assert s.events[0]["bytes"] == s.bytes_on_network

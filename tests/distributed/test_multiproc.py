@@ -1,0 +1,81 @@
+"""Tests for the process-parallel schedule runner."""
+
+import pytest
+
+from repro.circuit import Circuit, generate_supremacy_circuit
+from repro.distributed import DistributedSimulator
+from repro.distributed.multiproc import MultiprocessRunner
+from repro.gates import Gate
+from repro.scheduling import GateOp, Schedule, SchedulerConfig, Stage, schedule_circuit
+from repro.scheduling.program import ClusterOp
+from repro.statevector import Simulator
+
+
+class TestMultiprocessRunner:
+    @pytest.mark.parametrize("n,l,absorb", [(10, 7, False), (11, 8, True)])
+    def test_matches_reference(self, n, l, absorb):
+        circ = generate_supremacy_circuit(n, 10, seed=3)
+        ref = Simulator(n).run(circ).state
+        sched = schedule_circuit(
+            circ,
+            SchedulerConfig(local_qubits=l, kmax=4, seed=1, absorb_diagonals=absorb),
+        )
+        got = MultiprocessRunner(n, l).run_schedule(sched)
+        assert got.allclose(ref, atol=1e-9)
+
+    def test_matches_in_process_distributed(self):
+        n, l = 10, 7
+        circ = generate_supremacy_circuit(n, 8, seed=5)
+        sched = schedule_circuit(circ, SchedulerConfig(local_qubits=l, seed=2))
+        in_process = DistributedSimulator(n, l).run_schedule(sched)
+        multiproc = MultiprocessRunner(n, l).run_schedule(sched)
+        assert multiproc.allclose(in_process.state.to_statevector(), atol=1e-12)
+
+    def test_handcrafted_monomial_gateop(self):
+        """Exercise the shard-movement path: an X on a global qubit."""
+        n, l = 6, 4
+        gates = [Gate("h", (0,)), Gate("x", (5,)), Gate("cz", (0, 5))]
+        circ = Circuit(n, gates)
+        sched = Schedule(
+            circuit=circ,
+            local_qubits=l,
+            stages=[
+                Stage(
+                    global_qubits=frozenset({4, 5}),
+                    ops=[
+                        ClusterOp(qubits=(0,), gates=(gates[0],)),
+                        GateOp(gates[1]),
+                        GateOp(gates[2]),
+                    ],
+                )
+            ],
+        )
+        sched.validate()
+        ref = Simulator(n).run(circ).state
+        got = MultiprocessRunner(n, l).run_schedule(sched)
+        assert got.allclose(ref, atol=1e-12)
+
+    def test_plus_init(self):
+        n, l = 9, 6
+        circ = generate_supremacy_circuit(n, 8, seed=7)
+        sched = schedule_circuit(
+            circ, SchedulerConfig(local_qubits=l, skip_initial_hadamards=True, seed=0)
+        )
+        assert sched.initial_state == "plus"
+        ref = Simulator(n).run(circ).state
+        got = MultiprocessRunner(n, l).run_schedule(sched)
+        assert got.allclose(ref, atol=1e-9)
+
+    def test_rank_cap(self):
+        with pytest.raises(ValueError, match="worker processes"):
+            MultiprocessRunner(20, 10)
+
+    def test_split_mismatch(self):
+        circ = generate_supremacy_circuit(9, 6, seed=0)
+        sched = schedule_circuit(circ, SchedulerConfig(local_qubits=6, seed=0))
+        with pytest.raises(ValueError, match="split"):
+            MultiprocessRunner(9, 7).run_schedule(sched)
+
+    def test_invalid_split(self):
+        with pytest.raises(ValueError):
+            MultiprocessRunner(4, 0)

@@ -1,0 +1,56 @@
+"""Property-based tests: distributed execution == serial, always."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import DistributedSimulator, DistributedState
+from repro.statevector import Simulator, StateVector
+from repro.util.rng import random_statevector
+
+from tests.conftest import random_circuit
+
+
+class TestDistributedEqualsSerial:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(0, 10_000),
+        st.integers(6, 9),
+        st.integers(3, 5),
+        st.integers(5, 25),
+    )
+    def test_random_circuits(self, seed, n, l, num_gates):
+        l = min(l, n - 1)
+        circ = random_circuit(n, num_gates, seed=seed)
+        ref = Simulator(n).run(circ).state
+        res = DistributedSimulator(n, l).run(circ, auto_swap=True)
+        assert res.state.to_statevector().allclose(ref, atol=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 3))
+    def test_swap_sequences_preserve_state(self, seed, num_swaps):
+        """Any sequence of global-set changes is a no-op on the state."""
+        n, l = 8, 5
+        sv = StateVector(n, random_statevector(n, seed))
+        d = DistributedState.from_statevector(sv, l)
+        rng = np.random.default_rng(seed)
+        for _ in range(num_swaps):
+            new_global = set(
+                int(q) for q in rng.choice(n, size=n - l, replace=False)
+            )
+            d.swap_global_set(new_global)
+            assert d.global_qubit_set() == new_global
+        assert d.to_statevector().allclose(sv, atol=1e-12)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_layout_independent_results(self, seed):
+        """The same circuit through different shard splits agrees."""
+        n = 8
+        circ = random_circuit(n, 15, seed=seed)
+        states = []
+        for l in (4, 6, 8):
+            res = DistributedSimulator(n, l).run(circ, auto_swap=True)
+            states.append(res.state.to_statevector())
+        assert states[0].allclose(states[1], atol=1e-9)
+        assert states[0].allclose(states[2], atol=1e-9)

@@ -1,0 +1,204 @@
+"""Tests for DistributedState: layout, swaps, specialization."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import DistributedState, NeedsSwapError
+from repro.gates import Gate, random_unitary
+from repro.statevector import StateVector
+from repro.util.rng import random_statevector
+
+
+def dist_from_random(n=8, l=5, seed=0) -> tuple[DistributedState, StateVector]:
+    sv = StateVector(n, random_statevector(n, seed))
+    return DistributedState.from_statevector(sv, l), sv
+
+
+class TestConstruction:
+    def test_zero_init(self):
+        d = DistributedState(6, 4)
+        sv = d.to_statevector()
+        assert sv.probability_of(0) == pytest.approx(1.0)
+
+    def test_plus_init(self):
+        d = DistributedState(6, 4, init="plus")
+        assert np.allclose(d.to_statevector().data, 2.0 ** (-3))
+
+    def test_scatter_gather_roundtrip(self):
+        d, sv = dist_from_random()
+        assert d.to_statevector().allclose(sv, atol=1e-12)
+
+    def test_initial_global_qubits_layout(self):
+        d = DistributedState(6, 4, initial_global_qubits={1, 3})
+        assert d.global_qubit_set() == {1, 3}
+        # zero state is layout-invariant
+        assert d.to_statevector().probability_of(0) == pytest.approx(1.0)
+
+    def test_initial_global_size_checked(self):
+        with pytest.raises(ValueError):
+            DistributedState(6, 4, initial_global_qubits={1})
+
+    def test_bad_local_qubits(self):
+        with pytest.raises(ValueError):
+            DistributedState(4, 0)
+
+    def test_norm(self):
+        d, _ = dist_from_random()
+        assert d.norm() == pytest.approx(1.0)
+
+
+class TestLocalGates:
+    def test_local_gate_matches_serial(self):
+        d, sv = dist_from_random()
+        g = Gate("rand", (1, 3), random_unitary(2, 0))
+        d.apply_gate(g)
+        sv.apply_gate(g)
+        assert d.to_statevector().allclose(sv, atol=1e-10)
+        assert d.stats.alltoall_steps == 0
+
+    def test_kernel_cost_recorded(self):
+        d, _ = dist_from_random()
+        d.apply_gate(Gate("h", (0,)))
+        assert d.kernel_cost.total_calls == 1
+
+
+class TestDiagonalSpecialization:
+    @pytest.mark.parametrize(
+        "gate",
+        [
+            Gate("t", (7,)),            # 1q diagonal on a global qubit
+            Gate("cz", (6, 7)),         # CZ global-global
+            Gate("cz", (2, 6)),         # CZ local-global
+            Gate("z", (5,)),            # Z on a global qubit
+        ],
+        ids=lambda g: f"{g.name}{g.qubits}",
+    )
+    def test_diagonal_global_no_comm(self, gate):
+        d, sv = dist_from_random()
+        d.apply_gate(gate)
+        sv.apply_gate(gate)
+        assert d.to_statevector().allclose(sv, atol=1e-12)
+        assert d.stats.alltoall_steps == 0
+        assert d.stats.rank_renumberings == 0
+
+
+class TestMonomialSpecialization:
+    @pytest.mark.parametrize(
+        "gate",
+        [
+            Gate("x", (7,)),            # X on global: pure renumbering
+            Gate("cnot", (6, 7)),       # both global
+            Gate("cnot", (7, 2)),       # global control, local target
+            Gate("swap", (5, 6)),       # swap two globals
+        ],
+        ids=lambda g: f"{g.name}{g.qubits}",
+    )
+    def test_monomial_global_no_comm(self, gate):
+        d, sv = dist_from_random()
+        d.apply_gate(gate)
+        sv.apply_gate(gate)
+        assert d.to_statevector().allclose(sv, atol=1e-12)
+        assert d.stats.alltoall_steps == 0
+
+    def test_cnot_local_control_global_target_needs_swap(self):
+        d, _ = dist_from_random()
+        with pytest.raises(NeedsSwapError):
+            d.apply_gate(Gate("cnot", (2, 7)))
+
+    def test_dense_global_needs_swap(self):
+        d, _ = dist_from_random()
+        with pytest.raises(NeedsSwapError):
+            d.apply_gate(Gate("h", (6,)))
+
+    def test_auto_swap_resolves(self):
+        d, sv = dist_from_random()
+        g = Gate("h", (6,))
+        d.apply_gate(g, auto_swap=True)
+        sv.apply_gate(g)
+        assert d.to_statevector().allclose(sv, atol=1e-10)
+        assert d.stats.alltoall_steps == 1
+
+
+class TestSwaps:
+    def test_swap_global_set_semantics(self):
+        d, sv = dist_from_random(n=8, l=5)
+        d.swap_global_set({0, 1, 2})
+        assert d.global_qubit_set() == {0, 1, 2}
+        assert d.to_statevector().allclose(sv, atol=1e-12)
+        assert d.stats.alltoall_steps == 1
+
+    def test_swap_noop_when_already_global(self):
+        d, _ = dist_from_random(n=8, l=5)
+        d.swap_global_set({5, 6, 7})
+        assert d.stats.alltoall_steps == 0
+
+    def test_partial_swap(self):
+        d, sv = dist_from_random(n=8, l=5)
+        # swap only qubit 7 out, qubit 0 in: q=1 group-local all-to-all
+        d.swap_global_set({0, 5, 6})
+        assert d.global_qubit_set() == {0, 5, 6}
+        assert d.to_statevector().allclose(sv, atol=1e-12)
+        assert d.stats.events[-1]["group_size"] == 2
+
+    def test_swap_all_global_to_local(self):
+        d, sv = dist_from_random(n=8, l=5)
+        d.swap_all_global_to_local()
+        assert d.global_qubit_set() == {0, 1, 2}  # lowest-bit victims
+        assert d.to_statevector().allclose(sv, atol=1e-12)
+
+    def test_make_local(self):
+        d, sv = dist_from_random(n=8, l=5)
+        d.make_local({6, 7})
+        assert d.is_local(6) and d.is_local(7)
+        assert d.to_statevector().allclose(sv, atol=1e-12)
+
+    def test_make_local_noop(self):
+        d, _ = dist_from_random(n=8, l=5)
+        d.make_local({0, 1})
+        assert d.stats.alltoall_steps == 0
+
+    def test_make_local_too_many(self):
+        d, _ = dist_from_random(n=8, l=5)
+        with pytest.raises(ValueError):
+            d.make_local({0, 1, 2, 3, 4, 7})
+
+    def test_swap_wrong_size(self):
+        d, _ = dist_from_random(n=8, l=5)
+        with pytest.raises(ValueError):
+            d.swap_global_set({1, 2})
+
+    def test_single_precision_distributed(self):
+        """Sec. 5: single precision halves memory; results stay faithful."""
+        import numpy as np
+
+        from repro.circuit import generate_supremacy_circuit
+        from repro.distributed import DistributedSimulator
+        from repro.statevector import Simulator
+
+        n, l = 9, 6
+        circ = generate_supremacy_circuit(n, 8, seed=1)
+        double = Simulator(n).run(circ).state
+        sim = DistributedSimulator(n, l, single_precision=True)
+        res = sim.run(circ, auto_swap=True)
+        assert res.state.storage.dtype == np.complex64
+        assert res.state.storage.shard_bytes == (1 << l) * 8
+        gathered = res.state.to_statevector()
+        assert abs(gathered.fidelity(double) - 1.0) < 1e-5
+
+    def test_single_precision_storage_mismatch_rejected(self):
+        import pytest as _pytest
+
+        from repro.distributed import InMemoryShards
+
+        storage = InMemoryShards(8, 32)  # complex128
+        with _pytest.raises(ValueError, match="single_precision"):
+            DistributedState(8, 5, storage=storage, single_precision=True)
+
+    def test_gates_after_swap_use_new_layout(self):
+        d, sv = dist_from_random(n=8, l=5)
+        d.swap_global_set({0, 1, 2})
+        g = Gate("rand", (7, 5), random_unitary(2, 4))  # now local
+        d.apply_gate(g)
+        sv.apply_gate(g)
+        assert d.to_statevector().allclose(sv, atol=1e-10)
+        assert d.stats.alltoall_steps == 1  # only the explicit swap

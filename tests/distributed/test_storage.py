@@ -1,0 +1,112 @@
+"""Tests for the shard storage backends."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import DiskShards, InMemoryShards
+
+
+@pytest.fixture(params=["memory", "disk"])
+def storage_factory(request, tmp_path):
+    def make(num_shards=4, shard_size=8):
+        if request.param == "memory":
+            return InMemoryShards(num_shards, shard_size)
+        return DiskShards(num_shards, shard_size, tmp_path)
+
+    return make
+
+
+class TestShardStorage:
+    def test_get_set_roundtrip(self, storage_factory):
+        st = storage_factory()
+        data = np.arange(8, dtype=np.complex128)
+        st.set(2, data)
+        assert np.array_equal(np.asarray(st.get(2)), data)
+
+    def test_set_validates_shape(self, storage_factory):
+        st = storage_factory()
+        with pytest.raises(ValueError):
+            st.set(0, np.zeros(5, dtype=np.complex128))
+
+    def test_shard_bytes(self, storage_factory):
+        assert storage_factory().shard_bytes == 8 * 16
+
+    def test_non_power_of_two_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            InMemoryShards(3, 8)
+        with pytest.raises(ValueError):
+            DiskShards(4, 6, tmp_path)
+
+    def test_exchange_blocks_full_swap(self, storage_factory):
+        """Fig. 3b semantics: rank s's block b goes to rank b's block s."""
+        st = storage_factory(num_shards=4, shard_size=8)
+        for r in range(4):
+            st.set(r, np.arange(8, dtype=np.complex128) + 100 * r)
+        st.exchange_blocks(2)  # groups of 4, block size 2
+        for b in range(4):
+            shard = np.asarray(st.get(b))
+            for s in range(4):
+                expected = 100 * s + np.arange(b * 2, b * 2 + 2)
+                assert np.array_equal(shard[s * 2 : (s + 1) * 2], expected), (b, s)
+
+    def test_exchange_blocks_group_local(self, storage_factory):
+        """q=1 swap with 4 ranks: two independent groups of 2."""
+        st = storage_factory(num_shards=4, shard_size=4)
+        for r in range(4):
+            st.set(r, np.arange(4, dtype=np.complex128) + 10 * r)
+        st.exchange_blocks(1)
+        # group 0 = ranks {0,1}: rank0 keeps block0, gets rank1's block0.
+        assert np.array_equal(np.asarray(st.get(0)), [0, 1, 10, 11])
+        assert np.array_equal(np.asarray(st.get(1)), [2, 3, 12, 13])
+        # group 1 = ranks {2,3} exchanges internally, never with group 0.
+        assert np.array_equal(np.asarray(st.get(2)), [20, 21, 30, 31])
+        assert np.array_equal(np.asarray(st.get(3)), [22, 23, 32, 33])
+
+    def test_exchange_is_involution(self, storage_factory):
+        st = storage_factory(num_shards=4, shard_size=8)
+        rng = np.random.default_rng(0)
+        originals = []
+        for r in range(4):
+            data = rng.standard_normal(8) + 1j * rng.standard_normal(8)
+            st.set(r, data)
+            originals.append(data)
+        st.exchange_blocks(2)
+        st.exchange_blocks(2)
+        for r in range(4):
+            assert np.allclose(np.asarray(st.get(r)), originals[r])
+
+    def test_exchange_too_many_qubits(self, storage_factory):
+        with pytest.raises(ValueError):
+            storage_factory(num_shards=4).exchange_blocks(3)
+
+    def test_permute_shards(self, storage_factory):
+        st = storage_factory(num_shards=4, shard_size=4)
+        for r in range(4):
+            st.set(r, np.full(4, r, dtype=np.complex128))
+        st.permute_shards(np.array([2, 0, 3, 1]))
+        assert np.asarray(st.get(0))[0] == 2
+        assert np.asarray(st.get(1))[0] == 0
+        assert np.asarray(st.get(3))[0] == 1
+
+    def test_permute_validates(self, storage_factory):
+        with pytest.raises(ValueError):
+            storage_factory().permute_shards(np.array([0, 0, 1, 2]))
+
+
+class TestDiskSpecific:
+    def test_permute_moves_no_data(self, tmp_path):
+        """Disk permutation is label indirection — file contents unchanged."""
+        st = DiskShards(4, 4, tmp_path)
+        for r in range(4):
+            st.set(r, np.full(4, r, dtype=np.complex128))
+        before = {p.name: p.read_bytes() for p in tmp_path.glob("shard_*.dat")}
+        st.permute_shards(np.array([1, 2, 3, 0]))
+        after = {p.name: p.read_bytes() for p in tmp_path.glob("shard_*.dat")}
+        assert before == after
+        assert np.asarray(st.get(0))[0] == 1
+
+    def test_reopen_preserves(self, tmp_path):
+        st = DiskShards(2, 4, tmp_path)
+        st.set(1, np.arange(4, dtype=np.complex128))
+        st2 = DiskShards(2, 4, tmp_path)
+        assert np.array_equal(np.asarray(st2.get(1)), np.arange(4))

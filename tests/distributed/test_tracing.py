@@ -1,0 +1,69 @@
+"""Tests for execution tracing."""
+
+import pytest
+
+from repro.circuit import generate_supremacy_circuit
+from repro.distributed import DistributedState
+from repro.distributed.tracing import trace_schedule_execution
+from repro.scheduling import SchedulerConfig, schedule_circuit
+from repro.statevector import Simulator
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    n, l = 12, 8
+    circ = generate_supremacy_circuit(n, 12, seed=17)
+    sched = schedule_circuit(circ, SchedulerConfig(local_qubits=l, kmax=4, seed=3))
+    state = DistributedState(
+        n, l, init=sched.initial_state,
+        initial_global_qubits=sched.initial_global_qubits or None,
+    )
+    trace = trace_schedule_execution(state, sched)
+    return circ, sched, state, trace
+
+
+class TestTracing:
+    def test_one_event_per_op(self, traced_run):
+        _, sched, _, trace = traced_run
+        assert len(trace.events) == len(list(sched.operations()))
+
+    def test_execution_is_correct(self, traced_run):
+        circ, _, state, _ = traced_run
+        ref = Simulator(circ.num_qubits).run(circ).state
+        assert state.to_statevector().allclose(ref, atol=1e-9)
+
+    def test_swap_events_match_schedule(self, traced_run):
+        _, sched, _, trace = traced_run
+        swaps = [e for e in trace.events if e.kind == "swap"]
+        assert len(swaps) == sched.num_swaps
+
+    def test_kind_aggregation(self, traced_run):
+        _, _, _, trace = traced_run
+        by_kind = trace.seconds_by_kind()
+        assert sum(by_kind.values()) == pytest.approx(trace.total_seconds)
+        assert "cluster" in by_kind
+
+    def test_comm_fraction_bounded(self, traced_run):
+        _, _, _, trace = traced_run
+        assert 0.0 <= trace.comm_fraction < 1.0
+
+    def test_timeline_render(self, traced_run):
+        _, sched, _, trace = traced_run
+        text = trace.timeline(width=30)
+        assert "total" in text
+        assert text.count("\n") >= len(trace.events)
+
+    def test_absorbed_ops_classified(self):
+        n, l = 10, 7
+        circ = generate_supremacy_circuit(n, 10, seed=5)
+        sched = schedule_circuit(
+            circ,
+            SchedulerConfig(local_qubits=l, seed=1, absorb_diagonals=True),
+        )
+        state = DistributedState(
+            n, l, init=sched.initial_state,
+            initial_global_qubits=sched.initial_global_qubits or None,
+        )
+        trace = trace_schedule_execution(state, sched)
+        if sched.num_absorbed_gates:
+            assert any(e.kind == "absorbed" for e in trace.events)

@@ -1,0 +1,86 @@
+"""Tests for QFT emulation (the paper's related-work shortcut [7])."""
+
+import numpy as np
+import pytest
+
+from repro.emulation import (
+    apply_qft_emulated,
+    apply_qft_gates,
+    qft_circuit,
+    qft_matrix,
+)
+from repro.statevector import StateVector
+from repro.util.rng import random_statevector
+
+
+class TestQftMatrix:
+    def test_unitary(self):
+        for n in (1, 2, 4):
+            f = qft_matrix(n)
+            assert np.allclose(f.conj().T @ f, np.eye(1 << n), atol=1e-10)
+
+    def test_two_qubit_values(self):
+        f = qft_matrix(1)
+        assert np.allclose(f, np.array([[1, 1], [1, -1]]) / np.sqrt(2))
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            qft_matrix(13)
+
+
+class TestQftCircuit:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_circuit_equals_matrix(self, n):
+        assert np.allclose(qft_circuit(n).unitary(), qft_matrix(n), atol=1e-10)
+
+    def test_gate_count(self):
+        n = 6
+        assert len(qft_circuit(n)) == n * (n + 1) // 2 + n // 2
+
+
+class TestEmulation:
+    @pytest.mark.parametrize("n", [2, 4, 7, 10])
+    def test_fft_matches_gates(self, n):
+        """The headline property: FFT emulation == gate-by-gate QFT."""
+        data = random_statevector(n, n)
+        gates = StateVector(n, data.copy())
+        apply_qft_gates(gates)
+        fft = StateVector(n, data.copy())
+        apply_qft_emulated(fft)
+        assert fft.allclose(gates, atol=1e-9)
+
+    def test_qft_of_zero_state_is_uniform(self):
+        state = StateVector(4)
+        apply_qft_emulated(state)
+        assert np.allclose(state.data, 0.25)
+
+    def test_emulation_preserves_norm(self):
+        state = StateVector(8, random_statevector(8, 1))
+        apply_qft_emulated(state)
+        assert state.norm() == pytest.approx(1.0)
+
+    def test_inverse_roundtrip(self):
+        state = StateVector(6, random_statevector(6, 2))
+        original = state.copy()
+        apply_qft_emulated(state)
+        # inverse QFT = conjugate-input trick: conj -> QFT -> conj
+        state.data[:] = np.conj(state.data)
+        apply_qft_emulated(state)
+        state.data[:] = np.conj(state.data)
+        assert state.allclose(original, atol=1e-9)
+
+    def test_emulation_faster_than_gates(self):
+        """The point of emulation: asymptotically fewer operations.
+        At n = 12 the FFT route must already win wall-clock."""
+        import time
+
+        n = 12
+        data = random_statevector(n, 0)
+        t0 = time.perf_counter()
+        apply_qft_gates(StateVector(n, data.copy()))
+        gate_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(5):
+            apply_qft_emulated(StateVector(n, data.copy()))
+        fft_time = (time.perf_counter() - t0) / 5
+        assert fft_time < gate_time

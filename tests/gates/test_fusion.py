@@ -1,0 +1,107 @@
+"""Tests for gate lifting and fusion (the clustering substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates import Gate, fuse_gates, lift_gate_matrix, random_unitary
+from repro.gates.matrices import CZ_MATRIX, H_MATRIX, ID_MATRIX, T_MATRIX
+from repro.kernels import apply_gate_reference
+from repro.util.rng import random_statevector
+
+
+class TestLift:
+    def test_lift_identity_position(self):
+        lifted = lift_gate_matrix(H_MATRIX, [0], 1)
+        assert np.allclose(lifted, H_MATRIX)
+
+    def test_lift_to_upper_bit(self):
+        lifted = lift_gate_matrix(H_MATRIX, [1], 2)
+        assert np.allclose(lifted, np.kron(H_MATRIX, ID_MATRIX))
+
+    def test_lift_to_lower_bit(self):
+        lifted = lift_gate_matrix(H_MATRIX, [0], 2)
+        assert np.allclose(lifted, np.kron(ID_MATRIX, H_MATRIX))
+
+    def test_lift_preserves_unitarity(self):
+        u = random_unitary(2, 0)
+        lifted = lift_gate_matrix(u, [2, 0], 3)
+        assert np.allclose(lifted.conj().T @ lifted, np.eye(8), atol=1e-10)
+
+    def test_lift_position_order_matters(self):
+        u = random_unitary(2, 1)
+        a = lift_gate_matrix(u, [0, 1], 2)
+        b = lift_gate_matrix(u, [1, 0], 2)
+        assert not np.allclose(a, b)
+
+    def test_bad_positions(self):
+        with pytest.raises(ValueError):
+            lift_gate_matrix(H_MATRIX, [3], 2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            lift_gate_matrix(H_MATRIX, [0, 1], 3)
+
+
+class TestFuse:
+    def test_empty_sequence_is_identity(self):
+        fused = fuse_gates([], (0, 1))
+        assert np.allclose(fused.matrix, np.eye(4))
+
+    def test_single_gate(self):
+        fused = fuse_gates([Gate("t", (3,))], (3,))
+        assert np.allclose(fused.matrix, T_MATRIX)
+
+    def test_order_is_left_to_right(self):
+        # H then T on the same qubit: fused = T @ H.
+        fused = fuse_gates([Gate("h", (0,)), Gate("t", (0,))], (0,))
+        assert np.allclose(fused.matrix, T_MATRIX @ H_MATRIX)
+
+    def test_cz_h_fusion_matches_sequential(self, haar_state):
+        gates = [Gate("h", (2,)), Gate("cz", (2, 5)), Gate("t", (5,)), Gate("h", (5,))]
+        fused = fuse_gates(gates, (5, 2))
+        state = haar_state(7)
+        a = state.copy()
+        for g in gates:
+            apply_gate_reference(a, g.matrix, g.qubits)
+        b = state.copy()
+        apply_gate_reference(b, fused.matrix, fused.qubits)
+        assert np.allclose(a, b)
+
+    def test_gate_outside_cluster_rejected(self):
+        with pytest.raises(ValueError, match="outside cluster"):
+            fuse_gates([Gate("h", (9,))], (0, 1))
+
+    def test_duplicate_cluster_qubits_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            fuse_gates([], (1, 1))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_fused_random_sequences_match_sequential(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 5
+        cluster = tuple(
+            int(q) for q in rng.choice(n, size=int(rng.integers(1, 4)), replace=False)
+        )
+        gates = []
+        for _ in range(int(rng.integers(1, 6))):
+            k = int(rng.integers(1, len(cluster) + 1))
+            qubits = tuple(
+                int(q) for q in rng.choice(cluster, size=k, replace=False)
+            )
+            gates.append(Gate("rand", qubits, random_unitary(k, rng)))
+        fused = fuse_gates(gates, cluster)
+        state = random_statevector(n, seed).copy()
+        a = state.copy()
+        for g in gates:
+            apply_gate_reference(a, g.matrix, g.qubits)
+        b = state.copy()
+        apply_gate_reference(b, fused.matrix, fused.qubits)
+        assert np.allclose(a, b, atol=1e-9)
+
+    def test_fused_cz_chain_is_diagonal(self):
+        gates = [Gate("cz", (0, 1)), Gate("t", (0,)), Gate("cz", (1, 2))]
+        fused = fuse_gates(gates, (0, 1, 2))
+        assert fused.is_diagonal

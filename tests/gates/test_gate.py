@@ -1,0 +1,100 @@
+"""Tests for the Gate IR node and its structure flags."""
+
+import numpy as np
+import pytest
+
+from repro.gates import Gate, random_unitary
+from repro.gates.matrices import CNOT_MATRIX
+
+
+class TestConstruction:
+    def test_named_lookup(self):
+        g = Gate("h", (3,))
+        assert g.num_qubits == 1
+        assert g.qubits == (3,)
+
+    def test_explicit_matrix(self):
+        u = random_unitary(2, 0)
+        g = Gate("custom", (1, 4), u)
+        assert np.allclose(g.matrix, u)
+
+    def test_matrix_read_only(self):
+        g = Gate("h", (0,))
+        with pytest.raises(ValueError):
+            g.matrix[0, 0] = 5
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="matrix"):
+            Gate("h", (0, 1))  # 2x2 matrix on two qubits
+
+    def test_duplicate_qubits(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Gate("cz", (2, 2))
+
+    def test_non_unitary_rejected(self):
+        with pytest.raises(ValueError, match="unitary"):
+            Gate("bad", (0,), np.array([[1, 1], [0, 1]], dtype=complex))
+
+    def test_cycle_metadata(self):
+        assert Gate("t", (0,), cycle=7).cycle == 7
+
+
+class TestStructureFlags:
+    @pytest.mark.parametrize("name", ["t", "z", "s", "cz"])
+    def test_diagonal_gates(self, name):
+        qubits = (0, 1) if name == "cz" else (0,)
+        assert Gate(name, qubits).is_diagonal
+
+    @pytest.mark.parametrize("name", ["h", "x_1_2", "y_1_2"])
+    def test_dense_gates_not_diagonal(self, name):
+        assert not Gate(name, (0,)).is_diagonal
+
+    @pytest.mark.parametrize("name,qubits", [("x", (0,)), ("cnot", (0, 1)), ("swap", (0, 1))])
+    def test_monomial_gates(self, name, qubits):
+        g = Gate(name, qubits)
+        assert g.is_monomial
+        assert not g.is_diagonal or name == "z"
+
+    def test_diagonal_is_also_monomial(self):
+        # diag phases map basis states to themselves: monomial by def.
+        assert Gate("t", (0,)).is_monomial
+
+    def test_hadamard_not_monomial(self):
+        assert not Gate("h", (0,)).is_monomial
+
+    def test_basis_permutation_of_cnot(self):
+        g = Gate("cnot", (0, 1))
+        # control = bit 0: |01> (control 1, target 0) -> |11>
+        perm = g.basis_permutation
+        assert perm[0b01] == 0b11
+        assert perm[0b11] == 0b01
+        assert perm[0b00] == 0b00
+        assert np.allclose(g.basis_phases, 1.0)
+
+    def test_basis_permutation_none_for_dense(self):
+        assert Gate("h", (0,)).basis_permutation is None
+
+
+class TestTransforms:
+    def test_dagger(self):
+        g = Gate("t", (2,))
+        assert np.allclose(g.dagger().matrix @ g.matrix, np.eye(2))
+
+    def test_remap(self):
+        g = Gate("cz", (0, 3))
+        mapped = g.remap({0: 5, 3: 1, 1: 0, 2: 2, 4: 3, 5: 4})
+        assert mapped.qubits == (5, 1)
+        assert np.allclose(mapped.matrix, g.matrix)
+
+    def test_on(self):
+        g = Gate("cnot", (0, 1)).on(4, 2)
+        assert g.qubits == (4, 2)
+
+    def test_equality_and_hash(self):
+        a, b = Gate("h", (1,)), Gate("h", (1,))
+        assert a == b and hash(a) == hash(b)
+        assert a != Gate("h", (2,))
+        assert Gate("x", (0,)) != Gate("y", (0,))
+
+    def test_repr(self):
+        assert "cz" in repr(Gate("cz", (0, 1)))

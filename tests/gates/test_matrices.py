@@ -1,0 +1,130 @@
+"""Tests for the gate matrix registry."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.gates.matrices import (
+    CNOT_MATRIX,
+    CZ_MATRIX,
+    H_MATRIX,
+    S_MATRIX,
+    SQRT_X_MATRIX,
+    SQRT_Y_MATRIX,
+    SWAP_MATRIX,
+    T_MATRIX,
+    TOFFOLI_MATRIX,
+    X_MATRIX,
+    Y_MATRIX,
+    Z_MATRIX,
+    controlled_phase_matrix,
+    gate_matrix,
+    phase_matrix,
+    random_unitary,
+    rotation_matrix,
+)
+
+ALL_NAMED = [
+    X_MATRIX,
+    Y_MATRIX,
+    Z_MATRIX,
+    H_MATRIX,
+    S_MATRIX,
+    T_MATRIX,
+    SQRT_X_MATRIX,
+    SQRT_Y_MATRIX,
+    CZ_MATRIX,
+    CNOT_MATRIX,
+    SWAP_MATRIX,
+    TOFFOLI_MATRIX,
+]
+
+
+class TestUnitarity:
+    @pytest.mark.parametrize("matrix", ALL_NAMED, ids=lambda m: f"dim{m.shape[0]}")
+    def test_all_named_unitary(self, matrix):
+        dim = matrix.shape[0]
+        assert np.allclose(matrix.conj().T @ matrix, np.eye(dim), atol=1e-12)
+
+
+class TestAlgebraicIdentities:
+    def test_sqrt_x_squares_to_x(self):
+        assert np.allclose(SQRT_X_MATRIX @ SQRT_X_MATRIX, X_MATRIX)
+
+    def test_sqrt_y_squares_to_y_up_to_phase(self):
+        # The paper's Y^(1/2) squares to Y up to a global phase.
+        sq = SQRT_Y_MATRIX @ SQRT_Y_MATRIX
+        ratio = sq[np.abs(Y_MATRIX) > 0.5] / Y_MATRIX[np.abs(Y_MATRIX) > 0.5]
+        assert np.allclose(ratio, ratio[0])
+        assert abs(abs(ratio[0]) - 1.0) < 1e-12
+
+    def test_t_squares_to_s(self):
+        assert np.allclose(T_MATRIX @ T_MATRIX, S_MATRIX)
+
+    def test_h_squares_to_identity(self):
+        assert np.allclose(H_MATRIX @ H_MATRIX, np.eye(2))
+
+    def test_cz_from_controlled_phase(self):
+        assert np.allclose(controlled_phase_matrix(math.pi), CZ_MATRIX)
+
+    def test_t_from_phase(self):
+        assert np.allclose(phase_matrix(math.pi / 4), T_MATRIX)
+
+    def test_cz_symmetric(self):
+        # CZ is symmetric in control/target (Sec. 2).
+        assert np.allclose(CZ_MATRIX, CZ_MATRIX.T)
+
+    def test_paper_sqrt_definitions(self):
+        assert np.allclose(
+            SQRT_X_MATRIX, 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]])
+        )
+        assert np.allclose(
+            SQRT_Y_MATRIX, 0.5 * np.array([[1 + 1j, -1 - 1j], [1 + 1j, 1 + 1j]])
+        )
+
+    def test_t_phase_value(self):
+        assert T_MATRIX[1, 1] == pytest.approx(cmath.exp(1j * math.pi / 4))
+
+
+class TestRotation:
+    def test_rz_diagonal(self):
+        rz = rotation_matrix("z", 0.7)
+        assert np.allclose(rz, np.diag(np.diagonal(rz)))
+
+    def test_rx_pi_is_x_up_to_phase(self):
+        rx = rotation_matrix("x", math.pi)
+        assert np.allclose(rx, -1j * X_MATRIX)
+
+    def test_bad_axis(self):
+        with pytest.raises(ValueError):
+            rotation_matrix("w", 1.0)
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert np.allclose(gate_matrix("CZ"), CZ_MATRIX)
+
+    def test_lookup_aliases(self):
+        assert np.allclose(gate_matrix("cx"), gate_matrix("cnot"))
+        assert np.allclose(gate_matrix("sqrt_x"), gate_matrix("x_1_2"))
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            gate_matrix("nope")
+
+    def test_returns_copy(self):
+        m = gate_matrix("x")
+        m[0, 0] = 99
+        assert gate_matrix("x")[0, 0] == 0
+
+
+class TestRandomUnitary:
+    def test_unitary(self):
+        for k in (1, 2, 3):
+            u = random_unitary(k, 0)
+            assert np.allclose(u.conj().T @ u, np.eye(1 << k), atol=1e-10)
+
+    def test_deterministic(self):
+        assert np.allclose(random_unitary(2, 3), random_unitary(2, 3))

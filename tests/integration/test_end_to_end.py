@@ -1,0 +1,101 @@
+"""End-to-end integration: the full pipeline on real circuits.
+
+These tests exercise generation -> scheduling -> distributed execution ->
+analysis in one pass, at sizes small enough to run in seconds but large
+enough to hit every code path (multiple stages, partial swaps, diagonal
+and monomial specialization, fused clusters, out-of-core storage).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DistributedSimulator,
+    OutOfCoreStateVector,
+    SchedulerConfig,
+    Simulator,
+    generate_supremacy_circuit,
+    schedule_circuit,
+)
+from repro.analysis import (
+    distributed_entropy,
+    porter_thomas_entropy_nats,
+    shannon_entropy,
+)
+from repro.distributed import DiskShards
+
+
+@pytest.fixture(scope="module")
+def pipeline_16q():
+    """One 16-qubit depth-16 circuit, reference state, and schedule."""
+    n, depth, l = 16, 16, 11
+    circ = generate_supremacy_circuit(n, depth, seed=42)
+    ref = Simulator(n).run(circ).state
+    sched = schedule_circuit(circ, SchedulerConfig(local_qubits=l, kmax=4, seed=7))
+    return circ, ref, sched, n, l
+
+
+class TestFullPipeline:
+    def test_scheduled_distributed_equals_reference(self, pipeline_16q):
+        circ, ref, sched, n, l = pipeline_16q
+        res = DistributedSimulator(n, l).run_schedule(sched)
+        assert res.state.to_statevector().allclose(ref, atol=1e-9)
+
+    def test_swap_count_is_schedule_swaps(self, pipeline_16q):
+        circ, ref, sched, n, l = pipeline_16q
+        res = DistributedSimulator(n, l).run_schedule(sched)
+        assert res.comm.alltoall_steps == sched.num_swaps
+
+    def test_entropy_matches_porter_thomas(self, pipeline_16q):
+        circ, ref, sched, n, l = pipeline_16q
+        res = DistributedSimulator(n, l).run_schedule(sched)
+        h = distributed_entropy(res.state)
+        assert h == pytest.approx(shannon_entropy(ref.probabilities()), abs=1e-9)
+        # depth 16 on 16 qubits is not yet fully scrambled; the strict
+        # convergence check lives in tests/analysis (12q, depth 20).
+        assert h == pytest.approx(porter_thomas_entropy_nats(n), abs=0.3)
+
+    def test_out_of_core_pipeline(self, pipeline_16q, tmp_path):
+        """The SSD execution mode of the paper's outlook, end to end."""
+        circ, ref, sched, n, l = pipeline_16q
+        storage = DiskShards(1 << (n - l), 1 << l, tmp_path)
+        res = DistributedSimulator(n, l, storage=storage).run_schedule(sched)
+        assert res.state.to_statevector().allclose(ref, atol=1e-9)
+
+    def test_schedule_communication_savings(self, pipeline_16q):
+        """Scheduled execution's comm steps are a small fraction of the
+        per-gate baseline's global-gate count — the Fig. 5 story."""
+        from repro import baseline_global_gates
+
+        circ, ref, sched, n, l = pipeline_16q
+        baseline = baseline_global_gates(circ, l, worst_case=False)
+        assert sched.num_swaps * 3 <= max(baseline.global_gates, 3)
+
+    def test_different_kmax_same_state(self, pipeline_16q):
+        circ, ref, _, n, l = pipeline_16q
+        for kmax in (2, 5):
+            sched = schedule_circuit(
+                circ, SchedulerConfig(local_qubits=l, kmax=kmax, seed=3)
+            )
+            res = DistributedSimulator(n, l).run_schedule(sched)
+            assert res.state.to_statevector().allclose(ref, atol=1e-9), kmax
+
+
+class TestScaleInvariants:
+    @pytest.mark.parametrize("n,depth,l", [(9, 10, 6), (12, 12, 7), (16, 10, 12)])
+    def test_pipeline_at_multiple_scales(self, n, depth, l):
+        circ = generate_supremacy_circuit(n, depth, seed=n)
+        ref = Simulator(n).run(circ).state
+        sched = schedule_circuit(circ, SchedulerConfig(local_qubits=l, seed=1))
+        res = DistributedSimulator(n, l).run_schedule(sched)
+        assert res.state.to_statevector().allclose(ref, atol=1e-9)
+        assert res.state.norm() == pytest.approx(1.0)
+
+    def test_single_precision_end_to_end(self):
+        """Sec. 5: single precision halves memory; fidelity stays high."""
+        n = 12
+        circ = generate_supremacy_circuit(n, 10, seed=3)
+        double = Simulator(n).run(circ).state
+        single = Simulator(n, single_precision=True).run(circ).state
+        overlap = abs(np.vdot(single.data.astype(np.complex128), double.data)) ** 2
+        assert overlap > 1.0 - 1e-6

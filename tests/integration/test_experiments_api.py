@@ -1,0 +1,55 @@
+"""Tests for the programmatic experiments API."""
+
+import pytest
+
+from repro.experiments import (
+    fig5_size_series,
+    fig8_series,
+    table1_rows,
+    table2_rows,
+)
+
+
+class TestTable1Api:
+    def test_single_cell(self):
+        rows = table1_rows(qubit_counts=(30,), kmax_values=(5,))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.gates == 369
+        assert row.paper_clusters == 36
+        assert abs(row.clusters - 36) / 36 < 0.25
+        assert row.gates_per_cluster > 5
+
+
+class TestTable2Api:
+    def test_36q_row(self):
+        rows = table2_rows(configurations=[(36, 64)])
+        row = rows[0]
+        assert row.nodes == 64
+        assert row.swaps <= 2
+        assert row.paper_seconds == 28.92
+        assert abs(row.model_seconds - 28.92) / 28.92 < 0.35
+        assert row.speedup_over_baseline > 10
+        assert 0.0 < row.comm_fraction < 0.7
+
+    def test_rejects_non_power_nodes(self):
+        with pytest.raises(ValueError):
+            table2_rows(configurations=[(36, 63)])
+
+
+class TestFig5Api:
+    def test_size_series_shape(self):
+        points = fig5_size_series(qubit_counts=(36, 42), local_qubits=30)
+        assert [p.qubits for p in points] == [36, 42]
+        for p in points:
+            assert 1 <= p.swaps <= 3
+            assert p.baseline_global_gates_worst >= p.baseline_global_gates_median
+            assert p.baseline_global_gates_median > 4 * p.swaps
+
+
+class TestFig8Api:
+    def test_series_monotone(self):
+        points = fig8_series(36, (16, 32, 64), kmax=4)
+        assert points[0].speedup == pytest.approx(1.0)
+        assert points[0].speedup < points[1].speedup < points[2].speedup
+        assert points[-1].comm_fraction > points[0].comm_fraction * 0.5

@@ -1,0 +1,32 @@
+"""End-to-end persistence workflows (CLI + io combined)."""
+
+from repro.cli import main
+from repro.distributed import DistributedSimulator
+from repro.io import load_schedule_json
+from repro.statevector import Simulator
+
+
+class TestScheduleShipping:
+    def test_schedule_once_run_anywhere(self, tmp_path, capsys):
+        """The Sec. 3.6.1 reuse story: compute a schedule via the CLI,
+        ship the JSON, execute it in a fresh process/backend."""
+        circuit_path = tmp_path / "circuit.txt"
+        schedule_path = tmp_path / "schedule.json"
+        assert main(
+            ["generate", "--qubits", "12", "--depth", "10",
+             "--seed", "3", "--output", str(circuit_path)]
+        ) == 0
+        assert main(
+            ["schedule", "--circuit", str(circuit_path),
+             "--local-qubits", "8", "--kmax", "4", "--save", str(schedule_path)]
+        ) == 0
+        capsys.readouterr()
+
+        schedule = load_schedule_json(schedule_path)
+        from repro.circuit import circuit_from_text
+
+        circuit = circuit_from_text(circuit_path.read_text())
+        reference = Simulator(12).run(circuit).state
+        run = DistributedSimulator(12, 8).run_schedule(schedule)
+        assert run.state.to_statevector().allclose(reference, atol=1e-9)
+        assert run.comm.alltoall_steps == schedule.num_swaps

@@ -1,0 +1,32 @@
+"""Tests for state-vector persistence."""
+
+import numpy as np
+import pytest
+
+from repro.io import load_statevector, save_statevector
+from repro.statevector import StateVector
+from repro.util.rng import random_statevector
+
+
+class TestStatePersistence:
+    def test_roundtrip(self, tmp_path):
+        sv = StateVector(6, random_statevector(6, 0))
+        path = save_statevector(sv, tmp_path / "state")
+        loaded = load_statevector(path)
+        assert loaded.num_qubits == 6
+        assert loaded.allclose(sv, atol=0)
+
+    def test_suffix_added(self, tmp_path):
+        path = save_statevector(StateVector(3), tmp_path / "psi")
+        assert path.suffix == ".npy"
+        assert path.exists()
+
+    def test_rejects_bad_shape(self, tmp_path):
+        np.save(tmp_path / "bad.npy", np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="1-D"):
+            load_statevector(tmp_path / "bad.npy")
+
+    def test_rejects_non_power_length(self, tmp_path):
+        np.save(tmp_path / "odd.npy", np.zeros(6, dtype=complex))
+        with pytest.raises(ValueError, match="power of two"):
+            load_statevector(tmp_path / "odd.npy")

@@ -1,0 +1,126 @@
+"""Tests for the gate-application kernels."""
+
+import numpy as np
+import pytest
+
+from repro.gates import random_unitary
+from repro.gates.matrices import CZ_MATRIX, H_MATRIX, T_MATRIX, X_MATRIX
+from repro.kernels import (
+    apply_diagonal_gate,
+    apply_gate,
+    apply_gate_indexed,
+    apply_gate_naive,
+    apply_gate_reference,
+    apply_gate_two_vector,
+)
+from repro.util.rng import random_statevector
+
+
+class TestAgainstNaive:
+    """Every optimized kernel must equal the explicit-loop oracle."""
+
+    @pytest.mark.parametrize(
+        "qubits",
+        [(0,), (5,), (7,), (1, 4), (6, 2), (0, 3, 6), (7, 0, 4, 2)],
+        ids=str,
+    )
+    def test_reference_and_indexed(self, qubits, rng):
+        n = 8
+        u = random_unitary(len(qubits), rng)
+        s0 = random_statevector(n, rng).copy()
+        oracle = s0.copy()
+        apply_gate_naive(oracle, u, qubits)
+        for kernel, kwargs in [
+            (apply_gate_reference, {}),
+            (apply_gate_indexed, {}),
+            (apply_gate_indexed, {"chunk_size": 5}),
+            (apply_gate_indexed, {"chunk_size": 1}),
+        ]:
+            out = s0.copy()
+            kernel(out, u, qubits, **kwargs)
+            assert np.allclose(out, oracle, atol=1e-10), kernel.__name__
+
+    def test_diagonal_kernel(self, rng):
+        n = 7
+        s0 = random_statevector(n, rng).copy()
+        for qubits, matrix in [((3,), T_MATRIX), ((2, 5), CZ_MATRIX), ((6, 0), CZ_MATRIX)]:
+            oracle = s0.copy()
+            apply_gate_naive(oracle, matrix, qubits)
+            out = s0.copy()
+            apply_diagonal_gate(out, np.diagonal(matrix), qubits)
+            assert np.allclose(out, oracle, atol=1e-12)
+
+
+class TestSemantics:
+    def test_x_flips_bit(self):
+        state = np.zeros(4, dtype=complex)
+        state[0b00] = 1.0
+        apply_gate_reference(state, X_MATRIX, (1,))
+        assert state[0b10] == 1.0
+
+    def test_h_creates_superposition(self):
+        state = np.zeros(2, dtype=complex)
+        state[0] = 1.0
+        apply_gate_indexed(state, H_MATRIX, (0,))
+        assert np.allclose(state, [2**-0.5, 2**-0.5])
+
+    def test_cz_phases_only_11(self):
+        state = np.ones(4, dtype=complex) / 2
+        apply_diagonal_gate(state, np.diagonal(CZ_MATRIX), (0, 1))
+        assert np.allclose(state, [0.5, 0.5, 0.5, -0.5])
+
+    def test_norm_preserved(self, rng):
+        state = random_statevector(10, rng).copy()
+        apply_gate_indexed(state, random_unitary(3, rng), (9, 1, 5))
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+    def test_two_vector_does_not_mutate(self, rng):
+        s0 = random_statevector(6, rng).copy()
+        before = s0.copy()
+        out = apply_gate_two_vector(s0, H_MATRIX, (2,))
+        assert np.array_equal(s0, before)
+        assert not np.allclose(out, before)
+
+    def test_inplace_kernels_return_state(self, rng):
+        s0 = random_statevector(6, rng).copy()
+        assert apply_gate_indexed(s0, H_MATRIX, (0,)) is s0
+
+
+class TestDispatcher:
+    def test_auto_uses_diagonal_path(self, rng):
+        s0 = random_statevector(6, rng).copy()
+        oracle = s0.copy()
+        apply_gate_naive(oracle, CZ_MATRIX, (1, 4))
+        apply_gate(s0, CZ_MATRIX, (1, 4), strategy="auto")
+        assert np.allclose(s0, oracle)
+
+    def test_explicit_strategies_agree(self, rng):
+        n = 7
+        u = random_unitary(2, rng)
+        s0 = random_statevector(n, rng).copy()
+        results = []
+        for strategy in ("naive", "reference", "indexed"):
+            out = s0.copy()
+            apply_gate(out, u, (2, 6), strategy=strategy)
+            results.append(out)
+        assert np.allclose(results[0], results[1])
+        assert np.allclose(results[0], results[2])
+
+    def test_unknown_strategy(self, rng):
+        s0 = random_statevector(4, rng).copy()
+        with pytest.raises(ValueError, match="strategy"):
+            apply_gate(s0, H_MATRIX, (0,), strategy="magic")
+
+
+class TestValidation:
+    def test_non_1d_state(self):
+        with pytest.raises(ValueError, match="1-D"):
+            apply_gate_reference(np.zeros((2, 2), dtype=complex), H_MATRIX, (0,))
+
+    def test_non_power_state(self):
+        with pytest.raises(ValueError, match="power of two"):
+            apply_gate_reference(np.zeros(6, dtype=complex), H_MATRIX, (0,))
+
+    def test_qubit_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            apply_gate_indexed(np.zeros(8, dtype=complex), H_MATRIX, (3,))

@@ -1,0 +1,72 @@
+"""Property-based tests for the kernel layer (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates import random_unitary
+from repro.kernels import apply_gate_indexed, apply_gate_reference
+from repro.util.rng import random_statevector
+
+
+@st.composite
+def gate_applications(draw):
+    """Random (n, qubits, seed) triples with 1 <= k <= 3, n <= 8."""
+    n = draw(st.integers(2, 8))
+    k = draw(st.integers(1, min(3, n)))
+    qubits = tuple(draw(st.permutations(range(n)))[:k])
+    seed = draw(st.integers(0, 10_000))
+    return n, qubits, seed
+
+
+class TestKernelProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(gate_applications())
+    def test_indexed_matches_reference(self, case):
+        n, qubits, seed = case
+        u = random_unitary(len(qubits), seed)
+        state = random_statevector(n, seed).copy()
+        a = state.copy()
+        apply_gate_reference(a, u, qubits)
+        b = state.copy()
+        apply_gate_indexed(b, u, qubits, chunk_size=3)
+        assert np.allclose(a, b, atol=1e-10)
+
+    @settings(max_examples=40, deadline=None)
+    @given(gate_applications())
+    def test_unitarity_preserves_norm(self, case):
+        n, qubits, seed = case
+        u = random_unitary(len(qubits), seed)
+        state = random_statevector(n, seed).copy()
+        apply_gate_indexed(state, u, qubits)
+        assert np.isclose(np.linalg.norm(state), 1.0, atol=1e-10)
+
+    @settings(max_examples=40, deadline=None)
+    @given(gate_applications())
+    def test_gate_then_inverse_is_identity(self, case):
+        n, qubits, seed = case
+        u = random_unitary(len(qubits), seed)
+        state = random_statevector(n, seed).copy()
+        original = state.copy()
+        apply_gate_indexed(state, u, qubits)
+        apply_gate_indexed(state, u.conj().T, qubits)
+        assert np.allclose(state, original, atol=1e-10)
+
+    @settings(max_examples=30, deadline=None)
+    @given(gate_applications(), st.integers(0, 100))
+    def test_disjoint_gates_commute(self, case, seed2):
+        n, qubits, seed = case
+        rest = [q for q in range(n) if q not in qubits]
+        if not rest:
+            return
+        other = (rest[seed2 % len(rest)],)
+        u1 = random_unitary(len(qubits), seed)
+        u2 = random_unitary(1, seed2)
+        state = random_statevector(n, seed).copy()
+        a = state.copy()
+        apply_gate_indexed(a, u1, qubits)
+        apply_gate_indexed(a, u2, other)
+        b = state.copy()
+        apply_gate_indexed(b, u2, other)
+        apply_gate_indexed(b, u1, qubits)
+        assert np.allclose(a, b, atol=1e-10)

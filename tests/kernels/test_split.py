@@ -1,0 +1,82 @@
+"""Tests for the split real/imaginary kernel (Sec. 3.2's FMA trick)."""
+
+import numpy as np
+import pytest
+
+from repro.gates import random_unitary
+from repro.gates.matrices import CZ_MATRIX, H_MATRIX, X_MATRIX
+from repro.kernels import apply_gate_reference
+from repro.kernels.split import SplitGateMatrix, apply_gate_split_real
+from repro.util.rng import random_statevector
+
+
+class TestSplitGateMatrix:
+    def test_precompute_parts(self):
+        u = random_unitary(2, 0)
+        split = SplitGateMatrix(u)
+        assert np.allclose(split.real + 1j * split.imag, u)
+        assert split.real.flags["C_CONTIGUOUS"]
+        assert split.imag.flags["C_CONTIGUOUS"]
+
+    def test_real_gate_detected(self):
+        assert SplitGateMatrix(H_MATRIX).imag_is_zero
+        assert SplitGateMatrix(CZ_MATRIX).imag_is_zero
+        assert not SplitGateMatrix(random_unitary(1, 3)).imag_is_zero
+
+    def test_panel_product_matches_complex(self, rng):
+        u = random_unitary(3, rng)
+        panel = rng.standard_normal((8, 32)) + 1j * rng.standard_normal((8, 32))
+        assert np.allclose(SplitGateMatrix(u).panel_product(panel), u @ panel)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            SplitGateMatrix(np.ones((2, 3)))
+
+
+class TestApplySplitReal:
+    @pytest.mark.parametrize(
+        "qubits", [(0,), (7,), (2, 5), (6, 1, 3)], ids=str
+    )
+    def test_matches_reference(self, qubits, rng):
+        n = 8
+        u = random_unitary(len(qubits), rng)
+        s0 = random_statevector(n, rng).copy()
+        a = s0.copy()
+        apply_gate_reference(a, u, qubits)
+        b = s0.copy()
+        apply_gate_split_real(b, u, qubits, chunk_size=7)
+        assert np.allclose(a, b, atol=1e-10)
+
+    def test_real_gate_fast_path(self, rng):
+        n = 8
+        s0 = random_statevector(n, rng).copy()
+        a = s0.copy()
+        apply_gate_reference(a, X_MATRIX, (4,))
+        b = s0.copy()
+        apply_gate_split_real(b, SplitGateMatrix(X_MATRIX), (4,))
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_presplit_reuse(self, rng):
+        """The paper's point: the split is computed once, reused for all
+        panel products (and across repeated applications)."""
+        n = 8
+        u = random_unitary(2, rng)
+        split = SplitGateMatrix(u)
+        s0 = random_statevector(n, rng).copy()
+        a = s0.copy()
+        apply_gate_split_real(a, split, (1, 6))
+        apply_gate_split_real(a, split, (1, 6))
+        b = s0.copy()
+        apply_gate_reference(b, u, (1, 6))
+        apply_gate_reference(b, u, (1, 6))
+        assert np.allclose(a, b, atol=1e-10)
+
+    def test_dimension_mismatch(self, rng):
+        s0 = random_statevector(6, rng).copy()
+        with pytest.raises(ValueError, match="inconsistent"):
+            apply_gate_split_real(s0, random_unitary(2, rng), (0,))
+
+    def test_norm_preserved(self, rng):
+        s0 = random_statevector(9, rng).copy()
+        apply_gate_split_real(s0, random_unitary(3, rng), (8, 0, 4))
+        assert np.linalg.norm(s0) == pytest.approx(1.0)

@@ -1,0 +1,64 @@
+"""Tests for Kraus channels."""
+
+import numpy as np
+import pytest
+
+from repro.noise import (
+    amplitude_damping_channel,
+    bit_flip_channel,
+    dephasing_channel,
+    depolarizing_channel,
+    raise_if_not_cptp,
+)
+
+
+class TestChannels:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            depolarizing_channel,
+            dephasing_channel,
+            bit_flip_channel,
+            amplitude_damping_channel,
+        ],
+    )
+    @pytest.mark.parametrize("p", [0.0, 0.1, 0.5, 1.0])
+    def test_all_channels_cptp(self, factory, p):
+        channel = factory(p)
+        total = sum(op.conj().T @ op for op in channel.operators)
+        assert np.allclose(total, np.eye(2), atol=1e-12)
+
+    def test_zero_noise_is_identity(self):
+        channel = depolarizing_channel(0.0)
+        assert np.allclose(channel.operators[0], np.eye(2))
+        for op in channel.operators[1:]:
+            assert np.allclose(op, 0.0)
+
+    def test_probability_range_checked(self):
+        for factory in (depolarizing_channel, amplitude_damping_channel):
+            with pytest.raises(ValueError):
+                factory(-0.1)
+            with pytest.raises(ValueError):
+                factory(1.5)
+
+    def test_amplitude_damping_kills_excited_state(self):
+        channel = amplitude_damping_channel(1.0)
+        excited = np.array([0.0, 1.0])
+        # With gamma=1, K1 maps |1> -> |0> and K0 annihilates |1>.
+        assert np.allclose(channel.operators[1] @ excited, [1.0, 0.0])
+        assert np.allclose(channel.operators[0] @ excited, 0.0)
+
+    def test_validation_rejects_bad_kraus(self):
+        with pytest.raises(ValueError, match="K"):
+            raise_if_not_cptp((np.eye(2) * 0.5,))
+
+    def test_validation_rejects_empty(self):
+        with pytest.raises(ValueError):
+            raise_if_not_cptp(())
+
+    def test_validation_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            raise_if_not_cptp((np.eye(2), np.eye(4)))
+
+    def test_repr(self):
+        assert "depolarizing" in repr(depolarizing_channel(0.2))

@@ -1,0 +1,96 @@
+"""Tests for the exact density-matrix simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, generate_supremacy_circuit, ghz_circuit
+from repro.gates import Gate
+from repro.noise import NoisySimulator, depolarizing_channel
+from repro.noise.density import DensityMatrix, DensityMatrixSimulator
+from repro.statevector import Simulator
+
+
+class TestDensityMatrix:
+    def test_initial_state(self):
+        rho = DensityMatrix(2)
+        assert rho.trace() == pytest.approx(1.0)
+        assert rho.purity() == pytest.approx(1.0)
+        assert rho.probabilities()[0] == pytest.approx(1.0)
+
+    def test_unitary_preserves_trace_and_purity(self):
+        rho = DensityMatrix(2)
+        rho.apply_unitary(Gate("h", (0,)).matrix, (0,))
+        rho.apply_unitary(Gate("cnot", (0, 1)).matrix, (0, 1))
+        assert rho.trace() == pytest.approx(1.0)
+        assert rho.purity() == pytest.approx(1.0)
+
+    def test_channel_decoheres(self):
+        rho = DensityMatrix(1)
+        rho.apply_unitary(Gate("h", (0,)).matrix, (0,))
+        rho.apply_channel(depolarizing_channel(0.5), 0)
+        assert rho.trace() == pytest.approx(1.0)
+        assert rho.purity() < 1.0
+
+    def test_full_depolarization_is_maximally_mixed(self):
+        rho = DensityMatrix(1)
+        rho.apply_unitary(Gate("h", (0,)).matrix, (0,))
+        for _ in range(60):
+            rho.apply_channel(depolarizing_channel(0.5), 0)
+        assert rho.purity() == pytest.approx(0.5, abs=1e-6)
+        assert np.allclose(rho.probabilities(), [0.5, 0.5], atol=1e-6)
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError, match="impractical"):
+            DensityMatrix(11)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(2, np.eye(3))
+
+
+class TestDensityMatrixSimulator:
+    def test_noiseless_matches_statevector(self):
+        circ = generate_supremacy_circuit(6, 6, seed=0)
+        pure = Simulator(6).run(circ).state
+        rho = DensityMatrixSimulator(6).run(circ)
+        assert np.allclose(rho.probabilities(), pure.probabilities(), atol=1e-10)
+        assert rho.purity() == pytest.approx(1.0)
+        assert rho.fidelity_with_pure(pure.data) == pytest.approx(1.0)
+
+    def test_trajectories_converge_to_exact(self):
+        """The headline cross-validation: trajectory-averaged statistics
+        approach the exact density-matrix evolution as 1/sqrt(T)."""
+        p = 0.05
+        circ = ghz_circuit(4)
+        exact = DensityMatrixSimulator(4, depolarizing_channel(p)).run(circ)
+        ensemble = NoisySimulator(4, depolarizing_channel(p), seed=0).run(
+            circ, num_trajectories=400
+        )
+        # Outcome distribution within Monte-Carlo error.
+        assert np.allclose(
+            ensemble.mean_probabilities, exact.probabilities(), atol=0.05
+        )
+        # Fidelity to the ideal pure state agrees too.
+        ideal = Simulator(4).run(circ).state
+        assert ensemble.mean_fidelity_to_ideal == pytest.approx(
+            exact.fidelity_with_pure(ideal.data), abs=0.05
+        )
+
+    def test_noise_reduces_purity_monotonically(self):
+        circ = generate_supremacy_circuit(4, 4, seed=1)
+        purities = [
+            DensityMatrixSimulator(4, depolarizing_channel(p)).run(circ).purity()
+            for p in (0.0, 0.05, 0.2)
+        ]
+        assert purities[0] == pytest.approx(1.0)
+        assert purities[0] > purities[1] > purities[2]
+
+    def test_circuit_size_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            DensityMatrixSimulator(3).run(Circuit(4))
+
+    def test_multi_qubit_channel_rejected(self):
+        from repro.noise import KrausChannel
+
+        with pytest.raises(ValueError, match="single-qubit"):
+            DensityMatrixSimulator(3, KrausChannel("id4", (np.eye(4),)))

@@ -1,0 +1,79 @@
+"""Tests for the quantum-trajectory noisy simulator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import shannon_entropy
+from repro.circuit import Circuit, generate_supremacy_circuit
+from repro.gates import Gate
+from repro.noise import NoisySimulator, depolarizing_channel, dephasing_channel
+from repro.statevector import Simulator
+
+
+class TestNoisySimulator:
+    def test_zero_noise_equals_ideal(self):
+        circ = generate_supremacy_circuit(6, 6, seed=0)
+        ideal = Simulator(6).run(circ).state
+        result = NoisySimulator(6, depolarizing_channel(0.0), seed=1).run(circ, 3)
+        assert result.mean_fidelity_to_ideal == pytest.approx(1.0, abs=1e-10)
+        assert np.allclose(result.mean_probabilities, ideal.probabilities())
+
+    def test_fidelity_decreases_with_noise(self):
+        circ = generate_supremacy_circuit(6, 6, seed=0)
+        fidelities = []
+        for p in (0.0, 0.02, 0.1):
+            result = NoisySimulator(6, depolarizing_channel(p), seed=2).run(circ, 20)
+            fidelities.append(result.mean_fidelity_to_ideal)
+        assert fidelities[0] > fidelities[1] > fidelities[2]
+
+    def test_strong_depolarizing_raises_entropy(self):
+        """Depolarizing noise pushes the output toward uniform: entropy of
+        the averaged distribution exceeds the ideal circuit's."""
+        circ = generate_supremacy_circuit(6, 4, seed=1)
+        ideal = Simulator(6).run(circ).state
+        noisy = NoisySimulator(6, depolarizing_channel(0.25), seed=3).run(circ, 40)
+        assert shannon_entropy(noisy.mean_probabilities) > shannon_entropy(
+            ideal.probabilities()
+        )
+
+    def test_dephasing_preserves_computational_basis(self):
+        """Pure dephasing commutes with a classical (X-free) state: the
+        |0...0> state stays |0...0> no matter the dephasing strength."""
+        circ = Circuit(3, [Gate("z", (0,)), Gate("cz", (0, 1))])
+        result = NoisySimulator(3, dephasing_channel(0.8), seed=4).run(circ, 10)
+        probs = result.mean_probabilities
+        assert probs[0] == pytest.approx(1.0)
+
+    def test_trajectories_normalised(self):
+        circ = generate_supremacy_circuit(6, 4, seed=2)
+        sim = NoisySimulator(6, depolarizing_channel(0.1), seed=5)
+        state = sim.run_trajectory(circ, np.random.default_rng(0))
+        assert state.norm() == pytest.approx(1.0)
+
+    def test_reproducible(self):
+        circ = generate_supremacy_circuit(5, 4, seed=3)
+        a = NoisySimulator(5, depolarizing_channel(0.1), seed=9).run(circ, 5)
+        b = NoisySimulator(5, depolarizing_channel(0.1), seed=9).run(circ, 5)
+        assert np.allclose(a.mean_probabilities, b.mean_probabilities)
+        assert a.mean_fidelity_to_ideal == b.mean_fidelity_to_ideal
+
+    def test_probabilities_sum_to_one(self):
+        circ = generate_supremacy_circuit(5, 4, seed=4)
+        result = NoisySimulator(5, depolarizing_channel(0.2), seed=6).run(circ, 8)
+        assert result.mean_probabilities.sum() == pytest.approx(1.0)
+
+    def test_circuit_size_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            NoisySimulator(4, depolarizing_channel(0.1)).run(Circuit(5), 1)
+
+    def test_multi_qubit_channel_rejected(self):
+        from repro.noise import KrausChannel
+
+        four_dim = KrausChannel("id4", (np.eye(4),))
+        with pytest.raises(ValueError, match="single-qubit"):
+            NoisySimulator(4, four_dim)
+
+    def test_invalid_trajectory_count(self):
+        circ = Circuit(2, [Gate("h", (0,))])
+        with pytest.raises(ValueError):
+            NoisySimulator(2, depolarizing_channel(0.1)).run(circ, 0)

@@ -1,0 +1,61 @@
+"""Tests for work partitioning."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel import partition_range, partition_work
+
+
+class TestPartitionRange:
+    def test_even_split(self):
+        assert partition_range(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_uneven_split(self):
+        spans = partition_range(10, 3)
+        assert spans == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_parts_than_items(self):
+        spans = partition_range(2, 5)
+        assert spans == [(0, 1), (1, 2)]
+
+    def test_empty(self):
+        assert partition_range(0, 3) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            partition_range(-1, 2)
+        with pytest.raises(ValueError):
+            partition_range(4, 0)
+
+    @given(st.integers(0, 10_000), st.integers(1, 64))
+    def test_covers_exactly(self, total, parts):
+        spans = partition_range(total, parts)
+        covered = 0
+        prev_end = 0
+        for start, end in spans:
+            assert start == prev_end
+            assert end > start
+            covered += end - start
+            prev_end = end
+        assert covered == total
+        # balanced within one element
+        if spans:
+            lengths = [e - s for s, e in spans]
+            assert max(lengths) - min(lengths) <= 1
+
+
+class TestPartitionWork:
+    def test_small_work_single_span(self):
+        assert partition_work(100, 8, min_chunk=1024) == [(0, 100)]
+
+    def test_single_thread(self):
+        assert partition_work(10_000, 1) == [(0, 10_000)]
+
+    def test_respects_min_chunk(self):
+        spans = partition_work(4096, 16, min_chunk=1024)
+        assert len(spans) <= 4
+        assert all(e - s >= 1024 for s, e in spans)
+
+    def test_empty_work(self):
+        assert partition_work(0, 4) == []

@@ -1,0 +1,70 @@
+"""Tests for the cache-associativity penalty model (Figs. 6 and 9)."""
+
+import pytest
+
+from repro.perfmodel import (
+    CORI_KNL_NODE,
+    EDISON_NODE,
+    CacheModel,
+    kernel_performance,
+)
+
+
+class TestCacheModel:
+    def test_no_penalty_low_order(self):
+        model = CacheModel(CORI_KNL_NODE)
+        for k in range(1, 6):
+            assert model.bandwidth_factor(k, high_order=False) == 1.0
+
+    def test_no_penalty_small_k_high_order(self):
+        """Paper: for k <= 3 on 8-way caches the drop is negligible —
+        2**k lines map to distinct ways."""
+        model = CacheModel(EDISON_NODE)
+        for k in (1, 2, 3):
+            assert model.bandwidth_factor(k, high_order=True) == 1.0
+
+    def test_penalty_kicks_in_above_associativity(self):
+        model = CacheModel(EDISON_NODE)
+        f4 = model.bandwidth_factor(4, high_order=True)
+        f5 = model.bandwidth_factor(5, high_order=True)
+        assert f4 < 1.0
+        assert f5 < f4  # much greater drop for k=5 (Sec. 4.2.1)
+
+
+class TestKernelPerformance:
+    def test_fig9_shape_edison(self):
+        """Fig. 9: monotone rise with k low-order; high-order drops only
+        for k >= 4."""
+        low = [kernel_performance(EDISON_NODE, k) for k in range(1, 6)]
+        high = [
+            kernel_performance(EDISON_NODE, k, high_order=True) for k in range(1, 6)
+        ]
+        assert all(a < b for a, b in zip(low, low[1:]))
+        for k in (1, 2, 3):
+            assert high[k - 1] == low[k - 1]
+        assert high[3] < low[3]
+        assert high[4] < high[3]
+
+    def test_fig6_shape_knl(self):
+        low = [kernel_performance(CORI_KNL_NODE, k) for k in range(1, 6)]
+        high = [
+            kernel_performance(CORI_KNL_NODE, k, high_order=True) for k in range(1, 6)
+        ]
+        assert low[0] == pytest.approx(0.4375 * 460)
+        assert all(a <= b for a, b in zip(low, low[1:]))
+        assert high[3] < low[3] and high[4] < low[4]
+
+    def test_knl_magnitudes_match_figure(self):
+        """Fig. 6's y-range: low-order peaks around 1000-1100 GFLOPS."""
+        peak_low = kernel_performance(CORI_KNL_NODE, 5)
+        assert 900 <= peak_low <= 1150
+
+    def test_edison_magnitudes_match_figure(self):
+        """Fig. 9's y-range: low-order peaks below ~350 GFLOPS."""
+        peak_low = kernel_performance(EDISON_NODE, 5)
+        assert 200 <= peak_low <= 350
+
+    def test_large_state_uses_dram_on_knl(self):
+        small = kernel_performance(CORI_KNL_NODE, 1, state_bytes=2**30)
+        large = kernel_performance(CORI_KNL_NODE, 1, state_bytes=64 * 2**30)
+        assert large == pytest.approx(small * 115.2 / 460.0)

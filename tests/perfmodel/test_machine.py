@@ -1,0 +1,42 @@
+"""Tests for the machine descriptions."""
+
+import pytest
+
+from repro.perfmodel import CORI_KNL_NODE, EDISON_NODE, EDISON_SOCKET
+
+
+class TestMachineSpecs:
+    def test_paper_constants(self):
+        """The published numbers from Sec. 4 / Fig. 2 annotations."""
+        assert EDISON_SOCKET.peak_gflops == 230.4
+        assert EDISON_SOCKET.dram_bw_gbs == 52.0
+        assert EDISON_SOCKET.cores == 12
+        assert CORI_KNL_NODE.peak_gflops == 3133.4
+        assert CORI_KNL_NODE.fast_mem_bw_gbs == 460.0
+        assert CORI_KNL_NODE.dram_bw_gbs == 115.2
+        assert CORI_KNL_NODE.cores == 68
+        assert CORI_KNL_NODE.fast_mem_gib == 16.0
+
+    def test_effective_associativity_eight(self):
+        """Ivy Bridge: 8-way; KNL: 16-way shared between 2 cores -> 8."""
+        assert EDISON_SOCKET.effective_associativity == 8
+        assert CORI_KNL_NODE.effective_associativity == 8
+
+    def test_per_core_gflops(self):
+        assert EDISON_SOCKET.per_core_gflops == pytest.approx(230.4 / 12)
+
+    def test_best_bw_prefers_mcdram(self):
+        assert CORI_KNL_NODE.best_bw_gbs == 460.0
+        assert EDISON_SOCKET.best_bw_gbs == 52.0
+
+    def test_stream_bw_spills_to_dram(self):
+        small = 1 << 30  # 1 GiB fits MCDRAM
+        huge = 64 * 2**30
+        assert CORI_KNL_NODE.stream_bw_gbs(small) == 460.0
+        assert CORI_KNL_NODE.stream_bw_gbs(huge) == 115.2
+        # Edison has no fast tier: always DRAM.
+        assert EDISON_SOCKET.stream_bw_gbs(huge) == 52.0
+
+    def test_edison_node_doubles_socket(self):
+        assert EDISON_NODE.cores == 2 * EDISON_SOCKET.cores
+        assert EDISON_NODE.peak_gflops == pytest.approx(2 * EDISON_SOCKET.peak_gflops)

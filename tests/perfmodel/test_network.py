@@ -1,0 +1,57 @@
+"""Tests for the dragonfly network model."""
+
+import pytest
+
+from repro.perfmodel import ARIES_DRAGONFLY, NetworkSpec
+from repro.perfmodel.network import ARIES_EDISON
+
+
+class TestEffectiveBandwidth:
+    def test_anchor_values_exact(self):
+        assert ARIES_DRAGONFLY.effective_bw_gbs(64) == pytest.approx(1.39)
+        assert ARIES_DRAGONFLY.effective_bw_gbs(4096) == pytest.approx(0.60)
+        assert ARIES_DRAGONFLY.effective_bw_gbs(8192) == pytest.approx(0.32)
+
+    def test_interpolation_monotone_decreasing(self):
+        nodes = [16, 64, 256, 1024, 4096, 8192, 16384]
+        bws = [ARIES_DRAGONFLY.effective_bw_gbs(n) for n in nodes]
+        assert all(a >= b for a, b in zip(bws, bws[1:]))
+
+    def test_single_node_infinite(self):
+        assert ARIES_DRAGONFLY.effective_bw_gbs(1) == float("inf")
+
+    def test_single_anchor_extrapolation(self):
+        assert ARIES_EDISON.effective_bw_gbs(64) == pytest.approx(0.53)
+        assert ARIES_EDISON.effective_bw_gbs(128) < 0.53
+        assert ARIES_EDISON.effective_bw_gbs(32) > 0.53
+
+    def test_no_anchors_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkSpec(name="empty").effective_bw_gbs(4)
+
+
+class TestTimes:
+    def test_alltoall_time(self):
+        # 64 nodes, 16 GiB shards: the Table 2 calibration point implies
+        # roughly 12 seconds per swap.
+        t = ARIES_DRAGONFLY.alltoall_seconds(64, (1 << 30) * 16)
+        assert 10.0 < t < 14.0
+
+    def test_alltoall_zero_for_single_node(self):
+        assert ARIES_DRAGONFLY.alltoall_seconds(1, 1 << 34) == 0.0
+
+    def test_global_gate_half_swap(self):
+        """Fig. 5 caption: a dense global gate costs about half a swap."""
+        shard = (1 << 30) * 16
+        assert ARIES_DRAGONFLY.global_gate_seconds(
+            64, shard
+        ) == pytest.approx(0.5 * ARIES_DRAGONFLY.alltoall_seconds(64, shard))
+
+    def test_diagonal_fraction_scales(self):
+        # more participants -> larger useful fraction (n-1)/n
+        t2 = ARIES_DRAGONFLY.alltoall_seconds(2, 1 << 30)
+        t4 = ARIES_DRAGONFLY.alltoall_seconds(4, 1 << 30)
+        bw2 = ARIES_DRAGONFLY.effective_bw_gbs(2)
+        bw4 = ARIES_DRAGONFLY.effective_bw_gbs(4)
+        assert t2 == pytest.approx((1 << 30) * 0.5 / (bw2 * 1e9))
+        assert t4 == pytest.approx((1 << 30) * 0.75 / (bw4 * 1e9))

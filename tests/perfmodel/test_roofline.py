@@ -1,0 +1,69 @@
+"""Tests for the roofline model (Fig. 2)."""
+
+import pytest
+
+from repro.perfmodel import (
+    CORI_KNL_NODE,
+    EDISON_SOCKET,
+    attainable_gflops,
+    roofline_table,
+)
+from repro.util.flops import operational_intensity
+
+
+class TestAttainable:
+    def test_memory_bound_region(self):
+        # 1-qubit kernel on Edison: 0.4375 * 52 = 22.75 GFLOPS.
+        oi = operational_intensity(1)
+        assert attainable_gflops(oi, EDISON_SOCKET) == pytest.approx(22.75)
+
+    def test_compute_bound_region(self):
+        assert attainable_gflops(1000.0, EDISON_SOCKET) == 230.4
+
+    def test_knl_uses_mcdram(self):
+        oi = operational_intensity(1)
+        assert attainable_gflops(oi, CORI_KNL_NODE) == pytest.approx(0.4375 * 460)
+
+    def test_custom_bandwidth(self):
+        assert attainable_gflops(1.0, CORI_KNL_NODE, bw_gbs=115.2) == pytest.approx(115.2)
+
+    def test_invalid_oi(self):
+        with pytest.raises(ValueError):
+            attainable_gflops(0.0, EDISON_SOCKET)
+
+
+class TestRooflineTable:
+    def test_knl_matches_paper_annotations(self):
+        """Fig. 2b's annotated points: 229.6, 442.7, 878.7 GFLOPS."""
+        points = roofline_table(CORI_KNL_NODE)
+        annotated = [p.modeled_gflops for p in points if p.paper_gflops is not None]
+        assert annotated == [229.6, 442.7, 878.7]
+
+    def test_edison_step3_annotation(self):
+        """Fig. 2a's annotated 166.2 GFLOPS for the step-3 4-qubit kernel."""
+        points = roofline_table(EDISON_SOCKET)
+        step3 = points[-1]
+        assert step3.modeled_gflops == 166.2
+        assert step3.paper_gflops == 166.2
+
+    def test_modeled_below_roof(self):
+        for machine in (EDISON_SOCKET, CORI_KNL_NODE):
+            for p in roofline_table(machine):
+                assert p.modeled_gflops <= p.roof_gflops + 1e-9
+
+    def test_steps_improve_monotonically(self):
+        """Each optimization step increases 4-qubit kernel performance."""
+        for machine in (EDISON_SOCKET, CORI_KNL_NODE):
+            four_qubit = [
+                p.modeled_gflops
+                for p in roofline_table(machine)
+                if p.kernel_qubits == 4
+            ]
+            assert all(a < b for a, b in zip(four_qubit, four_qubit[1:]))
+
+    def test_one_qubit_kernel_memory_bound(self):
+        for machine in (EDISON_SOCKET, CORI_KNL_NODE):
+            p = roofline_table(machine)[0]
+            assert p.kernel_qubits == 1
+            assert p.oi < 0.5
+            assert p.roof_gflops < machine.peak_gflops

@@ -1,0 +1,51 @@
+"""Tests for the strong-scaling model (Figs. 7 and 10)."""
+
+import pytest
+
+from repro.perfmodel import CORI_KNL_NODE, EDISON_NODE, strong_scaling_speedup
+from repro.perfmodel.scaling import kernel_gflops_at_cores
+
+
+class TestStrongScaling:
+    def test_speedup_one_core_is_one(self):
+        for k in range(1, 6):
+            assert strong_scaling_speedup(EDISON_NODE, k, 1) == pytest.approx(1.0)
+
+    def test_speedup_bounded_by_cores(self):
+        for machine, cores in [(EDISON_NODE, 24), (CORI_KNL_NODE, 64)]:
+            for k in range(1, 6):
+                assert strong_scaling_speedup(machine, k, cores) <= cores + 1e-9
+
+    def test_five_qubit_scales_best(self):
+        """Fig. 10: the 5-qubit kernel scales best to the full node."""
+        at_full = [strong_scaling_speedup(EDISON_NODE, k, 24) for k in range(1, 6)]
+        assert at_full[4] == max(at_full)
+        assert at_full[0] == min(at_full)
+
+    def test_monotone_in_k_fig7(self):
+        at_64 = [strong_scaling_speedup(CORI_KNL_NODE, k, 64) for k in range(1, 6)]
+        assert all(a <= b + 1e-9 for a, b in zip(at_64, at_64[1:]))
+
+    def test_memory_bound_kernel_saturates(self):
+        """1-qubit kernels stop scaling once bandwidth saturates."""
+        s12 = strong_scaling_speedup(EDISON_NODE, 1, 12)
+        s24 = strong_scaling_speedup(EDISON_NODE, 1, 24)
+        assert s24 < 24 * 0.7  # far from ideal
+        assert s24 <= s12 * 2.0 + 1e-9
+
+    def test_compute_bound_kernel_near_ideal(self):
+        s = strong_scaling_speedup(EDISON_NODE, 5, 24)
+        assert s > 0.85 * 24
+
+    def test_speedup_monotone_in_cores(self):
+        for k in (1, 3, 5):
+            speedups = [
+                strong_scaling_speedup(CORI_KNL_NODE, k, p) for p in (1, 2, 4, 8, 16, 32, 64)
+            ]
+            assert all(a <= b + 1e-9 for a, b in zip(speedups, speedups[1:]))
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            kernel_gflops_at_cores(EDISON_NODE, 1, 0)
+        with pytest.raises(ValueError):
+            kernel_gflops_at_cores(EDISON_NODE, 1, 25)

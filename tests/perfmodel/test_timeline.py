@@ -1,0 +1,98 @@
+"""Tests for the end-to-end timeline model (Table 2)."""
+
+import pytest
+
+from repro.circuit import generate_supremacy_circuit
+from repro.perfmodel import (
+    ARIES_DRAGONFLY,
+    BaselineModel,
+    CORI_KNL_NODE,
+    TimelineModel,
+)
+from repro.scheduling import SchedulerConfig, schedule_circuit
+
+
+def schedule_for(nq: int, nodes: int, *, kmax: int = 4, depth: int = 25):
+    import math
+
+    l = nq - int(math.log2(nodes))
+    circ = generate_supremacy_circuit(
+        nq, depth, seed=0, include_trailing_singles=False
+    )
+    return schedule_circuit(circ, SchedulerConfig(local_qubits=l, kmax=kmax, seed=1)), circ, l
+
+
+@pytest.fixture(scope="module")
+def knl_model():
+    return TimelineModel(CORI_KNL_NODE, ARIES_DRAGONFLY)
+
+
+@pytest.fixture(scope="module")
+def knl_baseline():
+    return BaselineModel(CORI_KNL_NODE, ARIES_DRAGONFLY)
+
+
+class TestTimelineReport:
+    def test_report_arithmetic(self, knl_model):
+        sched, _, _ = schedule_for(20, 16, depth=12)
+        r = knl_model.predict(sched)
+        assert r.total_seconds == pytest.approx(r.kernel_seconds + r.comm_seconds)
+        assert 0.0 <= r.comm_fraction < 1.0
+        assert r.total_flops > 0
+        assert r.nodes == 16
+
+
+class TestTable2:
+    """Paper vs model; the calibrated model must land within 35% on time
+    and 12 percentage points on communication fraction."""
+
+    @pytest.mark.parametrize(
+        "nq,nodes,paper_seconds,paper_comm_pct",
+        [(30, 1, 9.58, 0.0), (36, 64, 28.92, 42.9)],
+        ids=["30q-1node", "36q-64nodes"],
+    )
+    def test_small_rows(self, knl_model, nq, nodes, paper_seconds, paper_comm_pct):
+        sched, _, _ = schedule_for(nq, nodes)
+        r = knl_model.predict(sched)
+        assert abs(r.total_seconds - paper_seconds) / paper_seconds < 0.35
+        assert abs(100 * r.comm_fraction - paper_comm_pct) < 12.0
+
+    def test_45q_row(self, knl_model):
+        """The record run: 8192 nodes, 552.61 s, 78% comm, 0.428 PFLOPS."""
+        sched, _, _ = schedule_for(45, 8192)
+        r = knl_model.predict(sched)
+        assert abs(r.total_seconds - 552.61) / 552.61 < 0.35
+        assert abs(100 * r.comm_fraction - 78.0) < 10.0
+        assert 0.25 < r.pflops < 0.9  # paper: 0.428
+
+    def test_speedup_over_baseline_order_of_magnitude(
+        self, knl_model, knl_baseline
+    ):
+        """Table 2: >10x speedup over [5] at every scale (paper: 12.4-14.8)."""
+        sched, circ, l = schedule_for(42, 4096)
+        ours = knl_model.predict(sched)
+        base = knl_baseline.predict(circ, l)
+        speedup = base.total_seconds / ours.total_seconds
+        assert 8.0 < speedup < 25.0, speedup
+
+    def test_comm_fraction_grows_with_scale(self, knl_model):
+        fractions = []
+        for nq, nodes in [(36, 64), (42, 4096), (45, 8192)]:
+            sched, _, _ = schedule_for(nq, nodes)
+            fractions.append(knl_model.predict(sched).comm_fraction)
+        assert fractions[0] < fractions[1] < fractions[2]
+
+
+class TestBaselineModel:
+    def test_baseline_slower_than_scheduled(self, knl_model, knl_baseline):
+        sched, circ, l = schedule_for(36, 64)
+        assert (
+            knl_baseline.predict(circ, l).total_seconds
+            > knl_model.predict(sched).total_seconds
+        )
+
+    def test_baseline_single_node_no_comm(self, knl_baseline):
+        circ = generate_supremacy_circuit(30, 25, seed=0)
+        r = knl_baseline.predict(circ, 30)
+        assert r.comm_seconds == 0.0
+        assert r.kernel_seconds > 0

@@ -1,0 +1,146 @@
+"""Tests for diagonal-gate absorption into cluster matrices (Sec. 3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import generate_supremacy_circuit
+from repro.distributed import DistributedSimulator, DistributedState
+from repro.gates import Gate
+from repro.scheduling import ClusterOp, GateOp, SchedulerConfig, schedule_circuit
+from repro.scheduling.absorption import AbsorbedClusterOp, absorb_diagonals
+from repro.statevector import Simulator, StateVector
+from repro.util.rng import random_statevector
+
+
+class TestAbsorbDiagonalsPass:
+    def test_pure_global_phase_folds_forward(self):
+        ops = [
+            GateOp(Gate("t", (5,))),  # global diagonal, no local qubits
+            ClusterOp(qubits=(0, 1), gates=(Gate("h", (0,)),)),
+        ]
+        out = absorb_diagonals(ops, frozenset({5}))
+        assert len(out) == 1
+        assert isinstance(out[0], AbsorbedClusterOp)
+        assert out[0].pre_diagonals == (Gate("t", (5,)),)
+
+    def test_mixed_diagonal_folds_into_covering_cluster(self):
+        cz = Gate("cz", (0, 5))  # local 0, global 5
+        ops = [GateOp(cz), ClusterOp(qubits=(0, 1), gates=(Gate("h", (0,)),))]
+        out = absorb_diagonals(ops, frozenset({5}))
+        assert len(out) == 1
+        assert out[0].pre_diagonals == (cz,)
+
+    def test_uncovered_diagonal_stays_standalone(self):
+        cz = Gate("cz", (2, 5))  # local qubit 2 not in the cluster
+        ops = [GateOp(cz), ClusterOp(qubits=(0, 1), gates=(Gate("h", (0,)),))]
+        out = absorb_diagonals(ops, frozenset({5}))
+        kinds = [type(op) for op in out]
+        assert GateOp in kinds and ClusterOp in kinds
+
+    def test_trailing_diagonal_folds_backward(self):
+        cz = Gate("cz", (0, 5))
+        ops = [ClusterOp(qubits=(0, 1), gates=(Gate("h", (0,)),)), GateOp(cz)]
+        out = absorb_diagonals(ops, frozenset({5}))
+        assert len(out) == 1
+        assert out[0].post_diagonals == (cz,)
+
+    def test_monomial_op_blocks_crossing(self):
+        """A rank renumbering on the diagonal's global qubit must not be
+        crossed; the diagonal resolves (backward or standalone) first."""
+        t_gate = Gate("t", (5,))
+        ops = [
+            GateOp(t_gate),
+            GateOp(Gate("x", (5,))),  # renumbers ranks on qubit 5
+            ClusterOp(qubits=(0,), gates=(Gate("h", (0,)),)),
+        ]
+        out = absorb_diagonals(ops, frozenset({5}))
+        # t must NOT appear as pre_diagonal of the cluster.
+        for op in out:
+            if isinstance(op, AbsorbedClusterOp):
+                assert t_gate not in op.pre_diagonals
+        assert any(isinstance(op, GateOp) and op.gate == t_gate for op in out)
+
+    def test_covers_all_gates(self):
+        circ = generate_supremacy_circuit(12, 10, seed=0)
+        sched = schedule_circuit(
+            circ, SchedulerConfig(local_qubits=8, seed=1, absorb_diagonals=True)
+        )
+        assert len(sched.scheduled_gates()) == len(sched.circuit)
+        sched.validate()
+
+
+class TestAbsorbedClusterOp:
+    def test_matrix_for_rank_applies_phase(self):
+        cluster = ClusterOp(qubits=(0,), gates=(Gate("h", (0,)),))
+        op = AbsorbedClusterOp(cluster=cluster, pre_diagonals=(Gate("t", (5,)),))
+        m0 = op.matrix_for_rank({5: 0})
+        m1 = op.matrix_for_rank({5: 1})
+        assert np.allclose(m0, Gate("h", (0,)).matrix)
+        assert np.allclose(m1, np.exp(1j * np.pi / 4) * Gate("h", (0,)).matrix)
+
+    def test_matrix_for_rank_conditional_z(self):
+        """CZ(local, global): rank bit 1 applies Z before the cluster."""
+        cluster = ClusterOp(qubits=(0,), gates=(Gate("h", (0,)),))
+        op = AbsorbedClusterOp(cluster=cluster, pre_diagonals=(Gate("cz", (0, 5)),))
+        h = Gate("h", (0,)).matrix
+        z = Gate("z", (0,)).matrix
+        assert np.allclose(op.matrix_for_rank({5: 0}), h)
+        assert np.allclose(op.matrix_for_rank({5: 1}), h @ z)
+
+    def test_post_diagonal_order(self):
+        cluster = ClusterOp(qubits=(0,), gates=(Gate("h", (0,)),))
+        op = AbsorbedClusterOp(cluster=cluster, post_diagonals=(Gate("cz", (0, 5)),))
+        h = Gate("h", (0,)).matrix
+        z = Gate("z", (0,)).matrix
+        assert np.allclose(op.matrix_for_rank({5: 1}), z @ h)
+
+    def test_counters(self):
+        cluster = ClusterOp(qubits=(0, 1), gates=(Gate("h", (0,)), Gate("h", (1,))))
+        op = AbsorbedClusterOp(
+            cluster=cluster,
+            pre_diagonals=(Gate("t", (5,)),),
+            post_diagonals=(Gate("cz", (0, 5)),),
+        )
+        assert op.num_gates == 4
+        assert op.num_qubits == 2
+        assert op.global_qubits_used() == {5}
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("n,depth,l", [(12, 10, 8), (14, 12, 9)])
+    def test_absorbed_schedule_matches_reference(self, n, depth, l):
+        circ = generate_supremacy_circuit(n, depth, seed=3)
+        ref = Simulator(n).run(circ).state
+        sched = schedule_circuit(
+            circ, SchedulerConfig(local_qubits=l, kmax=4, seed=2, absorb_diagonals=True)
+        )
+        res = DistributedSimulator(n, l).run_schedule(sched)
+        assert res.state.to_statevector().allclose(ref, atol=1e-9)
+
+    def test_absorption_removes_diagonal_sweeps(self):
+        n, depth, l = 14, 12, 9
+        circ = generate_supremacy_circuit(n, depth, seed=1)
+        plain = schedule_circuit(
+            circ, SchedulerConfig(local_qubits=l, kmax=4, seed=2)
+        )
+        absorbed = schedule_circuit(
+            circ, SchedulerConfig(local_qubits=l, kmax=4, seed=2, absorb_diagonals=True)
+        )
+        res_plain = DistributedSimulator(n, l).run_schedule(plain)
+        res_abs = DistributedSimulator(n, l).run_schedule(absorbed)
+        assert res_abs.kernel_cost.diagonal_calls < max(
+            res_plain.kernel_cost.diagonal_calls, 1
+        )
+        assert res_abs.kernel_cost.total_calls <= res_plain.kernel_cost.total_calls
+        assert res_abs.state.to_statevector().allclose(
+            res_plain.state.to_statevector(), atol=1e-9
+        )
+
+    def test_rank_conditional_requires_global_layout(self):
+        sv = StateVector(8, random_statevector(8, 0))
+        d = DistributedState.from_statevector(sv, 5)
+        cluster = ClusterOp(qubits=(0,), gates=(Gate("h", (0,)),))
+        op = AbsorbedClusterOp(cluster=cluster, pre_diagonals=(Gate("cz", (0, 2)),))
+        # qubit 2 is local: the absorbed diagonal's premise is violated.
+        with pytest.raises(ValueError, match="global"):
+            d.apply_rank_conditional_cluster(op)

@@ -1,0 +1,64 @@
+"""Tests for the per-gate communication baseline of [5]."""
+
+from repro.circuit import Circuit, generate_supremacy_circuit
+from repro.gates import Gate
+from repro.scheduling import baseline_global_gates
+
+
+class TestBaseline:
+    def test_simple_counting(self):
+        c = Circuit(
+            4,
+            [
+                Gate("h", (0,)),      # local
+                Gate("h", (3,)),      # global dense
+                Gate("cz", (0, 3)),   # global diagonal -> specialized
+                Gate("t", (3,)),      # global diagonal (median: free)
+            ],
+        )
+        r = baseline_global_gates(c, 2, worst_case=False)
+        assert r.global_gates == 1
+        assert r.specialized_global_gates == 2
+        assert r.local_gates == 1
+        assert r.communication_steps == 1
+
+    def test_worst_case_counts_t_as_dense(self):
+        c = Circuit(4, [Gate("t", (3,)), Gate("cz", (1, 3))])
+        median = baseline_global_gates(c, 2, worst_case=False)
+        worst = baseline_global_gates(c, 2, worst_case=True)
+        assert median.global_gates == 0
+        assert worst.global_gates == 1  # T now dense; CZ still free
+
+    def test_no_specialization(self):
+        c = Circuit(4, [Gate("cz", (1, 3))])
+        r = baseline_global_gates(c, 2, specialize=False)
+        assert r.global_gates == 1
+
+    def test_all_local_when_l_covers(self):
+        circ = generate_supremacy_circuit(9, 8, seed=0)
+        r = baseline_global_gates(circ, 9)
+        assert r.global_gates == 0
+        assert r.local_gates == len(circ)
+
+    def test_paper_42q_about_50_global_gates(self):
+        """Sec. 4.1.2: '[5]'s scheme requires about 50 global gates' for a
+        depth-25 42-qubit circuit (median instances)."""
+        circ = generate_supremacy_circuit(
+            42, 25, seed=0, include_initial_hadamards=False
+        )
+        r = baseline_global_gates(circ, 29, worst_case=False)
+        assert 40 <= r.global_gates <= 60, r.global_gates
+
+    def test_monotone_in_global_count(self):
+        circ = generate_supremacy_circuit(20, 15, seed=1)
+        counts = [
+            baseline_global_gates(circ, l).global_gates for l in (19, 16, 13, 10)
+        ]
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+
+    def test_worst_case_at_least_median(self):
+        circ = generate_supremacy_circuit(20, 15, seed=1)
+        for l in (16, 12):
+            worst = baseline_global_gates(circ, l, worst_case=True).global_gates
+            median = baseline_global_gates(circ, l, worst_case=False).global_gates
+            assert worst >= median

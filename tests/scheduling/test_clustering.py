@@ -1,0 +1,101 @@
+"""Tests for gate clustering (Sec. 3.6.1 step 2)."""
+
+import pytest
+
+from repro.circuit import Circuit, generate_supremacy_circuit
+from repro.gates import Gate, random_unitary
+from repro.scheduling import cluster_stage_gates
+from repro.scheduling.program import ClusterOp, GateOp
+
+
+def flatten_ops(ops) -> list[Gate]:
+    out = []
+    for op in ops:
+        if isinstance(op, ClusterOp):
+            out.extend(op.gates)
+        else:
+            out.append(op.gate)
+    return out
+
+
+class TestClustering:
+    def test_covers_every_gate_once(self):
+        circ = generate_supremacy_circuit(9, 8, seed=0)
+        ops = cluster_stage_gates(list(circ.gates), frozenset(), 4)
+        assert len(flatten_ops(ops)) == len(circ)
+
+    def test_respects_kmax(self):
+        circ = generate_supremacy_circuit(9, 8, seed=0)
+        for kmax in (2, 3, 5):
+            ops = cluster_stage_gates(list(circ.gates), frozenset(), kmax)
+            for op in ops:
+                if isinstance(op, ClusterOp):
+                    assert op.num_qubits <= kmax
+
+    def test_preserves_per_qubit_order(self):
+        circ = generate_supremacy_circuit(12, 10, seed=1)
+        ops = cluster_stage_gates(list(circ.gates), frozenset(), 4)
+        reordered = Circuit(12, flatten_ops(ops))
+        assert circ.same_qubit_order_preserved(reordered)
+
+    def test_fewer_clusters_with_larger_kmax(self):
+        """Table 1's monotone trend."""
+        circ = generate_supremacy_circuit(16, 12, seed=2)
+        gates = list(circ.gates)
+        counts = [
+            sum(1 for op in cluster_stage_gates(gates, frozenset(), k) if isinstance(op, ClusterOp))
+            for k in (3, 4, 5)
+        ]
+        assert counts[0] >= counts[1] >= counts[2]
+
+    def test_merges_more_than_kmax_gates(self):
+        """The Table 1 observation: clusters absorb more than kmax gates."""
+        circ = generate_supremacy_circuit(16, 12, seed=2)
+        ops = cluster_stage_gates(list(circ.gates), frozenset(), 5)
+        clusters = [op for op in ops if isinstance(op, ClusterOp)]
+        avg = sum(c.num_gates for c in clusters) / len(clusters)
+        assert avg > 5
+
+    def test_global_diagonal_becomes_gateop(self):
+        gates = [Gate("cz", (0, 4)), Gate("h", (0,))]
+        ops = cluster_stage_gates(gates, frozenset({4}), 3)
+        assert isinstance(ops[0], GateOp)
+        assert ops[0].gate.name == "cz"
+
+    def test_global_dense_rejected(self):
+        with pytest.raises(ValueError, match="specializable"):
+            cluster_stage_gates([Gate("h", (4,))], frozenset({4}), 3)
+
+    def test_oversized_local_gate_rejected(self):
+        g = Gate("rand", (0, 1, 2), random_unitary(3, 0))
+        with pytest.raises(ValueError, match="larger than kmax"):
+            cluster_stage_gates([g], frozenset(), 2)
+
+    def test_gateop_blocks_following_cluster_gates(self):
+        """Gates after a specialized CZ on the same qubit must not be
+        pulled into a cluster emitted before it."""
+        gates = [
+            Gate("h", (0,)),
+            Gate("cz", (0, 4)),  # global CZ: standalone op
+            Gate("h", (0,)),     # must come after the CZ
+        ]
+        ops = cluster_stage_gates(gates, frozenset({4}), 3)
+        flat = flatten_ops(ops)
+        names = [(g.name, g.qubits) for g in flat]
+        assert names.index(("cz", (0, 4))) < len(names) - 1
+        reordered = Circuit(5, flat)
+        assert Circuit(5, gates).same_qubit_order_preserved(reordered)
+
+    def test_empty_stage(self):
+        assert cluster_stage_gates([], frozenset(), 3) == []
+
+    def test_invalid_kmax(self):
+        with pytest.raises(ValueError):
+            cluster_stage_gates([], frozenset(), 0)
+
+    def test_deterministic_per_seed(self):
+        circ = generate_supremacy_circuit(12, 8, seed=3)
+        a = cluster_stage_gates(list(circ.gates), frozenset(), 4, seed=5)
+        b = cluster_stage_gates(list(circ.gates), frozenset(), 4, seed=5)
+        assert [type(op) for op in a] == [type(op) for op in b]
+        assert flatten_ops(a) == flatten_ops(b)

@@ -1,0 +1,56 @@
+"""Tests for the qubit -> bit-location mapping heuristic (Sec. 3.6.2)."""
+
+from repro.circuit import generate_supremacy_circuit
+from repro.scheduling import SchedulerConfig, cluster_bit_mapping, schedule_circuit
+from repro.scheduling.mapping import mapping_cost
+
+
+def schedule_clusters(n=16, depth=12, l=16, kmax=4, seed=0):
+    circ = generate_supremacy_circuit(n, depth, seed=seed)
+    sched = schedule_circuit(circ, SchedulerConfig(local_qubits=l, kmax=kmax, seed=1))
+    return [
+        op.qubits
+        for stage in sched.stages
+        for op in stage.cluster_ops
+    ]
+
+
+class TestClusterBitMapping:
+    def test_is_bijection(self):
+        clusters = schedule_clusters()
+        mapping = cluster_bit_mapping(clusters, 16)
+        assert sorted(mapping.keys()) == list(range(16))
+        assert sorted(mapping.values()) == list(range(16))
+
+    def test_most_active_qubit_gets_bit0(self):
+        clusters = [(0, 1), (0, 2), (0, 3), (4, 5)]
+        mapping = cluster_bit_mapping(clusters, 6)
+        assert mapping[0] == 0
+
+    def test_empty_clusters(self):
+        mapping = cluster_bit_mapping([], 4)
+        assert sorted(mapping.values()) == list(range(4))
+
+    def test_reduces_high_order_cluster_count(self):
+        """The point of the heuristic: fewer clusters touch high-order
+        bit locations than under the identity mapping."""
+        clusters = schedule_clusters()
+        n = 16
+        identity = {q: q for q in range(n)}
+        mapped = cluster_bit_mapping(clusters, n)
+        threshold = 8  # cache-penalty region
+        cost_identity = mapping_cost(clusters, identity, high_order_threshold=threshold)
+        cost_mapped = mapping_cost(clusters, mapped, high_order_threshold=threshold)
+        assert cost_mapped <= cost_identity
+
+    def test_mapping_cost_counts(self):
+        clusters = [(0, 1), (2, 9), (3,)]
+        identity = {q: q for q in range(10)}
+        assert mapping_cost(clusters, identity, high_order_threshold=8) == 1
+        assert mapping_cost(clusters, identity, high_order_threshold=2) == 2
+
+    def test_unused_qubits_get_high_bits(self):
+        clusters = [(0, 1)] * 5
+        mapping = cluster_bit_mapping(clusters, 4)
+        assert mapping[0] in (0, 1) and mapping[1] in (0, 1)
+        assert {mapping[2], mapping[3]} == {2, 3}

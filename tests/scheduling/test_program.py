@@ -1,0 +1,123 @@
+"""Tests for the Schedule program representation."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, generate_supremacy_circuit
+from repro.gates import Gate
+from repro.kernels import apply_gate_reference
+from repro.scheduling import ClusterOp, GateOp, Schedule, Stage, SwapOp
+from repro.scheduling import SchedulerConfig, schedule_circuit
+from repro.util.rng import random_statevector
+
+
+class TestClusterOp:
+    def test_fused_matrix_matches_sequence(self):
+        op = ClusterOp(
+            qubits=(2, 0),
+            gates=(Gate("h", (2,)), Gate("cz", (2, 0)), Gate("t", (0,))),
+        )
+        state = random_statevector(4, 0).copy()
+        a = state.copy()
+        for g in op.gates:
+            apply_gate_reference(a, g.matrix, g.qubits)
+        b = state.copy()
+        apply_gate_reference(b, op.fused.matrix, op.fused.qubits)
+        assert np.allclose(a, b, atol=1e-10)
+
+    def test_counters(self):
+        op = ClusterOp(qubits=(1,), gates=(Gate("h", (1,)), Gate("t", (1,))))
+        assert op.num_qubits == 1
+        assert op.num_gates == 2
+
+
+class TestScheduleStructure:
+    def make_schedule(self, n=12, l=8, depth=10, kmax=4) -> Schedule:
+        circ = generate_supremacy_circuit(n, depth, seed=4)
+        return schedule_circuit(circ, SchedulerConfig(local_qubits=l, kmax=kmax, seed=0))
+
+    def test_operations_interleave_swaps(self):
+        sched = self.make_schedule()
+        ops = list(sched.operations())
+        swaps = [op for op in ops if isinstance(op, SwapOp)]
+        assert len(swaps) == sched.num_swaps
+
+    def test_summary_keys(self):
+        summary = self.make_schedule().summary()
+        assert summary["num_swaps"] == summary["num_stages"] - 1
+        assert summary["num_clusters"] > 0
+        assert summary["gates_per_cluster"] > 0
+
+    def test_cluster_sizes_bounded(self):
+        sched = self.make_schedule(kmax=3)
+        assert all(1 <= k <= 3 for k in sched.cluster_sizes())
+
+    def test_scheduled_gates_cover_circuit(self):
+        sched = self.make_schedule()
+        assert len(sched.scheduled_gates()) == len(sched.circuit)
+
+    def test_validate_passes(self):
+        self.make_schedule().validate()
+
+    def test_validate_catches_missing_gate(self):
+        sched = self.make_schedule()
+        # Drop one cluster: coverage check must fire.
+        for stage in sched.stages:
+            if stage.cluster_ops:
+                stage.ops.remove(stage.cluster_ops[-1])
+                break
+        with pytest.raises(AssertionError, match="covers"):
+            sched.validate()
+
+    def test_validate_catches_kmax_violation(self):
+        circ = Circuit(3, [Gate("h", (0,))])
+        bad = Schedule(
+            circuit=circ,
+            local_qubits=3,
+            stages=[
+                Stage(
+                    global_qubits=frozenset(),
+                    ops=[ClusterOp(qubits=(0, 1, 2), gates=(Gate("h", (0,)),))],
+                )
+            ],
+            kmax=2,
+        )
+        with pytest.raises(AssertionError, match="kmax"):
+            bad.validate()
+
+    def test_validate_catches_global_cluster(self):
+        circ = Circuit(3, [Gate("h", (0,))])
+        bad = Schedule(
+            circuit=circ,
+            local_qubits=2,
+            stages=[
+                Stage(
+                    global_qubits=frozenset({0}),
+                    ops=[ClusterOp(qubits=(0,), gates=(Gate("h", (0,)),))],
+                )
+            ],
+        )
+        with pytest.raises(AssertionError, match="global"):
+            bad.validate()
+
+    def test_validate_catches_dense_gateop_on_global(self):
+        circ = Circuit(3, [Gate("h", (0,))])
+        bad = Schedule(
+            circuit=circ,
+            local_qubits=2,
+            stages=[
+                Stage(global_qubits=frozenset({0}), ops=[GateOp(Gate("h", (0,)))])
+            ],
+        )
+        with pytest.raises(AssertionError, match="specializable"):
+            bad.validate()
+
+    def test_initial_global_qubits(self):
+        sched = self.make_schedule()
+        assert sched.initial_global_qubits == sched.stages[0].global_qubits
+
+    def test_empty_schedule(self):
+        sched = Schedule(circuit=Circuit(2), local_qubits=2, stages=[])
+        assert sched.num_swaps == 0
+        assert sched.initial_global_qubits == frozenset()
+        assert sched.gates_per_cluster() == 0.0

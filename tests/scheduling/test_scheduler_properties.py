@@ -1,0 +1,90 @@
+"""Property-based tests: the scheduler is correct on arbitrary circuits.
+
+The paper notes its optimizations "are general and can be applied to any
+quantum circuit".  These tests hold it to that: random brickwork
+circuits, random gate soups and local-interaction ansätze must all
+schedule into valid programs that execute to the exact reference state.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import hardware_efficient_ansatz, random_brickwork_circuit
+from repro.distributed import DistributedSimulator
+from repro.scheduling import SchedulerConfig, schedule_circuit
+from repro.statevector import Simulator
+
+from tests.conftest import random_circuit
+
+
+class TestSchedulerOnArbitraryCircuits:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(0, 10_000),
+        st.integers(6, 9),
+        st.integers(10, 30),
+        st.booleans(),
+    )
+    def test_random_soups(self, seed, n, num_gates, absorb):
+        circ = random_circuit(n, num_gates, seed=seed)
+        l = max(3, n - 3)
+        ref = Simulator(n).run(circ).state
+        sched = schedule_circuit(
+            circ,
+            SchedulerConfig(
+                local_qubits=l,
+                kmax=4,
+                seed=seed,
+                skip_initial_hadamards=False,
+                absorb_diagonals=absorb,
+            ),
+        )
+        sched.validate()
+        run = DistributedSimulator(n, l).run_schedule(sched)
+        assert run.state.to_statevector().allclose(ref, atol=1e-9)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 8))
+    def test_brickwork(self, seed, depth):
+        n, l = 8, 6
+        circ = random_brickwork_circuit(n, depth, seed=seed)
+        ref = Simulator(n).run(circ).state
+        sched = schedule_circuit(
+            circ,
+            SchedulerConfig(local_qubits=l, seed=seed, skip_initial_hadamards=False),
+        )
+        sched.validate()
+        run = DistributedSimulator(n, l).run_schedule(sched)
+        assert run.state.to_statevector().allclose(ref, atol=1e-9)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_ansatz(self, seed):
+        n, l = 9, 6
+        circ = hardware_efficient_ansatz(n, 4, seed=seed)
+        ref = Simulator(n).run(circ).state
+        sched = schedule_circuit(
+            circ,
+            SchedulerConfig(local_qubits=l, seed=seed, skip_initial_hadamards=False),
+        )
+        run = DistributedSimulator(n, l).run_schedule(sched)
+        assert run.state.to_statevector().allclose(ref, atol=1e-9)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(3, 5))
+    def test_swap_counts_never_exceed_baseline(self, seed, kmax):
+        """The scheduler can never need more communication steps than
+        per-gate execution (it can always fall back to it)."""
+        from repro.scheduling import baseline_global_gates
+
+        n, l = 10, 7
+        circ = random_circuit(n, 25, seed=seed)
+        sched = schedule_circuit(
+            circ,
+            SchedulerConfig(
+                local_qubits=l, kmax=kmax, seed=seed, skip_initial_hadamards=False
+            ),
+        )
+        base = baseline_global_gates(circ, l, worst_case=True)
+        assert sched.num_swaps <= max(base.global_gates, 1)

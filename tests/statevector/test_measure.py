@@ -1,0 +1,73 @@
+"""Tests for sampling and measurement."""
+
+import numpy as np
+import pytest
+
+from repro.gates import Gate
+from repro.statevector import StateVector, measure_qubit, sample_counts
+from repro.statevector.measure import sample_bitstrings
+
+
+def bell_state() -> StateVector:
+    sv = StateVector(2)
+    sv.apply_gate(Gate("h", (0,))).apply_gate(Gate("cnot", (0, 1)))
+    return sv
+
+
+class TestSampling:
+    def test_deterministic_state_sampling(self):
+        sv = StateVector.basis_state(3, 0b110)
+        samples = sample_bitstrings(sv, 50, seed=0)
+        assert np.all(samples == 0b110)
+
+    def test_bell_sampling_only_00_11(self):
+        counts = sample_counts(bell_state(), 500, seed=1)
+        assert set(counts) <= {0b00, 0b11}
+        assert counts[0b00] + counts[0b11] == 500
+        # roughly balanced
+        assert abs(counts[0b00] - 250) < 80
+
+    def test_sample_frequencies_match_probs(self):
+        sv = StateVector(3)
+        sv.apply_gate(Gate("h", (0,)))
+        sv.apply_gate(Gate("h", (2,)))
+        counts = sample_counts(sv, 4000, seed=3)
+        probs = sv.probabilities()
+        for outcome, c in counts.items():
+            assert c / 4000 == pytest.approx(probs[outcome], abs=0.04)
+
+    def test_invalid_shots(self):
+        with pytest.raises(ValueError):
+            sample_bitstrings(StateVector(2), 0)
+
+    def test_seeded_reproducible(self):
+        sv = bell_state()
+        assert np.array_equal(
+            sample_bitstrings(sv, 20, seed=7), sample_bitstrings(sv, 20, seed=7)
+        )
+
+
+class TestMeasureQubit:
+    def test_collapse_is_normalised(self):
+        outcome, collapsed = measure_qubit(bell_state(), 0, seed=5)
+        assert collapsed.norm() == pytest.approx(1.0)
+        # Bell state: both qubits agree after measurement.
+        assert collapsed.probability_of(0b11 if outcome else 0b00) == pytest.approx(1.0)
+
+    def test_input_not_modified(self):
+        sv = bell_state()
+        before = sv.data.copy()
+        measure_qubit(sv, 1, seed=2)
+        assert np.array_equal(sv.data, before)
+
+    def test_deterministic_qubit(self):
+        sv = StateVector.basis_state(2, 0b10)
+        outcome, collapsed = measure_qubit(sv, 1, seed=0)
+        assert outcome == 1
+        assert collapsed.probability_of(0b10) == pytest.approx(1.0)
+
+    def test_outcome_statistics(self):
+        sv = StateVector(1)
+        sv.apply_gate(Gate("h", (0,)))
+        outcomes = [measure_qubit(sv, 0, seed=s)[0] for s in range(200)]
+        assert 60 < sum(outcomes) < 140

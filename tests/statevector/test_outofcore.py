@@ -1,0 +1,62 @@
+"""Tests for the disk-resident state vector."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import generate_supremacy_circuit
+from repro.statevector import OutOfCoreStateVector, Simulator, StateVector
+from repro.util.rng import random_statevector
+
+
+@pytest.fixture
+def disk_state(tmp_path):
+    def make(num_qubits=8, local_qubits=5, init="zero"):
+        return OutOfCoreStateVector(num_qubits, local_qubits, tmp_path, init=init)
+
+    return make
+
+
+class TestOutOfCore:
+    def test_zero_init(self, disk_state):
+        oc = disk_state()
+        sv = oc.to_statevector()
+        assert sv.probability_of(0) == pytest.approx(1.0)
+
+    def test_spill_roundtrip(self, tmp_path):
+        sv = StateVector(8, random_statevector(8, 0))
+        oc = OutOfCoreStateVector.from_statevector_on_disk(sv, 5, tmp_path)
+        assert oc.to_statevector().allclose(sv, atol=1e-12)
+
+    def test_matches_in_memory_simulation(self, tmp_path):
+        n, l = 9, 6
+        circ = generate_supremacy_circuit(n, 8, seed=3)
+        ref = Simulator(n).run(circ).state
+        oc = OutOfCoreStateVector(n, l, tmp_path)
+        for gate in circ:
+            oc.apply_gate(gate, auto_swap=True)
+        assert oc.to_statevector().allclose(ref, atol=1e-9)
+
+    def test_persistence_across_reopen(self, tmp_path):
+        sv = StateVector(7, random_statevector(7, 4))
+        OutOfCoreStateVector.from_statevector_on_disk(sv, 4, tmp_path)
+        # Reopen with init=None: contents must survive.
+        oc2 = OutOfCoreStateVector(7, 4, tmp_path, init=None)
+        assert oc2.to_statevector().allclose(sv, atol=1e-12)
+
+    def test_swap_roundtrip_on_disk(self, tmp_path):
+        sv = StateVector(8, random_statevector(8, 5))
+        oc = OutOfCoreStateVector.from_statevector_on_disk(sv, 5, tmp_path)
+        oc.swap_all_global_to_local()
+        assert oc.to_statevector().allclose(sv, atol=1e-12)
+        assert oc.stats.alltoall_steps == 1
+
+    def test_shard_files_exist(self, tmp_path):
+        OutOfCoreStateVector(8, 5, tmp_path)
+        files = sorted(tmp_path.glob("shard_*.dat"))
+        assert len(files) == 8  # 2**(8-5)
+        assert files[0].stat().st_size == (1 << 5) * 16
+
+    def test_plus_init(self, disk_state):
+        oc = disk_state(init="plus")
+        data = oc.to_statevector().data
+        assert np.allclose(data, 2.0 ** (-4.0))

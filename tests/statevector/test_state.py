@@ -1,0 +1,128 @@
+"""Tests for the StateVector container."""
+
+import numpy as np
+import pytest
+
+from repro.gates import Gate
+from repro.statevector import StateVector
+from repro.util.rng import random_statevector
+
+
+class TestConstruction:
+    def test_zero_state(self):
+        sv = StateVector(3)
+        assert sv.data[0] == 1.0
+        assert np.count_nonzero(sv.data) == 1
+
+    def test_plus_state(self):
+        sv = StateVector(4, init="plus")
+        assert np.allclose(sv.data, 0.25)
+        assert sv.norm() == pytest.approx(1.0)
+
+    def test_from_data(self):
+        data = random_statevector(3, 0)
+        sv = StateVector(3, data)
+        assert np.allclose(sv.data, data)
+
+    def test_bad_data_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            StateVector(3, np.zeros(4, dtype=complex))
+
+    def test_bad_init(self):
+        with pytest.raises(ValueError, match="init"):
+            StateVector(3, init="bell")
+
+    def test_single_precision(self):
+        sv = StateVector(3, single_precision=True)
+        assert sv.data.dtype == np.complex64
+
+    def test_basis_state(self):
+        sv = StateVector.basis_state(3, 0b101)
+        assert sv.probability_of(0b101) == 1.0
+
+    def test_from_array(self):
+        sv = StateVector.from_array(random_statevector(4, 1))
+        assert sv.num_qubits == 4
+
+
+class TestGateApplication:
+    def test_apply_gate_chains(self):
+        sv = StateVector(2)
+        out = sv.apply_gate(Gate("h", (0,))).apply_gate(Gate("cnot", (0, 1)))
+        assert out is sv
+        # Bell state
+        assert sv.probability_of(0b00) == pytest.approx(0.5)
+        assert sv.probability_of(0b11) == pytest.approx(0.5)
+
+    def test_apply_circuit(self, small_supremacy_circuit):
+        sv = StateVector(9)
+        sv.apply_circuit(small_supremacy_circuit)
+        assert sv.norm() == pytest.approx(1.0)
+
+
+class TestProbabilities:
+    def test_full_distribution_sums_to_one(self):
+        sv = StateVector(5, random_statevector(5, 2))
+        assert sv.probabilities().sum() == pytest.approx(1.0)
+
+    def test_marginal_single_qubit(self):
+        sv = StateVector(2)
+        sv.apply_gate(Gate("h", (1,)))
+        marg = sv.probabilities((1,))
+        assert np.allclose(marg, [0.5, 0.5])
+        assert np.allclose(sv.probabilities((0,)), [1.0, 0.0])
+
+    def test_marginal_matches_manual(self):
+        sv = StateVector(4, random_statevector(4, 3))
+        full = sv.probabilities()
+        marg = sv.probabilities((2, 0))
+        manual = np.zeros(4)
+        for idx, p in enumerate(full):
+            key = ((idx >> 2) & 1) | (((idx >> 0) & 1) << 1)
+            manual[key] += p
+        assert np.allclose(marg, manual)
+
+    def test_expectation_bit(self):
+        sv = StateVector(2)
+        sv.apply_gate(Gate("x", (1,)))
+        assert sv.expectation_bit(1) == pytest.approx(1.0)
+        assert sv.expectation_bit(0) == pytest.approx(0.0)
+
+    def test_probability_of_range_check(self):
+        with pytest.raises(ValueError):
+            StateVector(2).probability_of(4)
+
+
+class TestComparison:
+    def test_inner_and_fidelity(self):
+        a = StateVector(3, random_statevector(3, 0))
+        assert a.fidelity(a) == pytest.approx(1.0)
+        b = a.copy()
+        b.data *= np.exp(0.3j)
+        assert a.equal_up_to_global_phase(b)
+        assert not a.allclose(b)
+
+    def test_orthogonal_states(self):
+        a = StateVector.basis_state(2, 0)
+        b = StateVector.basis_state(2, 3)
+        assert a.fidelity(b) == pytest.approx(0.0)
+
+    def test_incompatible_sizes(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            StateVector(2).inner(StateVector(3))
+
+    def test_copy_is_deep(self):
+        a = StateVector(2)
+        b = a.copy()
+        b.data[0] = 0
+        assert a.data[0] == 1.0
+
+    def test_normalize(self):
+        sv = StateVector(2, np.array([2, 0, 0, 0], dtype=complex))
+        sv.normalize()
+        assert sv.norm() == pytest.approx(1.0)
+
+    def test_normalize_zero_rejected(self):
+        sv = StateVector(2, np.zeros(4, dtype=complex))
+        with pytest.raises(ValueError):
+            sv.normalize()

@@ -1,0 +1,63 @@
+"""Tests for the FLOP/byte accounting (Sec. 3.1 conventions)."""
+
+import pytest
+
+from repro.util.flops import (
+    GateCost,
+    bytes_touched,
+    gate_flops,
+    operational_intensity,
+)
+
+
+class TestGateFlops:
+    def test_single_qubit_paper_value(self):
+        # The paper: 2*(4 mul + 2 add) + 2 add = 14 FLOP per output entry.
+        assert gate_flops(1, 1) / 2 == 14
+
+    def test_scales_with_state_size(self):
+        assert gate_flops(10, 1) == 14 * 1024
+
+    def test_k_qubit_formula(self):
+        # 8 * 2**k - 2 per entry.
+        for k in range(1, 6):
+            per_entry = gate_flops(k, k) / (1 << k)
+            assert per_entry == 8 * (1 << k) - 2
+
+    def test_diagonal_is_one_mul_per_entry(self):
+        assert gate_flops(8, 2, diagonal=True) == 6 * 256
+
+
+class TestOperationalIntensity:
+    def test_single_qubit_below_half(self):
+        # The paper's memory-bound observation: OI < 1/2 for 1-qubit gates.
+        oi = operational_intensity(1)
+        assert oi == pytest.approx(14 / 32)
+        assert oi < 0.5
+
+    def test_four_qubit_near_four(self):
+        assert operational_intensity(4) == pytest.approx(126 / 32)
+
+    def test_monotone_in_k(self):
+        ois = [operational_intensity(k) for k in range(1, 7)]
+        assert all(a < b for a, b in zip(ois, ois[1:]))
+
+
+class TestBytesAndCost:
+    def test_bytes_touched_double(self):
+        # one 16-byte load + one 16-byte store per amplitude
+        assert bytes_touched(10) == 32 * 1024
+
+    def test_bytes_touched_single_precision(self):
+        assert bytes_touched(10, single_precision=True) == 16 * 1024
+
+    def test_gate_cost_intensity(self):
+        cost = GateCost.for_gate(12, 1)
+        assert cost.intensity == pytest.approx(14 / 32)
+
+    def test_gate_cost_add(self):
+        a = GateCost.for_gate(10, 1)
+        b = GateCost.for_gate(10, 2)
+        total = a + b
+        assert total.flops == a.flops + b.flops
+        assert total.bytes == a.bytes + b.bytes

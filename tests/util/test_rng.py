@@ -1,0 +1,33 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import ensure_rng, random_statevector
+
+
+class TestEnsureRng:
+    def test_from_int(self):
+        a, b = ensure_rng(42), ensure_rng(42)
+        assert a.integers(1000) == b.integers(1000)
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestRandomStatevector:
+    def test_normalised(self):
+        vec = random_statevector(8, 0)
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        assert np.array_equal(random_statevector(6, 5), random_statevector(6, 5))
+
+    def test_shape_and_dtype(self):
+        vec = random_statevector(5, 1)
+        assert vec.shape == (32,)
+        assert vec.dtype == np.complex128

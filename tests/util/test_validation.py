@@ -1,0 +1,55 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.gates.matrices import H_MATRIX
+from repro.util.validation import (
+    check_power_of_two,
+    check_qubit_indices,
+    check_unitary,
+)
+
+
+class TestCheckPowerOfTwo:
+    def test_accepts(self):
+        assert check_power_of_two(64) == 64
+
+    def test_rejects(self):
+        with pytest.raises(ValueError, match="power of two"):
+            check_power_of_two(48, "dim")
+
+
+class TestCheckQubitIndices:
+    def test_valid(self):
+        assert check_qubit_indices([2, 0], 4) == (2, 0)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            check_qubit_indices([4], 4)
+
+    def test_negative(self):
+        with pytest.raises(ValueError, match="out of range"):
+            check_qubit_indices([-1], 4)
+
+    def test_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            check_qubit_indices([1, 1], 4)
+
+
+class TestCheckUnitary:
+    def test_accepts_hadamard(self):
+        out = check_unitary(H_MATRIX)
+        assert out.dtype == np.complex128
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            check_unitary(np.ones((2, 3)))
+
+    def test_rejects_non_power_dim(self):
+        with pytest.raises(ValueError, match="power of two"):
+            check_unitary(np.eye(3))
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(ValueError, match="not unitary"):
+            check_unitary(np.array([[1.0, 1.0], [0.0, 1.0]]))
