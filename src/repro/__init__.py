@@ -13,8 +13,10 @@ full optimization stack:
   adjustment and qubit mapping (:mod:`repro.scheduling`),
 * supremacy circuit generation (:mod:`repro.circuit`),
 * calibrated performance models of Edison / Cori II reproducing the
-  paper's evaluation (:mod:`repro.perfmodel`), and
-* output-distribution analysis (:mod:`repro.analysis`).
+  paper's evaluation (:mod:`repro.perfmodel`),
+* output-distribution analysis (:mod:`repro.analysis`), and
+* fault injection + fault-tolerant supervised execution
+  (:mod:`repro.resilience`).
 
 Quickstart::
 
@@ -46,6 +48,13 @@ from repro.distributed import (
     InMemoryShards,
 )
 from repro.gates import Gate, fuse_gates, gate_matrix
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    ResilientExecutor,
+    RetryPolicy,
+    run_chaos_suite,
+)
 from repro.scheduling import (
     Schedule,
     SchedulerConfig,
@@ -66,10 +75,14 @@ __all__ = [
     "DiskShards",
     "DistributedSimulator",
     "DistributedState",
+    "FaultPlan",
+    "FaultSpec",
     "Gate",
     "GridSpec",
     "InMemoryShards",
     "OutOfCoreStateVector",
+    "ResilientExecutor",
+    "RetryPolicy",
     "Schedule",
     "SchedulerConfig",
     "Simulator",
@@ -84,6 +97,7 @@ __all__ = [
     "grid_for_qubits",
     "hardware_efficient_ansatz",
     "random_brickwork_circuit",
+    "run_chaos_suite",
     "sample_counts",
     "schedule_circuit",
 ]

@@ -6,9 +6,12 @@ Subcommands:
 * ``schedule`` — schedule a circuit and print the summary (optionally
   saving the program as JSON for reuse);
 * ``simulate`` — run a circuit (single-node or distributed) and report
-  entropy / sample counts;
+  entropy / sample counts; distributed runs can checkpoint and resume
+  via ``--checkpoint-dir`` / ``--checkpoint-every``;
 * ``project`` — price a configuration on the Cori II models and print a
-  Table-2-style profile.
+  Table-2-style profile;
+* ``chaos`` — run the fault-injection scenario sweep (or a custom
+  fault-plan JSON) and print the recovery report.
 """
 
 from __future__ import annotations
@@ -58,6 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="distributed run with this split (default: single node)")
     sim.add_argument("--shots", type=int, default=0,
                      help="also sample this many bitstrings")
+    sim.add_argument("--checkpoint-dir", type=str,
+                     help="checkpoint the distributed run here (resumes an "
+                     "existing checkpoint automatically)")
+    sim.add_argument("--checkpoint-every", type=int, default=8,
+                     help="ops between checkpoints (with --checkpoint-dir)")
 
     proj = sub.add_parser("project", help="project onto Cori II (Table 2 style)")
     proj.add_argument("--qubits", type=int, required=True)
@@ -75,6 +83,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp.add_argument("--qubits", type=int, default=36,
                      help="circuit size for fig8")
+
+    cha = sub.add_parser(
+        "chaos", help="fault-injection sweep with bit-exact recovery checks"
+    )
+    cha.add_argument("--qubits", type=int, default=12)
+    cha.add_argument("--depth", type=int, default=16)
+    cha.add_argument("--seed", type=int, default=0)
+    cha.add_argument("--local-qubits", type=int, default=10)
+    cha.add_argument("--kmax", type=int, default=4)
+    cha.add_argument("--checkpoint-every", type=int, default=2)
+    cha.add_argument("--max-retries", type=int, default=3)
+    cha.add_argument("--max-restarts", type=int, default=2)
+    cha.add_argument("--plan", type=str,
+                     help="run one custom fault-plan JSON file instead of "
+                     "the built-in scenario sweep")
+    cha.add_argument("--workdir", type=str,
+                     help="checkpoint workspace (default: a temp directory)")
+    cha.add_argument("--real-sleep", action="store_true",
+                     help="actually sleep through backoff/stall delays "
+                     "(default: account them without waiting)")
     return parser
 
 
@@ -143,14 +171,37 @@ def _cmd_simulate(args) -> int:
         schedule = schedule_circuit(
             circuit, SchedulerConfig(local_qubits=args.local_qubits)
         )
-        result = DistributedSimulator(args.qubits, args.local_qubits).run_schedule(
-            schedule
-        )
-        state = result.state.to_statevector()
-        print(
-            f"distributed run: {result.comm.alltoall_steps} all-to-all steps, "
-            f"{result.kernel_cost.total_calls} kernel calls"
-        )
+        if args.checkpoint_dir:
+            from repro.distributed.checkpoint import CheckpointManager
+
+            mgr = CheckpointManager(args.checkpoint_dir)
+            if mgr.has_checkpoint():
+                _, next_op = mgr.load()
+                dist_state = mgr.resume(schedule, every=args.checkpoint_every)
+                print(f"resumed checkpoint at op {next_op} "
+                      f"from {args.checkpoint_dir}")
+            else:
+                dist_state = mgr.run_with_checkpoints(
+                    schedule, every=args.checkpoint_every
+                )
+                print(f"checkpointed every {args.checkpoint_every} ops "
+                      f"to {args.checkpoint_dir}")
+            state = dist_state.to_statevector()
+            print(
+                f"distributed run: {dist_state.stats.alltoall_steps} "
+                f"all-to-all steps, "
+                f"{dist_state.kernel_cost.total_calls} kernel calls"
+            )
+        else:
+            result = DistributedSimulator(
+                args.qubits, args.local_qubits
+            ).run_schedule(schedule)
+            state = result.state.to_statevector()
+            print(
+                f"distributed run: {result.comm.alltoall_steps} "
+                f"all-to-all steps, "
+                f"{result.kernel_cost.total_calls} kernel calls"
+            )
     else:
         run = Simulator(args.qubits).run(circuit)
         state = run.state
@@ -245,6 +296,73 @@ def _cmd_experiments(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import tempfile
+    import time as _time
+
+    from repro.circuit import generate_supremacy_circuit
+    from repro.resilience import (
+        ChaosScenario,
+        FaultPlan,
+        RetryPolicy,
+        format_chaos_suite,
+        run_chaos_suite,
+        run_scenario,
+    )
+    from repro.resilience.chaos import ChaosSuiteResult
+    from repro.scheduling import SchedulerConfig, schedule_circuit
+
+    g = args.qubits - args.local_qubits
+    if g < 1:
+        print("error: need at least one global qubit (>= 2 ranks)",
+              file=sys.stderr)
+        return 2
+    custom_plan = None
+    if args.plan:
+        try:
+            custom_plan = FaultPlan.from_file(args.plan)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"error: bad fault plan {args.plan}: {exc}", file=sys.stderr)
+            return 2
+    circuit = generate_supremacy_circuit(args.qubits, args.depth, seed=args.seed)
+    schedule = schedule_circuit(
+        circuit,
+        SchedulerConfig(local_qubits=args.local_qubits, kmax=args.kmax, seed=1),
+    )
+    policy = RetryPolicy(
+        max_retries=args.max_retries, max_restarts=args.max_restarts
+    )
+    sleep = _time.sleep if args.real_sleep else (lambda _s: None)
+
+    def run(workdir) -> int:
+        if custom_plan is not None:
+            scenario = ChaosScenario(
+                name="custom-plan",
+                description=f"fault plan from {args.plan}",
+                build_plan=lambda _sched, _swaps, _policy: custom_plan,
+                verify="every",
+            )
+            result = run_scenario(
+                schedule, scenario, workdir, policy=policy,
+                checkpoint_every=args.checkpoint_every, sleep=sleep,
+            )
+            suite = ChaosSuiteResult(
+                schedule_summary=schedule.summary(), results=[result]
+            )
+        else:
+            suite = run_chaos_suite(
+                schedule, workdir, policy=policy,
+                checkpoint_every=args.checkpoint_every, sleep=sleep,
+            )
+        print(format_chaos_suite(suite))
+        return 0 if suite.passed else 1
+
+    if args.workdir:
+        return run(args.workdir)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
+        return run(workdir)
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -254,6 +372,7 @@ def main(argv=None) -> int:
         "simulate": _cmd_simulate,
         "project": _cmd_project,
         "experiments": _cmd_experiments,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

@@ -46,11 +46,30 @@ class CheckpointManager:
         """True when a complete checkpoint exists here."""
         return self._meta_path.exists()
 
-    def save(self, state: DistributedState, next_op_index: int) -> None:
-        """Write a checkpoint (atomically: meta file last)."""
+    def clear(self) -> None:
+        """Delete any checkpoint in this directory (meta file first)."""
+        self._meta_path.unlink(missing_ok=True)
+        for path in self.directory.glob("ckpt_shard_*.npy"):
+            path.unlink()
+
+    @staticmethod
+    def initial_state_for(schedule: Schedule) -> DistributedState:
+        """The fresh state a schedule starts from (shared restart path)."""
+        return DistributedState(
+            schedule.num_qubits,
+            schedule.local_qubits,
+            init=schedule.initial_state,
+            initial_global_qubits=schedule.initial_global_qubits or None,
+        )
+
+    def save(self, state: DistributedState, next_op_index: int) -> int:
+        """Write a checkpoint (atomically: meta file last); returns bytes."""
+        written = 0
         for r in range(state.num_ranks):
             shard = np.asarray(state.storage.get(r))
-            np.save(self.directory / f"ckpt_shard_{r:06d}.npy", shard)
+            path = self.directory / f"ckpt_shard_{r:06d}.npy"
+            np.save(path, shard)
+            written += path.stat().st_size
         meta = {
             "num_qubits": state.num_qubits,
             "local_qubits": state.local_qubits,
@@ -73,6 +92,7 @@ class CheckpointManager:
             },
         }
         self._meta_path.write_text(json.dumps(meta))
+        return written + self._meta_path.stat().st_size
 
     def load(self) -> tuple[DistributedState, int]:
         """Restore ``(state, next_op_index)`` from the checkpoint."""
@@ -111,12 +131,7 @@ class CheckpointManager:
         ``fail_after`` aborts (RuntimeError) after that many operations —
         the failure-injection hook the tests use to prove resumability.
         """
-        state = DistributedState(
-            schedule.num_qubits,
-            schedule.local_qubits,
-            init=schedule.initial_state,
-            initial_global_qubits=schedule.initial_global_qubits or None,
-        )
+        state = self.initial_state_for(schedule)
         return self._execute(schedule, state, 0, every, fail_after)
 
     def resume(self, schedule: Schedule, *, every: int = 8) -> DistributedState:

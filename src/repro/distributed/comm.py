@@ -73,3 +73,18 @@ class CommStats:
         self.rank_renumberings += other.rank_renumberings
         self.local_swap_kernels += other.local_swap_kernels
         self.events.extend(other.events)
+
+    def reset(self) -> None:
+        """Zero every counter and drop the event log.
+
+        With :meth:`merge` this supports per-attempt accounting: swap in a
+        fresh/reset counter for one op attempt, then fold it into the run
+        totals only if the attempt succeeded — a retried attempt never
+        double-counts.
+        """
+        self.alltoall_steps = 0
+        self.group_alltoall_calls = 0
+        self.bytes_on_network = 0
+        self.rank_renumberings = 0
+        self.local_swap_kernels = 0
+        self.events.clear()

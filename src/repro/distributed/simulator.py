@@ -125,3 +125,33 @@ class DistributedSimulator:
         for op in schedule.operations():
             op.execute(state)
         return DistributedRunResult(state, time.perf_counter() - start)
+
+    def run_resilient(
+        self,
+        schedule,
+        checkpoint_dir,
+        *,
+        plan=None,
+        policy=None,
+        checkpoint_every: int = 4,
+        verify: str = "swap",
+    ):
+        """Execute a schedule fault-tolerantly (checkpoint-restart etc.).
+
+        Convenience front door to
+        :class:`repro.resilience.ResilientExecutor`; see that class for
+        the recovery semantics.  Returns a
+        :class:`repro.resilience.ResilientRunResult`.  Restart states are
+        rebuilt in memory from the checkpoint, so custom ``storage``
+        backends are not carried across a restart.
+        """
+        from repro.resilience import ResilientExecutor  # avoid import cycle
+
+        return ResilientExecutor(
+            schedule,
+            checkpoint_dir,
+            plan=plan,
+            policy=policy,
+            checkpoint_every=checkpoint_every,
+            verify=verify,
+        ).run()

@@ -10,6 +10,7 @@ this permutation while moving data accordingly.
 
 from __future__ import annotations
 
+import zlib
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -520,6 +521,20 @@ class DistributedState:
     # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------
+    def shard_checksum(self, rank: int) -> int:
+        """CRC32 of one shard's raw bytes (cheap end-to-end integrity)."""
+        return zlib.crc32(np.ascontiguousarray(self.storage.get(rank)).tobytes())
+
+    def shard_checksums(self) -> list[int]:
+        """Per-rank CRC32 checksums of every shard.
+
+        The resilience layer records these after each operation and
+        re-verifies them at swap boundaries: amplitudes only ever change
+        through kernels and exchanges, so a silent mismatch means the data
+        was corrupted at rest or in transit.
+        """
+        return [self.shard_checksum(r) for r in range(self.num_ranks)]
+
     def norm(self) -> float:
         """2-norm across all shards."""
         total = 0.0

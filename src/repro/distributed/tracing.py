@@ -19,12 +19,21 @@ __all__ = ["TraceEvent", "ExecutionTrace", "trace_schedule_execution"]
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One executed operation."""
+    """One executed operation (or, under resilient execution, one fault).
+
+    ``index`` numbers events in emission order; ``op_index`` is the
+    position in the schedule's op stream.  The two differ only under
+    retries/restarts, where one op can produce several events.
+    ``bytes_moved`` is populated for swap events from the communication
+    counters so chaos reports and normal traces share one event model.
+    """
 
     index: int
-    kind: str  # "cluster" | "specialized" | "swap" | "absorbed"
+    kind: str  # "cluster" | "specialized" | "swap" | "absorbed" | "fault"
     label: str
     seconds: float
+    bytes_moved: int | None = None
+    op_index: int | None = None
 
 
 @dataclass
@@ -52,6 +61,21 @@ class ExecutionTrace:
         if total <= 0:
             return 0.0
         return self.seconds_by_kind().get("swap", 0.0) / total
+
+    def signature(self) -> list[tuple]:
+        """A timing-free identity for determinism checks.
+
+        Two executions of the same schedule under the same fault plan must
+        produce equal signatures even though wall times differ.
+        """
+        return [
+            (e.kind, e.label, e.op_index, e.bytes_moved) for e in self.events
+        ]
+
+    @property
+    def bytes_moved(self) -> int:
+        """Total bytes moved across all events that recorded any."""
+        return sum(e.bytes_moved or 0 for e in self.events)
 
     def timeline(self, *, width: int = 60) -> str:
         """A proportional text timeline (one row per op)."""
@@ -87,14 +111,18 @@ def trace_schedule_execution(
     trace = ExecutionTrace()
     for index, op in enumerate(schedule.operations()):
         kind, label = _classify(op)
+        bytes_before = state.stats.bytes_on_network
         start = time.perf_counter()
         op.execute(state)
+        moved = state.stats.bytes_on_network - bytes_before
         trace.events.append(
             TraceEvent(
                 index=index,
                 kind=kind,
                 label=label,
                 seconds=time.perf_counter() - start,
+                bytes_moved=moved if kind == "swap" else None,
+                op_index=index,
             )
         )
     return trace

@@ -1,0 +1,74 @@
+"""Fault injection and fault-tolerant distributed execution.
+
+The paper's record run held 0.5 PB of amplitudes across 8,192 nodes for
+~10 minutes assuming a fault-free machine; at that scale node failure is
+a *when*, not an *if*.  This subsystem makes the reproduction survive
+failure and proves it:
+
+* :mod:`repro.resilience.faults` — a seeded, deterministic
+  :class:`FaultPlan`/:class:`FaultInjector` injecting rank crashes
+  (before or mid all-to-all), silent shard bit flips, stalled links and
+  transient communication errors at chosen op indices;
+* :mod:`repro.resilience.supervisor` — :class:`ResilientExecutor`:
+  retry with exponential backoff for transients, CRC32 shard integrity
+  verification at swap boundaries, checkpoint-restart for fatal faults,
+  all within a :class:`RetryPolicy` budget and accounted in a
+  :class:`RecoveryReport`;
+* :mod:`repro.resilience.chaos` — a scenario sweep asserting the
+  recovered final state is **bit-exact** against a fault-free run;
+* :mod:`repro.resilience.report` — the text reports behind the
+  ``repro chaos`` CLI subcommand.
+"""
+
+from repro.resilience.chaos import (
+    ChaosRunResult,
+    ChaosScenario,
+    ChaosSuiteResult,
+    default_scenarios,
+    run_chaos_suite,
+    run_scenario,
+    swap_op_indices,
+)
+from repro.resilience.faults import (
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RankCrashError,
+    RestartBudgetExceededError,
+    RetryBudgetExceededError,
+    ShardCorruptionError,
+    TransientCommError,
+)
+from repro.resilience.report import format_chaos_suite, format_recovery_report
+from repro.resilience.supervisor import (
+    RecoveryReport,
+    ResilientExecutor,
+    ResilientRunResult,
+    RetryPolicy,
+)
+
+__all__ = [
+    "ChaosRunResult",
+    "ChaosScenario",
+    "ChaosSuiteResult",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RankCrashError",
+    "RecoveryReport",
+    "ResilientExecutor",
+    "ResilientRunResult",
+    "RestartBudgetExceededError",
+    "RetryBudgetExceededError",
+    "RetryPolicy",
+    "ShardCorruptionError",
+    "TransientCommError",
+    "default_scenarios",
+    "format_chaos_suite",
+    "format_recovery_report",
+    "run_chaos_suite",
+    "run_scenario",
+    "swap_op_indices",
+]

@@ -1,0 +1,316 @@
+"""Deterministic fault injection for distributed execution.
+
+The paper's record run pinned 0.5 PB across 8,192 Cori II nodes for ~10
+minutes — a scale at which hardware faults are a *when*, not an *if* —
+yet, like qHiPSTER (arXiv:1601.07195), it assumes a fault-free machine.
+This module supplies the failure side of the story: a seeded
+:class:`FaultPlan` names exactly which faults strike which operations,
+and a :class:`FaultInjector` arms them against a live run.
+
+Fault model (all deterministic from ``(plan.seed, op_index, kind)``):
+
+* ``crash`` — a rank dies.  ``phase="before"`` kills it before the op
+  touches any data; ``phase="mid"`` lets the all-to-all complete, then
+  scribbles over the crashed rank's shard and raises — the state cannot
+  be trusted afterwards, forcing a checkpoint restart.
+* ``corrupt`` — silent data corruption: one bit of one amplitude of one
+  shard is flipped at rest.  Nothing raises; only the supervisor's
+  checksum verification can catch it.
+* ``transient`` — the exchange fails before moving any bytes (link
+  reset / retryable MPI error).  Succeeds after ``times`` firings.
+* ``stall`` — a slow link: the op completes but is charged
+  ``stall_seconds`` of (simulated) delay.
+
+Injection happens at two seams the supervisor controls: an op-boundary
+hook (:meth:`FaultInjector.on_op_start`) and a patch of the storage
+backend's ``exchange_blocks`` (:meth:`FaultInjector.exchange_guard`), so
+neither :class:`~repro.distributed.state.DistributedState` nor the
+storage backends know faults exist.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.distributed.state import DistributedState
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RankCrashError",
+    "RestartBudgetExceededError",
+    "RetryBudgetExceededError",
+    "ShardCorruptionError",
+    "TransientCommError",
+]
+
+FAULT_KINDS = ("crash", "corrupt", "transient", "stall")
+
+
+class FaultError(RuntimeError):
+    """Base class of every injected or detected fault condition."""
+
+
+class RankCrashError(FaultError):
+    """A (virtual) rank died; the in-flight state is unrecoverable."""
+
+
+class TransientCommError(FaultError):
+    """A retryable communication error (no data was moved)."""
+
+
+class ShardCorruptionError(FaultError):
+    """Shard checksum verification failed."""
+
+    def __init__(self, ranks: list[int]) -> None:
+        super().__init__(f"checksum mismatch on rank(s) {ranks}")
+        self.ranks = ranks
+
+
+class RetryBudgetExceededError(FaultError):
+    """Per-op transient retries exhausted; escalated to a restart."""
+
+
+class RestartBudgetExceededError(FaultError):
+    """The run burned through its checkpoint-restart budget."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault bound to one operation index.
+
+    ``times`` is how many firings the fault has: a crash with ``times=1``
+    strikes once and the replay sails through; ``times`` beyond the
+    restart budget models a hard failure that exhausts it.
+    """
+
+    op_index: int
+    kind: str
+    phase: str = "before"  # crash only: "before" | "mid"
+    rank: int | None = None  # corrupt / mid-crash target (None: seeded)
+    times: int = 1
+    stall_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind == "crash" and self.phase not in ("before", "mid"):
+            raise ValueError(f"crash phase must be before|mid, got {self.phase!r}")
+        if self.op_index < 0:
+            raise ValueError("op_index must be >= 0")
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (the fault-plan file format)."""
+        out = {"op_index": self.op_index, "kind": self.kind}
+        if self.kind == "crash":
+            out["phase"] = self.phase
+        if self.rank is not None:
+            out["rank"] = self.rank
+        if self.times != 1:
+            out["times"] = self.times
+        if self.kind == "stall":
+            out["stall_seconds"] = self.stall_seconds
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            op_index=int(data["op_index"]),
+            kind=str(data["kind"]),
+            phase=str(data.get("phase", "before")),
+            rank=None if data.get("rank") is None else int(data["rank"]),
+            times=int(data.get("times", 1)),
+            stall_seconds=float(data.get("stall_seconds", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, seeded list of faults — the unit of reproducibility.
+
+    Running the same plan against the same schedule twice produces
+    identical traces and identical recovery reports (modulo wall time):
+    every random choice (which rank, which amplitude, which bit) derives
+    from ``seed`` and the fault's own coordinates.
+    """
+
+    seed: int = 0
+    faults: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def faults_at(self, op_index: int) -> tuple[FaultSpec, ...]:
+        """The plan's faults bound to one op index, in plan order."""
+        return tuple(f for f in self.faults if f.op_index == op_index)
+
+    def to_json(self) -> str:
+        """Serialize to the documented fault-plan JSON format."""
+        return json.dumps(
+            {"seed": self.seed, "faults": [f.to_dict() for f in self.faults]},
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan from :meth:`to_json` output."""
+        data = json.loads(text)
+        return cls(
+            seed=int(data.get("seed", 0)),
+            faults=tuple(FaultSpec.from_dict(f) for f in data.get("faults", ())),
+        )
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "FaultPlan":
+        """Load a plan from a JSON file."""
+        return cls.from_json(Path(path).read_text())
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` against one resilient execution.
+
+    The injector owns the plan's mutable trial state (remaining firings
+    per fault) and a log of everything that actually fired; ``reset()``
+    restores it for a bit-identical rerun.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._remaining: list[int] = [f.times for f in plan.faults]
+        #: every fault firing, in order: dicts with op_index/kind/detail.
+        self.log: list[dict] = []
+
+    def reset(self) -> None:
+        """Re-arm every fault and clear the firing log."""
+        self._remaining = [f.times for f in self.plan.faults]
+        self.log.clear()
+
+    # ------------------------------------------------------------------
+    def _armed(self, op_index: int, kind: str, phase: str | None = None):
+        """(plan position, spec) pairs still armed for this op/kind."""
+        for i, spec in enumerate(self.plan.faults):
+            if spec.op_index != op_index or spec.kind != kind:
+                continue
+            if phase is not None and spec.phase != phase:
+                continue
+            if self._remaining[i] > 0:
+                yield i, spec
+
+    def _fire(self, i: int, spec: FaultSpec, detail: str) -> None:
+        self._remaining[i] -= 1
+        self.log.append(
+            {"op_index": spec.op_index, "kind": spec.kind, "detail": detail}
+        )
+
+    def _rng(self, spec: FaultSpec, salt: str) -> np.random.Generator:
+        # crc32, not hash(): str hashing is randomized per process and
+        # would break run-to-run determinism of the injected corruption.
+        return np.random.default_rng(
+            [self.plan.seed, spec.op_index, zlib.crc32(salt.encode())]
+        )
+
+    def _corrupt_shard(
+        self, state: DistributedState, spec: FaultSpec, salt: str
+    ) -> tuple[int, int, int]:
+        """Flip one deterministic bit of one amplitude of one shard."""
+        rng = self._rng(spec, salt)
+        rank = spec.rank if spec.rank is not None else int(
+            rng.integers(state.num_ranks)
+        )
+        shard = state.storage.get(rank)
+        byte = int(rng.integers(shard.nbytes))
+        bit = int(rng.integers(8))
+        raw = np.ascontiguousarray(shard).view(np.uint8)
+        raw[byte] ^= 1 << bit
+        state.storage.set(rank, raw.view(shard.dtype))
+        return rank, byte, bit
+
+    # ------------------------------------------------------------------
+    # Supervisor seams
+    # ------------------------------------------------------------------
+    def on_op_start(self, op_index: int, state: DistributedState) -> float:
+        """Op-boundary hook: crash-before, at-rest corruption, stalls.
+
+        Returns the simulated stall seconds charged to this op (0.0 when
+        no stall fault fired).  Raises :class:`RankCrashError` for an
+        armed crash-before fault.
+        """
+        stall = 0.0
+        for i, spec in self._armed(op_index, "stall"):
+            self._fire(i, spec, f"stalled link +{spec.stall_seconds}s")
+            stall += spec.stall_seconds
+        for i, spec in self._armed(op_index, "corrupt"):
+            rank, byte, bit = self._corrupt_shard(state, spec, "corrupt")
+            self._fire(
+                i, spec, f"flipped bit {bit} of byte {byte} on rank {rank}"
+            )
+        for i, spec in self._armed(op_index, "crash", phase="before"):
+            self._fire(i, spec, "rank crashed before op")
+            raise RankCrashError(
+                f"injected crash before op {op_index}"
+            )
+        return stall
+
+    @contextmanager
+    def exchange_guard(self, op_index: int, state: DistributedState):
+        """Patch ``storage.exchange_blocks`` for one op attempt.
+
+        Transient faults raise before any bytes move; mid-swap crashes
+        let the exchange finish, corrupt the crashed rank's shard, and
+        then raise — the partially-trusted state forces a restart.
+        """
+        storage = state.storage
+        original = storage.exchange_blocks
+        injector = self
+
+        def guarded(swap_qubits: int) -> None:
+            for i, spec in injector._armed(op_index, "transient"):
+                injector._fire(i, spec, "transient all-to-all error")
+                raise TransientCommError(
+                    f"injected transient comm error at op {op_index}"
+                )
+            original(swap_qubits)
+            for i, spec in injector._armed(op_index, "crash", phase="mid"):
+                # The exchange completed before the rank died, so its bytes
+                # really crossed the network — record them so the restart
+                # accounting can charge them as redundant.  swap_global_set
+                # aborts before its own record_alltoall on the raise below.
+                group = 1 << swap_qubits
+                state.stats.record_alltoall(
+                    num_groups=storage.num_shards // group,
+                    group_size=group,
+                    shard_bytes=storage.shard_bytes,
+                )
+                rank, byte, bit = injector._corrupt_shard(
+                    state, spec, "crash-mid"
+                )
+                injector._fire(
+                    i, spec, f"rank {rank} crashed mid-swap (shard torn)"
+                )
+                raise RankCrashError(
+                    f"injected crash mid-swap at op {op_index} (rank {rank})"
+                )
+
+        had_override = "exchange_blocks" in storage.__dict__
+        storage.exchange_blocks = guarded
+        try:
+            yield
+        finally:
+            if had_override:
+                storage.exchange_blocks = original
+            else:
+                # Remove our instance-level patch so the class
+                # implementation shows through again untouched.
+                del storage.__dict__["exchange_blocks"]

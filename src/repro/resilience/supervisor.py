@@ -1,0 +1,349 @@
+"""Fault-tolerant schedule execution.
+
+:class:`ResilientExecutor` runs a :class:`~repro.scheduling.Schedule`
+under an (optional) :class:`~repro.resilience.faults.FaultPlan` and
+guarantees the final state is bit-exact with a fault-free run, or raises
+a typed error once its recovery budget is spent.  Three mechanisms:
+
+* **retry with exponential backoff** — transient communication errors
+  re-attempt the op; a global-to-local swap is resumable (the free
+  renumbering and local staging swaps are idempotent once done, and the
+  all-to-all records nothing until it succeeds), so a retried op never
+  double-counts bytes or kernels;
+* **shard integrity verification** — CRC32 checksums recorded after
+  every op and re-verified at swap boundaries (or every op with
+  ``verify="every"``) turn silent corruption into a detected
+  :class:`ShardCorruptionError`;
+* **checkpoint restart** — fatal faults (crashes, detected corruption,
+  exhausted retries) roll back to the last
+  :class:`~repro.distributed.checkpoint.CheckpointManager` checkpoint
+  (or a fresh initial state) and replay.
+
+Every recovery action is accounted in a :class:`RecoveryReport` and
+surfaced as :class:`~repro.distributed.tracing.TraceEvent`-compatible
+events, so chaos reports and normal traces share one model.  All
+quantities except measured wall seconds are deterministic given the
+schedule, plan and policy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.distributed.checkpoint import CheckpointManager
+from repro.distributed.comm import CommStats
+from repro.distributed.state import DistributedState
+from repro.distributed.tracing import ExecutionTrace, TraceEvent, _classify
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    RankCrashError,
+    RestartBudgetExceededError,
+    RetryBudgetExceededError,
+    ShardCorruptionError,
+    TransientCommError,
+)
+from repro.scheduling.program import Schedule, SwapOp
+
+__all__ = [
+    "RecoveryReport",
+    "ResilientExecutor",
+    "ResilientRunResult",
+    "RetryPolicy",
+]
+
+#: fault classes that trigger a checkpoint restart rather than a retry.
+FATAL_FAULTS = (RankCrashError, ShardCorruptionError, RetryBudgetExceededError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Recovery budgets and backoff shape.
+
+    ``backoff(attempt)`` returns ``base * factor**attempt`` seconds; the
+    supervisor always *accounts* the delay deterministically and only
+    actually sleeps through the injected ``sleep`` callable (tests pass a
+    no-op).
+    """
+
+    max_retries: int = 3
+    max_restarts: int = 2
+    backoff_base_seconds: float = 0.01
+    backoff_factor: float = 2.0
+
+    def backoff(self, attempt: int) -> float:
+        """Deterministic delay before retry number ``attempt`` (0-based)."""
+        return self.backoff_base_seconds * self.backoff_factor**attempt
+
+
+@dataclass
+class RecoveryReport:
+    """Everything the run spent on surviving faults.
+
+    All fields except ``wall_overhead_seconds`` are deterministic given
+    (schedule, plan, policy); :meth:`to_dict` with
+    ``deterministic=True`` drops the measured field so two runs of the
+    same plan compare equal.
+    """
+
+    faults_injected: list[dict] = field(default_factory=list)
+    transient_retries: int = 0
+    restarts: int = 0
+    redundant_bytes: int = 0
+    backoff_seconds: float = 0.0
+    stall_seconds: float = 0.0
+    integrity_checks: int = 0
+    corruption_detections: int = 0
+    checkpoints_written: int = 0
+    checkpoint_bytes: int = 0
+    wall_overhead_seconds: float = 0.0
+
+    def to_dict(self, *, deterministic: bool = False) -> dict:
+        """Dict form; ``deterministic=True`` excludes measured wall time."""
+        out = {
+            "faults_injected": list(self.faults_injected),
+            "transient_retries": self.transient_retries,
+            "restarts": self.restarts,
+            "redundant_bytes": self.redundant_bytes,
+            "backoff_seconds": round(self.backoff_seconds, 9),
+            "stall_seconds": round(self.stall_seconds, 9),
+            "integrity_checks": self.integrity_checks,
+            "corruption_detections": self.corruption_detections,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoint_bytes": self.checkpoint_bytes,
+        }
+        if not deterministic:
+            out["wall_overhead_seconds"] = self.wall_overhead_seconds
+        return out
+
+
+@dataclass
+class ResilientRunResult:
+    """Output of one resilient run."""
+
+    state: DistributedState
+    trace: ExecutionTrace
+    report: RecoveryReport
+
+    @property
+    def comm(self) -> CommStats:
+        """Communication counters of the (successful) execution path."""
+        return self.state.stats
+
+
+class ResilientExecutor:
+    """Runs a schedule to bit-exact completion under injected faults.
+
+    Parameters
+    ----------
+    schedule:
+        The program to execute.
+    checkpoint_dir:
+        Directory for :class:`CheckpointManager`; restart state lives
+        here.  An existing checkpoint in the directory is resumed.
+    plan:
+        Optional :class:`FaultPlan`; ``None`` runs fault-free (the
+        control configuration chaos suites compare against).
+    policy:
+        Retry/restart budgets and backoff shape.
+    checkpoint_every:
+        Checkpoint after every N completed ops (0 disables periodic
+        checkpoints; a final checkpoint is always written).
+    verify:
+        ``"swap"`` (default) verifies shard checksums at swap boundaries
+        and at the end of the run; ``"every"`` before every op;
+        ``"never"`` disables integrity checking.
+    sleep:
+        Injectable sleeper for backoff/stall delays (default
+        ``time.sleep``; pass a no-op to keep tests instant — the report
+        accounts the delays either way).
+    """
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        checkpoint_dir,
+        *,
+        plan: FaultPlan | None = None,
+        policy: RetryPolicy | None = None,
+        checkpoint_every: int = 4,
+        verify: str = "swap",
+        sleep=time.sleep,
+    ) -> None:
+        if verify not in ("swap", "every", "never"):
+            raise ValueError(f"verify must be swap|every|never, got {verify!r}")
+        self.schedule = schedule
+        self.manager = CheckpointManager(checkpoint_dir)
+        self.injector = FaultInjector(plan) if plan is not None else None
+        self.policy = policy or RetryPolicy()
+        self.checkpoint_every = checkpoint_every
+        self.verify = verify
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    def _verify_integrity(
+        self, state: DistributedState, table: list[int], report: RecoveryReport
+    ) -> None:
+        report.integrity_checks += 1
+        bad = [
+            r
+            for r, crc in enumerate(state.shard_checksums())
+            if crc != table[r]
+        ]
+        if bad:
+            report.corruption_detections += 1
+            raise ShardCorruptionError(bad)
+
+    def _checkpoint(
+        self, state: DistributedState, next_op: int, report: RecoveryReport
+    ) -> None:
+        report.checkpoint_bytes += self.manager.save(state, next_op)
+        report.checkpoints_written += 1
+
+    def _attempt_op(
+        self, op, index: int, state: DistributedState, report: RecoveryReport,
+        trace: ExecutionTrace,
+    ) -> tuple[float, int]:
+        """One op with transient retries; returns (seconds, bytes_moved)."""
+        for attempt in range(self.policy.max_retries + 1):
+            run_stats, state.stats = state.stats, CommStats()
+            start = time.perf_counter()
+            try:
+                if self.injector is not None:
+                    with self.injector.exchange_guard(index, state):
+                        op.execute(state)
+                else:
+                    op.execute(state)
+            except BaseException as exc:
+                # Always restore the run counters — a fatal fault escaping
+                # here must leave ``state.stats`` cumulative so the restart
+                # path can compute bytes-since-checkpoint.
+                attempt_stats, state.stats = state.stats, run_stats
+                run_stats.merge(attempt_stats)
+                if not isinstance(exc, TransientCommError):
+                    raise
+                # Nothing moved (transients strike before the transfer),
+                # but any staging work the op performed stays counted
+                # exactly once: the swap path is resumable, so the retry
+                # skips what is already done.
+                report.redundant_bytes += attempt_stats.bytes_on_network
+                report.transient_retries += 1
+                trace.events.append(
+                    TraceEvent(
+                        index=len(trace.events),
+                        kind="fault",
+                        label=f"transient at op {index} (attempt {attempt})",
+                        seconds=time.perf_counter() - start,
+                        op_index=index,
+                    )
+                )
+                if attempt >= self.policy.max_retries:
+                    raise RetryBudgetExceededError(
+                        f"op {index}: {self.policy.max_retries} retries "
+                        f"exhausted"
+                    ) from exc
+                delay = self.policy.backoff(attempt)
+                report.backoff_seconds += delay
+                self._sleep(delay)
+            else:
+                seconds = time.perf_counter() - start
+                attempt_stats, state.stats = state.stats, run_stats
+                run_stats.merge(attempt_stats)
+                return seconds, attempt_stats.bytes_on_network
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def run(self) -> ResilientRunResult:
+        """Execute to completion; raises a typed error past the budget."""
+        ops = list(self.schedule.operations())
+        report = RecoveryReport()
+        trace = ExecutionTrace()
+        policy = self.policy
+        restarts = 0
+        wall_start = time.perf_counter()
+        productive_seconds = 0.0  # op time whose results survived
+
+        while True:
+            if self.manager.has_checkpoint():
+                state, start_index = self.manager.load()
+            else:
+                state = CheckpointManager.initial_state_for(self.schedule)
+                start_index = 0
+            table = (
+                state.shard_checksums() if self.verify != "never" else []
+            )
+            bytes_at_ckpt = state.stats.bytes_on_network
+            seconds_since_ckpt = 0.0
+            try:
+                for index in range(start_index, len(ops)):
+                    op = ops[index]
+                    if self.injector is not None:
+                        stall = self.injector.on_op_start(index, state)
+                        if stall:
+                            report.stall_seconds += stall
+                            self._sleep(stall)
+                    if self.verify == "every" or (
+                        self.verify == "swap" and isinstance(op, SwapOp)
+                    ):
+                        self._verify_integrity(state, table, report)
+                    seconds, moved = self._attempt_op(
+                        op, index, state, report, trace
+                    )
+                    productive_seconds += seconds
+                    seconds_since_ckpt += seconds
+                    kind, label = _classify(op)
+                    trace.events.append(
+                        TraceEvent(
+                            index=len(trace.events),
+                            kind=kind,
+                            label=label,
+                            seconds=seconds,
+                            bytes_moved=moved if kind == "swap" else None,
+                            op_index=index,
+                        )
+                    )
+                    if self.verify != "never":
+                        table = state.shard_checksums()
+                    if (
+                        self.checkpoint_every
+                        and (index + 1) % self.checkpoint_every == 0
+                        and index + 1 < len(ops)
+                    ):
+                        self._checkpoint(state, index + 1, report)
+                        bytes_at_ckpt = state.stats.bytes_on_network
+                        seconds_since_ckpt = 0.0
+                if self.verify != "never":
+                    self._verify_integrity(state, table, report)
+                self._checkpoint(state, len(ops), report)
+                break
+            except FATAL_FAULTS as exc:
+                # Bytes moved since the last checkpoint will be re-moved
+                # by the replay: pure recovery overhead.
+                report.redundant_bytes += (
+                    state.stats.bytes_on_network - bytes_at_ckpt
+                )
+                # Un-checkpointed op time will be re-spent by the replay.
+                productive_seconds -= seconds_since_ckpt
+                trace.events.append(
+                    TraceEvent(
+                        index=len(trace.events),
+                        kind="fault",
+                        label=f"fatal: {type(exc).__name__}: {exc}",
+                        seconds=0.0,
+                    )
+                )
+                restarts += 1
+                if restarts > policy.max_restarts:
+                    raise RestartBudgetExceededError(
+                        f"{restarts} restarts exceed budget of "
+                        f"{policy.max_restarts} (last fault: {exc})"
+                    ) from exc
+                report.restarts += 1
+
+        if self.injector is not None:
+            report.faults_injected = list(self.injector.log)
+        report.wall_overhead_seconds = max(
+            0.0, (time.perf_counter() - wall_start) - productive_seconds
+        )
+        return ResilientRunResult(state=state, trace=trace, report=report)

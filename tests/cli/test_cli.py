@@ -93,8 +93,26 @@ class TestSimulate:
     def test_size_guard(self, capsys):
         assert main(["simulate", "--qubits", "30"]) == 2
 
+    def test_checkpointed_run_then_resume(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        argv = [
+            "simulate", "--qubits", "10", "--depth", "8",
+            "--local-qubits", "7", "--checkpoint-dir", ckpt,
+            "--checkpoint-every", "4",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "checkpointed every 4 ops" in first
+        # A second invocation finds the completed checkpoint and resumes.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "resumed checkpoint" in second
+        # Both report the same entropy line (same final state).
+        assert first.splitlines()[-1] == second.splitlines()[-1]
+
 
 class TestExperiments:
+    @pytest.mark.slow
     def test_fig8_series(self, capsys):
         assert main(["experiments", "fig8", "--qubits", "36"]) == 0
         out = capsys.readouterr().out
@@ -108,7 +126,55 @@ class TestExperiments:
             main(["experiments", "fig99"])
 
 
+class TestChaos:
+    def test_default_sweep_passes(self, tmp_path, capsys):
+        code = main(
+            [
+                "chaos", "--qubits", "12", "--local-qubits", "10",
+                "--depth", "16", "--workdir", str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "scenarios passed" in out
+        assert "crash-mid-swap" in out
+        assert "FAIL" not in out
+
+    def test_custom_plan_file(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"seed": 3, "faults": [{"op_index": 2, "kind": "corrupt"}]}'
+        )
+        code = main(
+            [
+                "chaos", "--qubits", "12", "--local-qubits", "10",
+                "--depth", "16", "--plan", str(plan),
+                "--workdir", str(tmp_path / "work"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "custom-plan" in out
+        assert "1 corruption(s) detected" in out
+
+    def test_rejects_single_rank(self, capsys):
+        code = main(
+            ["chaos", "--qubits", "10", "--local-qubits", "10"]
+        )
+        assert code == 2
+
+    def test_rejects_bad_plan_file(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"seed": 1, "faults": [{"op_index": 0, "kind": "meteor"}]}')
+        code = main(
+            ["chaos", "--qubits", "12", "--local-qubits", "10", "--plan", str(plan)]
+        )
+        assert code == 2
+        assert "bad fault plan" in capsys.readouterr().err
+
+
 class TestProject:
+    @pytest.mark.slow
     def test_table2_row(self, capsys):
         code = main(["project", "--qubits", "36", "--nodes", "64", "--depth", "25"])
         assert code == 0

@@ -61,6 +61,30 @@ class TestCheckpointManager:
         with pytest.raises(FileNotFoundError):
             CheckpointManager(tmp_path).load()
 
+    def test_resume_from_every_op_index(self, tmp_path, workload):
+        """Mid-program coverage: kill before *every* op, resume, and
+        demand the final state is bit-exact — not merely close — since
+        the replay runs identical kernels on identical checkpointed
+        amplitudes."""
+        import numpy as np
+
+        n, l, sched, _ = workload
+        num_ops = len(list(sched.operations()))
+        reference = CheckpointManager(
+            tmp_path / "ref"
+        ).run_with_checkpoints(sched, every=0)
+        ref_data = reference.to_statevector().data
+        for stop in range(num_ops):
+            mgr = CheckpointManager(tmp_path / f"stop{stop}")
+            with pytest.raises(RuntimeError, match="injected failure"):
+                mgr.run_with_checkpoints(sched, every=1, fail_after=stop)
+            _, next_op = mgr.load()
+            assert next_op == stop
+            resumed = mgr.resume(sched, every=1)
+            assert np.array_equal(
+                resumed.to_statevector().data, ref_data
+            ), f"resume from op {stop} not bit-exact"
+
     def test_multiple_failures(self, tmp_path, workload):
         """Crash-loop resilience: fail, resume-and-fail-again, finish."""
         n, l, sched, ref = workload

@@ -48,6 +48,26 @@ class TestCommStats:
         assert a.rank_renumberings == 1
         assert len(a.events) == 3
 
+    def test_reset(self):
+        s = CommStats()
+        s.record_alltoall(num_groups=1, group_size=2, shard_bytes=64)
+        s.record_rank_renumbering()
+        s.record_local_swap()
+        s.reset()
+        assert s == CommStats()
+        assert s.events == []
+
+    def test_reset_then_merge_counts_once(self):
+        """The per-attempt pattern: a retried attempt never double-counts."""
+        total, attempt = CommStats(), CommStats()
+        attempt.record_alltoall(num_groups=1, group_size=2, shard_bytes=64)
+        failed_bytes = attempt.bytes_on_network
+        attempt.reset()  # attempt failed: discard before the retry
+        attempt.record_alltoall(num_groups=1, group_size=2, shard_bytes=64)
+        total.merge(attempt)
+        assert total.bytes_on_network == failed_bytes
+        assert total.alltoall_steps == 1
+
     def test_events_log(self):
         s = CommStats()
         s.record_alltoall(num_groups=2, group_size=2, shard_bytes=32)

@@ -47,6 +47,33 @@ class TestTracing:
         _, _, _, trace = traced_run
         assert 0.0 <= trace.comm_fraction < 1.0
 
+    def test_swap_events_carry_bytes_moved(self, traced_run):
+        _, _, state, trace = traced_run
+        swaps = [e for e in trace.events if e.kind == "swap"]
+        assert all(e.bytes_moved is not None and e.bytes_moved > 0 for e in swaps)
+        # One shared event model: the trace's byte totals are exactly the
+        # communication counters'.
+        assert trace.bytes_moved == state.stats.bytes_on_network
+
+    def test_non_swap_events_have_no_bytes(self, traced_run):
+        _, _, _, trace = traced_run
+        others = [e for e in trace.events if e.kind != "swap"]
+        assert all(e.bytes_moved is None for e in others)
+
+    def test_op_index_populated(self, traced_run):
+        _, sched, _, trace = traced_run
+        assert [e.op_index for e in trace.events] == list(
+            range(len(list(sched.operations())))
+        )
+
+    def test_signature_is_timing_free(self, traced_run):
+        _, sched, _, trace = traced_run
+        sig = trace.signature()
+        assert len(sig) == len(trace.events)
+        assert not any(
+            isinstance(part, float) for entry in sig for part in entry
+        )
+
     def test_timeline_render(self, traced_run):
         _, sched, _, trace = traced_run
         text = trace.timeline(width=30)

@@ -11,6 +11,7 @@ from repro.experiments import (
 
 
 class TestTable1Api:
+    @pytest.mark.slow
     def test_single_cell(self):
         rows = table1_rows(qubit_counts=(30,), kmax_values=(5,))
         assert len(rows) == 1
@@ -22,6 +23,7 @@ class TestTable1Api:
 
 
 class TestTable2Api:
+    @pytest.mark.slow
     def test_36q_row(self):
         rows = table2_rows(configurations=[(36, 64)])
         row = rows[0]
@@ -48,6 +50,7 @@ class TestFig5Api:
 
 
 class TestFig8Api:
+    @pytest.mark.slow
     def test_series_monotone(self):
         points = fig8_series(36, (16, 32, 64), kmax=4)
         assert points[0].speedup == pytest.approx(1.0)

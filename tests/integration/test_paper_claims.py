@@ -98,6 +98,7 @@ class TestTable1:
             ).total_gates
             assert abs(total - expected) <= 6, (nq, total)
 
+    @pytest.mark.slow
     def test_cluster_trend_and_magnitude(self):
         """Table 1 cluster counts: within 25% of the paper, monotone in
         kmax, and averaging more than kmax gates per cluster."""
@@ -113,6 +114,7 @@ class TestTable1:
         assert counts[3] > counts[5]
 
 
+@pytest.mark.slow
 class TestTable2:
     @pytest.fixture(scope="class")
     def models(self):

@@ -42,6 +42,7 @@ class TestTimelineReport:
         assert r.nodes == 16
 
 
+@pytest.mark.slow
 class TestTable2:
     """Paper vs model; the calibrated model must land within 35% on time
     and 12 percentage points on communication fraction."""
@@ -84,6 +85,7 @@ class TestTable2:
 
 
 class TestBaselineModel:
+    @pytest.mark.slow
     def test_baseline_slower_than_scheduled(self, knl_model, knl_baseline):
         sched, circ, l = schedule_for(36, 64)
         assert (

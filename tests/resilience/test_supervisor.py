@@ -1,0 +1,220 @@
+"""Tests for the resilient executor."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import DistributedSimulator
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    ResilientExecutor,
+    RestartBudgetExceededError,
+    RetryPolicy,
+    swap_op_indices,
+)
+
+def run(schedule, tmp_path, **kwargs):
+    kwargs.setdefault("sleep", lambda _s: None)
+    return ResilientExecutor(schedule, tmp_path, **kwargs).run()
+
+
+class TestFaultFree:
+    def test_matches_reference_bit_exact(
+        self, tmp_path, chaos_schedule, chaos_reference
+    ):
+        result = run(chaos_schedule, tmp_path)
+        assert np.array_equal(
+            result.state.to_statevector().data, chaos_reference
+        )
+        assert result.report.restarts == 0
+        assert result.report.transient_retries == 0
+
+    def test_trace_covers_every_op(self, tmp_path, chaos_schedule):
+        result = run(chaos_schedule, tmp_path)
+        ops = list(chaos_schedule.operations())
+        op_events = [e for e in result.trace.events if e.kind != "fault"]
+        assert [e.op_index for e in op_events] == list(range(len(ops)))
+
+    def test_swap_events_carry_bytes(self, tmp_path, chaos_schedule):
+        result = run(chaos_schedule, tmp_path)
+        swaps = [e for e in result.trace.events if e.kind == "swap"]
+        assert swaps and all(e.bytes_moved > 0 for e in swaps)
+        assert result.trace.bytes_moved == result.comm.bytes_on_network
+
+    def test_comm_stats_not_double_counted(self, tmp_path, chaos_schedule):
+        plain = DistributedSimulator(
+            chaos_schedule.num_qubits, chaos_schedule.local_qubits
+        ).run_schedule(chaos_schedule)
+        resilient = run(chaos_schedule, tmp_path)
+        assert (
+            resilient.comm.bytes_on_network == plain.comm.bytes_on_network
+        )
+        assert resilient.comm.alltoall_steps == plain.comm.alltoall_steps
+
+    def test_resumes_finished_checkpoint(self, tmp_path, chaos_schedule):
+        first = run(chaos_schedule, tmp_path)
+        again = run(chaos_schedule, tmp_path)
+        assert np.array_equal(
+            again.state.to_statevector().data,
+            first.state.to_statevector().data,
+        )
+
+
+class TestTransients:
+    def test_retry_then_success(
+        self, tmp_path, chaos_schedule, chaos_reference
+    ):
+        swap = swap_op_indices(chaos_schedule)[0]
+        plan = FaultPlan(
+            seed=1,
+            faults=(FaultSpec(op_index=swap, kind="transient", times=2),),
+        )
+        result = run(chaos_schedule, tmp_path, plan=plan)
+        assert np.array_equal(
+            result.state.to_statevector().data, chaos_reference
+        )
+        assert result.report.transient_retries == 2
+        assert result.report.restarts == 0
+        # Exponential backoff: base + base*factor.
+        policy = RetryPolicy()
+        expected = policy.backoff(0) + policy.backoff(1)
+        assert result.report.backoff_seconds == pytest.approx(expected)
+
+    def test_exhausted_retries_escalate_to_restart(
+        self, tmp_path, chaos_schedule, chaos_reference
+    ):
+        swap = swap_op_indices(chaos_schedule)[0]
+        policy = RetryPolicy(max_retries=1, max_restarts=2)
+        # 3 firings: attempt+retry on pass 1 exhaust the retry budget
+        # (restart), third firing is retried successfully on pass 2.
+        plan = FaultPlan(
+            seed=1,
+            faults=(FaultSpec(op_index=swap, kind="transient", times=3),),
+        )
+        result = run(chaos_schedule, tmp_path, plan=plan, policy=policy)
+        assert np.array_equal(
+            result.state.to_statevector().data, chaos_reference
+        )
+        assert result.report.restarts == 1
+        assert result.report.transient_retries == 3
+
+
+class TestFatalFaults:
+    @pytest.mark.parametrize("phase", ["before", "mid"])
+    def test_crash_recovers_bit_exact(
+        self, tmp_path, chaos_schedule, chaos_reference, phase
+    ):
+        swap = swap_op_indices(chaos_schedule)[-1]
+        plan = FaultPlan(
+            seed=2,
+            faults=(FaultSpec(op_index=swap, kind="crash", phase=phase),),
+        )
+        result = run(chaos_schedule, tmp_path, plan=plan)
+        assert np.array_equal(
+            result.state.to_statevector().data, chaos_reference
+        )
+        assert result.report.restarts == 1
+        assert any(e.kind == "fault" for e in result.trace.events)
+
+    def test_mid_crash_charges_redundant_bytes(
+        self, tmp_path, chaos_schedule
+    ):
+        swap = swap_op_indices(chaos_schedule)[-1]
+        plan = FaultPlan(
+            seed=2,
+            faults=(FaultSpec(op_index=swap, kind="crash", phase="mid"),),
+        )
+        result = run(chaos_schedule, tmp_path, plan=plan)
+        assert result.report.redundant_bytes > 0
+
+    def test_corruption_detected_and_recovered(
+        self, tmp_path, chaos_schedule, chaos_reference
+    ):
+        plan = FaultPlan(
+            seed=3, faults=(FaultSpec(op_index=4, kind="corrupt"),)
+        )
+        result = run(chaos_schedule, tmp_path, plan=plan, verify="every")
+        assert np.array_equal(
+            result.state.to_statevector().data, chaos_reference
+        )
+        assert result.report.corruption_detections == 1
+        assert result.report.restarts == 1
+
+    def test_undetected_corruption_with_verify_never(
+        self, tmp_path, chaos_schedule, chaos_reference
+    ):
+        """verify="never" is the paper's fault-free assumption: a silent
+        bit flip sails through and the result is wrong — the negative
+        control proving the checksums earn their keep."""
+        plan = FaultPlan(
+            seed=3, faults=(FaultSpec(op_index=4, kind="corrupt"),)
+        )
+        result = run(chaos_schedule, tmp_path, plan=plan, verify="never")
+        assert not np.array_equal(
+            result.state.to_statevector().data, chaos_reference
+        )
+        assert result.report.corruption_detections == 0
+
+    def test_restart_budget_exhausted_raises(self, tmp_path, chaos_schedule):
+        swap = swap_op_indices(chaos_schedule)[0]
+        policy = RetryPolicy(max_restarts=1)
+        plan = FaultPlan(
+            seed=4,
+            faults=(
+                FaultSpec(op_index=swap, kind="crash", times=3),
+            ),
+        )
+        with pytest.raises(RestartBudgetExceededError):
+            run(chaos_schedule, tmp_path, plan=plan, policy=policy)
+
+    def test_crash_before_any_checkpoint_restarts_from_scratch(
+        self, tmp_path, chaos_schedule, chaos_reference
+    ):
+        plan = FaultPlan(
+            seed=5, faults=(FaultSpec(op_index=0, kind="crash"),)
+        )
+        result = run(
+            chaos_schedule, tmp_path, plan=plan, checkpoint_every=0
+        )
+        assert np.array_equal(
+            result.state.to_statevector().data, chaos_reference
+        )
+        assert result.report.restarts == 1
+        assert result.report.checkpoints_written == 1  # the final one
+
+
+class TestReportAndPolicy:
+    def test_stall_accounted_not_slept(self, tmp_path, chaos_schedule):
+        slept = []
+        plan = FaultPlan(
+            seed=6,
+            faults=(
+                FaultSpec(op_index=1, kind="stall", stall_seconds=30.0),
+            ),
+        )
+        result = ResilientExecutor(
+            chaos_schedule,
+            tmp_path,
+            plan=plan,
+            sleep=slept.append,
+        ).run()
+        assert result.report.stall_seconds == 30.0
+        assert slept == [30.0]
+
+    def test_deterministic_dict_excludes_wall_time(self):
+        from repro.resilience import RecoveryReport
+
+        report = RecoveryReport(wall_overhead_seconds=1.23)
+        assert "wall_overhead_seconds" in report.to_dict()
+        assert "wall_overhead_seconds" not in report.to_dict(
+            deterministic=True
+        )
+
+    def test_invalid_verify_mode(self, tmp_path, chaos_schedule):
+        with pytest.raises(ValueError, match="verify"):
+            ResilientExecutor(chaos_schedule, tmp_path, verify="sometimes")
+
+    def test_backoff_shape(self):
+        policy = RetryPolicy(backoff_base_seconds=0.5, backoff_factor=3.0)
+        assert policy.backoff(0) == 0.5
+        assert policy.backoff(2) == 4.5

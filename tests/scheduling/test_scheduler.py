@@ -104,6 +104,7 @@ class TestPipeline:
         assert a.scheduled_gates() == b.scheduled_gates()
 
 
+@pytest.mark.slow
 class TestPaperNumbers:
     def test_table1_cluster_counts_30q(self):
         """Table 1, 30-qubit row: 82/46/36 clusters for kmax 3/4/5.
