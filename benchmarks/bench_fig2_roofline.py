@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 
 from repro.gates import random_unitary
 from repro.kernels import apply_gate_indexed, apply_gate_two_vector

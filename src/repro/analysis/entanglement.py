@@ -71,9 +71,9 @@ def entanglement_entropy(
     probs = sv**2
     probs = probs[probs > 1e-15]
     h = float(-(probs * np.log(probs)).sum())
-    if base != np.e:
-        h /= np.log(base)
-    return h
+    # np.log(np.e) == 1.0 exactly, so the natural-log default is a no-op
+    # (and no exact float comparison against np.e is needed).
+    return h / float(np.log(base))
 
 
 def max_entanglement_entropy(num_qubits: int, subsystem_size: int) -> float:

@@ -16,7 +16,6 @@ unitary, shrinking the gate count the scheduler has to cluster.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.circuit.circuit import Circuit
 from repro.gates.gate import Gate

@@ -8,10 +8,16 @@ Subcommands:
 * ``simulate`` — run a circuit (single-node or distributed) and report
   entropy / sample counts; distributed runs can checkpoint and resume
   via ``--checkpoint-dir`` / ``--checkpoint-every``;
+* ``check`` — statically verify a schedule (structure, specialization,
+  coverage, unitarity, comm plan) and print a ranked findings report;
 * ``project`` — price a configuration on the Cori II models and print a
   Table-2-style profile;
 * ``chaos`` — run the fault-injection scenario sweep (or a custom
   fault-plan JSON) and print the recovery report.
+
+``simulate --sanitize`` arms the runtime shard sanitizer (NaN/Inf, norm
+conservation, checksum divergence); ``simulate --strict`` refuses to
+execute a schedule whose static check reports errors.
 """
 
 from __future__ import annotations
@@ -66,6 +72,32 @@ def build_parser() -> argparse.ArgumentParser:
                      "existing checkpoint automatically)")
     sim.add_argument("--checkpoint-every", type=int, default=8,
                      help="ops between checkpoints (with --checkpoint-dir)")
+    sim.add_argument("--sanitize", action="store_true",
+                     help="run the shard sanitizer: NaN/Inf, norm "
+                     "conservation, checksum divergence (distributed only)")
+    sim.add_argument("--strict", action="store_true",
+                     help="statically verify the schedule first; refuse "
+                     "to execute on any static-check error")
+
+    chk = sub.add_parser(
+        "check", help="statically verify a schedule and its comm plan"
+    )
+    chk.add_argument("--schedule", type=str,
+                     help="schedule JSON file (default: schedule a "
+                     "generated circuit per --qubits/--depth/--seed)")
+    chk.add_argument("--qubits", type=int)
+    chk.add_argument("--depth", type=int, default=12)
+    chk.add_argument("--seed", type=int, default=0)
+    chk.add_argument("--local-qubits", type=int)
+    chk.add_argument("--kmax", type=int, default=5)
+    chk.add_argument("--absorb", action="store_true",
+                     help="absorb diagonal gates into cluster matrices")
+    chk.add_argument("--no-unitarity", action="store_true",
+                     help="skip the (dense) fused-matrix unitarity pass")
+    chk.add_argument("--no-comm", action="store_true",
+                     help="skip comm-plan derivation and verification")
+    chk.add_argument("--strict", action="store_true",
+                     help="also fail (exit 1) on warnings")
 
     proj = sub.add_parser("project", help="project onto Cori II (Table 2 style)")
     proj.add_argument("--qubits", type=int, required=True)
@@ -155,6 +187,49 @@ def _cmd_schedule(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.staticcheck import verify_schedule
+
+    if args.schedule:
+        from repro.io import load_schedule_json
+
+        try:
+            schedule = load_schedule_json(args.schedule, validate=False)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"error: cannot load {args.schedule}: {exc}", file=sys.stderr)
+            return 2
+    elif args.qubits and args.local_qubits:
+        from repro.circuit import generate_supremacy_circuit
+        from repro.scheduling import SchedulerConfig, schedule_circuit
+
+        circuit = generate_supremacy_circuit(
+            args.qubits, args.depth, seed=args.seed
+        )
+        schedule = schedule_circuit(
+            circuit,
+            SchedulerConfig(
+                local_qubits=args.local_qubits,
+                kmax=args.kmax,
+                absorb_diagonals=args.absorb,
+            ),
+        )
+    else:
+        print("error: provide --schedule or --qubits with --local-qubits",
+              file=sys.stderr)
+        return 2
+    report = verify_schedule(
+        schedule,
+        check_unitarity=not args.no_unitarity,
+        check_comm=not args.no_comm,
+    )
+    print(report.format())
+    if not report.passed:
+        return 1
+    if args.strict and report.warnings:
+        return 1
+    return 0
+
+
 def _cmd_simulate(args) -> int:
     from repro.analysis import porter_thomas_entropy_nats, shannon_entropy
     from repro.circuit import generate_supremacy_circuit
@@ -162,6 +237,10 @@ def _cmd_simulate(args) -> int:
 
     if args.qubits > 24:
         print("error: refusing > 24 qubits on a single machine", file=sys.stderr)
+        return 2
+    if (args.sanitize or args.strict) and not args.local_qubits:
+        print("error: --sanitize/--strict need a distributed run "
+              "(--local-qubits)", file=sys.stderr)
         return 2
     circuit = generate_supremacy_circuit(args.qubits, args.depth, seed=args.seed)
     if args.local_qubits:
@@ -171,7 +250,29 @@ def _cmd_simulate(args) -> int:
         schedule = schedule_circuit(
             circuit, SchedulerConfig(local_qubits=args.local_qubits)
         )
-        if args.checkpoint_dir:
+        if args.strict:
+            from repro.staticcheck import verify_schedule
+
+            report = verify_schedule(schedule)
+            if not report.passed:
+                print(report.format(), file=sys.stderr)
+                print("error: static check failed; refusing to execute",
+                      file=sys.stderr)
+                return 1
+            print(f"static check: PASS ({len(report.checks_run)} passes)")
+        if args.sanitize:
+            from repro.staticcheck import run_sanitized
+
+            dist_state, san_report = run_sanitized(schedule)
+            state = dist_state.to_statevector()
+            print(san_report.format())
+            print(
+                f"distributed run: {dist_state.stats.alltoall_steps} "
+                f"all-to-all steps (sanitized)"
+            )
+            if not san_report.passed:
+                return 1
+        elif args.checkpoint_dir:
             from repro.distributed.checkpoint import CheckpointManager
 
             mgr = CheckpointManager(args.checkpoint_dir)
@@ -369,6 +470,7 @@ def main(argv=None) -> int:
     handlers = {
         "generate": _cmd_generate,
         "schedule": _cmd_schedule,
+        "check": _cmd_check,
         "simulate": _cmd_simulate,
         "project": _cmd_project,
         "experiments": _cmd_experiments,

@@ -135,6 +135,7 @@ class DistributedSimulator:
         policy=None,
         checkpoint_every: int = 4,
         verify: str = "swap",
+        sanitizer=None,
     ):
         """Execute a schedule fault-tolerantly (checkpoint-restart etc.).
 
@@ -154,4 +155,5 @@ class DistributedSimulator:
             policy=policy,
             checkpoint_every=checkpoint_every,
             verify=verify,
+            sanitizer=sanitizer,
         ).run()

@@ -158,6 +158,13 @@ class ResilientExecutor:
         Injectable sleeper for backoff/stall delays (default
         ``time.sleep``; pass a no-op to keep tests instant — the report
         accounts the delays either way).
+    sanitizer:
+        Optional :class:`repro.staticcheck.ShardSanitizer` driven at
+        every op boundary (NaN/Inf, norm conservation, checksum
+        divergence); its findings accumulate in ``sanitizer.report``
+        across restarts.  Complements ``verify``: the checksum table
+        here turns corruption into a restart, the sanitizer into
+        op-pinned diagnostics.
     """
 
     def __init__(
@@ -170,6 +177,7 @@ class ResilientExecutor:
         checkpoint_every: int = 4,
         verify: str = "swap",
         sleep=time.sleep,
+        sanitizer=None,
     ) -> None:
         if verify not in ("swap", "every", "never"):
             raise ValueError(f"verify must be swap|every|never, got {verify!r}")
@@ -180,6 +188,7 @@ class ResilientExecutor:
         self.checkpoint_every = checkpoint_every
         self.verify = verify
         self._sleep = sleep
+        self.sanitizer = sanitizer
 
     # ------------------------------------------------------------------
     def _verify_integrity(
@@ -273,6 +282,9 @@ class ResilientExecutor:
             table = (
                 state.shard_checksums() if self.verify != "never" else []
             )
+            if self.sanitizer is not None:
+                self.sanitizer.reset()
+                self.sanitizer.attach(state)
             bytes_at_ckpt = state.stats.bytes_on_network
             seconds_since_ckpt = 0.0
             try:
@@ -287,9 +299,13 @@ class ResilientExecutor:
                         self.verify == "swap" and isinstance(op, SwapOp)
                     ):
                         self._verify_integrity(state, table, report)
+                    if self.sanitizer is not None:
+                        self.sanitizer.before_op(state, index)
                     seconds, moved = self._attempt_op(
                         op, index, state, report, trace
                     )
+                    if self.sanitizer is not None:
+                        self.sanitizer.after_op(state, index)
                     productive_seconds += seconds
                     seconds_since_ckpt += seconds
                     kind, label = _classify(op)

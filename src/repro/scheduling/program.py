@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from repro.circuit.circuit import Circuit
 from repro.gates.fusion import fuse_gates

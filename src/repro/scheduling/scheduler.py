@@ -69,6 +69,21 @@ class SchedulerConfig:
     neighbor_samples: int = 150
     cluster_trials: int = 3
 
+    def __post_init__(self) -> None:
+        if self.local_qubits < 1:
+            raise ValueError(
+                f"local_qubits must be >= 1, got {self.local_qubits}"
+            )
+        if self.kmax < 1:
+            raise ValueError(f"kmax must be >= 1, got {self.kmax}")
+        if self.kmax > self.local_qubits:
+            raise ValueError(
+                f"kmax={self.kmax} exceeds local_qubits="
+                f"{self.local_qubits}: a fused cluster kernel must fit "
+                f"inside the local partition (pass kmax<="
+                f"{self.local_qubits})"
+            )
+
     def with_(self, **kwargs) -> "SchedulerConfig":
         """A copy with some fields replaced."""
         return replace(self, **kwargs)
@@ -243,6 +258,13 @@ def schedule_circuit(circuit: Circuit, config: SchedulerConfig) -> Schedule:
     circuit it covers; ``Schedule.initial_state`` says how the state must
     be initialised (``"plus"`` when the H layer was absorbed).
     """
+    if config.local_qubits > circuit.num_qubits:
+        raise ValueError(
+            f"local_qubits={config.local_qubits} exceeds the circuit's "
+            f"{circuit.num_qubits} qubits: the local partition cannot "
+            f"hold more qubits than exist (pass local_qubits<="
+            f"{circuit.num_qubits})"
+        )
     work = circuit
     initial_state = "zero"
     if config.skip_initial_hadamards:
@@ -277,7 +299,7 @@ def schedule_circuit(circuit: Circuit, config: SchedulerConfig) -> Schedule:
     stages = [Stage(global_qubits=gs, ops=ops) for gs, _, ops in clustered]
     schedule = Schedule(
         circuit=work,
-        local_qubits=min(config.local_qubits, work.num_qubits),
+        local_qubits=config.local_qubits,
         stages=stages,
         initial_state=initial_state,
         kmax=config.kmax,

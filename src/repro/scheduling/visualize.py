@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from string import ascii_uppercase
 
-from repro.scheduling.program import ClusterOp, GateOp, Schedule
+from repro.scheduling.program import GateOp, Schedule
 
 __all__ = ["render_schedule", "schedule_table"]
 

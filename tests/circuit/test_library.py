@@ -1,6 +1,5 @@
 """Tests for the extra circuit families."""
 
-import numpy as np
 import pytest
 
 from repro.circuit import (

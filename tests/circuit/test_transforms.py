@@ -1,7 +1,6 @@
 """Tests for circuit transformations."""
 
 import numpy as np
-import pytest
 
 from repro.circuit import Circuit, generate_supremacy_circuit
 from repro.circuit.transforms import (

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.gates import Gate, fuse_gates, lift_gate_matrix, random_unitary
-from repro.gates.matrices import CZ_MATRIX, H_MATRIX, ID_MATRIX, T_MATRIX
+from repro.gates.matrices import H_MATRIX, ID_MATRIX, T_MATRIX
 from repro.kernels import apply_gate_reference
 from repro.util.rng import random_statevector
 

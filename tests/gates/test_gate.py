@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.gates import Gate, random_unitary
-from repro.gates.matrices import CNOT_MATRIX
 
 
 class TestConstruction:

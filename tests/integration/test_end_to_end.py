@@ -11,7 +11,6 @@ import pytest
 
 from repro import (
     DistributedSimulator,
-    OutOfCoreStateVector,
     SchedulerConfig,
     Simulator,
     generate_supremacy_circuit,

@@ -33,13 +33,13 @@ class TestPipeline:
 
     def test_no_hadamard_layer_left_untouched(self):
         circ = Circuit(3, [Gate("t", (0,)), Gate("cz", (0, 1))])
-        sched = schedule_circuit(circ, SchedulerConfig(local_qubits=3))
+        sched = schedule_circuit(circ, SchedulerConfig(local_qubits=3, kmax=3))
         assert sched.initial_state == "zero"
         assert len(sched.circuit) == 2
 
     def test_partial_h_layer_not_stripped(self):
         circ = Circuit(3, [Gate("h", (0,)), Gate("h", (0,)), Gate("h", (2,))])
-        sched = schedule_circuit(circ, SchedulerConfig(local_qubits=3))
+        sched = schedule_circuit(circ, SchedulerConfig(local_qubits=3, kmax=3))
         assert sched.initial_state == "zero"
 
     def test_single_node_schedule(self):
@@ -48,11 +48,27 @@ class TestPipeline:
         assert sched.num_swaps == 0
         assert len(sched.stages) == 1
 
-    def test_local_qubits_larger_than_circuit(self):
+    def test_local_qubits_larger_than_circuit_rejected(self):
         circ = generate_supremacy_circuit(9, 8, seed=2)
-        sched = schedule_circuit(circ, SchedulerConfig(local_qubits=30))
-        assert sched.local_qubits == 9
-        assert sched.num_swaps == 0
+        with pytest.raises(ValueError, match="local_qubits=30 exceeds"):
+            schedule_circuit(circ, SchedulerConfig(local_qubits=30))
+
+    def test_config_rejects_kmax_over_local_qubits(self):
+        with pytest.raises(ValueError, match="kmax=5 exceeds"):
+            SchedulerConfig(local_qubits=3)
+        with pytest.raises(ValueError, match="kmax=6 exceeds"):
+            SchedulerConfig(local_qubits=5, kmax=6)
+
+    def test_config_rejects_nonpositive_knobs(self):
+        with pytest.raises(ValueError, match="local_qubits must be >= 1"):
+            SchedulerConfig(local_qubits=0)
+        with pytest.raises(ValueError, match="kmax must be >= 1"):
+            SchedulerConfig(local_qubits=4, kmax=0)
+
+    def test_config_with_validates_too(self):
+        cfg = SchedulerConfig(local_qubits=8, kmax=4)
+        with pytest.raises(ValueError, match="kmax=9 exceeds"):
+            cfg.with_(kmax=9)
 
     def test_swap_adjustment_not_worse(self):
         circ = generate_supremacy_circuit(16, 12, seed=3)

@@ -6,7 +6,6 @@ circuits, random gate soups and local-interaction ansätze must all
 schedule into valid programs that execute to the exact reference state.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -28,7 +27,7 @@ class TestSchedulerOnArbitraryCircuits:
     )
     def test_random_soups(self, seed, n, num_gates, absorb):
         circ = random_circuit(n, num_gates, seed=seed)
-        l = max(3, n - 3)
+        l = max(4, n - 3)  # config rejects kmax=4 > local_qubits
         ref = Simulator(n).run(circ).state
         sched = schedule_circuit(
             circ,

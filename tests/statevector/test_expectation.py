@@ -1,6 +1,5 @@
 """Tests for Pauli-string expectation values."""
 
-import numpy as np
 import pytest
 
 from repro.gates import Gate

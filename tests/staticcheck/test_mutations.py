@@ -1,0 +1,282 @@
+"""Mutation tests: every corruption is caught *as the right bug*.
+
+The acceptance bar for the static checker: programmatically corrupt a
+valid scheduler-produced schedule (or its comm plan) in distinct ways
+and assert each mutation yields a finding with the matching diagnostic
+category, while the unmutated schedule passes with zero findings.
+"""
+
+import copy
+import types
+
+import numpy as np
+
+from repro.circuit import generate_supremacy_circuit
+from repro.scheduling import (
+    ClusterOp,
+    GateOp,
+    SchedulerConfig,
+    schedule_circuit,
+)
+from repro.gates import Gate
+from repro.staticcheck import (
+    CollectiveOp,
+    check_collectives,
+    check_comm_stats,
+    check_mapping,
+    check_schedule,
+    comm_plan_for_schedule,
+    verify_schedule,
+)
+
+
+def make_schedule(n=10, depth=10, *, l=7, kmax=4, seed=1, **cfg):
+    circ = generate_supremacy_circuit(n, depth, seed=seed)
+    return schedule_circuit(
+        circ, SchedulerConfig(local_qubits=l, kmax=kmax, seed=seed, **cfg)
+    )
+
+
+def mutate(schedule):
+    """A deep copy safe to corrupt (ops are shared but stages are not)."""
+    clone = copy.copy(schedule)
+    clone.stages = [copy.copy(s) for s in schedule.stages]
+    for stage in clone.stages:
+        stage.ops = list(stage.ops)
+    return clone
+
+
+def first_cluster(schedule):
+    """(stage_index, op_index, op) of the first plain ClusterOp."""
+    for i, stage in enumerate(schedule.stages):
+        for j, op in enumerate(stage.ops):
+            if isinstance(op, ClusterOp):
+                return i, j, op
+    raise AssertionError("schedule has no ClusterOp")
+
+
+class TestCleanBaseline:
+    def test_scheduler_output_is_clean(self):
+        report = verify_schedule(make_schedule())
+        assert report.clean, report.format()
+
+
+class TestScheduleMutations:
+    # -- mutation 1: widen a cluster beyond kmax ------------------------
+    def test_widened_cluster_caught_as_cluster_width(self):
+        sched = make_schedule()
+        bad = mutate(sched)
+        i, j, op = first_cluster(bad)
+        local = sorted(
+            set(range(sched.num_qubits))
+            - bad.stages[i].global_qubits
+            - set(op.qubits)
+        )
+        extra = tuple(local[: sched.kmax + 1 - op.num_qubits])
+        assert extra, "need spare local qubits to widen into"
+        bad.stages[i].ops[j] = ClusterOp(op.qubits + extra, op.gates)
+        report = check_schedule(bad)
+        assert "cluster-width" in report.categories(), report.format()
+        assert not report.passed
+
+    # -- mutation 2: cluster touching a stage-global qubit --------------
+    def test_global_qubit_in_cluster_caught_as_locality(self):
+        sched = make_schedule()
+        bad = mutate(sched)
+        i, j, op = first_cluster(bad)
+        gq = min(bad.stages[i].global_qubits)
+        bad.stages[i].ops[j] = ClusterOp(op.qubits + (gq,), op.gates)
+        report = check_schedule(bad)
+        assert "cluster-locality" in report.categories(), report.format()
+        assert not report.passed
+
+    # -- mutation 3: corrupt a swap point (unequal exchange) ------------
+    def test_unbalanced_swap_caught_as_swap(self):
+        sched = make_schedule()
+        assert len(sched.stages) >= 2, "need a swap to corrupt"
+        bad = mutate(sched)
+        shrunk = frozenset(sorted(bad.stages[1].global_qubits)[:-1])
+        bad.stages[1].global_qubits = shrunk
+        report = check_schedule(bad)
+        assert "swap" in report.categories(), report.format()
+        assert not report.passed
+
+    # -- mutation 4: no-op swap (dropped stage merge) -------------------
+    def test_noop_swap_caught_as_swap_warning(self):
+        sched = make_schedule()
+        assert len(sched.stages) >= 2
+        bad = mutate(sched)
+        bad.stages[1].global_qubits = bad.stages[0].global_qubits
+        report = check_schedule(bad)
+        swap_findings = [
+            f for f in report.findings if f.category == "swap"
+        ]
+        assert swap_findings, report.format()
+        assert any("no-op" in f.message for f in swap_findings)
+
+    # -- mutation 5: misdeclared specialization -------------------------
+    def test_dense_gate_as_specialized_caught(self):
+        sched = make_schedule()
+        bad = mutate(sched)
+        i = next(
+            idx for idx, s in enumerate(bad.stages) if s.global_qubits
+        )
+        gq = min(bad.stages[i].global_qubits)
+        bad.stages[i].ops.append(GateOp(Gate("h", (gq,))))
+        report = check_schedule(bad)
+        assert "specialization" in report.categories(), report.format()
+        assert not report.passed
+
+    # -- mutation 6: dropped gates (coverage) ---------------------------
+    def test_dropped_cluster_caught_as_coverage(self):
+        sched = make_schedule()
+        bad = mutate(sched)
+        i, j, _ = first_cluster(bad)
+        del bad.stages[i].ops[j]
+        report = check_schedule(bad)
+        assert "coverage" in report.categories(), report.format()
+        assert any("dropped" in f.message for f in report.errors)
+
+    # -- mutation 7: duplicated gates (coverage) ------------------------
+    def test_duplicated_cluster_caught_as_coverage(self):
+        sched = make_schedule()
+        bad = mutate(sched)
+        i, j, op = first_cluster(bad)
+        bad.stages[i].ops.insert(j, op)
+        report = check_schedule(bad)
+        assert "coverage" in report.categories(), report.format()
+        assert any("more" in f.message for f in report.errors)
+
+    # -- mutation 8: reordered non-commuting gates ----------------------
+    def test_reversed_cluster_gates_caught_as_gate_order(self):
+        sched = make_schedule()
+        detected = False
+        for i, stage in enumerate(sched.stages):
+            for j, op in enumerate(stage.ops):
+                if not isinstance(op, ClusterOp) or len(op.gates) < 2:
+                    continue
+                bad = mutate(sched)
+                bad.stages[i].ops[j] = ClusterOp(
+                    op.qubits, tuple(reversed(op.gates))
+                )
+                report = check_schedule(bad, check_unitarity=False)
+                if "gate-order" in report.categories():
+                    detected = True
+                    break
+            if detected:
+                break
+        assert detected, "no cluster reversal was caught as gate-order"
+
+    # -- mutation 9: non-bijective mapping ------------------------------
+    def test_mapping_collision_caught(self):
+        sched = make_schedule()
+        from repro.scheduling import cluster_bit_mapping
+
+        clusters = [
+            op.qubits
+            for stage in sched.stages
+            for op in stage.ops
+            if isinstance(op, ClusterOp)
+        ]
+        mapping = cluster_bit_mapping(clusters, sched.num_qubits)
+        assert check_mapping(mapping, sched.num_qubits).clean
+        mapping[0] = mapping[1]  # two qubits share one bit location
+        report = check_mapping(mapping, sched.num_qubits)
+        assert "mapping" in report.categories(), report.format()
+        assert not report.passed
+
+    # -- mutation 10: non-unitary fused matrix --------------------------
+    def test_nonunitary_fused_matrix_caught(self):
+        sched = make_schedule()
+        bad = mutate(sched)
+        i, j, op = first_cluster(bad)
+        corrupt = ClusterOp(op.qubits, op.gates)
+        # Gate.__init__ enforces unitarity, so plant a stub through the
+        # cached_property slot — exactly what in-memory corruption of a
+        # fused kernel looks like to the checker.
+        corrupt.__dict__["fused"] = types.SimpleNamespace(
+            matrix=op.fused.matrix * 1.01
+        )
+        bad.stages[i].ops[j] = corrupt
+        report = check_schedule(bad)
+        assert "unitarity" in report.categories(), report.format()
+        assert not report.passed
+
+    # -- mutation 11: wrong-size stage global set (structure) -----------
+    def test_oversized_global_set_caught_as_structure(self):
+        sched = make_schedule()
+        bad = mutate(sched)
+        stage = bad.stages[0]
+        extra = min(
+            set(range(sched.num_qubits)) - stage.global_qubits
+        )
+        bad.stages[0].global_qubits = stage.global_qubits | {extra}
+        report = check_schedule(bad)
+        assert "structure" in report.categories(), report.format()
+        assert not report.passed
+
+
+class TestCommPlanMutations:
+    # -- mutation 12: one rank ships a different byte count -------------
+    def test_byte_count_disagreement_caught(self):
+        sched = make_schedule()
+        programs = comm_plan_for_schedule(sched)
+        assert check_collectives(programs).clean
+        victim = next(r for r, p in enumerate(programs) if p)
+        op = programs[victim][0]
+        programs[victim][0] = CollectiveOp(
+            op.kind, op.group, op.bytes_sent // 2, op.op_index
+        )
+        report = check_collectives(programs)
+        assert "collective-mismatch" in report.categories(), report.format()
+        assert any(f.rank is not None for f in report.errors)
+
+    # -- mutation 13: one rank joins the wrong group --------------------
+    def test_group_membership_disagreement_caught(self):
+        sched = make_schedule()
+        programs = comm_plan_for_schedule(sched)
+        victim = next(r for r, p in enumerate(programs) if p)
+        op = programs[victim][0]
+        wrong = tuple(sorted(set(op.group) ^ {op.group[0], op.group[-1] + 1}))
+        programs[victim][0] = CollectiveOp(
+            op.kind, wrong, op.bytes_sent, op.op_index
+        )
+        report = check_collectives(programs)
+        assert "collective-mismatch" in report.categories(), report.format()
+
+    # -- mutation 14: a rank that never shows up ------------------------
+    def test_missing_collective_caught(self):
+        sched = make_schedule()
+        programs = comm_plan_for_schedule(sched)
+        victim = next(r for r, p in enumerate(programs) if p)
+        programs[victim] = []
+        report = check_collectives(programs)
+        assert "collective-mismatch" in report.categories(), report.format()
+        assert any("exhausted" in f.message for f in report.errors)
+
+    # -- mutation 15: stats that double-count bytes ---------------------
+    def test_inflated_comm_stats_caught_as_byte_conservation(self):
+        sched = make_schedule()
+        from repro.distributed import DistributedSimulator
+
+        state = DistributedSimulator(
+            sched.num_qubits, sched.local_qubits
+        ).run_schedule(sched).state
+        assert check_comm_stats(sched, state.stats).clean
+        state.stats.bytes_on_network += 4096  # a retry double-counted
+        report = check_comm_stats(sched, state.stats)
+        assert "byte-conservation" in report.categories(), report.format()
+        assert not report.passed
+
+
+class TestMutationCoverageBar:
+    def test_at_least_eight_distinct_mutations(self):
+        """Meta-test pinning the acceptance bar: >= 8 distinct corruption
+        tests exist across the two mutation suites."""
+        mutation_tests = [
+            name
+            for cls in (TestScheduleMutations, TestCommPlanMutations)
+            for name in vars(cls)
+            if name.startswith("test_")
+        ]
+        assert len(mutation_tests) >= 8, mutation_tests

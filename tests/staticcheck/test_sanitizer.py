@@ -1,0 +1,207 @@
+"""Runtime sanitizer: op_index-pinned NaN / norm / checksum detection."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import generate_supremacy_circuit
+from repro.distributed import DistributedSimulator
+from repro.scheduling import SchedulerConfig, schedule_circuit
+from repro.staticcheck import (
+    SanitizerConfig,
+    ShardSanitizer,
+    run_sanitized,
+)
+
+
+def make_schedule(n=9, l=6, *, depth=8, seed=2):
+    circ = generate_supremacy_circuit(n, depth, seed=seed)
+    return schedule_circuit(
+        circ, SchedulerConfig(local_qubits=l, kmax=4, seed=seed)
+    )
+
+
+def poison_nan(rank=0, index=0):
+    def corrupt(state):
+        shard = state.storage.get(rank)
+        shard[index] = np.nan
+        state.storage.set(rank, shard)
+
+    return corrupt
+
+
+def flip_amplitude(rank=0, index=3, delta=0.5):
+    def corrupt(state):
+        shard = state.storage.get(rank)
+        shard[index] += delta
+        state.storage.set(rank, shard)
+
+    return corrupt
+
+
+class TestCleanRuns:
+    def test_clean_run_has_no_findings(self):
+        sched = make_schedule()
+        state, report = run_sanitized(sched)
+        assert report.passed, report.format()
+        assert report.ops_checked == len(list(sched.operations()))
+        assert report.norm_trace and all(
+            abs(x - 1.0) < 1e-9 for x in report.norm_trace
+        )
+
+    def test_sanitized_state_matches_plain_run(self):
+        sched = make_schedule()
+        plain = DistributedSimulator(
+            sched.num_qubits, sched.local_qubits
+        ).run_schedule(sched).state
+        sanitized, report = run_sanitized(sched)
+        assert report.passed
+        assert plain.to_statevector().allclose(
+            sanitized.to_statevector(), atol=1e-12
+        )
+
+
+class TestNaNDetection:
+    @pytest.mark.parametrize("op_index", [0, 2, 5])
+    def test_nan_pinned_to_exact_op_index(self, op_index):
+        sched = make_schedule()
+        _, report = run_sanitized(
+            sched, corrupt_during={op_index: poison_nan()}
+        )
+        nan_findings = [
+            f for f in report.findings if f.category == "nan"
+        ]
+        assert nan_findings, report.format()
+        assert nan_findings[0].op_index == op_index
+        assert nan_findings[0].rank == 0
+
+    def test_persistent_nan_does_not_cascade(self):
+        """NaN injected once stays in the state for every later op, but
+        each rank must be reported only when it *first* turns non-finite
+        — one corruption, one finding per poisoned rank, not one per op."""
+        sched = make_schedule()
+        _, report = run_sanitized(sched, corrupt_during={2: poison_nan()})
+        nan_findings = [
+            f for f in report.findings if f.category == "nan"
+        ]
+        per_rank = {}
+        for f in nan_findings:
+            per_rank.setdefault(f.rank, []).append(f)
+        for rank, hits in per_rank.items():
+            assert len(hits) == 1, report.format()
+        assert per_rank[0][0].op_index == 2
+        # The non-finite norm latches too: one norm finding total.
+        norm_findings = [
+            f for f in report.findings if f.category == "norm"
+        ]
+        assert len(norm_findings) <= 1, report.format()
+
+    def test_nan_detection_can_be_disabled(self):
+        sched = make_schedule()
+        _, report = run_sanitized(
+            sched,
+            config=SanitizerConfig(
+                check_nan=False, check_norm=False, check_checksums=False
+            ),
+            corrupt_during={1: poison_nan()},
+        )
+        assert report.passed
+
+
+class TestChecksumDivergence:
+    def test_divergence_pinned_to_next_op_index(self):
+        """Corruption at rest after op k is caught by the checksum pass
+        guarding op k+1 — the op that would consume the bad shard."""
+        sched = make_schedule()
+        k = 1
+        _, report = run_sanitized(
+            sched, corrupt_after={k: flip_amplitude(rank=1)}
+        )
+        checksum_findings = [
+            f for f in report.findings if f.category == "checksum"
+        ]
+        assert checksum_findings, report.format()
+        assert checksum_findings[0].op_index == k + 1
+        assert checksum_findings[0].rank == 1
+
+    def test_one_corruption_reports_once(self):
+        sched = make_schedule()
+        _, report = run_sanitized(
+            sched, corrupt_after={1: flip_amplitude(rank=0)}
+        )
+        checksum_findings = [
+            f for f in report.findings if f.category == "checksum"
+        ]
+        assert len(checksum_findings) == 1
+
+
+class TestNormTracking:
+    def test_norm_drift_detected_and_pinned(self):
+        sched = make_schedule()
+        _, report = run_sanitized(
+            sched, corrupt_during={3: flip_amplitude(delta=0.25)}
+        )
+        norm_findings = [
+            f for f in report.findings if f.category == "norm"
+        ]
+        assert norm_findings, report.format()
+        assert norm_findings[0].op_index == 3
+
+    def test_norm_drift_reported_once_not_every_op(self):
+        sched = make_schedule()
+        _, report = run_sanitized(
+            sched, corrupt_during={0: flip_amplitude(delta=0.25)}
+        )
+        norm_findings = [
+            f for f in report.findings if f.category == "norm"
+        ]
+        assert len(norm_findings) == 1
+
+
+class TestSupervisorHook:
+    def test_resilient_run_drives_sanitizer(self, tmp_path):
+        sched = make_schedule()
+        sanitizer = ShardSanitizer()
+        sim = DistributedSimulator(sched.num_qubits, sched.local_qubits)
+        result = sim.run_resilient(
+            sched, tmp_path / "ckpt", sanitizer=sanitizer
+        )
+        assert sanitizer.report.ops_checked == len(
+            list(sched.operations())
+        )
+        assert sanitizer.report.passed, sanitizer.report.format()
+        plain = sim.run_schedule(sched).state
+        assert plain.to_statevector().allclose(
+            result.state.to_statevector(), atol=1e-12
+        )
+
+    def test_check_state_one_shot(self):
+        sched = make_schedule()
+        sim = DistributedSimulator(sched.num_qubits, sched.local_qubits)
+        state = sim.new_state(sorted(sched.initial_global_qubits))
+        sanitizer = ShardSanitizer()
+        sanitizer.attach(state)
+        assert sanitizer.check_state(state, 0) == []
+        shard = state.storage.get(0)
+        shard[0] = np.inf
+        state.storage.set(0, shard)
+        produced = sanitizer.check_state(state, 1)
+        cats = {f.category for f in produced}
+        assert "nan" in cats and "checksum" in cats
+
+
+class TestReportFormatting:
+    def test_format_mentions_counts(self):
+        sched = make_schedule()
+        _, report = run_sanitized(sched)
+        text = report.format()
+        assert "op(s) checked" in text
+        assert "0 finding(s)" in text
+
+    def test_as_check_report_roundtrip(self):
+        sched = make_schedule()
+        _, report = run_sanitized(
+            sched, corrupt_during={1: poison_nan()}
+        )
+        check = report.as_check_report()
+        assert not check.passed
+        assert "nan" in check.categories()
