@@ -34,7 +34,8 @@ def bench_single_node_gate_by_gate(benchmark, circuit):
     assert result.state.norm() == pytest.approx(1.0)
 
 
-def bench_scheduled_distributed(benchmark, circuit, schedule, report_writer):
+def bench_scheduled_distributed(benchmark, circuit, schedule, report_writer,
+                                bench_record):
     sim = DistributedSimulator(_N, _L)
     result = benchmark.pedantic(
         sim.run_schedule, args=(schedule,), rounds=1, iterations=1
@@ -49,6 +50,18 @@ def bench_scheduled_distributed(benchmark, circuit, schedule, report_writer):
         f"{result.kernel_cost.total_calls} kernel calls",
     ]
     report_writer("end_to_end", rows)
+    bench_record(
+        "end_to_end",
+        seconds=result.wall_seconds,
+        params={"qubits": _N, "depth": _DEPTH, "local_qubits": _L,
+                "kmax": 4},
+        bytes_moved=result.comm.bytes_on_network,
+        metrics={
+            "swaps": schedule.num_swaps,
+            "clusters": schedule.num_clusters,
+            "kernel_calls": result.kernel_cost.total_calls,
+        },
+    )
     assert result.comm.alltoall_steps == schedule.num_swaps
 
 

@@ -53,13 +53,21 @@ def bench_high_order_stride_penalty(benchmark, state):
     )
 
 
-def bench_autotuned_kernel(benchmark, state, report_writer):
+def bench_autotuned_kernel(benchmark, state, report_writer, bench_record):
     tuner = AutoTuner(repeats=2)
     result = tuner.tune(_N, (2, 9))
     rows = [f"autotune (n={_N}, qubits=(2,9)) winner: {result.strategy}"]
     for label, seconds in sorted(result.timings.items(), key=lambda kv: kv[1]):
         rows.append(f"  {label:<24} {seconds * 1e3:8.3f} ms")
     report_writer("kernels_autotune", rows)
+    bench_record(
+        "kernels_autotune",
+        seconds=min(result.timings.values()),
+        params={"qubits": _N, "gate_qubits": [2, 9]},
+        metrics={"winner": result.strategy, **{
+            label: seconds for label, seconds in result.timings.items()
+        }},
+    )
     u = random_unitary(2, 0)
     kernel = tuner.best_kernel(_N, (2, 9))
     benchmark(kernel, state, u)

@@ -25,7 +25,7 @@ def _no_sleep(_seconds: float) -> None:
     """Backoff delays are accounted, not actually slept, in the bench."""
 
 
-def bench_recovery_overhead(benchmark, report_writer, tmp_path):
+def bench_recovery_overhead(benchmark, report_writer, bench_record, tmp_path):
     n, depth, l = 12, 24, 10
     circ = generate_supremacy_circuit(n, depth, seed=0)
     sched = schedule_circuit(circ, SchedulerConfig(local_qubits=l, kmax=4, seed=1))
@@ -77,6 +77,17 @@ def bench_recovery_overhead(benchmark, report_writer, tmp_path):
         "provides the in-memory copy a checkpoint would snapshot)",
     ]
     report_writer("recovery_overhead", rows)
+    bench_record(
+        "recovery_overhead",
+        seconds=reports[4].wall_overhead_seconds,
+        params={"qubits": n, "depth": depth, "local_qubits": l,
+                "checkpoint_every": 4},
+        bytes_moved=reports[4].redundant_bytes,
+        metrics={
+            "restarts": reports[4].restarts,
+            "checkpoint_bytes": reports[4].checkpoint_bytes,
+        },
+    )
 
     # The trade-off must actually materialise: checkpointing every op
     # writes the most checkpoint bytes, checkpointing only at the end

@@ -18,7 +18,7 @@ from repro.scheduling import SchedulerConfig, schedule_circuit
 from repro.staticcheck import SanitizerConfig, run_sanitized
 
 
-def bench_sanitizer_overhead(benchmark, report_writer):
+def bench_sanitizer_overhead(benchmark, report_writer, bench_record):
     n, depth, l = 20, 16, 16
     circ = generate_supremacy_circuit(n, depth, seed=0)
     sched = schedule_circuit(circ, SchedulerConfig(local_qubits=l, kmax=4, seed=1))
@@ -62,6 +62,13 @@ def bench_sanitizer_overhead(benchmark, report_writer):
         "it for debugging runs and fault drills, not production sweeps",
     ]
     report_writer("sanitizer_overhead", rows)
+    bench_record(
+        "sanitizer_overhead",
+        seconds=plain_seconds,
+        params={"qubits": n, "depth": depth, "local_qubits": l,
+                "ops": num_ops},
+        bytes_moved=plain.comm.bytes_on_network,
+    )
 
     benchmark.pedantic(
         lambda: run_sanitized(sched), rounds=1, iterations=1

@@ -25,7 +25,7 @@ PAPER_ROWS = {
 }
 
 
-def bench_table2_cori(benchmark, report_writer, schedule_cache):
+def bench_table2_cori(benchmark, report_writer, bench_record, schedule_cache):
     model = TimelineModel(CORI_KNL_NODE, ARIES_DRAGONFLY)
     baseline = BaselineModel(CORI_KNL_NODE, ARIES_DRAGONFLY)
     rows = [
@@ -52,6 +52,15 @@ def bench_table2_cori(benchmark, report_writer, schedule_cache):
         f"{100 * profiles[45][0].comm_fraction:.1f}% comm"
     )
     report_writer("table2_cori", rows)
+    bench_record(
+        "table2_cori",
+        seconds=profiles[45][0].total_seconds,
+        params={"qubits": 45, "nodes": 8192, "paper_seconds": 552.61},
+        metrics={
+            f"comm_fraction.{nq}": profiles[nq][0].comm_fraction
+            for nq in PAPER_ROWS
+        },
+    )
 
     # Shape assertions matching the paper's claims.
     assert profiles[30][0].comm_fraction == 0.0

@@ -4,10 +4,18 @@ Every bench regenerates one table or figure of the paper and writes a
 paper-vs-measured report to ``benchmarks/results/<name>.txt`` (also
 printed, visible with ``pytest -s``).  EXPERIMENTS.md summarises these
 reports.
+
+Benches additionally emit machine-readable ``BENCH_<name>.json`` records
+(schema ``repro.bench/1``: name, params, seconds, bytes, metrics
+snapshot) via the :func:`bench_record` fixture; ``tools/bench_check.py``
+validates them and diffs against the previous generation (kept as
+``.json.prev``) to warn about regressions.
 """
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
 
 import pytest
@@ -16,6 +24,9 @@ from repro.circuit import generate_supremacy_circuit
 from repro.scheduling import SchedulerConfig, schedule_circuit
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Schema tag stamped into every machine-readable bench record.
+BENCH_SCHEMA = "repro.bench/1"
 
 
 @pytest.fixture(scope="session")
@@ -29,6 +40,49 @@ def report_writer():
         print(f"\n=== {name} ===\n{text}")
 
     return write
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """Emit a machine-readable ``BENCH_<name>.json`` result record.
+
+    ``record(name, *, seconds, params=None, bytes_moved=0, metrics=None)``
+    writes ``benchmarks/results/BENCH_<name>.json`` following the
+    ``repro.bench/1`` schema.  An existing record is first moved to
+    ``<file>.prev`` so ``tools/bench_check.py`` can diff generations
+    (warn-only).  ``metrics`` accepts a
+    :class:`repro.telemetry.MetricsRegistry` (snapshotted) or a plain
+    dict.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def record(
+        name: str,
+        *,
+        seconds: float,
+        params: dict | None = None,
+        bytes_moved: int = 0,
+        metrics=None,
+    ) -> Path:
+        snapshot = metrics
+        if metrics is not None and hasattr(metrics, "snapshot"):
+            snapshot = metrics.snapshot()
+        payload = {
+            "schema": BENCH_SCHEMA,
+            "name": name,
+            "params": dict(params or {}),
+            "seconds": float(seconds),
+            "bytes": int(bytes_moved),
+            "metrics": snapshot or {},
+            "unix_time": time.time(),
+        }
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        if path.exists():
+            path.replace(path.with_suffix(".json.prev"))
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    return record
 
 
 @pytest.fixture(scope="session")

@@ -13,11 +13,15 @@ Subcommands:
 * ``project`` — price a configuration on the Cori II models and print a
   Table-2-style profile;
 * ``chaos`` — run the fault-injection scenario sweep (or a custom
-  fault-plan JSON) and print the recovery report.
+  fault-plan JSON) and print the recovery report;
+* ``trace`` — run a schedule with full telemetry and export a
+  Chrome-trace/Perfetto JSON (one lane per rank), plus the
+  predicted-vs-actual performance report.
 
 ``simulate --sanitize`` arms the runtime shard sanitizer (NaN/Inf, norm
 conservation, checksum divergence); ``simulate --strict`` refuses to
-execute a schedule whose static check reports errors.
+execute a schedule whose static check reports errors; ``simulate
+--trace/--metrics`` records spans/metrics during a plain distributed run.
 """
 
 from __future__ import annotations
@@ -78,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--strict", action="store_true",
                      help="statically verify the schedule first; refuse "
                      "to execute on any static-check error")
+    sim.add_argument("--trace", type=str, metavar="FILE",
+                     help="record telemetry spans and write a Chrome-trace "
+                     "JSON here (plain distributed runs only)")
+    sim.add_argument("--metrics", action="store_true",
+                     help="collect and print the metrics registry "
+                     "(plain distributed runs only)")
 
     chk = sub.add_parser(
         "check", help="statically verify a schedule and its comm plan"
@@ -135,6 +145,28 @@ def build_parser() -> argparse.ArgumentParser:
     cha.add_argument("--real-sleep", action="store_true",
                      help="actually sleep through backoff/stall delays "
                      "(default: account them without waiting)")
+
+    trc = sub.add_parser(
+        "trace", help="run with full telemetry; export Chrome-trace JSON "
+        "and a predicted-vs-actual report"
+    )
+    trc.add_argument("output", type=str,
+                     help="Chrome-trace JSON output path (open in "
+                     "ui.perfetto.dev or chrome://tracing)")
+    trc.add_argument("--qubits", type=int, required=True)
+    trc.add_argument("--depth", type=int, default=12)
+    trc.add_argument("--seed", type=int, default=0)
+    trc.add_argument("--local-qubits", type=int, required=True)
+    trc.add_argument("--kmax", type=int, default=4)
+    trc.add_argument("--absorb", action="store_true",
+                     help="absorb diagonal gates into cluster matrices")
+    trc.add_argument("--jsonl", type=str, metavar="FILE",
+                     help="also write the span event stream as JSONL")
+    trc.add_argument("--flamegraph", action="store_true",
+                     help="also print the flamegraph-style text summary")
+    trc.add_argument("--tolerance", type=float, default=4.0,
+                     help="relative per-stage deviation tolerance for the "
+                     "predicted-vs-actual report")
     return parser
 
 
@@ -242,6 +274,15 @@ def _cmd_simulate(args) -> int:
         print("error: --sanitize/--strict need a distributed run "
               "(--local-qubits)", file=sys.stderr)
         return 2
+    if (args.trace or args.metrics) and not args.local_qubits:
+        print("error: --trace/--metrics need a distributed run "
+              "(--local-qubits)", file=sys.stderr)
+        return 2
+    if (args.trace or args.metrics) and (args.sanitize or args.checkpoint_dir):
+        print("error: --trace/--metrics apply to plain distributed runs "
+              "(not --sanitize/--checkpoint-dir); use `repro trace` for "
+              "a fully instrumented run", file=sys.stderr)
+        return 2
     circuit = generate_supremacy_circuit(args.qubits, args.depth, seed=args.seed)
     if args.local_qubits:
         from repro.distributed import DistributedSimulator
@@ -294,8 +335,20 @@ def _cmd_simulate(args) -> int:
                 f"{dist_state.kernel_cost.total_calls} kernel calls"
             )
         else:
+            telemetry = None
+            if args.trace or args.metrics:
+                from repro.telemetry import Telemetry
+
+                if args.trace:
+                    telemetry = Telemetry.enabled()
+                else:
+                    from repro.telemetry import MetricsRegistry
+
+                    telemetry = Telemetry(
+                        metrics=MetricsRegistry(enabled=True)
+                    )
             result = DistributedSimulator(
-                args.qubits, args.local_qubits
+                args.qubits, args.local_qubits, telemetry=telemetry
             ).run_schedule(schedule)
             state = result.state.to_statevector()
             print(
@@ -303,6 +356,14 @@ def _cmd_simulate(args) -> int:
                 f"all-to-all steps, "
                 f"{result.kernel_cost.total_calls} kernel calls"
             )
+            if args.trace:
+                from repro.telemetry import write_chrome_trace
+
+                write_chrome_trace(args.trace, telemetry.tracer.spans)
+                print(f"wrote {len(telemetry.tracer.spans)} spans "
+                      f"to {args.trace}")
+            if args.metrics:
+                print(telemetry.metrics.format())
     else:
         run = Simulator(args.qubits).run(circuit)
         state = run.state
@@ -464,6 +525,55 @@ def _cmd_chaos(args) -> int:
         return run(workdir)
 
 
+def _cmd_trace(args) -> int:
+    from repro.circuit import generate_supremacy_circuit
+    from repro.distributed import DistributedSimulator
+    from repro.scheduling import SchedulerConfig, schedule_circuit
+    from repro.telemetry import (
+        Telemetry,
+        format_flamegraph,
+        perf_report,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    g = args.qubits - args.local_qubits
+    if g < 0:
+        print("error: --local-qubits exceeds --qubits", file=sys.stderr)
+        return 2
+    telemetry = Telemetry.enabled()
+    circuit = generate_supremacy_circuit(
+        args.qubits, args.depth, seed=args.seed
+    )
+    schedule = schedule_circuit(
+        circuit,
+        SchedulerConfig(
+            local_qubits=args.local_qubits,
+            kmax=args.kmax,
+            absorb_diagonals=args.absorb,
+        ),
+        telemetry=telemetry,
+    )
+    result = DistributedSimulator(
+        args.qubits, args.local_qubits, telemetry=telemetry
+    ).run_schedule(schedule)
+    spans = telemetry.tracer.spans
+    write_chrome_trace(args.output, spans)
+    print(f"wrote {len(spans)} spans ({1 << g} rank lanes) to {args.output}")
+    if args.jsonl:
+        write_jsonl(args.jsonl, spans)
+        print(f"wrote span records to {args.jsonl}")
+    if args.flamegraph:
+        print()
+        print(format_flamegraph(spans))
+    print()
+    report = perf_report(
+        schedule, result.trace, result.comm, tolerance=args.tolerance
+    )
+    print(report.format())
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -475,6 +585,7 @@ def main(argv=None) -> int:
         "project": _cmd_project,
         "experiments": _cmd_experiments,
         "chaos": _cmd_chaos,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -9,14 +9,62 @@ The paper's multi-node analysis counts two quantities:
   ``(2**q - 1)/2**q`` of every rank's ``2**l * 16`` bytes.
 
 :class:`CommStats` tracks both, plus rank renumberings (which are free on
-real MPI — Sec. 3.5 — but still interesting to count).
+real MPI — Sec. 3.5 — but still interesting to count).  Its event log is
+a list of typed :class:`CommEvent` records; a stats object bound to a
+:class:`~repro.telemetry.metrics.MetricsRegistry` via
+:meth:`CommStats.bind_metrics` additionally streams every count into the
+run's ``comm.*`` counters as it happens.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
-__all__ = ["CommStats"]
+__all__ = ["CommEvent", "CommStats"]
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One communication-layer event (typed successor of the raw dicts).
+
+    ``num_groups``/``group_size`` are populated for all-to-all events
+    only.  Dict-style access (``event["kind"]``) still works behind a
+    :class:`DeprecationWarning` so pre-telemetry callers keep running.
+    """
+
+    kind: str  # "alltoall" | "renumber"
+    bytes: int = 0
+    num_groups: int | None = None
+    group_size: int | None = None
+
+    def __getitem__(self, key: str):
+        warnings.warn(
+            "dict-style access to CommEvent is deprecated; use attribute "
+            f"access (event.{key})",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        try:
+            return getattr(self, key)
+        except AttributeError:
+            raise KeyError(key) from None
+
+    def get(self, key: str, default=None):
+        """Dict-compatible lookup (same deprecation shim)."""
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (the old event representation)."""
+        out = {"kind": self.kind, "bytes": self.bytes}
+        if self.num_groups is not None:
+            out["num_groups"] = self.num_groups
+        if self.group_size is not None:
+            out["group_size"] = self.group_size
+        return out
 
 
 @dataclass
@@ -28,7 +76,22 @@ class CommStats:
     bytes_on_network: int = 0
     rank_renumberings: int = 0
     local_swap_kernels: int = 0
-    events: list[dict] = field(default_factory=list)
+    events: list[CommEvent] = field(default_factory=list)
+
+    def bind_metrics(self, registry) -> "CommStats":
+        """Stream future counts into *registry*'s ``comm.*`` counters.
+
+        Pass ``None`` to unbind.  Returns ``self`` for chaining; the
+        binding survives :meth:`reset` (the counters are cumulative per
+        registry, exactly like ``bytes_on_network`` is per stats object).
+        """
+        self._metrics = registry
+        return self
+
+    @property
+    def metrics(self):
+        """The bound registry, or ``None``."""
+        return getattr(self, "_metrics", None)
 
     def record_alltoall(
         self, *, num_groups: int, group_size: int, shard_bytes: int
@@ -48,25 +111,42 @@ class CommStats:
         self.group_alltoall_calls += num_groups
         self.bytes_on_network += total
         self.events.append(
-            {
-                "kind": "alltoall",
-                "num_groups": num_groups,
-                "group_size": group_size,
-                "bytes": total,
-            }
+            CommEvent(
+                kind="alltoall",
+                bytes=total,
+                num_groups=num_groups,
+                group_size=group_size,
+            )
         )
+        registry = self.metrics
+        if registry is not None:
+            registry.counter("comm.alltoall_steps").inc()
+            registry.counter("comm.group_alltoall_calls").inc(num_groups)
+            registry.counter("comm.bytes_on_network").inc(total)
 
     def record_rank_renumbering(self) -> None:
         """Record a free rank-relabeling (global monomial gate, Sec. 3.5)."""
         self.rank_renumberings += 1
-        self.events.append({"kind": "renumber", "bytes": 0})
+        self.events.append(CommEvent(kind="renumber", bytes=0))
+        registry = self.metrics
+        if registry is not None:
+            registry.counter("comm.rank_renumberings").inc()
 
     def record_local_swap(self) -> None:
         """Record a local swap kernel used to stage a global-to-local swap."""
         self.local_swap_kernels += 1
+        registry = self.metrics
+        if registry is not None:
+            registry.counter("comm.local_swap_kernels").inc()
 
     def merge(self, other: "CommStats") -> None:
-        """Fold another counter into this one."""
+        """Fold another counter into this one.
+
+        Metrics are *not* re-streamed: a bound ``other`` already counted
+        its events at record time, and an unbound attempt counter is
+        expected to have been bound to the same registry (see the
+        resilience supervisor's per-attempt swap).
+        """
         self.alltoall_steps += other.alltoall_steps
         self.group_alltoall_calls += other.group_alltoall_calls
         self.bytes_on_network += other.bytes_on_network

@@ -8,6 +8,7 @@ from dataclasses import dataclass
 from repro.circuit.circuit import Circuit
 from repro.distributed.state import DistributedState
 from repro.distributed.storage import ShardStorage
+from repro.telemetry.runtime import Telemetry
 
 __all__ = ["DistributedSimulator", "DistributedRunResult"]
 
@@ -18,6 +19,9 @@ class DistributedRunResult:
 
     state: DistributedState
     wall_seconds: float
+    #: Op-level :class:`~repro.distributed.tracing.ExecutionTrace` when the
+    #: run was executed with telemetry, else ``None``.
+    trace: object | None = None
 
     @property
     def comm(self):
@@ -43,6 +47,10 @@ class DistributedSimulator:
         :class:`repro.distributed.DiskShards` for SSD-resident state).
     initial_state:
         ``"zero"`` or ``"plus"``.
+    telemetry:
+        Optional :class:`~repro.telemetry.runtime.Telemetry` bundle; when
+        active, runs record spans/metrics and schedule runs return an
+        op-level trace.  Defaults to the shared no-op bundle.
     """
 
     def __init__(
@@ -53,12 +61,14 @@ class DistributedSimulator:
         storage: ShardStorage | None = None,
         initial_state: str = "zero",
         single_precision: bool = False,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.num_qubits = num_qubits
         self.local_qubits = local_qubits
         self._storage = storage
         self._initial_state = initial_state
         self._single_precision = single_precision
+        self.telemetry = telemetry
 
     def new_state(self, initial_global_qubits=None) -> DistributedState:
         """Allocate a fresh distributed initial state."""
@@ -69,6 +79,7 @@ class DistributedSimulator:
             init=self._initial_state,
             initial_global_qubits=initial_global_qubits,
             single_precision=self._single_precision,
+            telemetry=self.telemetry,
         )
 
     def run(
@@ -91,9 +102,13 @@ class DistributedSimulator:
             )
         if state is None:
             state = self.new_state()
+        elif self.telemetry is not None:
+            state.use_telemetry(self.telemetry)
+        tel = state.telemetry
         start = time.perf_counter()
-        for gate in circuit:
-            state.apply_gate(gate, auto_swap=auto_swap)
+        with tel.tracer.span("run_circuit", kind="run", gates=len(circuit)):
+            for gate in circuit:
+                state.apply_gate(gate, auto_swap=auto_swap)
         return DistributedRunResult(state, time.perf_counter() - start)
 
     def run_schedule(
@@ -110,6 +125,10 @@ class DistributedSimulator:
         first stage's layout is adopted at initialisation for free; the
         schedule's ``initial_state`` ("plus" when the Hadamard layer was
         absorbed) overrides the simulator default.
+
+        With an active telemetry bundle the run goes through
+        :func:`~repro.distributed.tracing.trace_schedule_execution` and the
+        result carries the op-level trace.
         """
         if state is None:
             initial = getattr(schedule, "initial_state", self._initial_state)
@@ -120,6 +139,17 @@ class DistributedSimulator:
                 init=initial,
                 initial_global_qubits=schedule.initial_global_qubits or None,
                 single_precision=self._single_precision,
+                telemetry=self.telemetry,
+            )
+        if self.telemetry is not None and self.telemetry.active:
+            from repro.distributed.tracing import trace_schedule_execution
+
+            start = time.perf_counter()
+            trace = trace_schedule_execution(
+                state, schedule, telemetry=self.telemetry
+            )
+            return DistributedRunResult(
+                state, time.perf_counter() - start, trace=trace
             )
         start = time.perf_counter()
         for op in schedule.operations():
@@ -156,4 +186,5 @@ class DistributedSimulator:
             checkpoint_every=checkpoint_every,
             verify=verify,
             sanitizer=sanitizer,
+            telemetry=self.telemetry,
         ).run()

@@ -10,6 +10,7 @@ this permutation while moving data accordingly.
 
 from __future__ import annotations
 
+import time
 import zlib
 from typing import Iterable, Sequence
 
@@ -22,6 +23,7 @@ from repro.gates.matrices import SWAP_MATRIX
 from repro.kernels import apply_diagonal_gate, apply_gate
 from repro.kernels.cost import KernelCostModel
 from repro.statevector.state import StateVector
+from repro.telemetry.runtime import NULL_TELEMETRY, Telemetry
 from repro.util.bits import extract_bits
 
 __all__ = ["DistributedState", "NeedsSwapError"]
@@ -58,6 +60,7 @@ class DistributedState:
         init: str = "zero",
         initial_global_qubits: Iterable[int] | None = None,
         single_precision: bool = False,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if not 0 < local_qubits <= num_qubits:
             raise ValueError(
@@ -99,7 +102,20 @@ class DistributedState:
                 self.bit_of_qubit[q] = bit
         self.stats = CommStats()
         self.kernel_cost = KernelCostModel()
+        self.telemetry = NULL_TELEMETRY
+        self.use_telemetry(telemetry)
         self._initialize(init)
+
+    def use_telemetry(self, telemetry: Telemetry | None) -> None:
+        """Attach (or detach, with ``None``) a telemetry bundle.
+
+        Kernel and comm paths emit spans into its tracer, and the comm
+        counters are (re)bound so ``comm.*`` metrics stream as they are
+        recorded.  Detaching restores the shared no-op bundle.
+        """
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        registry = self.telemetry.metrics
+        self.stats.bind_metrics(registry if registry.enabled else None)
 
     # ------------------------------------------------------------------
     # Initialisation / conversion
@@ -223,16 +239,44 @@ class DistributedState:
     def _apply_local(
         self, matrix: np.ndarray, bits: Sequence[int], *, diagonal: bool
     ) -> None:
-        for r in range(self.num_ranks):
-            shard = self.storage.get(r)
-            if diagonal:
-                apply_diagonal_gate(shard, np.diagonal(matrix), bits)
-            else:
-                apply_gate(shard, matrix, bits)
-            self._sync(shard)
-        self.kernel_cost.record(
-            self.num_qubits, len(bits), diagonal=diagonal
-        )
+        tel = self.telemetry
+        if not tel.active:
+            for r in range(self.num_ranks):
+                shard = self.storage.get(r)
+                if diagonal:
+                    apply_diagonal_gate(shard, np.diagonal(matrix), bits)
+                else:
+                    apply_gate(shard, matrix, bits)
+                self._sync(shard)
+            self.kernel_cost.record(
+                self.num_qubits, len(bits), diagonal=diagonal
+            )
+            return
+        k = len(bits)
+        tracer = tel.tracer
+        per_rank = tracer.enabled and tracer.per_rank
+        with tracer.span("kernel.apply", kind="kernel", k=k, diagonal=diagonal):
+            start = time.perf_counter()
+            for r in range(self.num_ranks):
+                t0 = tracer.now() if per_rank else 0.0
+                shard = self.storage.get(r)
+                if diagonal:
+                    apply_diagonal_gate(shard, np.diagonal(matrix), bits)
+                else:
+                    apply_gate(shard, matrix, bits)
+                self._sync(shard)
+                if per_rank:
+                    tracer.add_span(
+                        "kernel.apply",
+                        kind="kernel",
+                        start=t0,
+                        end=tracer.now(),
+                        rank=r,
+                        k=k,
+                    )
+            elapsed = time.perf_counter() - start
+        self.kernel_cost.record(self.num_qubits, k, diagonal=diagonal)
+        tel.metrics.histogram("kernel.apply.seconds", k=k).observe(elapsed)
 
     def _split_gate_bits(
         self, bits: Sequence[int]
@@ -258,23 +302,32 @@ class DistributedState:
         with one global qubit becomes a rank-conditional local Z; a T gate
         becomes a rank-conditional phase — exactly the cases of Sec. 3.5.
         """
+        tel = self.telemetry
+        start = time.perf_counter() if tel.active else 0.0
         local_js, global_js = self._split_gate_bits(bits)
         local_bits = [bits[j] for j in local_js]
-        for r in range(self.num_ranks):
-            xg = self._rank_gate_bits(r, bits, global_js)
-            shard = self.storage.get(r)
-            if local_js:
-                sub = np.empty(1 << len(local_js), dtype=np.complex128)
-                for xl in range(1 << len(local_js)):
-                    x = xg
-                    for jj, j in enumerate(local_js):
-                        x |= ((xl >> jj) & 1) << j
-                    sub[xl] = diag[x]
-                apply_diagonal_gate(shard, sub, local_bits)
-            else:
-                shard *= diag[xg]
-            self._sync(shard)
+        with tel.tracer.span(
+            "kernel.diagonal_global", kind="kernel", k=len(bits)
+        ):
+            for r in range(self.num_ranks):
+                xg = self._rank_gate_bits(r, bits, global_js)
+                shard = self.storage.get(r)
+                if local_js:
+                    sub = np.empty(1 << len(local_js), dtype=np.complex128)
+                    for xl in range(1 << len(local_js)):
+                        x = xg
+                        for jj, j in enumerate(local_js):
+                            x |= ((xl >> jj) & 1) << j
+                        sub[xl] = diag[x]
+                    apply_diagonal_gate(shard, sub, local_bits)
+                else:
+                    shard *= diag[xg]
+                self._sync(shard)
         self.kernel_cost.record(self.num_qubits, len(bits), diagonal=True)
+        if tel.active:
+            tel.metrics.histogram(
+                "kernel.specialized.seconds", kind="diagonal"
+            ).observe(time.perf_counter() - start)
 
     def _monomial_is_rank_separable(self, gate: Gate, bits: Sequence[int]) -> bool:
         """True when the gate's action on global bits is local-independent.
@@ -308,6 +361,8 @@ class DistributedState:
 
     def _apply_monomial_global(self, gate: Gate, bits: Sequence[int]) -> None:
         """Monomial gate on global qubits: rank renumbering + local update."""
+        tel = self.telemetry
+        start = tel.tracer.now() if tel.active else 0.0
         perm = gate.basis_permutation
         phases = gate.basis_phases
         assert perm is not None and phases is not None
@@ -358,6 +413,18 @@ class DistributedState:
         self.stats.record_rank_renumbering()
         if k_l:
             self.kernel_cost.record(self.num_qubits, k_l)
+        if tel.active:
+            end = tel.tracer.now()
+            tel.tracer.add_span(
+                "kernel.monomial_global",
+                kind="kernel",
+                start=start,
+                end=end,
+                k=len(bits),
+            )
+            tel.metrics.histogram(
+                "kernel.specialized.seconds", kind="monomial"
+            ).observe(end - start)
 
     def apply_rank_conditional_cluster(self, op) -> None:
         """Apply an absorbed cluster: per-rank fused matrix, one kernel.
@@ -380,15 +447,25 @@ class DistributedState:
                 raise ValueError(
                     f"absorbed diagonal expects qubit {q} to be global"
                 )
-        for r in range(self.num_ranks):
-            rank_bits = {
-                q: (r >> (self.bit_of_qubit[q] - l)) & 1 for q in rank_qubits
-            }
-            matrix = op.matrix_for_rank(rank_bits)
-            shard = self.storage.get(r)
-            apply_gate(shard, matrix, bits)
-            self._sync(shard)
+        tel = self.telemetry
+        start = time.perf_counter() if tel.active else 0.0
+        with tel.tracer.span(
+            "kernel.absorbed_cluster", kind="kernel", k=len(bits)
+        ):
+            for r in range(self.num_ranks):
+                rank_bits = {
+                    q: (r >> (self.bit_of_qubit[q] - l)) & 1
+                    for q in rank_qubits
+                }
+                matrix = op.matrix_for_rank(rank_bits)
+                shard = self.storage.get(r)
+                apply_gate(shard, matrix, bits)
+                self._sync(shard)
         self.kernel_cost.record(self.num_qubits, len(bits))
+        if tel.active:
+            tel.metrics.histogram(
+                "kernel.apply.seconds", k=len(bits)
+            ).observe(time.perf_counter() - start)
 
     # ------------------------------------------------------------------
     # Swaps (Sec. 3.4)
@@ -419,10 +496,13 @@ class DistributedState:
             raise ValueError("both bits must be local")
         if bit_a == bit_b:
             return
-        for r in range(self.num_ranks):
-            shard = self.storage.get(r)
-            apply_gate(shard, SWAP_MATRIX, (bit_a, bit_b))
-            self._sync(shard)
+        with self.telemetry.tracer.span(
+            "comm.staging_swap", kind="staging", bit_a=bit_a, bit_b=bit_b
+        ):
+            for r in range(self.num_ranks):
+                shard = self.storage.get(r)
+                apply_gate(shard, SWAP_MATRIX, (bit_a, bit_b))
+                self._sync(shard)
         qa, qb = self._qubit_at_bit(bit_a), self._qubit_at_bit(bit_b)
         self.bit_of_qubit[qa], self.bit_of_qubit[qb] = bit_b, bit_a
         self.stats.record_local_swap()
@@ -470,12 +550,42 @@ class DistributedState:
                 self._swap_local_bits(current, target)
 
         # 3. One communication step: group-local all-to-alls.
-        self.storage.exchange_blocks(q)
+        tel = self.telemetry
+        num_groups = 1 << (self.global_qubits - q)
+        group_size = 1 << q
+        shard_bytes = self.storage.shard_bytes
+        moved_per_rank = shard_bytes * (group_size - 1) // group_size
+        start = tel.tracer.now() if tel.active else 0.0
+        with tel.tracer.span(
+            "comm.alltoall",
+            kind="comm",
+            q=q,
+            num_groups=num_groups,
+            group_size=group_size,
+            bytes=moved_per_rank * group_size * num_groups,
+        ):
+            self.storage.exchange_blocks(q)
         self.stats.record_alltoall(
-            num_groups=1 << (self.global_qubits - q),
-            group_size=1 << q,
-            shard_bytes=self.storage.shard_bytes,
+            num_groups=num_groups,
+            group_size=group_size,
+            shard_bytes=shard_bytes,
         )
+        if tel.active:
+            tracer = tel.tracer
+            end = tracer.now()
+            if tracer.enabled and tracer.per_rank:
+                # One lane copy per rank: every rank participates in the
+                # collective for the same interval, shipping its
+                # off-diagonal blocks.
+                for r in range(self.num_ranks):
+                    tracer.add_span(
+                        "comm.alltoall",
+                        kind="comm",
+                        start=start,
+                        end=end,
+                        rank=r,
+                        bytes=moved_per_rank,
+                    )
 
         # 4. The bit ranges swapped contents: update the layout.
         for qubit in range(self.num_qubits):

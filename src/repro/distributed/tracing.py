@@ -4,6 +4,15 @@ Table 2's "Comm." column comes from instrumenting the run; this module
 does the same for any schedule execution: per-operation wall time,
 classified into kernel / specialization / communication, plus a text
 timeline for eyeballing where a run spends its life.
+
+Since the telemetry layer landed, the primary record of a run is the
+hierarchical span tree collected by a
+:class:`~repro.telemetry.spans.Tracer`; :class:`ExecutionTrace` is the
+flat *view* over that tree (one :class:`TraceEvent` per op-level span,
+built by :meth:`ExecutionTrace.from_spans`), kept because its
+timing-free :meth:`~ExecutionTrace.signature` is the determinism anchor
+the resilience suite compares runs with.  Aggregations are computed once
+when a finalized trace is frozen, not re-summed per property access.
 """
 
 from __future__ import annotations
@@ -13,8 +22,21 @@ from dataclasses import dataclass, field
 
 from repro.distributed.state import DistributedState
 from repro.scheduling.program import ClusterOp, GateOp, Schedule, SwapOp
+from repro.telemetry.runtime import Telemetry
 
-__all__ = ["TraceEvent", "ExecutionTrace", "trace_schedule_execution"]
+__all__ = [
+    "OP_EVENT_KINDS",
+    "TraceEvent",
+    "ExecutionTrace",
+    "trace_schedule_execution",
+]
+
+#: Span kinds that surface as flat :class:`TraceEvent`s.  Spans of any
+#: other kind (``run``, ``kernel``, ``comm``, ``schedule``, per-rank lane
+#: copies, aborted attempts...) stay in the span tree only.
+OP_EVENT_KINDS = frozenset(
+    {"cluster", "specialized", "swap", "absorbed", "fault"}
+)
 
 
 @dataclass(frozen=True)
@@ -38,17 +60,87 @@ class TraceEvent:
 
 @dataclass
 class ExecutionTrace:
-    """All events of one run, with aggregation helpers."""
+    """All events of one run, with aggregation helpers.
+
+    A trace under construction recomputes its aggregates on demand; once
+    the run is over, :meth:`freeze` computes them a single time and
+    caches — afterwards :meth:`add` refuses further events.
+    """
 
     events: list[TraceEvent] = field(default_factory=list)
+    #: Source spans when the trace was built from a tracer (else empty).
+    spans: list = field(default_factory=list, repr=False, compare=False)
+    _cache: dict | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
+    @classmethod
+    def from_spans(cls, spans, *, freeze: bool = True) -> "ExecutionTrace":
+        """Build the flat op-event view over a tracer's span list.
+
+        Only spans whose ``kind`` is in :data:`OP_EVENT_KINDS` become
+        events, in recording order — internal kernel/comm spans, run
+        roots and per-rank lane copies are skipped.  Swap events pick up
+        ``bytes_moved`` from the span's ``bytes`` attribute.
+        """
+        trace = cls(spans=list(spans))
+        for span in trace.spans:
+            if span.kind not in OP_EVENT_KINDS:
+                continue
+            trace.events.append(
+                TraceEvent(
+                    index=len(trace.events),
+                    kind=span.kind,
+                    label=span.name,
+                    seconds=span.seconds,
+                    bytes_moved=span.attrs.get("bytes"),
+                    op_index=span.attrs.get("op_index"),
+                )
+            )
+        return trace.freeze() if freeze else trace
+
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        """True once aggregates are cached and the trace is append-closed."""
+        return self._cache is not None
+
+    def add(self, event: TraceEvent) -> None:
+        """Append an event; refuses once the trace is frozen."""
+        if self.frozen:
+            raise RuntimeError(
+                "trace is frozen; aggregates are already cached"
+            )
+        self.events.append(event)
+
+    def freeze(self) -> "ExecutionTrace":
+        """Compute every aggregate once and close the trace to appends."""
+        by_kind: dict[str, float] = {}
+        total = 0.0
+        moved = 0
+        for e in self.events:
+            by_kind[e.kind] = by_kind.get(e.kind, 0.0) + e.seconds
+            total += e.seconds
+            moved += e.bytes_moved or 0
+        self._cache = {
+            "total_seconds": total,
+            "seconds_by_kind": by_kind,
+            "bytes_moved": moved,
+        }
+        return self
+
+    # ------------------------------------------------------------------
     @property
     def total_seconds(self) -> float:
-        """Sum of all event durations."""
+        """Sum of all event durations (cached once frozen)."""
+        if self._cache is not None:
+            return self._cache["total_seconds"]
         return sum(e.seconds for e in self.events)
 
     def seconds_by_kind(self) -> dict[str, float]:
-        """Wall time aggregated per event kind."""
+        """Wall time aggregated per event kind (cached once frozen)."""
+        if self._cache is not None:
+            return dict(self._cache["seconds_by_kind"])
         out: dict[str, float] = {}
         for e in self.events:
             out[e.kind] = out.get(e.kind, 0.0) + e.seconds
@@ -75,18 +167,20 @@ class ExecutionTrace:
     @property
     def bytes_moved(self) -> int:
         """Total bytes moved across all events that recorded any."""
+        if self._cache is not None:
+            return self._cache["bytes_moved"]
         return sum(e.bytes_moved or 0 for e in self.events)
 
     def timeline(self, *, width: int = 60) -> str:
         """A proportional text timeline (one row per op)."""
         total = max(self.total_seconds, 1e-12)
+        by_kind = self.seconds_by_kind()
         lines = [f"{'op':>3} {'kind':<11} {'seconds':>9}  timeline"]
         for e in self.events:
             bar = "#" * max(1, round(width * e.seconds / total))
             lines.append(
                 f"{e.index:>3} {e.kind:<11} {e.seconds:>9.4f}  {bar}"
             )
-        by_kind = self.seconds_by_kind()
         summary = ", ".join(
             f"{kind} {seconds:.3f}s" for kind, seconds in sorted(by_kind.items())
         )
@@ -105,24 +199,44 @@ def _classify(op) -> tuple[str, str]:
 
 
 def trace_schedule_execution(
-    state: DistributedState, schedule: Schedule
+    state: DistributedState,
+    schedule: Schedule,
+    *,
+    telemetry: Telemetry | None = None,
 ) -> ExecutionTrace:
-    """Execute *schedule* on *state*, timing every operation."""
-    trace = ExecutionTrace()
-    for index, op in enumerate(schedule.operations()):
-        kind, label = _classify(op)
-        bytes_before = state.stats.bytes_on_network
-        start = time.perf_counter()
-        op.execute(state)
-        moved = state.stats.bytes_on_network - bytes_before
-        trace.events.append(
-            TraceEvent(
-                index=index,
-                kind=kind,
-                label=label,
-                seconds=time.perf_counter() - start,
-                bytes_moved=moved if kind == "swap" else None,
-                op_index=index,
-            )
-        )
-    return trace
+    """Execute *schedule* on *state*, timing every operation.
+
+    With no *telemetry* a private span tracer records just the op-level
+    spans; pass a live :class:`~repro.telemetry.runtime.Telemetry` to
+    also collect the nested kernel/comm spans and stream metrics (the
+    bundle is attached to *state* for the duration of the call).
+    """
+    if telemetry is None or not telemetry.active:
+        telemetry = Telemetry.spans_only(per_rank=False)
+    previous = state.telemetry
+    state.use_telemetry(telemetry)
+    tracer = telemetry.tracer
+    try:
+        with tracer.span("execute_schedule", kind="run"):
+            stage = 0
+            for index, op in enumerate(schedule.operations()):
+                kind, label = _classify(op)
+                if kind == "swap":
+                    stage += 1
+                bytes_before = state.stats.bytes_on_network
+                start = time.perf_counter()
+                with tracer.span(
+                    label, kind=kind, op_index=index, stage=stage
+                ) as span:
+                    op.execute(state)
+                seconds = time.perf_counter() - start
+                if span is not None and kind == "swap":
+                    span.attrs["bytes"] = (
+                        state.stats.bytes_on_network - bytes_before
+                    )
+                telemetry.metrics.histogram(
+                    "op.seconds", kind=kind
+                ).observe(seconds)
+    finally:
+        state.use_telemetry(previous)
+    return ExecutionTrace.from_spans(tracer.spans)

@@ -34,7 +34,7 @@ from repro.scheduling.baseline import baseline_global_gates
 from repro.scheduling.program import Schedule
 from repro.util.flops import COMPLEX128_BYTES, gate_flops
 
-__all__ = ["TimelineReport", "TimelineModel", "BaselineModel"]
+__all__ = ["StagePrediction", "TimelineReport", "TimelineModel", "BaselineModel"]
 
 #: Clusters per stage above which MCDRAM blocking is considered effective
 #: (calibrated; see module docstring).
@@ -75,6 +75,30 @@ class TimelineReport:
     def gflops_per_node(self) -> float:
         """Per-node sustained GFLOPS."""
         return self.pflops * 1e6 / self.nodes
+
+
+@dataclass(frozen=True)
+class StagePrediction:
+    """Model prediction for one stage of a schedule.
+
+    ``comm_seconds``/``comm_bytes`` price the swap *entering* the stage
+    (zero for stage 0, whose layout is adopted for free).  The byte count
+    uses exactly the :class:`~repro.distributed.comm.CommStats`
+    all-to-all formula, so a simulated run's measured bytes must match it
+    to the byte — the join the predicted-vs-actual report exploits.
+    """
+
+    stage: int
+    clusters: int
+    kernel_seconds: float
+    comm_seconds: float
+    comm_bytes: int
+    flops: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Predicted wall time attributed to this stage."""
+        return self.kernel_seconds + self.comm_seconds
 
 
 @dataclass(frozen=True)
@@ -132,6 +156,64 @@ class TimelineModel:
             comm_seconds=comm_seconds,
             total_flops=total_flops,
         )
+
+    def predict_stages(self, schedule: Schedule) -> list[StagePrediction]:
+        """Per-stage breakdown of :meth:`predict`.
+
+        Uses the same bandwidth qualification as the aggregate model, so
+        the per-stage kernel/comm seconds sum exactly to the
+        :class:`TimelineReport` totals.  Each stage's communication is
+        the swap entering it; its byte count follows the
+        ``shard_bytes * (2**q - 1) / 2**q`` all-to-all formula for the
+        ``q`` qubits actually exchanged at that boundary.
+        """
+        n = schedule.num_qubits
+        l = schedule.local_qubits
+        nodes = 1 << (n - l)
+        shard_bytes = float((1 << l) * COMPLEX128_BYTES)
+        shard_bytes_int = (1 << l) * COMPLEX128_BYTES
+        num_stages = max(1, len(schedule.stages))
+        clusters_per_stage = schedule.num_clusters / num_stages
+        bw = self._kernel_bandwidth(shard_bytes, clusters_per_stage)
+        swap_seconds = self.network.alltoall_seconds(nodes, shard_bytes)
+
+        out: list[StagePrediction] = []
+        prev_global: frozenset[int] | None = None
+        for index, stage in enumerate(schedule.stages):
+            kernel_seconds = 0.0
+            flops = 0.0
+            for op in stage.cluster_ops:
+                k = op.num_qubits
+                mem_time = 2.0 * shard_bytes / (bw * 1e9)
+                compute_time = gate_flops(l, k) / (
+                    _compute_ceiling(self.machine, k) * 1e9
+                )
+                kernel_seconds += max(mem_time, compute_time)
+                flops += float(gate_flops(n, k))
+            comm_seconds = 0.0
+            comm_bytes = 0
+            if prev_global is not None:
+                q = len(prev_global - stage.global_qubits)
+                if q:
+                    group_size = 1 << q
+                    num_groups = 1 << (n - l - q)
+                    moved_per_rank = (
+                        shard_bytes_int * (group_size - 1) // group_size
+                    )
+                    comm_bytes = moved_per_rank * group_size * num_groups
+                    comm_seconds = swap_seconds
+            prev_global = stage.global_qubits
+            out.append(
+                StagePrediction(
+                    stage=index,
+                    clusters=stage.num_clusters,
+                    kernel_seconds=kernel_seconds,
+                    comm_seconds=comm_seconds,
+                    comm_bytes=comm_bytes,
+                    flops=flops,
+                )
+            )
+        return out
 
 
 @dataclass(frozen=True)

@@ -19,9 +19,13 @@ a typed error once its recovery budget is spent.  Three mechanisms:
   :class:`~repro.distributed.checkpoint.CheckpointManager` checkpoint
   (or a fresh initial state) and replay.
 
-Every recovery action is accounted in a :class:`RecoveryReport` and
-surfaced as :class:`~repro.distributed.tracing.TraceEvent`-compatible
-events, so chaos reports and normal traces share one model.  All
+Execution is recorded as telemetry spans: one span per op *attempt*
+(transient failures mutate into ``fault`` spans, aborted fatal attempts
+into ``aborted`` ones, excluded from the op-event view), nested under a
+``resilient_run`` root.  The result's
+:class:`~repro.distributed.tracing.ExecutionTrace` is the flat view over
+those spans, so chaos reports and normal traces share one model and the
+timing-free ``signature()`` stays comparable across runs.  All
 quantities except measured wall seconds are deterministic given the
 schedule, plan and policy.
 """
@@ -34,7 +38,7 @@ from dataclasses import dataclass, field
 from repro.distributed.checkpoint import CheckpointManager
 from repro.distributed.comm import CommStats
 from repro.distributed.state import DistributedState
-from repro.distributed.tracing import ExecutionTrace, TraceEvent, _classify
+from repro.distributed.tracing import ExecutionTrace, _classify
 from repro.resilience.faults import (
     FaultInjector,
     FaultPlan,
@@ -45,6 +49,9 @@ from repro.resilience.faults import (
     TransientCommError,
 )
 from repro.scheduling.program import Schedule, SwapOp
+from repro.telemetry.metrics import NULL_METRICS
+from repro.telemetry.runtime import Telemetry
+from repro.telemetry.spans import Tracer
 
 __all__ = [
     "RecoveryReport",
@@ -131,6 +138,11 @@ class ResilientRunResult:
         """Communication counters of the (successful) execution path."""
         return self.state.stats
 
+    @property
+    def spans(self) -> list:
+        """The run's telemetry spans (the trace is the flat view over them)."""
+        return self.trace.spans
+
 
 class ResilientExecutor:
     """Runs a schedule to bit-exact completion under injected faults.
@@ -165,6 +177,12 @@ class ResilientExecutor:
         across restarts.  Complements ``verify``: the checksum table
         here turns corruption into a restart, the sanitizer into
         op-pinned diagnostics.
+    telemetry:
+        Optional :class:`~repro.telemetry.runtime.Telemetry` bundle.  The
+        supervisor *always* records spans (the result's trace is built
+        from them); passing an enabled bundle makes them land in the
+        caller's tracer (for export) and streams ``comm.*`` /
+        ``resilience.*`` metrics into its registry.
     """
 
     def __init__(
@@ -178,6 +196,7 @@ class ResilientExecutor:
         verify: str = "swap",
         sleep=time.sleep,
         sanitizer=None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if verify not in ("swap", "every", "never"):
             raise ValueError(f"verify must be swap|every|never, got {verify!r}")
@@ -189,6 +208,14 @@ class ResilientExecutor:
         self.verify = verify
         self._sleep = sleep
         self.sanitizer = sanitizer
+        # The trace is a view over spans, so a live tracer is mandatory:
+        # use the caller's when it is collecting, else a private one.
+        if telemetry is not None and telemetry.tracer.enabled:
+            tracer = telemetry.tracer
+        else:
+            tracer = Tracer(enabled=True, per_rank=False)
+        metrics = telemetry.metrics if telemetry is not None else NULL_METRICS
+        self.telemetry = Telemetry(tracer=tracer, metrics=metrics)
 
     # ------------------------------------------------------------------
     def _verify_integrity(
@@ -211,55 +238,65 @@ class ResilientExecutor:
         report.checkpoints_written += 1
 
     def _attempt_op(
-        self, op, index: int, state: DistributedState, report: RecoveryReport,
-        trace: ExecutionTrace,
+        self, op, index: int, state: DistributedState, report: RecoveryReport
     ) -> tuple[float, int]:
-        """One op with transient retries; returns (seconds, bytes_moved)."""
+        """One op with transient retries; returns (seconds, bytes_moved).
+
+        Each attempt is one span: a successful attempt keeps the op's
+        kind/label; a transient failure mutates into a ``fault`` span; a
+        fatally aborted attempt becomes ``aborted`` (dropped from the
+        op-event view — the run-level ``fatal:`` event records it).
+        """
+        tracer = self.telemetry.tracer
+        metrics = self.telemetry.metrics
+        kind, label = _classify(op)
         for attempt in range(self.policy.max_retries + 1):
-            run_stats, state.stats = state.stats, CommStats()
+            run_stats = state.stats
+            # Fresh per-attempt counters, streaming into the same registry
+            # the run counters are bound to (so comm.* metrics stay equal
+            # to the cumulative stats).
+            state.stats = CommStats().bind_metrics(run_stats.metrics)
             start = time.perf_counter()
-            try:
-                if self.injector is not None:
-                    with self.injector.exchange_guard(index, state):
+            with tracer.span(label, kind=kind, op_index=index) as span:
+                try:
+                    if self.injector is not None:
+                        with self.injector.exchange_guard(index, state):
+                            op.execute(state)
+                    else:
                         op.execute(state)
+                except BaseException as exc:
+                    # Always restore the run counters — a fatal fault
+                    # escaping here must leave ``state.stats`` cumulative
+                    # so the restart path can compute
+                    # bytes-since-checkpoint.
+                    attempt_stats, state.stats = state.stats, run_stats
+                    run_stats.merge(attempt_stats)
+                    if not isinstance(exc, TransientCommError):
+                        span.kind = "aborted"
+                        raise
+                    # Nothing moved (transients strike before the
+                    # transfer), but any staging work the op performed
+                    # stays counted exactly once: the swap path is
+                    # resumable, so the retry skips what is already done.
+                    report.redundant_bytes += attempt_stats.bytes_on_network
+                    report.transient_retries += 1
+                    metrics.counter("resilience.transient_retries").inc()
+                    span.name = f"transient at op {index} (attempt {attempt})"
+                    span.kind = "fault"
                 else:
-                    op.execute(state)
-            except BaseException as exc:
-                # Always restore the run counters — a fatal fault escaping
-                # here must leave ``state.stats`` cumulative so the restart
-                # path can compute bytes-since-checkpoint.
-                attempt_stats, state.stats = state.stats, run_stats
-                run_stats.merge(attempt_stats)
-                if not isinstance(exc, TransientCommError):
-                    raise
-                # Nothing moved (transients strike before the transfer),
-                # but any staging work the op performed stays counted
-                # exactly once: the swap path is resumable, so the retry
-                # skips what is already done.
-                report.redundant_bytes += attempt_stats.bytes_on_network
-                report.transient_retries += 1
-                trace.events.append(
-                    TraceEvent(
-                        index=len(trace.events),
-                        kind="fault",
-                        label=f"transient at op {index} (attempt {attempt})",
-                        seconds=time.perf_counter() - start,
-                        op_index=index,
-                    )
+                    seconds = time.perf_counter() - start
+                    attempt_stats, state.stats = state.stats, run_stats
+                    run_stats.merge(attempt_stats)
+                    if kind == "swap":
+                        span.attrs["bytes"] = attempt_stats.bytes_on_network
+                    return seconds, attempt_stats.bytes_on_network
+            if attempt >= self.policy.max_retries:
+                raise RetryBudgetExceededError(
+                    f"op {index}: {self.policy.max_retries} retries exhausted"
                 )
-                if attempt >= self.policy.max_retries:
-                    raise RetryBudgetExceededError(
-                        f"op {index}: {self.policy.max_retries} retries "
-                        f"exhausted"
-                    ) from exc
-                delay = self.policy.backoff(attempt)
-                report.backoff_seconds += delay
-                self._sleep(delay)
-            else:
-                seconds = time.perf_counter() - start
-                attempt_stats, state.stats = state.stats, run_stats
-                run_stats.merge(attempt_stats)
-                return seconds, attempt_stats.bytes_on_network
+            delay = self.policy.backoff(attempt)
+            report.backoff_seconds += delay
+            self._sleep(delay)
         raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------
@@ -267,99 +304,94 @@ class ResilientExecutor:
         """Execute to completion; raises a typed error past the budget."""
         ops = list(self.schedule.operations())
         report = RecoveryReport()
-        trace = ExecutionTrace()
         policy = self.policy
+        tracer = self.telemetry.tracer
+        metrics = self.telemetry.metrics
+        span_base = len(tracer.spans)
         restarts = 0
         wall_start = time.perf_counter()
         productive_seconds = 0.0  # op time whose results survived
+        if self.sanitizer is not None:
+            self.sanitizer.use_metrics(metrics)
 
-        while True:
-            if self.manager.has_checkpoint():
-                state, start_index = self.manager.load()
-            else:
-                state = CheckpointManager.initial_state_for(self.schedule)
-                start_index = 0
-            table = (
-                state.shard_checksums() if self.verify != "never" else []
-            )
-            if self.sanitizer is not None:
-                self.sanitizer.reset()
-                self.sanitizer.attach(state)
-            bytes_at_ckpt = state.stats.bytes_on_network
-            seconds_since_ckpt = 0.0
-            try:
-                for index in range(start_index, len(ops)):
-                    op = ops[index]
-                    if self.injector is not None:
-                        stall = self.injector.on_op_start(index, state)
-                        if stall:
-                            report.stall_seconds += stall
-                            self._sleep(stall)
-                    if self.verify == "every" or (
-                        self.verify == "swap" and isinstance(op, SwapOp)
-                    ):
-                        self._verify_integrity(state, table, report)
-                    if self.sanitizer is not None:
-                        self.sanitizer.before_op(state, index)
-                    seconds, moved = self._attempt_op(
-                        op, index, state, report, trace
-                    )
-                    if self.sanitizer is not None:
-                        self.sanitizer.after_op(state, index)
-                    productive_seconds += seconds
-                    seconds_since_ckpt += seconds
-                    kind, label = _classify(op)
-                    trace.events.append(
-                        TraceEvent(
-                            index=len(trace.events),
-                            kind=kind,
-                            label=label,
-                            seconds=seconds,
-                            bytes_moved=moved if kind == "swap" else None,
-                            op_index=index,
+        with tracer.span(
+            "resilient_run", kind="run", ops=len(ops)
+        ) as run_span:
+            while True:
+                if self.manager.has_checkpoint():
+                    state, start_index = self.manager.load()
+                else:
+                    state = CheckpointManager.initial_state_for(self.schedule)
+                    start_index = 0
+                state.use_telemetry(self.telemetry)
+                table = (
+                    state.shard_checksums() if self.verify != "never" else []
+                )
+                if self.sanitizer is not None:
+                    self.sanitizer.reset()
+                    self.sanitizer.attach(state)
+                bytes_at_ckpt = state.stats.bytes_on_network
+                seconds_since_ckpt = 0.0
+                try:
+                    for index in range(start_index, len(ops)):
+                        op = ops[index]
+                        if self.injector is not None:
+                            stall = self.injector.on_op_start(index, state)
+                            if stall:
+                                report.stall_seconds += stall
+                                self._sleep(stall)
+                        if self.verify == "every" or (
+                            self.verify == "swap" and isinstance(op, SwapOp)
+                        ):
+                            self._verify_integrity(state, table, report)
+                        if self.sanitizer is not None:
+                            self.sanitizer.before_op(state, index)
+                        seconds, moved = self._attempt_op(
+                            op, index, state, report
                         )
-                    )
+                        if self.sanitizer is not None:
+                            self.sanitizer.after_op(state, index)
+                        productive_seconds += seconds
+                        seconds_since_ckpt += seconds
+                        if self.verify != "never":
+                            table = state.shard_checksums()
+                        if (
+                            self.checkpoint_every
+                            and (index + 1) % self.checkpoint_every == 0
+                            and index + 1 < len(ops)
+                        ):
+                            self._checkpoint(state, index + 1, report)
+                            bytes_at_ckpt = state.stats.bytes_on_network
+                            seconds_since_ckpt = 0.0
                     if self.verify != "never":
-                        table = state.shard_checksums()
-                    if (
-                        self.checkpoint_every
-                        and (index + 1) % self.checkpoint_every == 0
-                        and index + 1 < len(ops)
-                    ):
-                        self._checkpoint(state, index + 1, report)
-                        bytes_at_ckpt = state.stats.bytes_on_network
-                        seconds_since_ckpt = 0.0
-                if self.verify != "never":
-                    self._verify_integrity(state, table, report)
-                self._checkpoint(state, len(ops), report)
-                break
-            except FATAL_FAULTS as exc:
-                # Bytes moved since the last checkpoint will be re-moved
-                # by the replay: pure recovery overhead.
-                report.redundant_bytes += (
-                    state.stats.bytes_on_network - bytes_at_ckpt
-                )
-                # Un-checkpointed op time will be re-spent by the replay.
-                productive_seconds -= seconds_since_ckpt
-                trace.events.append(
-                    TraceEvent(
-                        index=len(trace.events),
-                        kind="fault",
-                        label=f"fatal: {type(exc).__name__}: {exc}",
-                        seconds=0.0,
+                        self._verify_integrity(state, table, report)
+                    self._checkpoint(state, len(ops), report)
+                    break
+                except FATAL_FAULTS as exc:
+                    # Bytes moved since the last checkpoint will be
+                    # re-moved by the replay: pure recovery overhead.
+                    report.redundant_bytes += (
+                        state.stats.bytes_on_network - bytes_at_ckpt
                     )
-                )
-                restarts += 1
-                if restarts > policy.max_restarts:
-                    raise RestartBudgetExceededError(
-                        f"{restarts} restarts exceed budget of "
-                        f"{policy.max_restarts} (last fault: {exc})"
-                    ) from exc
-                report.restarts += 1
+                    # Un-checkpointed op time is re-spent by the replay.
+                    productive_seconds -= seconds_since_ckpt
+                    tracer.event(
+                        f"fatal: {type(exc).__name__}: {exc}", kind="fault"
+                    )
+                    restarts += 1
+                    if restarts > policy.max_restarts:
+                        run_span.attrs["outcome"] = "budget_exhausted"
+                        raise RestartBudgetExceededError(
+                            f"{restarts} restarts exceed budget of "
+                            f"{policy.max_restarts} (last fault: {exc})"
+                        ) from exc
+                    report.restarts += 1
+                    metrics.counter("resilience.restarts").inc()
 
         if self.injector is not None:
             report.faults_injected = list(self.injector.log)
         report.wall_overhead_seconds = max(
             0.0, (time.perf_counter() - wall_start) - productive_seconds
         )
+        trace = ExecutionTrace.from_spans(tracer.spans[span_base:])
         return ResilientRunResult(state=state, trace=trace, report=report)

@@ -15,6 +15,7 @@ from repro.gates.gate import Gate
 from repro.scheduling.clustering import cluster_stage_gates
 from repro.scheduling.program import ClusterOp, Schedule, Stage
 from repro.scheduling.stages import find_stages
+from repro.telemetry.runtime import NULL_TELEMETRY, Telemetry
 
 __all__ = ["SchedulerConfig", "schedule_circuit"]
 
@@ -251,12 +252,19 @@ def _count_clusters(ops) -> int:
     return sum(1 for op in ops if isinstance(op, ClusterOp))
 
 
-def schedule_circuit(circuit: Circuit, config: SchedulerConfig) -> Schedule:
+def schedule_circuit(
+    circuit: Circuit,
+    config: SchedulerConfig,
+    *,
+    telemetry: Telemetry | None = None,
+) -> Schedule:
     """Run the full pipeline and return an executable :class:`Schedule`.
 
     The returned schedule references the (possibly Hadamard-stripped)
     circuit it covers; ``Schedule.initial_state`` says how the state must
-    be initialised (``"plus"`` when the H layer was absorbed).
+    be initialised (``"plus"`` when the H layer was absorbed).  An active
+    *telemetry* bundle records one ``schedule``-kind span per pipeline
+    phase plus summary gauges (stages, swaps, clusters).
     """
     if config.local_qubits > circuit.num_qubits:
         raise ValueError(
@@ -265,44 +273,62 @@ def schedule_circuit(circuit: Circuit, config: SchedulerConfig) -> Schedule:
             f"hold more qubits than exist (pass local_qubits<="
             f"{circuit.num_qubits})"
         )
-    work = circuit
-    initial_state = "zero"
-    if config.skip_initial_hadamards:
-        work, initial_state = _strip_initial_hadamards(circuit)
-    if config.drop_final_diagonals:
-        from repro.circuit.transforms import drop_final_diagonal_gates
-
-        work = drop_final_diagonal_gates(work)
-
-    plan = find_stages(
-        work,
-        config.local_qubits,
-        specialize=config.specialize_global_diagonal,
-        worst_case_dense=config.worst_case_dense,
-        seed=config.seed,
-        restarts=config.stage_restarts,
-        neighbor_samples=config.neighbor_samples,
-    )
-    stage_data = [
-        (global_set, [work.gates[i] for i in gate_ids])
-        for global_set, gate_ids in plan.stages
-    ]
-    clustered = _adjust_swap_points(stage_data, config.kmax, config)
-
-    if config.absorb_diagonals:
-        from repro.scheduling.absorption import absorb_diagonals
-
-        clustered = [
-            (gs, gates, absorb_diagonals(ops, gs)) for gs, gates, ops in clustered
-        ]
-
-    stages = [Stage(global_qubits=gs, ops=ops) for gs, _, ops in clustered]
-    schedule = Schedule(
-        circuit=work,
-        local_qubits=config.local_qubits,
-        stages=stages,
-        initial_state=initial_state,
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    tracer = tel.tracer
+    with tracer.span(
+        "schedule_circuit",
+        kind="schedule",
+        qubits=circuit.num_qubits,
+        gates=len(circuit),
         kmax=config.kmax,
-    )
-    schedule.validate()
+    ):
+        work = circuit
+        initial_state = "zero"
+        if config.skip_initial_hadamards:
+            work, initial_state = _strip_initial_hadamards(circuit)
+        if config.drop_final_diagonals:
+            from repro.circuit.transforms import drop_final_diagonal_gates
+
+            work = drop_final_diagonal_gates(work)
+
+        with tracer.span("find_stages", kind="schedule"):
+            plan = find_stages(
+                work,
+                config.local_qubits,
+                specialize=config.specialize_global_diagonal,
+                worst_case_dense=config.worst_case_dense,
+                seed=config.seed,
+                restarts=config.stage_restarts,
+                neighbor_samples=config.neighbor_samples,
+            )
+        stage_data = [
+            (global_set, [work.gates[i] for i in gate_ids])
+            for global_set, gate_ids in plan.stages
+        ]
+        with tracer.span("cluster_and_adjust", kind="schedule"):
+            clustered = _adjust_swap_points(stage_data, config.kmax, config)
+
+        if config.absorb_diagonals:
+            from repro.scheduling.absorption import absorb_diagonals
+
+            with tracer.span("absorb_diagonals", kind="schedule"):
+                clustered = [
+                    (gs, gates, absorb_diagonals(ops, gs))
+                    for gs, gates, ops in clustered
+                ]
+
+        stages = [Stage(global_qubits=gs, ops=ops) for gs, _, ops in clustered]
+        schedule = Schedule(
+            circuit=work,
+            local_qubits=config.local_qubits,
+            stages=stages,
+            initial_state=initial_state,
+            kmax=config.kmax,
+        )
+        with tracer.span("validate", kind="schedule"):
+            schedule.validate()
+    if tel.metrics.enabled:
+        tel.metrics.gauge("schedule.stages").set(len(schedule.stages))
+        tel.metrics.gauge("schedule.swaps").set(schedule.num_swaps)
+        tel.metrics.gauge("schedule.clusters").set(schedule.num_clusters)
     return schedule

@@ -100,13 +100,31 @@ class ShardSanitizer:
     state once (:meth:`attach`) before the first op.
     """
 
-    def __init__(self, config: SanitizerConfig | None = None) -> None:
+    def __init__(
+        self, config: SanitizerConfig | None = None, *, metrics=None
+    ) -> None:
         self.config = config or SanitizerConfig()
         self.report = SanitizerReport()
+        self.metrics = metrics
         self._checksums: list[int] | None = None
         self._initial_norm: float | None = None
         self._nonfinite_ranks: set[int] = set()
         self._norm_nonfinite = False
+
+    def use_metrics(self, registry) -> None:
+        """Stream future findings into *registry*'s ``sanitizer.findings``.
+
+        Each finding increments the counter labelled with its category
+        (``sanitizer.findings{category=nan}`` etc.); ``None`` detaches.
+        """
+        self.metrics = registry
+
+    def _add_finding(self, finding: Finding) -> None:
+        self.report.findings.append(finding)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "sanitizer.findings", category=finding.category
+            ).inc()
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
@@ -146,7 +164,7 @@ class ShardSanitizer:
                 if crc != self._checksums[r]
             ]
             for rank in bad:
-                self.report.findings.append(
+                self._add_finding(
                     Finding(
                         severity=_E,
                         category="checksum",
@@ -183,7 +201,7 @@ class ShardSanitizer:
                 if rank in self._nonfinite_ranks:
                     continue
                 self._nonfinite_ranks.add(rank)
-                self.report.findings.append(
+                self._add_finding(
                     Finding(
                         severity=_E,
                         category="nan",
@@ -206,7 +224,7 @@ class ShardSanitizer:
             if (not np.isfinite(norm) or drift > cfg.norm_tol) and (
                 not self._norm_nonfinite
             ):
-                self.report.findings.append(
+                self._add_finding(
                     Finding(
                         severity=_E,
                         category="norm",

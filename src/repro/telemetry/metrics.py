@@ -1,0 +1,189 @@
+"""Metrics registry: named counters, gauges and histograms.
+
+One :class:`MetricsRegistry` accompanies a run; instrumented components
+register instruments by name plus optional labels —
+``registry.counter("comm.bytes_on_network")``,
+``registry.histogram("kernel.apply.seconds", k=4)`` — and the registry
+de-duplicates, so every call site incrementing the same (name, labels)
+pair shares one instrument.  :meth:`MetricsRegistry.snapshot` flattens
+everything into a JSON-ready dict keyed ``name{label=value,...}``, the
+form the bench records and the CLI ``--metrics`` dump use.
+
+Like the tracer, a disabled registry hands out one shared no-op
+instrument, so metrics threaded through hot paths cost an attribute check
+when telemetry is off.
+
+Naming convention (see docs/architecture.md "Observability"):
+dot-separated ``subsystem.quantity[.unit]`` — ``comm.bytes_on_network``,
+``kernel.apply.seconds``, ``sanitizer.findings``, ``resilience.restarts``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add *amount* (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-written value (e.g. a schedule property)."""
+
+    value: float = 0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """JSON-ready summary dict."""
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument of a disabled registry."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+def _render_key(name: str, labels: dict) -> str:
+    """Canonical flat key: ``name`` or ``name{k=4,kind=swap}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create home for a run's instruments."""
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, cls, name: str, labels: dict):
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        key = _render_key(name, labels)
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls()
+            self._instruments[key] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {key!r} already registered as "
+                f"{type(inst).__name__}, requested {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str, **labels) -> Counter:
+        """Get or create the counter ``name{labels}``."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """Get or create the gauge ``name{labels}``."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        """Get or create the histogram ``name{labels}``."""
+        return self._get(Histogram, name, labels)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> dict:
+        """Flat JSON-ready dict of every instrument's current value."""
+        out: dict = {}
+        for key in sorted(self._instruments):
+            inst = self._instruments[key]
+            if isinstance(inst, Histogram):
+                out[key] = inst.summary()
+            else:
+                out[key] = inst.value
+        return out
+
+    def format(self) -> str:
+        """Human-readable one-line-per-metric dump."""
+        lines = []
+        for key, value in self.snapshot().items():
+            if isinstance(value, dict):
+                lines.append(
+                    f"{key}: count={value['count']} sum={value['sum']:.6g} "
+                    f"mean={value['mean']:.6g}"
+                )
+            else:
+                lines.append(f"{key}: {value}")
+        return "\n".join(lines)
+
+
+#: Shared disabled registry: the default everywhere metrics are threaded.
+NULL_METRICS = MetricsRegistry(enabled=False)

@@ -1,0 +1,229 @@
+"""Predicted-vs-actual performance reports.
+
+Joins a run's measured trace (op events with wall seconds and swap byte
+counts) against the :class:`~repro.perfmodel.timeline.TimelineModel`'s
+per-stage predictions.  Two different claims are checked:
+
+* **bytes** — the model's all-to-all byte formula and the simulated MPI
+  layer implement the same arithmetic, so predicted and measured comm
+  bytes must agree *exactly*; any mismatch is flagged as an error (it
+  means the comm plan and the execution diverged).
+* **seconds** — wall times on this host will differ from the modeled
+  machine (Cori II by default) by a roughly constant factor; the report
+  normalizes by the run-wide measured/predicted ratio and flags stages
+  whose *relative* deviation exceeds ``tolerance`` — those are stages
+  where the model's shape (not its scale) disagrees with reality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["StageComparison", "PerfReport", "perf_report"]
+
+
+def _human_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or unit == "TiB":
+            return f"{int(value)} B" if unit == "B" else f"{value:.1f} {unit}"
+        value /= 1024
+    return f"{value:.1f} TiB"  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class StageComparison:
+    """Predicted vs measured quantities for one stage."""
+
+    stage: int
+    clusters: int
+    predicted_kernel_seconds: float
+    measured_kernel_seconds: float
+    predicted_comm_seconds: float
+    measured_comm_seconds: float
+    predicted_comm_bytes: int
+    measured_comm_bytes: int
+
+    @property
+    def bytes_match(self) -> bool:
+        """True when the comm-byte join is exact."""
+        return self.predicted_comm_bytes == self.measured_comm_bytes
+
+    @property
+    def predicted_seconds(self) -> float:
+        """Predicted stage wall time."""
+        return self.predicted_kernel_seconds + self.predicted_comm_seconds
+
+    @property
+    def measured_seconds(self) -> float:
+        """Measured stage wall time."""
+        return self.measured_kernel_seconds + self.measured_comm_seconds
+
+
+@dataclass
+class PerfReport:
+    """The full predicted-vs-actual join of one run."""
+
+    stages: list[StageComparison]
+    predicted_total_seconds: float
+    measured_total_seconds: float
+    predicted_comm_bytes: int
+    measured_comm_bytes: int
+    tolerance: float
+    flags: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when no deviation was flagged."""
+        return not self.flags
+
+    @property
+    def scale(self) -> float:
+        """Run-wide measured/predicted time ratio (host vs modeled machine)."""
+        if self.predicted_total_seconds <= 0:
+            return 0.0
+        return self.measured_total_seconds / self.predicted_total_seconds
+
+    def format(self) -> str:
+        """Human-readable per-stage table plus flags."""
+        lines = [
+            "predicted vs actual",
+            "===================",
+            f"modeled total : {self.predicted_total_seconds:.4f} s "
+            f"({_human_bytes(self.predicted_comm_bytes)} on the network)",
+            f"measured total: {self.measured_total_seconds:.4f} s "
+            f"({_human_bytes(self.measured_comm_bytes)} on the network)",
+            f"host/model time scale: {self.scale:.3g}x "
+            f"(relative tolerance {self.tolerance:g}x)",
+            "",
+            f"{'stage':>5} {'clusters':>8} {'pred kern s':>11} "
+            f"{'meas kern s':>11} {'pred comm s':>11} {'meas comm s':>11} "
+            f"{'comm bytes':>12} {'join':>5}",
+        ]
+        for s in self.stages:
+            lines.append(
+                f"{s.stage:>5} {s.clusters:>8} "
+                f"{s.predicted_kernel_seconds:>11.4f} "
+                f"{s.measured_kernel_seconds:>11.4f} "
+                f"{s.predicted_comm_seconds:>11.4f} "
+                f"{s.measured_comm_seconds:>11.4f} "
+                f"{s.measured_comm_bytes:>12} "
+                f"{'ok' if s.bytes_match else 'FAIL':>5}"
+            )
+        lines.append("")
+        if self.flags:
+            lines.append("deviations:")
+            lines.extend(f"  - {flag}" for flag in self.flags)
+        else:
+            lines.append("no deviations beyond tolerance")
+        return "\n".join(lines)
+
+
+def perf_report(
+    schedule,
+    trace,
+    stats,
+    *,
+    model=None,
+    tolerance: float = 4.0,
+) -> PerfReport:
+    """Join a measured run against the timeline model's predictions.
+
+    Parameters
+    ----------
+    schedule:
+        The executed :class:`~repro.scheduling.Schedule`.
+    trace:
+        The run's :class:`~repro.distributed.tracing.ExecutionTrace`
+        (op events carrying seconds / bytes / op indices).
+    stats:
+        The run's :class:`~repro.distributed.comm.CommStats`; the trace's
+        swap byte totals are cross-checked against it exactly.
+    model:
+        A :class:`~repro.perfmodel.timeline.TimelineModel`; defaults to
+        the calibrated Cori II / Aries pair the paper evaluates on.
+    tolerance:
+        Allowed per-stage *relative* deviation (after normalizing out the
+        run-wide host/model scale) before a stage is flagged.
+    """
+    # Imported lazily: perfmodel imports scheduling, which may itself be
+    # mid-import when telemetry is loaded from low-level modules.
+    from repro.perfmodel.machine import CORI_KNL_NODE
+    from repro.perfmodel.network import ARIES_DRAGONFLY
+    from repro.perfmodel.timeline import TimelineModel
+    from repro.scheduling.program import SwapOp
+
+    if model is None:
+        model = TimelineModel(CORI_KNL_NODE, ARIES_DRAGONFLY)
+    predictions = model.predict_stages(schedule)
+
+    # Map op_index -> stage (a SwapOp belongs to the stage it enters).
+    stage_of_op: dict[int, int] = {}
+    stage = 0
+    for index, op in enumerate(schedule.operations()):
+        if isinstance(op, SwapOp):
+            stage += 1
+        stage_of_op[index] = stage
+
+    measured_kernel = [0.0] * len(predictions)
+    measured_comm = [0.0] * len(predictions)
+    measured_bytes = [0] * len(predictions)
+    for event in trace.events:
+        if event.op_index is None or event.op_index not in stage_of_op:
+            continue
+        s = stage_of_op[event.op_index]
+        if event.kind == "swap":
+            measured_comm[s] += event.seconds
+            measured_bytes[s] += event.bytes_moved or 0
+        elif event.kind != "fault":
+            measured_kernel[s] += event.seconds
+
+    stages = [
+        StageComparison(
+            stage=p.stage,
+            clusters=p.clusters,
+            predicted_kernel_seconds=p.kernel_seconds,
+            measured_kernel_seconds=measured_kernel[p.stage],
+            predicted_comm_seconds=p.comm_seconds,
+            measured_comm_seconds=measured_comm[p.stage],
+            predicted_comm_bytes=p.comm_bytes,
+            measured_comm_bytes=measured_bytes[p.stage],
+        )
+        for p in predictions
+    ]
+
+    predicted_total = sum(s.predicted_seconds for s in stages)
+    measured_total = sum(s.measured_seconds for s in stages)
+    predicted_bytes = sum(s.predicted_comm_bytes for s in stages)
+    total_bytes = sum(s.measured_comm_bytes for s in stages)
+
+    flags: list[str] = []
+    if total_bytes != stats.bytes_on_network:
+        flags.append(
+            f"trace swap bytes ({total_bytes}) != CommStats "
+            f"bytes_on_network ({stats.bytes_on_network})"
+        )
+    scale = measured_total / predicted_total if predicted_total > 0 else 0.0
+    for s in stages:
+        if not s.bytes_match:
+            flags.append(
+                f"stage {s.stage}: comm bytes {s.measured_comm_bytes} != "
+                f"predicted {s.predicted_comm_bytes}"
+            )
+        if scale > 0 and s.predicted_seconds > 0 and s.measured_seconds > 0:
+            relative = (s.measured_seconds / s.predicted_seconds) / scale
+            if relative > tolerance or relative < 1.0 / tolerance:
+                flags.append(
+                    f"stage {s.stage}: wall time deviates {relative:.2f}x "
+                    f"from the model's shape (tolerance {tolerance:g}x)"
+                )
+
+    return PerfReport(
+        stages=stages,
+        predicted_total_seconds=predicted_total,
+        measured_total_seconds=measured_total,
+        predicted_comm_bytes=predicted_bytes,
+        measured_comm_bytes=total_bytes,
+        tolerance=tolerance,
+        flags=flags,
+    )

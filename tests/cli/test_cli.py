@@ -184,3 +184,97 @@ class TestProject:
 
     def test_rejects_non_power_nodes(self, capsys):
         assert main(["project", "--qubits", "36", "--nodes", "63"]) == 2
+
+
+class TestTrace:
+    def test_writes_valid_chrome_trace_and_report(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace", str(out_path), "--qubits", "12",
+                "--local-qubits", "10", "--depth", "10",
+                "--tolerance", "1e9",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rank lanes" in out
+        assert "predicted vs actual" in out
+        assert "no deviations beyond tolerance" in out
+        data = json.loads(out_path.read_text())
+        lanes = {
+            e["args"]["name"]
+            for e in data["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        # driver + one lane per virtual rank
+        assert lanes == {"driver"} | {f"rank {r}" for r in range(4)}
+        assert any(e["ph"] == "X" for e in data["traceEvents"])
+
+    def test_jsonl_and_flamegraph(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        jsonl_path = tmp_path / "spans.jsonl"
+        code = main(
+            [
+                "trace", str(out_path), "--qubits", "10",
+                "--local-qubits", "8", "--depth", "8",
+                "--jsonl", str(jsonl_path), "--flamegraph",
+            ]
+        )
+        assert code == 0
+        assert "span tree" in capsys.readouterr().out
+        lines = jsonl_path.read_text().splitlines()
+        assert lines and all(json.loads(line)["name"] for line in lines)
+
+    def test_rejects_local_exceeding_total(self, capsys):
+        code = main(
+            ["trace", "out.json", "--qubits", "8", "--local-qubits", "10"]
+        )
+        assert code == 2
+        assert "exceeds" in capsys.readouterr().err
+
+
+class TestSimulateTelemetry:
+    def test_trace_flag_writes_spans(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "sim_trace.json"
+        code = main(
+            [
+                "simulate", "--qubits", "10", "--local-qubits", "8",
+                "--depth", "8", "--trace", str(out_path),
+            ]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        assert json.loads(out_path.read_text())["traceEvents"]
+
+    def test_metrics_flag_prints_registry(self, capsys):
+        code = main(
+            [
+                "simulate", "--qubits", "10", "--local-qubits", "8",
+                "--depth", "8", "--metrics",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "comm.bytes_on_network" in out
+        assert "kernel.apply.seconds" in out
+
+    def test_requires_distributed_run(self, capsys):
+        assert main(["simulate", "--qubits", "10", "--metrics"]) == 2
+        assert "--local-qubits" in capsys.readouterr().err
+
+    def test_incompatible_with_sanitize(self, capsys):
+        code = main(
+            [
+                "simulate", "--qubits", "10", "--local-qubits", "8",
+                "--metrics", "--sanitize",
+            ]
+        )
+        assert code == 2
+        assert "repro trace" in capsys.readouterr().err

@@ -71,5 +71,50 @@ class TestCommStats:
     def test_events_log(self):
         s = CommStats()
         s.record_alltoall(num_groups=2, group_size=2, shard_bytes=32)
-        assert s.events[0]["kind"] == "alltoall"
-        assert s.events[0]["bytes"] == s.bytes_on_network
+        event = s.events[0]
+        assert event.kind == "alltoall"
+        assert event.bytes == s.bytes_on_network
+        assert event.num_groups == 2 and event.group_size == 2
+
+
+class TestCommEvent:
+    def test_dict_access_shim_warns(self):
+        s = CommStats()
+        s.record_alltoall(num_groups=2, group_size=2, shard_bytes=32)
+        with pytest.warns(DeprecationWarning):
+            assert s.events[0]["kind"] == "alltoall"
+        with pytest.warns(DeprecationWarning):
+            assert s.events[0].get("bytes") == s.bytes_on_network
+        with pytest.warns(DeprecationWarning):
+            assert s.events[0].get("missing", 42) == 42
+
+    def test_to_dict(self):
+        s = CommStats()
+        s.record_rank_renumbering()
+        d = s.events[0].to_dict()
+        assert d["kind"] == "renumber"
+        assert isinstance(d, dict)
+
+    def test_bind_metrics_streams_counters(self):
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        s = CommStats().bind_metrics(registry)
+        s.record_alltoall(num_groups=1, group_size=4, shard_bytes=1024)
+        s.record_local_swap()
+        snap = registry.snapshot()
+        assert snap["comm.bytes_on_network"] == s.bytes_on_network
+        assert snap["comm.alltoall_steps"] == 1
+        assert snap["comm.local_swap_kernels"] == 1
+
+    def test_merge_does_not_restream_metrics(self):
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        total = CommStats().bind_metrics(registry)
+        attempt = CommStats().bind_metrics(registry)
+        attempt.record_alltoall(num_groups=1, group_size=2, shard_bytes=64)
+        total.merge(attempt)
+        assert registry.snapshot()["comm.bytes_on_network"] == (
+            total.bytes_on_network
+        )

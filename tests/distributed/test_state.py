@@ -138,7 +138,7 @@ class TestSwaps:
         d.swap_global_set({0, 5, 6})
         assert d.global_qubit_set() == {0, 5, 6}
         assert d.to_statevector().allclose(sv, atol=1e-12)
-        assert d.stats.events[-1]["group_size"] == 2
+        assert d.stats.events[-1].group_size == 2
 
     def test_swap_all_global_to_local(self):
         d, sv = dist_from_random(n=8, l=5)

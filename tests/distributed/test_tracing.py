@@ -80,6 +80,42 @@ class TestTracing:
         assert "total" in text
         assert text.count("\n") >= len(trace.events)
 
+    def test_trace_is_frozen_with_cached_aggregates(self, traced_run):
+        _, _, _, trace = traced_run
+        assert trace.frozen
+        assert trace._cache["total_seconds"] == trace.total_seconds
+        assert trace._cache["bytes_moved"] == trace.bytes_moved
+        with pytest.raises(RuntimeError):
+            trace.add(trace.events[0])
+
+    def test_trace_carries_source_spans(self, traced_run):
+        _, sched, _, trace = traced_run
+        # the run-root span plus one span per op, at minimum
+        assert len(trace.spans) > len(list(sched.operations()))
+        op_spans = [
+            s for s in trace.spans
+            if s.kind in {"cluster", "specialized", "swap", "absorbed"}
+        ]
+        assert len(op_spans) == len(trace.events)
+
+    def test_from_spans_filters_internal_kinds(self):
+        from repro.distributed.tracing import ExecutionTrace
+        from repro.telemetry import Tracer
+
+        tracer = Tracer(clock=lambda: 0.0)
+        with tracer.span("execute_schedule", kind="run"):
+            with tracer.span("k=2 (3 gates)", kind="cluster", op_index=0):
+                with tracer.span("kernel.apply", kind="kernel"):
+                    pass
+            with tracer.span("swap", kind="swap", op_index=1, bytes=512):
+                with tracer.span("comm.alltoall", kind="comm"):
+                    pass
+        trace = ExecutionTrace.from_spans(tracer.spans)
+        assert [e.kind for e in trace.events] == ["cluster", "swap"]
+        assert trace.events[1].bytes_moved == 512
+        assert [e.op_index for e in trace.events] == [0, 1]
+        assert trace.frozen
+
     def test_absorbed_ops_classified(self):
         n, l = 10, 7
         circ = generate_supremacy_circuit(n, 10, seed=5)

@@ -74,6 +74,6 @@ class TestCrossBackend:
         assert run.comm.alltoall_steps == schedule.num_swaps
         expected_bytes = 0
         for event in run.comm.events:
-            if event["kind"] == "alltoall":
-                expected_bytes += event["bytes"]
+            if event.kind == "alltoall":
+                expected_bytes += event.bytes
         assert run.comm.bytes_on_network == expected_bytes

@@ -1,0 +1,91 @@
+"""MetricsRegistry unit tests: instruments, labels, snapshots."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import NULL_METRICS, MetricsRegistry
+from repro.telemetry.metrics import _render_key
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("comm.bytes_on_network").inc(100)
+        reg.counter("comm.bytes_on_network").inc(28)
+        assert reg.counter("comm.bytes_on_network").value == 128
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_keeps_last_value(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("schedule.stages")
+        g.set(3)
+        g.set(7)
+        assert g.value == 7
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("kernel.apply.seconds", k=4)
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3 and h.mean == 2.0
+        assert h.summary() == {
+            "count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0,
+        }
+
+    def test_empty_histogram_summary(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.summary()["count"] == 0 and h.mean == 0.0
+
+
+class TestRegistry:
+    def test_labels_create_distinct_instruments(self):
+        reg = MetricsRegistry()
+        reg.histogram("kernel.apply.seconds", k=2).observe(1.0)
+        reg.histogram("kernel.apply.seconds", k=4).observe(2.0)
+        assert len(reg) == 2
+        assert reg.histogram("kernel.apply.seconds", k=2).count == 1
+
+    def test_label_key_rendering_is_sorted(self):
+        assert _render_key("m", {}) == "m"
+        assert _render_key("m", {"b": 2, "a": 1}) == "m{a=1,b=2}"
+
+    def test_type_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_is_json_ready(self):
+        reg = MetricsRegistry()
+        reg.counter("comm.alltoall_steps").inc(3)
+        reg.gauge("schedule.swaps").set(5)
+        reg.histogram("op.seconds", kind="swap").observe(0.25)
+        snap = reg.snapshot()
+        assert snap["comm.alltoall_steps"] == 3
+        assert snap["op.seconds{kind=swap}"]["count"] == 1
+        json.dumps(snap)  # must serialize
+        assert list(snap) == sorted(snap)
+
+    def test_format_lists_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.histogram("b").observe(2.0)
+        text = reg.format()
+        assert "a: 1" in text
+        assert "b: count=1 sum=2 mean=2" in text
+
+    def test_disabled_registry_is_inert(self):
+        assert NULL_METRICS.enabled is False
+        c = NULL_METRICS.counter("anything")
+        c.inc(10**9)
+        NULL_METRICS.gauge("g").set(5)
+        NULL_METRICS.histogram("h").observe(1.0)
+        assert c.value == 0
+        assert NULL_METRICS.snapshot() == {}
+        assert len(NULL_METRICS) == 0

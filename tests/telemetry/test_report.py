@@ -1,0 +1,111 @@
+"""Predicted-vs-actual report tests against a real traced run.
+
+The acceptance criterion: the report's comm-byte join between the trace,
+the CommStats counters and the timeline model's predictions is *exact* —
+the modeled all-to-all arithmetic and the simulated MPI layer implement
+the same formula.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import generate_supremacy_circuit
+from repro.distributed import DistributedSimulator
+from repro.scheduling import SchedulerConfig, schedule_circuit
+from repro.telemetry import StageComparison, Telemetry, perf_report, verify_nesting
+
+_N, _DEPTH, _L = 12, 16, 10
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    circ = generate_supremacy_circuit(_N, _DEPTH, seed=0)
+    sched = schedule_circuit(
+        circ, SchedulerConfig(local_qubits=_L, kmax=4, seed=1)
+    )
+    assert sched.num_swaps >= 1
+    sim = DistributedSimulator(_N, _L, telemetry=Telemetry.enabled())
+    result = sim.run_schedule(sched)
+    return sched, result, sim.telemetry
+
+
+class TestByteJoin:
+    def test_trace_bytes_match_comm_stats_exactly(self, traced_run):
+        sched, result, _ = traced_run
+        report = perf_report(sched, result.trace, result.comm)
+        assert report.measured_comm_bytes == result.comm.bytes_on_network
+        assert all(s.bytes_match for s in report.stages)
+        assert not any("bytes" in f for f in report.flags)
+
+    def test_metrics_counter_matches_comm_stats(self, traced_run):
+        _, result, telemetry = traced_run
+        snap = telemetry.metrics.snapshot()
+        assert snap["comm.bytes_on_network"] == result.comm.bytes_on_network
+        assert snap["comm.alltoall_steps"] == result.comm.alltoall_steps
+
+    def test_predicted_bytes_match_measured(self, traced_run):
+        """The model's byte formula is the comm layer's byte formula."""
+        sched, result, _ = traced_run
+        report = perf_report(sched, result.trace, result.comm)
+        assert report.predicted_comm_bytes == report.measured_comm_bytes
+
+    def test_byte_mismatch_is_flagged(self, traced_run):
+        sched, result, _ = traced_run
+
+        class WrongStats:
+            bytes_on_network = result.comm.bytes_on_network + 1
+
+        report = perf_report(sched, result.trace, WrongStats())
+        assert not report.passed
+        assert any("CommStats" in f for f in report.flags)
+
+
+class TestReportShape:
+    def test_one_comparison_per_stage(self, traced_run):
+        sched, result, _ = traced_run
+        report = perf_report(sched, result.trace, result.comm)
+        assert len(report.stages) == len(sched.stages)
+        assert [s.stage for s in report.stages] == list(
+            range(len(sched.stages))
+        )
+
+    def test_format_renders_every_stage(self, traced_run):
+        sched, result, _ = traced_run
+        report = perf_report(sched, result.trace, result.comm)
+        text = report.format()
+        assert "predicted vs actual" in text
+        assert text.count("\n") >= len(report.stages) + 5
+        assert f"{report.scale:.3g}x" in text
+
+    def test_huge_tolerance_passes_time_shape(self, traced_run):
+        """With an infinite tolerance only byte mismatches could flag."""
+        sched, result, _ = traced_run
+        report = perf_report(
+            sched, result.trace, result.comm, tolerance=float("inf")
+        )
+        assert report.passed, report.flags
+
+    def test_stage_comparison_properties(self):
+        s = StageComparison(
+            stage=0, clusters=2,
+            predicted_kernel_seconds=1.0, measured_kernel_seconds=2.0,
+            predicted_comm_seconds=0.5, measured_comm_seconds=0.25,
+            predicted_comm_bytes=64, measured_comm_bytes=64,
+        )
+        assert s.bytes_match
+        assert s.predicted_seconds == 1.5 and s.measured_seconds == 2.25
+
+
+class TestTraceIntegrity:
+    def test_span_tree_is_well_formed(self, traced_run):
+        _, result, telemetry = traced_run
+        assert verify_nesting(telemetry.tracer.spans, tolerance=1e-9) == []
+        assert result.trace.spans
+
+    def test_trace_signature_stable_for_same_schedule(self, traced_run):
+        sched, result, _ = traced_run
+        again = DistributedSimulator(
+            _N, _L, telemetry=Telemetry.enabled()
+        ).run_schedule(sched)
+        assert again.trace.signature() == result.trace.signature()

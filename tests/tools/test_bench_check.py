@@ -1,0 +1,106 @@
+"""Smoke tests for tools/bench_check.py (BENCH_*.json validation)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parents[2] / "tools" / "bench_check.py"
+_spec = importlib.util.spec_from_file_location("bench_check", _TOOL)
+bench_check = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_check)
+
+
+def _record(**overrides):
+    base = {
+        "schema": "repro.bench/1",
+        "name": "demo",
+        "params": {"qubits": 12},
+        "seconds": 1.5,
+        "bytes": 4096,
+        "metrics": {"swaps": 3},
+        "unix_time": 1700000000.0,
+    }
+    base.update(overrides)
+    return base
+
+
+@pytest.mark.smoke
+def test_valid_record_passes():
+    assert bench_check.validate_record(_record()) == []
+
+
+@pytest.mark.smoke
+@pytest.mark.parametrize(
+    "mutation, fragment",
+    [
+        ({"schema": "repro.bench/0"}, "schema"),
+        ({"seconds": "fast"}, "seconds"),
+        ({"seconds": -1.0}, "seconds"),
+        ({"seconds": float("nan")}, "finite"),
+        ({"bytes": 3.5}, "bytes"),
+        ({"params": ["qubits"]}, "params"),
+        ({"extra": True}, "unknown"),
+    ],
+)
+def test_invalid_record_rejected(mutation, fragment):
+    errors = bench_check.validate_record(_record(**mutation))
+    assert errors, f"mutation {mutation} should be rejected"
+    assert any(fragment in e for e in errors)
+
+
+@pytest.mark.smoke
+def test_missing_field_rejected():
+    record = _record()
+    del record["metrics"]
+    assert any("metrics" in e for e in bench_check.validate_record(record))
+
+
+@pytest.mark.smoke
+def test_non_dict_rejected():
+    assert bench_check.validate_record([1, 2, 3])
+
+
+@pytest.mark.smoke
+def test_diff_flags_regression_and_changes():
+    prev = _record()
+    cur = _record(seconds=2.5, bytes=8192, params={"qubits": 14})
+    notes = bench_check.diff_records(cur, prev)
+    assert any("regressed" in n for n in notes)
+    assert any("bytes changed" in n for n in notes)
+    assert any("params changed" in n for n in notes)
+    # Small jitter below the threshold is not flagged.
+    assert bench_check.diff_records(_record(seconds=1.6), prev) == []
+
+
+@pytest.mark.smoke
+def test_check_results_dir_warn_only(tmp_path, capsys):
+    """A performance regression warns but never errors (exit 0)."""
+    (tmp_path / "BENCH_demo.json").write_text(json.dumps(_record(seconds=9.0)))
+    (tmp_path / "BENCH_demo.json.prev").write_text(json.dumps(_record()))
+    errors, warnings = bench_check.check_results_dir(tmp_path)
+    assert errors == 0
+    assert warnings >= 1
+    assert "regressed" in capsys.readouterr().out
+    assert bench_check.main([str(tmp_path)]) == 0
+
+
+@pytest.mark.smoke
+def test_check_results_dir_schema_error(tmp_path):
+    (tmp_path / "BENCH_bad.json").write_text(json.dumps(_record(schema="x")))
+    errors, _ = bench_check.check_results_dir(tmp_path)
+    assert errors == 1
+    assert bench_check.main([str(tmp_path)]) == 1
+
+
+@pytest.mark.smoke
+def test_live_results_validate_if_present():
+    """Whatever records the benches last emitted must satisfy the schema."""
+    results = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+    if not results.is_dir() or not list(results.glob("BENCH_*.json")):
+        pytest.skip("no bench records emitted yet")
+    errors, _ = bench_check.check_results_dir(results)
+    assert errors == 0

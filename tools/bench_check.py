@@ -1,0 +1,176 @@
+"""Validate and diff machine-readable bench records.
+
+``benchmarks/conftest.py``'s ``bench_record`` fixture writes one
+``BENCH_<name>.json`` per bench into ``benchmarks/results/`` following
+the ``repro.bench/1`` schema::
+
+    {
+        "schema": "repro.bench/1",
+        "name": "end_to_end",
+        "params": {"qubits": 18, ...},
+        "seconds": 1.23,
+        "bytes": 45678,
+        "metrics": {"swaps": 5, ...},
+        "unix_time": 1700000000.0
+    }
+
+This tool checks every record against that schema and, when the
+previous generation is present (``BENCH_<name>.json.prev``, kept by the
+fixture), diffs the headline numbers.  Regressions are *warnings*, not
+errors: host timings in CI containers are noisy, so a slowdown note
+should prompt a look, not break the build.
+
+Usage::
+
+    python tools/bench_check.py [results_dir]
+
+Exit status is non-zero only for schema violations (malformed records),
+never for performance regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+#: Schema tag this checker understands (mirrors benchmarks/conftest.py).
+BENCH_SCHEMA = "repro.bench/1"
+
+#: Relative slowdown beyond which a warn-only regression note is emitted.
+REGRESSION_THRESHOLD = 0.25
+
+_REQUIRED_FIELDS = {
+    "schema": str,
+    "name": str,
+    "params": dict,
+    "seconds": (int, float),
+    "bytes": int,
+    "metrics": dict,
+    "unix_time": (int, float),
+}
+
+
+def validate_record(record: object) -> list[str]:
+    """Return a list of schema violations (empty when the record is valid)."""
+    errors: list[str] = []
+    if not isinstance(record, dict):
+        return [f"record is {type(record).__name__}, expected object"]
+    for field, types in _REQUIRED_FIELDS.items():
+        if field not in record:
+            errors.append(f"missing field {field!r}")
+        elif not isinstance(record[field], types):
+            errors.append(
+                f"field {field!r} is {type(record[field]).__name__}, "
+                f"expected {types.__name__ if isinstance(types, type) else 'number'}"
+            )
+    unknown = set(record) - set(_REQUIRED_FIELDS)
+    if unknown:
+        errors.append(f"unknown fields: {sorted(unknown)}")
+    if not errors:
+        if record["schema"] != BENCH_SCHEMA:
+            errors.append(
+                f"schema is {record['schema']!r}, expected {BENCH_SCHEMA!r}"
+            )
+        if isinstance(record["seconds"], bool) or record["seconds"] < 0:
+            errors.append(f"seconds must be a non-negative number, got "
+                          f"{record['seconds']!r}")
+        elif not math.isfinite(record["seconds"]):
+            errors.append(f"seconds must be finite, got {record['seconds']!r}")
+        if isinstance(record["bytes"], bool) or record["bytes"] < 0:
+            errors.append(f"bytes must be a non-negative int, got "
+                          f"{record['bytes']!r}")
+    return errors
+
+
+def diff_records(current: dict, previous: dict) -> list[str]:
+    """Warn-only comparison of a record against its previous generation.
+
+    Returns human-readable notes; an empty list means nothing worth
+    flagging.  Only headline fields are compared — metrics are free-form
+    and bench-specific.
+    """
+    notes: list[str] = []
+    prev_s, cur_s = previous.get("seconds"), current.get("seconds")
+    if (
+        isinstance(prev_s, (int, float))
+        and isinstance(cur_s, (int, float))
+        and prev_s > 0
+    ):
+        rel = (cur_s - prev_s) / prev_s
+        if rel > REGRESSION_THRESHOLD:
+            notes.append(
+                f"seconds regressed {prev_s:.4g} -> {cur_s:.4g} "
+                f"(+{100 * rel:.0f}%)"
+            )
+    if previous.get("bytes") != current.get("bytes"):
+        notes.append(
+            f"bytes changed {previous.get('bytes')} -> {current.get('bytes')}"
+        )
+    if previous.get("params") != current.get("params"):
+        notes.append(
+            f"params changed {previous.get('params')} -> "
+            f"{current.get('params')} (diff may not be like-for-like)"
+        )
+    return notes
+
+
+def check_results_dir(results_dir: Path) -> tuple[int, int]:
+    """Validate every ``BENCH_*.json`` under *results_dir*.
+
+    Prints findings and returns ``(num_errors, num_warnings)``.
+    """
+    errors = warnings = 0
+    records = sorted(results_dir.glob("BENCH_*.json"))
+    if not records:
+        print(f"bench_check: no BENCH_*.json records in {results_dir}")
+        return 0, 0
+    for path in records:
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"ERROR {path.name}: unreadable ({exc})")
+            errors += 1
+            continue
+        violations = validate_record(record)
+        for violation in violations:
+            print(f"ERROR {path.name}: {violation}")
+        errors += len(violations)
+        if violations:
+            continue
+        prev_path = path.with_suffix(".json.prev")
+        if prev_path.exists():
+            try:
+                previous = json.loads(prev_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                print(f"WARN  {path.name}: previous record unreadable, "
+                      f"skipping diff")
+                warnings += 1
+                continue
+            for note in diff_records(record, previous):
+                print(f"WARN  {path.name}: {note}")
+                warnings += 1
+        print(f"ok    {path.name}: {record['name']} "
+              f"({record['seconds']:.4g} s)")
+    return errors, warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    default = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+    results_dir = Path(argv[0]) if argv else default
+    if not results_dir.is_dir():
+        print(f"bench_check: results dir {results_dir} does not exist")
+        return 0
+    errors, warnings = check_results_dir(results_dir)
+    if errors:
+        print(f"bench_check: {errors} schema error(s), "
+              f"{warnings} warning(s)")
+        return 1
+    print(f"bench_check: all records valid ({warnings} warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
