@@ -56,17 +56,29 @@ def bench_high_order_stride_penalty(benchmark, state):
 def bench_autotuned_kernel(benchmark, state, report_writer, bench_record):
     tuner = AutoTuner(repeats=2)
     result = tuner.tune(_N, (2, 9))
+    diag_result = tuner.tune(_N, (2, 9), diagonal=True)
     rows = [f"autotune (n={_N}, qubits=(2,9)) winner: {result.strategy}"]
     for label, seconds in sorted(result.timings.items(), key=lambda kv: kv[1]):
+        rows.append(f"  {label:<24} {seconds * 1e3:8.3f} ms")
+    rows.append(f"diagonal-mode winner: {diag_result.strategy}")
+    for label, seconds in sorted(
+        diag_result.timings.items(), key=lambda kv: kv[1]
+    ):
         rows.append(f"  {label:<24} {seconds * 1e3:8.3f} ms")
     report_writer("kernels_autotune", rows)
     bench_record(
         "kernels_autotune",
         seconds=min(result.timings.values()),
         params={"qubits": _N, "gate_qubits": [2, 9]},
-        metrics={"winner": result.strategy, **{
-            label: seconds for label, seconds in result.timings.items()
-        }},
+        metrics={
+            "winner": result.strategy,
+            "diagonal_winner": diag_result.strategy,
+            **{label: seconds for label, seconds in result.timings.items()},
+            **{
+                f"diagonal/{label}": seconds
+                for label, seconds in diag_result.timings.items()
+            },
+        },
     )
     u = random_unitary(2, 0)
     kernel = tuner.best_kernel(_N, (2, 9))

@@ -1,0 +1,91 @@
+"""Plan compilation and gather-table cache benchmarks.
+
+Measures what the compiled-execution-plan layer buys on this host: how
+long ``compile_program`` takes on the headline 18-qubit depth-16
+schedule (compilation is a one-off cost amortised over every rank and
+rerun), and the gather-table cache hit rate while that plan executes on
+a cold cache — with ``2**(n-l)`` virtual ranks replaying the same flat
+kernel ops, all but the first rank's table builds must hit.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.circuit import generate_supremacy_circuit
+from repro.distributed import DistributedSimulator
+from repro.kernels import GATHER_CACHE
+from repro.plan import compile_program, plan_for
+from repro.scheduling import SchedulerConfig, schedule_circuit
+
+_N, _DEPTH, _L = 18, 16, 14
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return generate_supremacy_circuit(_N, _DEPTH, seed=0)
+
+
+@pytest.fixture(scope="module")
+def schedule(circuit):
+    return schedule_circuit(circuit, SchedulerConfig(local_qubits=_L, kmax=4, seed=1))
+
+
+def bench_plan_compile(benchmark, schedule, report_writer, bench_record):
+    # Time compilation itself (fresh CompiledProgram each round, no
+    # plan_for memoisation involved).
+    compile_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        plan = compile_program(schedule)
+        compile_seconds = min(compile_seconds, time.perf_counter() - start)
+
+    # Execute the plan from a cold gather-table cache and measure the
+    # hit rate: 16 virtual ranks share every table, so >=15/16 of
+    # lookups must hit even on the very first run.
+    GATHER_CACHE.clear()
+    sim = DistributedSimulator(_N, _L)
+    result = sim.run_schedule(schedule)
+    hits, misses = GATHER_CACHE.hits, GATHER_CACHE.misses
+    hit_rate = hits / max(hits + misses, 1)
+    assert result.state.norm() == pytest.approx(1.0)
+    assert hit_rate > 0.9, f"plan-cache hit rate {hit_rate:.4f} <= 0.9"
+
+    counts = plan.counts
+    rows = [
+        f"{_N}-qubit depth-{_DEPTH} schedule, {1 << (_N - _L)} virtual ranks "
+        f"(l={_L})",
+        f"compile: {len(plan.ops)} plan ops from {plan.num_source_ops} "
+        f"schedule ops in {compile_seconds * 1e3:.2f} ms",
+        f"  kernel={counts['kernel_ops']} diagonal={counts['diagonal_ops']} "
+        f"fused_diagonal={counts['fused_diagonal_ops']} "
+        f"(fused away {counts['fused_away_ops']}) "
+        f"swap={counts['swap_ops']} passthrough={counts['passthrough_ops']}",
+        f"gather-table cache (cold run): {hits} hits / {misses} misses "
+        f"= {hit_rate:.4f} hit rate, "
+        f"{GATHER_CACHE.bytes_saved / 1e6:.1f} MB of index builds avoided",
+    ]
+    report_writer("plan_compile", rows)
+    bench_record(
+        "plan_compile",
+        seconds=compile_seconds,
+        params={"qubits": _N, "depth": _DEPTH, "local_qubits": _L, "kmax": 4},
+        metrics={
+            "plan_ops": len(plan.ops),
+            "source_ops": plan.num_source_ops,
+            "fused_away_ops": counts["fused_away_ops"],
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "hit_rate": hit_rate,
+            "cache_bytes_saved": GATHER_CACHE.bytes_saved,
+        },
+    )
+    benchmark.pedantic(compile_program, args=(schedule,), rounds=3, iterations=1)
+
+
+def bench_plan_reuse(benchmark, schedule):
+    """plan_for memoises on the schedule: a warm lookup is ~free."""
+    plan_for(schedule)  # warm
+    benchmark(plan_for, schedule)

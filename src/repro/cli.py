@@ -85,6 +85,10 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--trace", type=str, metavar="FILE",
                      help="record telemetry spans and write a Chrome-trace "
                      "JSON here (plain distributed runs only)")
+    sim.add_argument("--plan-stats", action="store_true",
+                     help="print the compiled execution plan summary and "
+                     "kernel-table cache statistics after a plain "
+                     "distributed run")
     sim.add_argument("--metrics", action="store_true",
                      help="collect and print the metrics registry "
                      "(plain distributed runs only)")
@@ -274,14 +278,16 @@ def _cmd_simulate(args) -> int:
         print("error: --sanitize/--strict need a distributed run "
               "(--local-qubits)", file=sys.stderr)
         return 2
-    if (args.trace or args.metrics) and not args.local_qubits:
-        print("error: --trace/--metrics need a distributed run "
+    if (args.trace or args.metrics or args.plan_stats) and not args.local_qubits:
+        print("error: --trace/--metrics/--plan-stats need a distributed run "
               "(--local-qubits)", file=sys.stderr)
         return 2
-    if (args.trace or args.metrics) and (args.sanitize or args.checkpoint_dir):
-        print("error: --trace/--metrics apply to plain distributed runs "
-              "(not --sanitize/--checkpoint-dir); use `repro trace` for "
-              "a fully instrumented run", file=sys.stderr)
+    if (args.trace or args.metrics or args.plan_stats) and (
+        args.sanitize or args.checkpoint_dir
+    ):
+        print("error: --trace/--metrics/--plan-stats apply to plain "
+              "distributed runs (not --sanitize/--checkpoint-dir); use "
+              "`repro trace` for a fully instrumented run", file=sys.stderr)
         return 2
     circuit = generate_supremacy_circuit(args.qubits, args.depth, seed=args.seed)
     if args.local_qubits:
@@ -364,6 +370,17 @@ def _cmd_simulate(args) -> int:
                       f"to {args.trace}")
             if args.metrics:
                 print(telemetry.metrics.format())
+            if args.plan_stats:
+                from repro.kernels import GATHER_CACHE
+                from repro.plan import plan_for
+
+                print("compiled plan:")
+                for key, value in plan_for(schedule).summary().items():
+                    print(f"  {key:>20}: {value}")
+                print("kernel-table cache:")
+                for key, value in GATHER_CACHE.stats().items():
+                    shown = f"{value:.4f}" if key == "hit_rate" else value
+                    print(f"  {key:>20}: {shown}")
     else:
         run = Simulator(args.qubits).run(circuit)
         state = run.state

@@ -9,7 +9,11 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.codegen.generator import generated_kernel
-from repro.kernels.apply import apply_gate_indexed, apply_gate_reference
+from repro.kernels.apply import (
+    apply_diagonal_gate,
+    apply_gate_indexed,
+    apply_gate_reference,
+)
 from repro.kernels.split import SplitGateMatrix, apply_gate_split_real
 from repro.util.rng import random_statevector
 
@@ -38,10 +42,20 @@ class AutoTuner:
     The candidates per (n, qubits):
 
     * ``indexed[chunk]`` — the gather/matmul/scatter kernel with several
-      register/cache blocking sizes (the paper's block-size search);
+      register/cache blocking sizes (the paper's block-size search),
+      rebuilding its index tables on every call;
+    * ``cached[chunk]`` — the same kernel with memoized gather tables
+      from :data:`repro.kernels.GATHER_CACHE` (the plan-execution path);
     * ``generated`` — the specialized reshape/einsum source from
       :mod:`repro.codegen.generator`;
     * ``reference`` — the generic tensordot kernel.
+
+    With ``diagonal=True`` the candidate pool switches to the diagonal
+    fast path — ``diagonal`` (factor tensor rebuilt per call) vs
+    ``fused-diagonal`` (memoized factor tensor, as executed for fused
+    diagonal runs in a compiled plan) — since dense kernels and the
+    per-amplitude multiply compute different transformations and must not
+    compete in one pool.
 
     Tuning uses a scratch random state of the target size, so call it at
     a representative ``n`` (timings transfer across n at equal qubit
@@ -58,12 +72,25 @@ class AutoTuner:
 
     # ------------------------------------------------------------------
     def _candidates(
-        self, num_qubits: int, qubits: tuple[int, ...]
+        self, num_qubits: int, qubits: tuple[int, ...], *, diagonal: bool = False
     ) -> dict[str, Callable[[np.ndarray, np.ndarray], None]]:
+        if diagonal:
+            return {
+                "diagonal": lambda state, matrix: apply_diagonal_gate(
+                    state, np.diagonal(matrix), qubits, cache=None
+                ),
+                "fused-diagonal": lambda state, matrix: apply_diagonal_gate(
+                    state, np.diagonal(matrix), qubits
+                ),
+            }
         cands: dict[str, Callable] = {}
         for chunk in _CHUNK_CANDIDATES:
-            label = f"indexed[chunk={chunk}]"
-            cands[label] = (
+            cands[f"indexed[chunk={chunk}]"] = (
+                lambda state, matrix, _c=chunk: apply_gate_indexed(
+                    state, matrix, qubits, chunk_size=_c, cache=None
+                )
+            )
+            cands[f"cached[chunk={chunk}]"] = (
                 lambda state, matrix, _c=chunk: apply_gate_indexed(
                     state, matrix, qubits, chunk_size=_c
                 )
@@ -88,22 +115,32 @@ class AutoTuner:
         return cands
 
     def tune(
-        self, num_qubits: int, qubits: Sequence[int]
+        self, num_qubits: int, qubits: Sequence[int], *, diagonal: bool = False
     ) -> TuneResult:
-        """Benchmark all strategies for this shape; cached per (n, qubits)."""
+        """Benchmark all strategies for this shape; cached per (n, qubits).
+
+        ``diagonal`` selects the diagonal-only candidate pool (see class
+        docstring) and is part of the cache key.
+        """
         qubits = tuple(qubits)
-        key = (num_qubits, qubits)
+        key = (num_qubits, qubits, diagonal)
         if key in self._cache:
             return self._cache[key]
         k = len(qubits)
         state = random_statevector(num_qubits, self.seed).copy()
         rng = np.random.default_rng(self.seed)
-        # Any unitary works for timing; use a random dense matrix.
-        matrix = rng.standard_normal((1 << k, 1 << k)) + 1j * rng.standard_normal(
-            (1 << k, 1 << k)
-        )
+        if diagonal:
+            # Unit-modulus phases: a representative CZ/T-style diagonal.
+            matrix = np.diag(np.exp(2j * np.pi * rng.random(1 << k)))
+        else:
+            # Any unitary works for timing; use a random dense matrix.
+            matrix = rng.standard_normal(
+                (1 << k, 1 << k)
+            ) + 1j * rng.standard_normal((1 << k, 1 << k))
         timings: dict[str, float] = {}
-        for label, fn in self._candidates(num_qubits, qubits).items():
+        for label, fn in self._candidates(
+            num_qubits, qubits, diagonal=diagonal
+        ).items():
             best = float("inf")
             for _ in range(self.repeats):
                 start = time.perf_counter()
@@ -118,12 +155,14 @@ class AutoTuner:
         return result
 
     def best_kernel(
-        self, num_qubits: int, qubits: Sequence[int]
+        self, num_qubits: int, qubits: Sequence[int], *, diagonal: bool = False
     ) -> Callable[[np.ndarray, np.ndarray], None]:
         """The tuned kernel function for this shape (tunes on first use)."""
         qubits = tuple(qubits)
-        result = self.tune(num_qubits, qubits)
-        return self._candidates(num_qubits, qubits)[result.strategy]
+        result = self.tune(num_qubits, qubits, diagonal=diagonal)
+        return self._candidates(num_qubits, qubits, diagonal=diagonal)[
+            result.strategy
+        ]
 
     def apply(
         self, state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int]

@@ -116,6 +116,7 @@ class DistributedSimulator:
         schedule,
         *,
         state: DistributedState | None = None,
+        use_plan: bool = True,
     ) -> DistributedRunResult:
         """Execute a :class:`repro.scheduling.Schedule` program.
 
@@ -126,9 +127,15 @@ class DistributedSimulator:
         schedule's ``initial_state`` ("plus" when the Hadamard layer was
         absorbed) overrides the simulator default.
 
-        With an active telemetry bundle the run goes through
-        :func:`~repro.distributed.tracing.trace_schedule_execution` and the
-        result carries the op-level trace.
+        By default the schedule is lowered (once, memoized on the
+        schedule) to a :class:`repro.plan.CompiledProgram` and that plan
+        is executed — pre-resolved strategies, cached gather tables,
+        fused diagonal runs.  ``use_plan=False`` keeps the original
+        op-by-op interpreter.
+
+        With an active telemetry bundle the result carries the op-level
+        trace; planned and unplanned runs produce identical trace
+        signatures.
         """
         if state is None:
             initial = getattr(schedule, "initial_state", self._initial_state)
@@ -141,7 +148,19 @@ class DistributedSimulator:
                 single_precision=self._single_precision,
                 telemetry=self.telemetry,
             )
-        if self.telemetry is not None and self.telemetry.active:
+        traced = self.telemetry is not None and self.telemetry.active
+        if use_plan:
+            from repro.plan import plan_for
+
+            plan = plan_for(schedule)
+            start = time.perf_counter()
+            trace = plan.execute(
+                state, telemetry=self.telemetry if traced else None
+            )
+            return DistributedRunResult(
+                state, time.perf_counter() - start, trace=trace
+            )
+        if traced:
             from repro.distributed.tracing import trace_schedule_execution
 
             start = time.perf_counter()

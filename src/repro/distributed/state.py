@@ -20,11 +20,12 @@ from repro.distributed.comm import CommStats
 from repro.distributed.storage import InMemoryShards, ShardStorage
 from repro.gates.gate import Gate
 from repro.gates.matrices import SWAP_MATRIX
-from repro.kernels import apply_diagonal_gate, apply_gate
+from repro.kernels import DEFAULT_CHUNK, apply_diagonal_gate, apply_gate
+from repro.kernels.apply import matrix_is_diagonal
 from repro.kernels.cost import KernelCostModel
 from repro.statevector.state import StateVector
 from repro.telemetry.runtime import NULL_TELEMETRY, Telemetry
-from repro.util.bits import extract_bits
+from repro.util.bits import extract_bits, scatter_bits
 
 __all__ = ["DistributedState", "NeedsSwapError"]
 
@@ -49,6 +50,9 @@ class DistributedState:
         :class:`DiskShards` for SSD-resident state.
     init:
         ``"zero"`` or ``"plus"`` (uniform superposition).
+    chunk_size:
+        Block size of the indexed kernel on every shard; defaults to the
+        autotuned :data:`repro.kernels.DEFAULT_CHUNK`.
     """
 
     def __init__(
@@ -61,6 +65,7 @@ class DistributedState:
         initial_global_qubits: Iterable[int] | None = None,
         single_precision: bool = False,
         telemetry: Telemetry | None = None,
+        chunk_size: int | None = None,
     ) -> None:
         if not 0 < local_qubits <= num_qubits:
             raise ValueError(
@@ -100,6 +105,7 @@ class DistributedState:
             local_set = [q for q in range(num_qubits) if q not in set(global_set)]
             for bit, q in enumerate(local_set + global_set):
                 self.bit_of_qubit[q] = bit
+        self.chunk_size = int(chunk_size) if chunk_size is not None else DEFAULT_CHUNK
         self.stats = CommStats()
         self.kernel_cost = KernelCostModel()
         self.telemetry = NULL_TELEMETRY
@@ -237,22 +243,47 @@ class DistributedState:
         )
 
     def _apply_local(
-        self, matrix: np.ndarray, bits: Sequence[int], *, diagonal: bool
+        self,
+        matrix: np.ndarray | None,
+        bits: Sequence[int],
+        *,
+        diagonal: bool,
+        strategy: str | None = None,
+        diag: np.ndarray | None = None,
+        chunk_size: int | None = None,
     ) -> None:
+        """Run one kernel on every shard, resolving decisions exactly once.
+
+        Either *matrix* or (for the diagonal path) *diag* must be given.
+        *strategy*/*chunk_size* let a compiled plan hand down pre-resolved
+        choices; otherwise they are derived here — but still only once for
+        all ``2**g`` ranks, not per shard.
+        """
+        k = len(bits)
+        if diagonal:
+            if diag is None:
+                diag = np.diagonal(matrix)
+        else:
+            if strategy is None:
+                strategy = "indexed" if k <= 6 else "reference"
+            if chunk_size is None:
+                chunk_size = self.chunk_size
         tel = self.telemetry
         if not tel.active:
             for r in range(self.num_ranks):
                 shard = self.storage.get(r)
                 if diagonal:
-                    apply_diagonal_gate(shard, np.diagonal(matrix), bits)
+                    apply_diagonal_gate(shard, diag, bits)
                 else:
-                    apply_gate(shard, matrix, bits)
+                    apply_gate(
+                        shard, matrix, bits,
+                        strategy=strategy, chunk_size=chunk_size,
+                    )
                 self._sync(shard)
             self.kernel_cost.record(
                 self.num_qubits, len(bits), diagonal=diagonal
             )
             return
-        k = len(bits)
         tracer = tel.tracer
         per_rank = tracer.enabled and tracer.per_rank
         with tracer.span("kernel.apply", kind="kernel", k=k, diagonal=diagonal):
@@ -261,9 +292,12 @@ class DistributedState:
                 t0 = tracer.now() if per_rank else 0.0
                 shard = self.storage.get(r)
                 if diagonal:
-                    apply_diagonal_gate(shard, np.diagonal(matrix), bits)
+                    apply_diagonal_gate(shard, diag, bits)
                 else:
-                    apply_gate(shard, matrix, bits)
+                    apply_gate(
+                        shard, matrix, bits,
+                        strategy=strategy, chunk_size=chunk_size,
+                    )
                 self._sync(shard)
                 if per_rank:
                     tracer.add_span(
@@ -277,6 +311,52 @@ class DistributedState:
             elapsed = time.perf_counter() - start
         self.kernel_cost.record(self.num_qubits, k, diagonal=diagonal)
         tel.metrics.histogram("kernel.apply.seconds", k=k).observe(elapsed)
+
+    # ------------------------------------------------------------------
+    # Plan-facing entry points (pre-resolved kernel decisions)
+    # ------------------------------------------------------------------
+    def apply_compiled(
+        self,
+        matrix: np.ndarray,
+        qubits: Sequence[int],
+        *,
+        strategy: str,
+        chunk_size: int | None = None,
+        diag: np.ndarray | None = None,
+    ) -> None:
+        """Apply a dense (or pre-extracted diagonal) op with a fixed plan.
+
+        Entry point for :class:`repro.plan.CompiledProgram`: the strategy,
+        chunk size and (for ``"diagonal"``) the extracted diagonal were
+        resolved at compile time, so nothing is re-derived per rank or per
+        call.  All target qubits must currently be local.
+        """
+        bits = [self.bit_of_qubit[q] for q in qubits]
+        if any(b >= self.local_qubits for b in bits):
+            raise NeedsSwapError(
+                f"compiled op touches global qubits "
+                f"{[q for q in qubits if not self.is_local(q)]}"
+            )
+        if strategy == "diagonal":
+            self._apply_local(matrix, bits, diagonal=True, diag=diag)
+        else:
+            self._apply_local(
+                matrix, bits, diagonal=False,
+                strategy=strategy, chunk_size=chunk_size,
+            )
+
+    def apply_diagonal(self, diag: np.ndarray, qubits: Sequence[int]) -> None:
+        """Apply a diagonal operator given only its ``2**k`` diagonal.
+
+        Dispatches to the local broadcast-multiply when every target qubit
+        is local, and to the Sec. 3.5 rank-conditional specialization when
+        some are global — no communication either way.
+        """
+        bits = [self.bit_of_qubit[q] for q in qubits]
+        if all(b < self.local_qubits for b in bits):
+            self._apply_local(None, bits, diagonal=True, diag=np.asarray(diag))
+        else:
+            self._apply_diagonal_global(np.asarray(diag), bits)
 
     def _split_gate_bits(
         self, bits: Sequence[int]
@@ -306,6 +386,12 @@ class DistributedState:
         start = time.perf_counter() if tel.active else 0.0
         local_js, global_js = self._split_gate_bits(bits)
         local_bits = [bits[j] for j in local_js]
+        if local_js:
+            # Gate-basis index of every local pattern with global bits 0:
+            # OR-ing a rank's xg in selects its sub-diagonal in one gather.
+            local_patterns = scatter_bits(
+                np.arange(1 << len(local_js), dtype=np.int64), local_js
+            )
         with tel.tracer.span(
             "kernel.diagonal_global", kind="kernel", k=len(bits)
         ):
@@ -313,12 +399,7 @@ class DistributedState:
                 xg = self._rank_gate_bits(r, bits, global_js)
                 shard = self.storage.get(r)
                 if local_js:
-                    sub = np.empty(1 << len(local_js), dtype=np.complex128)
-                    for xl in range(1 << len(local_js)):
-                        x = xg
-                        for jj, j in enumerate(local_js):
-                            x |= ((xl >> jj) & 1) << j
-                        sub[xl] = diag[x]
+                    sub = np.asarray(diag)[local_patterns | xg]
                     apply_diagonal_gate(shard, sub, local_bits)
                 else:
                     shard *= diag[xg]
@@ -449,6 +530,7 @@ class DistributedState:
                 )
         tel = self.telemetry
         start = time.perf_counter() if tel.active else 0.0
+        diagonal = None
         with tel.tracer.span(
             "kernel.absorbed_cluster", kind="kernel", k=len(bits)
         ):
@@ -458,8 +540,15 @@ class DistributedState:
                     for q in rank_qubits
                 }
                 matrix = op.matrix_for_rank(rank_bits)
+                if diagonal is None:
+                    # Absorbed phases never change the cluster's sparsity
+                    # pattern, so one scan covers every rank's matrix.
+                    diagonal = matrix_is_diagonal(matrix)
                 shard = self.storage.get(r)
-                apply_gate(shard, matrix, bits)
+                apply_gate(
+                    shard, matrix, bits,
+                    diagonal=diagonal, chunk_size=self.chunk_size,
+                )
                 self._sync(shard)
         self.kernel_cost.record(self.num_qubits, len(bits))
         if tel.active:
@@ -501,7 +590,10 @@ class DistributedState:
         ):
             for r in range(self.num_ranks):
                 shard = self.storage.get(r)
-                apply_gate(shard, SWAP_MATRIX, (bit_a, bit_b))
+                apply_gate(
+                    shard, SWAP_MATRIX, (bit_a, bit_b),
+                    strategy="indexed", chunk_size=self.chunk_size,
+                )
                 self._sync(shard)
         qa, qb = self._qubit_at_bit(bit_a), self._qubit_at_bit(bit_b)
         self.bit_of_qubit[qa], self.bit_of_qubit[qb] = bit_b, bit_a

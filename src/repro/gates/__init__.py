@@ -25,8 +25,11 @@ from repro.gates.matrices import (
     X_MATRIX,
     Y_MATRIX,
     Z_MATRIX,
+    GATE_STRUCTURE,
+    GateStructure,
     controlled_phase_matrix,
     gate_matrix,
+    gate_structure,
     random_unitary,
     rotation_matrix,
 )
@@ -34,7 +37,9 @@ from repro.gates.matrices import (
 __all__ = [
     "CNOT_MATRIX",
     "CZ_MATRIX",
+    "GATE_STRUCTURE",
     "Gate",
+    "GateStructure",
     "H_MATRIX",
     "ID_MATRIX",
     "S_MATRIX",
@@ -48,6 +53,7 @@ __all__ = [
     "controlled_phase_matrix",
     "fuse_gates",
     "gate_matrix",
+    "gate_structure",
     "lift_gate_matrix",
     "random_unitary",
     "rotation_matrix",

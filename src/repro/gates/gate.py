@@ -17,7 +17,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.gates.matrices import gate_matrix
+from repro.gates.matrices import gate_matrix, gate_structure
 from repro.util.validation import check_unitary
 
 __all__ = ["Gate"]
@@ -41,6 +41,11 @@ class Gate:
     cycle:
         Optional clock-cycle tag assigned by circuit generators; purely
         metadata (used by schedulers for diagnostics).
+    diagonal / permutation:
+        Optional structure hints.  When given, ``is_diagonal`` /
+        ``is_monomial`` trust them instead of scanning the matrix; when
+        omitted and the matrix came from the named-gate table, the flags
+        are filled from :data:`repro.gates.matrices.GATE_STRUCTURE`.
     """
 
     __slots__ = ("name", "qubits", "_matrix", "cycle", "__dict__")
@@ -52,6 +57,8 @@ class Gate:
         matrix: np.ndarray | None = None,
         *,
         cycle: int | None = None,
+        diagonal: bool | None = None,
+        permutation: bool | None = None,
     ) -> None:
         self.name = str(name)
         self.qubits: tuple[int, ...] = tuple(int(q) for q in qubits)
@@ -59,6 +66,15 @@ class Gate:
             raise ValueError(f"duplicate qubits in gate {name}: {self.qubits}")
         if matrix is None:
             matrix = gate_matrix(name)
+            # The table matrix is authoritative for its name, so the static
+            # structure flags apply.  An explicit matrix might differ from
+            # what its name suggests — never trust the table for it.
+            structure = gate_structure(self.name)
+            if structure is not None:
+                if diagonal is None:
+                    diagonal = structure.diagonal
+                if permutation is None:
+                    permutation = structure.permutation
         matrix = check_unitary(matrix)
         expected_dim = 1 << len(self.qubits)
         if matrix.shape != (expected_dim, expected_dim):
@@ -69,6 +85,14 @@ class Gate:
         self._matrix = matrix
         self._matrix.setflags(write=False)
         self.cycle = cycle
+        # Hints pre-seed the cached properties (they cache into __dict__),
+        # so hinted gates never run the allclose scans below.
+        if diagonal is not None:
+            self.__dict__["is_diagonal"] = bool(diagonal)
+            if diagonal and permutation is None:
+                permutation = True
+        if permutation is not None:
+            self.__dict__["is_monomial"] = bool(permutation)
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -126,18 +150,35 @@ class Gate:
     # ------------------------------------------------------------------
     # Transformations
     # ------------------------------------------------------------------
+    def _known_structure(self) -> dict[str, bool | None]:
+        """Already-resolved structure flags (never triggers a scan)."""
+        return {
+            "diagonal": self.__dict__.get("is_diagonal"),
+            "permutation": self.__dict__.get("is_monomial"),
+        }
+
     def dagger(self) -> "Gate":
         """Return the Hermitian adjoint as a new gate."""
-        return Gate(f"{self.name}_dg", self.qubits, self._matrix.conj().T, cycle=self.cycle)
+        # Adjoints preserve both diagonality and monomial structure.
+        return Gate(
+            f"{self.name}_dg", self.qubits, self._matrix.conj().T,
+            cycle=self.cycle, **self._known_structure(),
+        )
 
     def remap(self, mapping: dict[int, int]) -> "Gate":
         """Return a copy acting on re-mapped qubit indices (Sec. 3.6.2)."""
         new_qubits = tuple(mapping[q] for q in self.qubits)
-        return Gate(self.name, new_qubits, self._matrix, cycle=self.cycle)
+        return Gate(
+            self.name, new_qubits, self._matrix,
+            cycle=self.cycle, **self._known_structure(),
+        )
 
     def on(self, *qubits: int) -> "Gate":
         """Return a copy of this gate bound to different qubits."""
-        return Gate(self.name, qubits, self._matrix, cycle=self.cycle)
+        return Gate(
+            self.name, qubits, self._matrix,
+            cycle=self.cycle, **self._known_structure(),
+        )
 
     # ------------------------------------------------------------------
     # Equality / hashing / display

@@ -38,6 +38,9 @@ __all__ = [
     "controlled_phase_matrix",
     "phase_matrix",
     "gate_matrix",
+    "GateStructure",
+    "GATE_STRUCTURE",
+    "gate_structure",
     "random_unitary",
 ]
 
@@ -115,6 +118,62 @@ _NAMED: dict[str, np.ndarray] = {
     "toffoli": TOFFOLI_MATRIX,
     "ccx": TOFFOLI_MATRIX,
 }
+
+
+class GateStructure:
+    """Static structure flags of a named gate matrix.
+
+    ``diagonal`` gates have no off-diagonal entries; ``permutation`` gates
+    are monomial (map basis states to basis states up to a phase).  Every
+    diagonal matrix is also monomial.
+    """
+
+    __slots__ = ("diagonal", "permutation")
+
+    def __init__(self, *, diagonal: bool, permutation: bool) -> None:
+        self.diagonal = diagonal
+        self.permutation = permutation
+
+    def __repr__(self) -> str:
+        return (
+            f"GateStructure(diagonal={self.diagonal}, "
+            f"permutation={self.permutation})"
+        )
+
+
+_DIAGONAL = GateStructure(diagonal=True, permutation=True)
+_PERMUTATION = GateStructure(diagonal=False, permutation=True)
+_DENSE = GateStructure(diagonal=False, permutation=False)
+
+#: Structure flags per named gate — the compile-time answer to the
+#: per-call ``np.allclose`` scans ``strategy="auto"`` used to run.
+GATE_STRUCTURE: dict[str, GateStructure] = {
+    "id": _DIAGONAL,
+    "i": _DIAGONAL,
+    "x": _PERMUTATION,
+    "y": _PERMUTATION,
+    "z": _DIAGONAL,
+    "h": _DENSE,
+    "s": _DIAGONAL,
+    "sdg": _DIAGONAL,
+    "t": _DIAGONAL,
+    "tdg": _DIAGONAL,
+    "x_1_2": _DENSE,
+    "sqrt_x": _DENSE,
+    "y_1_2": _DENSE,
+    "sqrt_y": _DENSE,
+    "cz": _DIAGONAL,
+    "cnot": _PERMUTATION,
+    "cx": _PERMUTATION,
+    "swap": _PERMUTATION,
+    "toffoli": _PERMUTATION,
+    "ccx": _PERMUTATION,
+}
+
+
+def gate_structure(name: str) -> GateStructure | None:
+    """Structure flags for a named gate, or ``None`` when unknown."""
+    return GATE_STRUCTURE.get(name.lower())
 
 
 def gate_matrix(name: str) -> np.ndarray:

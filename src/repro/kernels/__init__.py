@@ -20,16 +20,22 @@ chain or ignore the return value.
 """
 
 from repro.kernels.apply import (
+    DEFAULT_CHUNK,
     apply_diagonal_gate,
     apply_gate,
     apply_gate_indexed,
     apply_gate_naive,
     apply_gate_reference,
     apply_gate_two_vector,
+    matrix_is_diagonal,
 )
 from repro.kernels.cost import KernelCostModel, kernel_cost
+from repro.kernels.tables import GATHER_CACHE, GatherTableCache
 
 __all__ = [
+    "DEFAULT_CHUNK",
+    "GATHER_CACHE",
+    "GatherTableCache",
     "KernelCostModel",
     "apply_diagonal_gate",
     "apply_gate",
@@ -38,4 +44,5 @@ __all__ = [
     "apply_gate_reference",
     "apply_gate_two_vector",
     "kernel_cost",
+    "matrix_is_diagonal",
 ]

@@ -3,19 +3,26 @@
 Index conventions (little-endian) follow Sec. 2/3.2 of the paper: state
 index bit ``q`` is the value of qubit ``q``; a gate bound to qubits
 ``(q0, .., q_{k-1})`` uses matrix row/column bit ``j`` for qubit ``qj``.
+
+The hot kernels are allocation-free in steady state: gather-index tables
+and diagonal phase tensors come from the process-wide
+:data:`~repro.kernels.tables.GATHER_CACHE`, and the gather/product panels
+are preallocated per-thread buffers reused across calls via
+``np.take(..., out=)`` / ``np.matmul(..., out=)``.
 """
 
 from __future__ import annotations
 
+import json
+import re
+import threading
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
-from repro.util.bits import (
-    bit_length_of_power_of_two,
-    insert_zero_bits,
-    scatter_bits,
-)
+from repro.kernels.tables import GATHER_CACHE, GatherTableCache
+from repro.util.bits import bit_length_of_power_of_two
 from repro.util.validation import check_qubit_indices
 
 __all__ = [
@@ -25,12 +32,69 @@ __all__ = [
     "apply_gate_two_vector",
     "apply_diagonal_gate",
     "apply_gate",
+    "matrix_is_diagonal",
 ]
 
+#: Fallback block size when no autotune record is available.  4096 ``c``
+#: substrings keep a k=2 gather panel (32 KiB per complex128 row set)
+#: comfortably inside the last-level cache.
+_FALLBACK_CHUNK = 1 << 12
+
+
+def _autotuned_default_chunk() -> int:
+    """Read the winning chunk size from the checked-in autotune record.
+
+    ``benchmarks/results/BENCH_kernels_autotune.json`` names its winner
+    e.g. ``"indexed[chunk=4096]"``; any failure falls back to
+    :data:`_FALLBACK_CHUNK` so the kernels never depend on the benchmark
+    tree being present.
+    """
+    record = (
+        Path(__file__).resolve().parents[3]
+        / "benchmarks"
+        / "results"
+        / "BENCH_kernels_autotune.json"
+    )
+    try:
+        winner = json.loads(record.read_text())["metrics"]["winner"]
+        match = re.search(r"chunk=(\d+)", str(winner))
+        if match:
+            return int(match.group(1))
+    except (OSError, ValueError, KeyError, TypeError):
+        pass
+    return _FALLBACK_CHUNK
+
+
 #: Default number of ``c`` substrings processed per block in the indexed
-#: kernel.  Chosen so a block's gather buffer stays comfortably inside the
-#: last-level cache; overridable (and autotuned by :mod:`repro.codegen`).
-DEFAULT_CHUNK = 1 << 16
+#: kernel.  Sourced from the autotune benchmark record so the shipped
+#: default tracks what actually wins on this host class.
+DEFAULT_CHUNK = _autotuned_default_chunk()
+
+#: Sentinel meaning "use the process-wide table cache".
+_DEFAULT_CACHE = GATHER_CACHE
+
+_panel_buffers = threading.local()
+
+
+def _panels(k: int, block: int, dtype: np.dtype) -> tuple[np.ndarray, np.ndarray]:
+    """Per-thread reusable (gathered, product) panels of shape (2**k, block).
+
+    Keyed on the exact shape so the buffers stay contiguous (``np.take`` /
+    ``np.matmul`` with ``out=`` skip their buffered fallbacks); a chunked
+    sweep uses at most two shapes (full block + remainder).
+    """
+    pool = getattr(_panel_buffers, "pool", None)
+    if pool is None:
+        pool = _panel_buffers.pool = {}
+    key = (k, block, dtype.str)
+    bufs = pool.get(key)
+    if bufs is None:
+        bufs = (
+            np.empty((1 << k, block), dtype=dtype),
+            np.empty((1 << k, block), dtype=dtype),
+        )
+        pool[key] = bufs
+    return bufs
 
 
 def _num_qubits_of(state: np.ndarray) -> int:
@@ -114,12 +178,9 @@ def _gather_indices(
     matrix-vector product for ``c = c_start + m`` (Sec. 3.2); row ``x`` is
     the entry whose target-qubit bits spell ``x``.
     """
-    k = len(qubits)
-    sorted_pos = sorted(qubits)
-    c = np.arange(c_start, c_stop, dtype=np.int64)
-    base = insert_zero_bits(c, sorted_pos)
-    offsets = scatter_bits(np.arange(1 << k, dtype=np.int64), list(qubits))
-    return offsets[:, None] + base[None, :]
+    from repro.kernels.tables import _build_gather_table
+
+    return _build_gather_table(n, qubits, c_start, c_stop)
 
 
 def apply_gate_indexed(
@@ -128,6 +189,7 @@ def apply_gate_indexed(
     qubits: Sequence[int],
     *,
     chunk_size: int | None = None,
+    cache: GatherTableCache | None = _DEFAULT_CACHE,
 ) -> np.ndarray:
     """The paper's kernel: gather / small matmul / scatter, in place.
 
@@ -136,6 +198,11 @@ def apply_gate_indexed(
     (one BLAS call covering ``block`` matrix-vector products at once), and
     scatters the result back.  ``chunk_size`` is the number of ``c`` values
     per block — the numpy analogue of the paper's register/MCDRAM blocking.
+
+    Gather-index tables come from *cache* (default: the process-wide
+    :data:`~repro.kernels.tables.GATHER_CACHE`; pass ``None`` to rebuild
+    per call), and the gather/product panels are per-thread buffers reused
+    across calls, so the steady-state loop allocates nothing.
     """
     n = _num_qubits_of(state)
     qubits = check_qubit_indices(qubits, n)
@@ -143,11 +210,18 @@ def apply_gate_indexed(
     matrix = np.ascontiguousarray(matrix, dtype=state.dtype)
     total_c = 1 << (n - k)
     chunk = total_c if chunk_size is None else min(chunk_size, total_c)
-    for c_start in range(0, total_c, chunk):
-        c_stop = min(c_start + chunk, total_c)
-        idx = _gather_indices(n, qubits, c_start, c_stop)
-        gathered = state[idx]
-        state[idx] = matrix @ gathered
+    if cache is not None:
+        tables = cache.gather_tables(n, qubits, chunk)
+    else:
+        tables = tuple(
+            _gather_indices(n, qubits, c_start, min(c_start + chunk, total_c))
+            for c_start in range(0, total_c, chunk)
+        )
+    for idx in tables:
+        gathered, product = _panels(k, idx.shape[1], state.dtype)
+        np.take(state, idx, out=gathered, mode="clip")
+        np.matmul(matrix, gathered, out=product)
+        state[idx] = product
     return state
 
 
@@ -155,40 +229,42 @@ def _diagonal_factor_tensor(
     diag: np.ndarray, qubits: Sequence[int], n: int
 ) -> np.ndarray:
     """Broadcastable tensor of per-amplitude phases for a diagonal gate."""
-    k = len(qubits)
-    d_t = np.asarray(diag).reshape((2,) * k)
-    # d_t axis a corresponds to qubit qubits[k-1-a]; transpose to descending
-    # qubit order so it lines up with the state tensor's axis layout.
-    qubit_of_axis = [qubits[k - 1 - a] for a in range(k)]
-    order = np.argsort(qubit_of_axis)[::-1]
-    d_t = np.transpose(d_t, order)
-    shape = []
-    qs = sorted(qubits, reverse=True)
-    qi = 0
-    for bit in range(n - 1, -1, -1):
-        if qi < k and qs[qi] == bit:
-            shape.append(2)
-            qi += 1
-        else:
-            shape.append(1)
-    return d_t.reshape(shape)
+    from repro.kernels.tables import _build_diagonal_factor
+
+    return _build_diagonal_factor(diag, qubits, n)
 
 
 def apply_diagonal_gate(
-    state: np.ndarray, diag: np.ndarray, qubits: Sequence[int]
+    state: np.ndarray,
+    diag: np.ndarray,
+    qubits: Sequence[int],
+    *,
+    cache: GatherTableCache | None = _DEFAULT_CACHE,
 ) -> np.ndarray:
     """Apply a diagonal gate given its diagonal (length ``2**k``), in place.
 
     One complex multiply per amplitude via broadcasting — no index gather,
     no temporary of state size.  This is the specialization that makes CZ
-    and T gates (Sec. 3.5) cheap even locally.
+    and T gates (Sec. 3.5) cheap even locally.  The broadcastable phase
+    tensor is memoized in *cache* (pass ``None`` to rebuild per call).
     """
     n = _num_qubits_of(state)
     qubits = check_qubit_indices(qubits, n)
-    factor = _diagonal_factor_tensor(np.asarray(diag, dtype=state.dtype), qubits, n)
+    diag = np.asarray(diag, dtype=state.dtype)
+    if cache is not None:
+        factor = cache.diagonal_factor(n, qubits, diag)
+    else:
+        factor = _diagonal_factor_tensor(diag, qubits, n)
     psi = state.reshape((2,) * n)
     psi *= factor
     return state
+
+
+def matrix_is_diagonal(matrix: np.ndarray, *, atol: float = 1e-12) -> bool:
+    """True when every off-diagonal entry of *matrix* is ~0."""
+    matrix = np.asarray(matrix)
+    off_diag = matrix[~np.eye(matrix.shape[0], dtype=bool)]
+    return bool(np.allclose(off_diag, 0.0, atol=atol))
 
 
 def apply_gate(
@@ -198,6 +274,8 @@ def apply_gate(
     *,
     strategy: str = "auto",
     chunk_size: int | None = None,
+    diagonal: bool | None = None,
+    cache: GatherTableCache | None = _DEFAULT_CACHE,
 ) -> np.ndarray:
     """Apply a gate matrix choosing a kernel strategy.
 
@@ -205,15 +283,23 @@ def apply_gate(
     ``"indexed"``, ``"diagonal"``.  ``"auto"`` picks the diagonal fast path
     when the matrix is diagonal, the indexed kernel for k ≤ 6, and the
     tensordot kernel otherwise.
+
+    ``diagonal`` is an optional structure hint (e.g. from
+    :class:`~repro.gates.Gate` metadata): when given, ``"auto"`` trusts it
+    instead of scanning the matrix with ``np.allclose`` per call.
     """
     matrix = np.asarray(matrix)
     if strategy == "auto":
-        off_diag = matrix - np.diag(np.diagonal(matrix))
-        if np.allclose(off_diag, 0.0, atol=1e-12):
-            return apply_diagonal_gate(state, np.diagonal(matrix), qubits)
+        if diagonal is None:
+            diagonal = matrix_is_diagonal(matrix)
+        if diagonal:
+            return apply_diagonal_gate(
+                state, np.diagonal(matrix), qubits, cache=cache
+            )
         if len(qubits) <= 6:
             return apply_gate_indexed(
-                state, matrix, qubits, chunk_size=chunk_size or DEFAULT_CHUNK
+                state, matrix, qubits,
+                chunk_size=chunk_size or DEFAULT_CHUNK, cache=cache,
             )
         return apply_gate_reference(state, matrix, qubits)
     if strategy == "naive":
@@ -221,7 +307,9 @@ def apply_gate(
     if strategy == "reference":
         return apply_gate_reference(state, matrix, qubits)
     if strategy == "indexed":
-        return apply_gate_indexed(state, matrix, qubits, chunk_size=chunk_size)
+        return apply_gate_indexed(
+            state, matrix, qubits, chunk_size=chunk_size, cache=cache
+        )
     if strategy == "diagonal":
-        return apply_diagonal_gate(state, np.diagonal(matrix), qubits)
+        return apply_diagonal_gate(state, np.diagonal(matrix), qubits, cache=cache)
     raise ValueError(f"unknown kernel strategy {strategy!r}")

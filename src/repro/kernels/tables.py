@@ -1,0 +1,210 @@
+"""Memoized kernel lookup tables: gather indices and diagonal tensors.
+
+The paper's single-core wins come from precomputing everything the kernel
+needs before touching the state (Sec. 3.2-3.4).  The runtime analogue
+here is a small LRU cache of the two table families every kernel
+invocation would otherwise rebuild:
+
+* **gather-index tables** — the ``(2**k, block)`` index panels of the
+  indexed kernel, keyed on ``(n, qubits, chunk)``.  Supremacy circuits
+  repeat the same CZ layers and fused-cluster shapes dozens of times, and
+  every virtual rank applies the same op to an identically-shaped shard,
+  so one table serves ``2**g`` ranks times every repetition of the layer.
+* **diagonal factor tensors** — the broadcastable per-amplitude phase
+  tensor of the diagonal fast path, keyed on ``(n, qubits, diag bytes)``.
+
+Cache hits and misses are counted (and optionally mirrored into a
+:class:`~repro.telemetry.metrics.MetricsRegistry` as ``plan.cache.hits``
+/ ``plan.cache.misses``), along with the bytes of table construction the
+hits avoided — the numbers ``repro simulate --plan-stats`` reports.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["GatherTableCache", "GATHER_CACHE"]
+
+
+def _build_gather_table(
+    n: int, qubits: Sequence[int], c_start: int, c_stop: int
+) -> np.ndarray:
+    """Indices of shape ``(2**k, c_stop-c_start)`` for the indexed kernel.
+
+    Column ``m`` holds the ``2**k`` state indices participating in the
+    matrix-vector product for ``c = c_start + m`` (Sec. 3.2); row ``x`` is
+    the entry whose target-qubit bits spell ``x``.
+    """
+    from repro.util.bits import insert_zero_bits, scatter_bits
+
+    k = len(qubits)
+    sorted_pos = sorted(qubits)
+    c = np.arange(c_start, c_stop, dtype=np.int64)
+    base = insert_zero_bits(c, sorted_pos)
+    offsets = scatter_bits(np.arange(1 << k, dtype=np.int64), list(qubits))
+    return offsets[:, None] + base[None, :]
+
+
+def _build_diagonal_factor(
+    diag: np.ndarray, qubits: Sequence[int], n: int
+) -> np.ndarray:
+    """Broadcastable tensor of per-amplitude phases for a diagonal gate."""
+    k = len(qubits)
+    d_t = np.asarray(diag).reshape((2,) * k)
+    # d_t axis a corresponds to qubit qubits[k-1-a]; transpose to descending
+    # qubit order so it lines up with the state tensor's axis layout.
+    qubit_of_axis = [qubits[k - 1 - a] for a in range(k)]
+    order = np.argsort(qubit_of_axis)[::-1]
+    d_t = np.transpose(d_t, order)
+    shape = []
+    qs = sorted(qubits, reverse=True)
+    qi = 0
+    for bit in range(n - 1, -1, -1):
+        if qi < k and qs[qi] == bit:
+            shape.append(2)
+            qi += 1
+        else:
+            shape.append(1)
+    return d_t.reshape(shape)
+
+
+class GatherTableCache:
+    """LRU cache of gather-index tables and diagonal factor tensors.
+
+    ``capacity`` bounds the number of cached entries; least-recently-used
+    entries are evicted first.  Returned arrays are marked read-only —
+    they are shared across every rank and every repetition of an op.
+    """
+
+    def __init__(self, *, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        #: Bytes of tables cached right now (sum over live entries).
+        self.bytes_cached = 0
+        #: Bytes of table construction avoided by hits so far.
+        self.bytes_saved = 0
+        self._metrics = None
+
+    # ------------------------------------------------------------------
+    def bind_metrics(self, registry) -> None:
+        """Stream hit/miss counts into *registry* (``None`` detaches).
+
+        Mirrored keys: ``plan.cache.hits``, ``plan.cache.misses`` and the
+        ``plan.cache.bytes_saved`` counter.
+        """
+        self._metrics = registry if registry is not None and registry.enabled else None
+
+    def _record(self, *, hit: bool, nbytes: int) -> None:
+        if hit:
+            self.hits += 1
+            self.bytes_saved += nbytes
+        else:
+            self.misses += 1
+        if self._metrics is not None:
+            if hit:
+                self._metrics.counter("plan.cache.hits").inc()
+                self._metrics.counter("plan.cache.bytes_saved").inc(nbytes)
+            else:
+                self._metrics.counter("plan.cache.misses").inc()
+
+    def _lookup(self, key: tuple):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self._record(hit=True, nbytes=entry[1])
+        return entry
+
+    def _insert(self, key: tuple, value, nbytes: int) -> None:
+        self._record(hit=False, nbytes=nbytes)
+        self._entries[key] = (value, nbytes)
+        self.bytes_cached += nbytes
+        while len(self._entries) > self.capacity:
+            _, (_, evicted_bytes) = self._entries.popitem(last=False)
+            self.bytes_cached -= evicted_bytes
+
+    # ------------------------------------------------------------------
+    def gather_tables(
+        self, n: int, qubits: Sequence[int], chunk_size: int | None
+    ) -> tuple[np.ndarray, ...]:
+        """Per-block gather-index tables covering the whole ``c`` range.
+
+        Memoized on ``(n, qubits, chunk)``: the key the plan layer shares
+        across ranks and repeated ops.  ``chunk_size=None`` means one
+        block covering all ``2**(n-k)`` substrings.
+        """
+        qubits = tuple(int(q) for q in qubits)
+        k = len(qubits)
+        total_c = 1 << (n - k)
+        chunk = total_c if chunk_size is None else min(int(chunk_size), total_c)
+        key = ("gather", n, qubits, chunk)
+        entry = self._lookup(key)
+        if entry is not None:
+            return entry[0]
+        tables = []
+        nbytes = 0
+        for c_start in range(0, total_c, chunk):
+            table = _build_gather_table(n, qubits, c_start, min(c_start + chunk, total_c))
+            table.setflags(write=False)
+            nbytes += table.nbytes
+            tables.append(table)
+        value = tuple(tables)
+        self._insert(key, value, nbytes)
+        return value
+
+    def diagonal_factor(
+        self, n: int, qubits: Sequence[int], diag: np.ndarray
+    ) -> np.ndarray:
+        """The broadcastable phase tensor for a diagonal gate, memoized.
+
+        Keyed on ``(n, qubits, diag bytes)`` so repeated CZ/T layers (and
+        every rank of a sharded state) reuse one tensor.
+        """
+        qubits = tuple(int(q) for q in qubits)
+        diag = np.asarray(diag)
+        key = ("diag", n, qubits, diag.dtype.str, diag.tobytes())
+        entry = self._lookup(key)
+        if entry is not None:
+            return entry[0]
+        factor = _build_diagonal_factor(diag, qubits, n)
+        factor.setflags(write=False)
+        self._insert(key, factor, factor.nbytes)
+        return factor
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counters snapshot (the ``--plan-stats`` payload)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "entries": len(self._entries),
+            "bytes_cached": self.bytes_cached,
+            "bytes_saved": self.bytes_saved,
+        }
+
+    def clear(self) -> None:
+        """Drop every entry and reset all counters."""
+        self._entries.clear()
+        self.hits = self.misses = 0
+        self.bytes_cached = self.bytes_saved = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-wide default cache: every rank of every state shares it, which
+#: is exactly what makes the tables worth memoizing.
+GATHER_CACHE = GatherTableCache()

@@ -1,0 +1,45 @@
+"""Compiled execution plans (kernel-plan cache).
+
+A :class:`~repro.scheduling.Schedule` describes *what* to run; every
+kernel decision — diagonal vs indexed vs reference strategy, the gather
+index tables, the extracted diagonals, the chunk size — is re-derivable
+from it, and the pre-plan executor re-derived all of it on every shard of
+every rank.  :func:`compile_program` resolves those decisions exactly
+once, producing a :class:`CompiledProgram` of flat :class:`PlanOp`\\ s
+that every rank replays:
+
+* dense cluster ops carry their fused matrix, pre-resolved strategy and
+  the autotuned chunk size (gather tables come from the process-wide
+  :data:`repro.kernels.GATHER_CACHE`, shared across ranks and repeated
+  layers);
+* diagonal ops carry their extracted ``2**k`` diagonal, and consecutive
+  runs of them are fused into a single per-amplitude multiply;
+* swaps and rank-conditional ops pass through to the distributed state
+  unchanged.
+
+Execution preserves the op-level
+:meth:`~repro.distributed.tracing.ExecutionTrace.signature` exactly: a
+fused diagonal emits its first source op's span for the real work plus
+zero-length spans for the ops folded into it.
+
+Use :func:`plan_for` to get the memoized plan of a schedule (compiled at
+most once per ``(chunk_size, fuse_diagonals)`` combination).
+"""
+
+from repro.plan.executor import execute_plan
+from repro.plan.program import (
+    CompiledProgram,
+    PlanOp,
+    SourceEvent,
+    compile_program,
+    plan_for,
+)
+
+__all__ = [
+    "CompiledProgram",
+    "PlanOp",
+    "SourceEvent",
+    "compile_program",
+    "execute_plan",
+    "plan_for",
+]

@@ -1,0 +1,301 @@
+"""Compiling a schedule into a flat, pre-resolved kernel program."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distributed.tracing import _classify
+from repro.kernels import DEFAULT_CHUNK
+from repro.scheduling.program import ClusterOp, GateOp, Schedule, SwapOp
+from repro.util.bits import extract_bits
+
+__all__ = ["SourceEvent", "PlanOp", "CompiledProgram", "compile_program", "plan_for"]
+
+#: Dense kernels stay indexed up to this k; larger clusters use tensordot.
+_INDEXED_MAX_QUBITS = 6
+
+
+@dataclass(frozen=True)
+class SourceEvent:
+    """Identity of one schedule op a plan op covers (for trace parity)."""
+
+    op_index: int
+    kind: str
+    label: str
+
+
+@dataclass(frozen=True)
+class PlanOp:
+    """One pre-resolved execution step of a compiled program.
+
+    ``exec_kind`` selects the executor path:
+
+    * ``"kernel"`` — dense op: *matrix*, *strategy* and *chunk_size* are
+      fixed; gather tables come from the shared cache at run time.
+    * ``"diagonal"`` — one diagonal op: *diag* is the extracted ``2**k``
+      diagonal (local or global qubits; no communication either way).
+    * ``"fused_diagonal"`` — several consecutive diagonal schedule ops
+      collapsed into one per-amplitude multiply over the qubit union.
+    * ``"swap"`` / ``"passthrough"`` — delegated to *source_op* verbatim
+      (global-to-local swaps, monomial specializations, rank-conditional
+      absorbed clusters).
+
+    ``sources`` lists the covered schedule ops in op-stream order — one
+    entry except for fused diagonals — so executed traces keep exactly
+    one event per original op.
+    """
+
+    exec_kind: str
+    sources: tuple[SourceEvent, ...]
+    stage: int
+    qubits: tuple[int, ...] = ()
+    matrix: np.ndarray | None = None
+    diag: np.ndarray | None = None
+    strategy: str | None = None
+    chunk_size: int | None = None
+    source_op: object | None = None
+
+    @property
+    def num_sources(self) -> int:
+        """Schedule ops covered (>1 only for fused diagonals)."""
+        return len(self.sources)
+
+
+@dataclass
+class CompiledProgram:
+    """A schedule lowered to flat kernel ops with all decisions resolved.
+
+    Execute with :meth:`execute` (or via
+    ``DistributedSimulator.run_schedule``, which compiles lazily); the
+    same program is valid for every state with the schedule's qubit
+    split, so all ranks — and repeated runs — share one compilation.
+    """
+
+    schedule: Schedule
+    ops: tuple[PlanOp, ...]
+    chunk_size: int
+    fuse_diagonals: bool
+    compile_seconds: float
+    counts: dict = field(default_factory=dict)
+
+    @property
+    def num_source_ops(self) -> int:
+        """Ops in the original schedule stream."""
+        return sum(op.num_sources for op in self.ops)
+
+    def execute(self, state, *, telemetry=None):
+        """Run the program on *state*; see :func:`repro.plan.execute_plan`."""
+        from repro.plan.executor import execute_plan
+
+        return execute_plan(self, state, telemetry=telemetry)
+
+    def summary(self) -> dict:
+        """Counters for display (``repro simulate --plan-stats``)."""
+        return {
+            "num_source_ops": self.num_source_ops,
+            "num_plan_ops": len(self.ops),
+            "chunk_size": self.chunk_size,
+            "compile_seconds": round(self.compile_seconds, 6),
+            **self.counts,
+        }
+
+
+def _lift_diag(
+    diag: np.ndarray, qubits: tuple[int, ...], union: tuple[int, ...]
+) -> np.ndarray:
+    """Expand a ``2**k`` diagonal over *qubits* to the *union* space."""
+    pos_of = {q: p for p, q in enumerate(union)}
+    idx = extract_bits(
+        np.arange(1 << len(union), dtype=np.int64),
+        [pos_of[q] for q in qubits],
+    )
+    return np.asarray(diag)[idx]
+
+
+def _fuse_diagonal_run(run: list[PlanOp], max_fused_qubits: int) -> list[PlanOp]:
+    """Collapse a run of consecutive diagonal plan ops into one multiply.
+
+    Diagonal operators commute, so the fused diagonal over the qubit
+    union is their elementwise product in any order; one broadcast
+    multiply then replaces ``len(run)`` state sweeps.  Runs whose union
+    exceeds *max_fused_qubits* (a ``2**u`` table would get large) are
+    left as-is.
+    """
+    if len(run) < 2:
+        return run
+    union: list[int] = []
+    for op in run:
+        for q in op.qubits:
+            if q not in union:
+                union.append(q)
+    if len(union) > max_fused_qubits:
+        return run
+    union_t = tuple(union)
+    combined = np.ones(1 << len(union_t), dtype=np.complex128)
+    for op in run:
+        combined *= _lift_diag(op.diag, op.qubits, union_t)
+    sources = tuple(src for op in run for src in op.sources)
+    return [
+        PlanOp(
+            exec_kind="fused_diagonal",
+            sources=sources,
+            stage=run[0].stage,
+            qubits=union_t,
+            diag=combined,
+        )
+    ]
+
+
+def compile_program(
+    schedule: Schedule,
+    *,
+    chunk_size: int | None = None,
+    fuse_diagonals: bool = True,
+    max_fused_qubits: int = 10,
+) -> CompiledProgram:
+    """Lower *schedule* into a :class:`CompiledProgram`.
+
+    Every per-call decision of the old executor — diagonality scans,
+    strategy choice, diagonal extraction, chunk size — happens here, once.
+    ``chunk_size`` defaults to the autotuned
+    :data:`repro.kernels.DEFAULT_CHUNK`.
+    """
+    t0 = time.perf_counter()
+    chunk = int(chunk_size) if chunk_size is not None else DEFAULT_CHUNK
+    ops: list[PlanOp] = []
+    pending_diagonals: list[PlanOp] = []
+    counts = {
+        "kernel_ops": 0,
+        "diagonal_ops": 0,
+        "fused_diagonal_ops": 0,
+        "fused_away_ops": 0,
+        "passthrough_ops": 0,
+        "swap_ops": 0,
+    }
+
+    def flush_diagonals() -> None:
+        if not pending_diagonals:
+            return
+        fused = (
+            _fuse_diagonal_run(pending_diagonals, max_fused_qubits)
+            if fuse_diagonals
+            else list(pending_diagonals)
+        )
+        for op in fused:
+            if op.exec_kind == "fused_diagonal":
+                counts["fused_diagonal_ops"] += 1
+                counts["fused_away_ops"] += op.num_sources - 1
+            else:
+                counts["diagonal_ops"] += 1
+        ops.extend(fused)
+        pending_diagonals.clear()
+
+    stage = 0
+    for index, op in enumerate(schedule.operations()):
+        kind, label = _classify(op)
+        if kind == "swap":
+            stage += 1
+        source = SourceEvent(op_index=index, kind=kind, label=label)
+        if isinstance(op, SwapOp):
+            flush_diagonals()
+            counts["swap_ops"] += 1
+            ops.append(
+                PlanOp(
+                    exec_kind="swap", sources=(source,), stage=stage,
+                    source_op=op,
+                )
+            )
+            continue
+        if isinstance(op, GateOp):
+            gate = op.gate
+            if gate.is_diagonal:
+                pending_diagonals.append(
+                    PlanOp(
+                        exec_kind="diagonal", sources=(source,), stage=stage,
+                        qubits=gate.qubits, diag=np.diagonal(gate.matrix),
+                    )
+                )
+                continue
+            # Monomial specialization: rank renumbering logic stays with
+            # the state; nothing to pre-resolve.
+            flush_diagonals()
+            counts["passthrough_ops"] += 1
+            ops.append(
+                PlanOp(
+                    exec_kind="passthrough", sources=(source,), stage=stage,
+                    source_op=op,
+                )
+            )
+            continue
+        if isinstance(op, ClusterOp):
+            fused_gate = op.fused
+            if fused_gate.is_diagonal:
+                pending_diagonals.append(
+                    PlanOp(
+                        exec_kind="diagonal", sources=(source,), stage=stage,
+                        qubits=op.qubits,
+                        diag=np.diagonal(fused_gate.matrix),
+                    )
+                )
+                continue
+            flush_diagonals()
+            k = len(op.qubits)
+            counts["kernel_ops"] += 1
+            ops.append(
+                PlanOp(
+                    exec_kind="kernel", sources=(source,), stage=stage,
+                    qubits=op.qubits,
+                    matrix=fused_gate.matrix,
+                    strategy="indexed" if k <= _INDEXED_MAX_QUBITS else "reference",
+                    chunk_size=chunk,
+                )
+            )
+            continue
+        # AbsorbedClusterOp (or any future op type): per-rank matrices are
+        # built at execution time, so it passes through unchanged.
+        flush_diagonals()
+        counts["passthrough_ops"] += 1
+        ops.append(
+            PlanOp(
+                exec_kind="passthrough", sources=(source,), stage=stage,
+                source_op=op,
+            )
+        )
+    flush_diagonals()
+    return CompiledProgram(
+        schedule=schedule,
+        ops=tuple(ops),
+        chunk_size=chunk,
+        fuse_diagonals=fuse_diagonals,
+        compile_seconds=time.perf_counter() - t0,
+        counts=counts,
+    )
+
+
+def plan_for(
+    schedule: Schedule,
+    *,
+    chunk_size: int | None = None,
+    fuse_diagonals: bool = True,
+) -> CompiledProgram:
+    """The memoized compiled plan of *schedule*.
+
+    Compiled at most once per ``(chunk_size, fuse_diagonals)`` pair and
+    cached on the schedule instance, so every rank, repeat run and
+    benchmark round shares one compilation.
+    """
+    key = (chunk_size, fuse_diagonals)
+    cache = getattr(schedule, "_compiled_plans", None)
+    if cache is None:
+        cache = {}
+        schedule._compiled_plans = cache
+    plan = cache.get(key)
+    if plan is None:
+        plan = compile_program(
+            schedule, chunk_size=chunk_size, fuse_diagonals=fuse_diagonals
+        )
+        cache[key] = plan
+    return plan

@@ -97,3 +97,52 @@ class TestTransforms:
 
     def test_repr(self):
         assert "cz" in repr(Gate("cz", (0, 1)))
+
+
+class TestStructureHints:
+    """Constructor hints and table fills pre-seed the flag caches."""
+
+    def test_named_gate_flags_preseeded_without_scan(self):
+        g = Gate("cz", (0, 1))
+        assert g.__dict__.get("is_diagonal") is True
+        assert g.__dict__.get("is_monomial") is True
+
+    def test_named_dense_gate_preseeded_false(self):
+        g = Gate("h", (0,))
+        assert g.__dict__.get("is_diagonal") is False
+        assert g.__dict__.get("is_monomial") is False
+
+    def test_explicit_matrix_never_trusts_the_name_table(self):
+        # An explicit matrix may contradict its name; flags must come
+        # from scanning it, not from GATE_STRUCTURE.
+        g = Gate("z", (0,), np.array([[0, 1], [1, 0]], dtype=complex))
+        assert "is_diagonal" not in g.__dict__
+        assert not g.is_diagonal
+
+    def test_explicit_hint_skips_the_scan(self):
+        diag = np.diag(np.exp([0.1j, 0.2j]))
+        g = Gate("custom", (0,), diag, diagonal=True)
+        assert g.__dict__.get("is_diagonal") is True
+        assert g.is_diagonal
+
+    def test_diagonal_hint_implies_monomial(self):
+        diag = np.diag(np.exp([0.1j, 0.2j]))
+        g = Gate("custom", (0,), diag, diagonal=True)
+        assert g.__dict__.get("is_monomial") is True
+
+    def test_unhinted_custom_gate_scans_lazily(self):
+        g = Gate("custom", (0,), random_unitary(1, 3))
+        assert "is_diagonal" not in g.__dict__
+        assert g.is_diagonal in (True, False)  # scan runs on access
+        assert "is_diagonal" in g.__dict__
+
+    @pytest.mark.parametrize("derive", [
+        lambda g: g.dagger(),
+        lambda g: g.remap({0: 2, 1: 0, 2: 1}),
+        lambda g: g.on(1),
+    ])
+    def test_derived_gates_propagate_known_flags(self, derive):
+        g = Gate("t", (0,))
+        derived = derive(g)
+        assert derived.__dict__.get("is_diagonal") is True
+        assert derived.__dict__.get("is_monomial") is True

@@ -128,3 +128,21 @@ class TestRandomUnitary:
 
     def test_deterministic(self):
         assert np.allclose(random_unitary(2, 3), random_unitary(2, 3))
+
+
+class TestGateStructureTable:
+    def test_table_agrees_with_matrix_scans(self):
+        from repro.gates import Gate, GATE_STRUCTURE, gate_matrix
+
+        for name, structure in GATE_STRUCTURE.items():
+            matrix = gate_matrix(name)
+            k = matrix.shape[0].bit_length() - 1
+            g = Gate("probe", tuple(range(k)), matrix)
+            assert g.is_diagonal == structure.diagonal, name
+            assert g.is_monomial == structure.permutation, name
+
+    def test_lookup_is_case_insensitive_and_total(self):
+        from repro.gates import gate_structure
+
+        assert gate_structure("CZ").diagonal
+        assert gate_structure("not-a-gate") is None

@@ -1,0 +1,155 @@
+"""Tests for the memoized gather-table / diagonal-factor cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import GatherTableCache, apply_gate_indexed
+from repro.kernels.tables import _build_gather_table
+from repro.telemetry import MetricsRegistry
+
+
+class TestGatherTables:
+    def test_tables_match_uncached_build(self):
+        cache = GatherTableCache()
+        (table,) = cache.gather_tables(6, (1, 4), None)
+        expected = _build_gather_table(6, (1, 4), 0, 1 << 4)
+        assert np.array_equal(table, expected)
+
+    def test_chunking_covers_full_c_range(self):
+        cache = GatherTableCache()
+        tables = cache.gather_tables(8, (0, 3), 16)
+        assert len(tables) == (1 << 6) // 16
+        joined = np.concatenate(tables, axis=1)
+        assert np.array_equal(joined, _build_gather_table(8, (0, 3), 0, 1 << 6))
+
+    def test_hit_and_miss_counters(self):
+        cache = GatherTableCache()
+        cache.gather_tables(6, (2,), None)
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.gather_tables(6, (2,), None)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+        # A different key misses again.
+        cache.gather_tables(6, (3,), None)
+        assert cache.misses == 2
+
+    def test_returned_tables_are_read_only(self):
+        cache = GatherTableCache()
+        (table,) = cache.gather_tables(6, (1,), None)
+        with pytest.raises(ValueError):
+            table[0, 0] = 99
+
+    def test_bytes_accounting(self):
+        cache = GatherTableCache()
+        (table,) = cache.gather_tables(6, (1,), None)
+        assert cache.bytes_cached == table.nbytes
+        assert cache.bytes_saved == 0
+        cache.gather_tables(6, (1,), None)
+        assert cache.bytes_saved == table.nbytes
+
+
+class TestDiagonalFactor:
+    def test_memoized_on_diag_bytes(self):
+        cache = GatherTableCache()
+        diag = np.exp(1j * np.linspace(0, 1, 4))
+        a = cache.diagonal_factor(6, (1, 3), diag)
+        b = cache.diagonal_factor(6, (1, 3), diag.copy())
+        assert a is b  # same bytes -> same cached tensor
+        assert cache.hits == 1
+        cache.diagonal_factor(6, (1, 3), diag * np.exp(0.5j))
+        assert cache.misses == 2
+
+    def test_factor_is_read_only(self):
+        cache = GatherTableCache()
+        factor = cache.diagonal_factor(4, (0,), np.array([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            factor[(0,) * factor.ndim] = 0
+
+
+class TestLRUEviction:
+    def test_evicts_least_recently_used(self):
+        cache = GatherTableCache(capacity=2)
+        cache.gather_tables(6, (0,), None)
+        cache.gather_tables(6, (1,), None)
+        cache.gather_tables(6, (0,), None)  # refresh (0,)
+        cache.gather_tables(6, (2,), None)  # evicts (1,)
+        assert len(cache) == 2
+        misses = cache.misses
+        cache.gather_tables(6, (0,), None)  # still cached
+        assert cache.misses == misses
+        cache.gather_tables(6, (1,), None)  # was evicted -> rebuild
+        assert cache.misses == misses + 1
+
+    def test_bytes_cached_shrinks_on_eviction(self):
+        cache = GatherTableCache(capacity=1)
+        cache.gather_tables(6, (0,), None)
+        (second,) = cache.gather_tables(8, (0, 1), None)
+        assert len(cache) == 1
+        assert cache.bytes_cached == second.nbytes
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            GatherTableCache(capacity=0)
+
+
+class TestMetricsMirroring:
+    def test_counters_stream_into_registry(self):
+        cache = GatherTableCache()
+        registry = MetricsRegistry(enabled=True)
+        cache.bind_metrics(registry)
+        cache.gather_tables(6, (1,), None)
+        cache.gather_tables(6, (1,), None)
+        snap = registry.snapshot()
+        assert snap["plan.cache.misses"] == 1
+        assert snap["plan.cache.hits"] == 1
+        assert snap["plan.cache.bytes_saved"] > 0
+
+    def test_disabled_registry_is_ignored(self):
+        cache = GatherTableCache()
+        cache.bind_metrics(MetricsRegistry(enabled=False))
+        cache.gather_tables(6, (1,), None)  # must not raise / record
+        assert cache._metrics is None
+
+    def test_unbind(self):
+        cache = GatherTableCache()
+        registry = MetricsRegistry(enabled=True)
+        cache.bind_metrics(registry)
+        cache.bind_metrics(None)
+        cache.gather_tables(6, (1,), None)
+        assert "plan.cache.misses" not in registry.snapshot()
+
+
+class TestClear:
+    def test_clear_resets_everything(self):
+        cache = GatherTableCache()
+        cache.gather_tables(6, (1,), None)
+        cache.gather_tables(6, (1,), None)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "hit_rate": 0.0,
+            "entries": 0,
+            "bytes_cached": 0,
+            "bytes_saved": 0,
+        }
+
+
+class TestKernelIntegration:
+    def test_private_cache_gives_identical_amplitudes(self):
+        rng = np.random.default_rng(0)
+        state = rng.standard_normal(1 << 8) + 1j * rng.standard_normal(1 << 8)
+        u = rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4))
+        cached = state.copy()
+        cache = GatherTableCache()
+        apply_gate_indexed(cached, u, (1, 6), chunk_size=8, cache=cache)
+        uncached = state.copy()
+        apply_gate_indexed(uncached, u, (1, 6), chunk_size=8, cache=None)
+        assert np.array_equal(cached, uncached)
+        assert cache.misses == 1
+        # Re-applying the same shape hits.
+        apply_gate_indexed(cached, u, (1, 6), chunk_size=8, cache=cache)
+        assert cache.hits >= 1

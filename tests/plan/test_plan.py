@@ -1,0 +1,193 @@
+"""Tests for repro.plan: compiled execution plans and their executor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import generate_supremacy_circuit
+from repro.distributed import DistributedSimulator, DistributedState
+from repro.distributed.tracing import trace_schedule_execution
+from repro.kernels import GATHER_CACHE, apply_gate_reference
+from repro.plan import CompiledProgram, PlanOp, compile_program, plan_for
+from repro.scheduling import SchedulerConfig, schedule_circuit
+from repro.telemetry import Telemetry
+
+_N, _L = 8, 5
+
+
+def _small_case(seed, *, depth=8):
+    circuit = generate_supremacy_circuit(_N, depth, seed=seed)
+    schedule = schedule_circuit(
+        circuit, SchedulerConfig(local_qubits=_L, kmax=3, seed=seed + 1)
+    )
+    return circuit, schedule
+
+
+def _state_for(schedule, *, telemetry=None):
+    """A fresh state initialised exactly as run_schedule would."""
+    return DistributedState(
+        _N,
+        _L,
+        init=getattr(schedule, "initial_state", "zero"),
+        initial_global_qubits=schedule.initial_global_qubits or None,
+        telemetry=telemetry,
+    )
+
+
+def _reference_run(circuit):
+    """Per-gate apply_gate_reference loop: the ground-truth state."""
+    state = np.zeros(1 << circuit.num_qubits, dtype=np.complex128)
+    state[0] = 1.0
+    for gate in circuit:
+        apply_gate_reference(state, gate.matrix, gate.qubits)
+    return state
+
+
+class TestCompile:
+    def test_every_schedule_op_is_accounted_for(self):
+        _, schedule = _small_case(0)
+        plan = compile_program(schedule)
+        # Each source op appears in exactly one plan op (fused runs carry
+        # all their sources), so the tallies reconcile.
+        assert plan.num_source_ops == sum(op.num_sources for op in plan.ops)
+        c = plan.counts
+        assert len(plan.ops) == (
+            c["kernel_ops"] + c["diagonal_ops"] + c["fused_diagonal_ops"]
+            + c["swap_ops"] + c["passthrough_ops"]
+        )
+        assert plan.num_source_ops == len(plan.ops) + c["fused_away_ops"]
+
+    def test_strategy_resolved_at_compile_time(self):
+        _, schedule = _small_case(1)
+        plan = compile_program(schedule)
+        kernel_ops = [op for op in plan.ops if op.exec_kind == "kernel"]
+        assert kernel_ops
+        for op in kernel_ops:
+            assert op.strategy in {"indexed", "reference"}
+            assert op.chunk_size is not None
+            assert op.matrix is not None
+
+    def test_fusion_merges_consecutive_diagonals(self):
+        _, schedule = _small_case(2)
+        fused = compile_program(schedule, fuse_diagonals=True)
+        unfused = compile_program(schedule, fuse_diagonals=False)
+        assert unfused.counts["fused_diagonal_ops"] == 0
+        assert unfused.counts["fused_away_ops"] == 0
+        assert len(fused.ops) <= len(unfused.ops)
+        if fused.counts["fused_diagonal_ops"]:
+            assert fused.counts["fused_away_ops"] > 0
+
+    def test_plan_for_memoizes_per_schedule(self):
+        _, schedule = _small_case(3)
+        assert plan_for(schedule) is plan_for(schedule)
+        assert plan_for(schedule) is not plan_for(schedule, fuse_diagonals=False)
+
+    def test_summary_reports_counters(self):
+        _, schedule = _small_case(4)
+        plan = compile_program(schedule)
+        summary = plan.summary()
+        assert summary["num_plan_ops"] == len(plan.ops)
+        assert summary["num_source_ops"] == plan.num_source_ops
+        assert summary["chunk_size"] == plan.chunk_size
+
+
+class TestExecutionCorrectness:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_planned_run_matches_reference_kernel(self, seed):
+        """>=20 seeds: the compiled plan reproduces the per-gate
+        apply_gate_reference ground truth."""
+        circuit, schedule = _small_case(seed)
+        res = DistributedSimulator(_N, _L).run_schedule(schedule)
+        assert np.allclose(
+            res.state.to_statevector().data, _reference_run(circuit), atol=1e-9
+        )
+
+    @pytest.mark.parametrize("seed", [0, 7, 13])
+    def test_unfused_plan_bit_exact_vs_direct_execution(self, seed):
+        """Without diagonal fusion the plan replays the exact same kernel
+        calls as op.execute, so amplitudes are bit-identical."""
+        _, schedule = _small_case(seed)
+        state = _state_for(schedule)
+        compile_program(schedule, fuse_diagonals=False).execute(state)
+
+        ref = DistributedSimulator(_N, _L).run_schedule(schedule, use_plan=False)
+        assert np.array_equal(
+            state.to_statevector().data, ref.state.to_statevector().data
+        )
+
+    @pytest.mark.parametrize("seed", [0, 5, 11])
+    def test_fused_plan_matches_unfused(self, seed):
+        _, schedule = _small_case(seed)
+        a = _state_for(schedule)
+        compile_program(schedule, fuse_diagonals=True).execute(a)
+        b = _state_for(schedule)
+        compile_program(schedule, fuse_diagonals=False).execute(b)
+        assert np.allclose(
+            a.to_statevector().data, b.to_statevector().data, atol=1e-12
+        )
+
+    def test_cross_rank_plan_sharing(self):
+        """One CompiledProgram drives every virtual rank: the same plan
+        object executes repeatedly and reuses cached gather tables."""
+        _, schedule = _small_case(6)
+        plan = plan_for(schedule)
+        GATHER_CACHE.clear()
+        s1 = _state_for(schedule)
+        plan.execute(s1)
+        cold_hits, cold_misses = GATHER_CACHE.hits, GATHER_CACHE.misses
+        if cold_hits + cold_misses:
+            # 8 virtual ranks share each table: >= 7/8 of lookups hit
+            # even on the cold run.
+            assert cold_hits / (cold_hits + cold_misses) >= 0.8
+        s2 = _state_for(schedule)
+        assert plan_for(schedule) is plan
+        plan.execute(s2)
+        assert np.array_equal(
+            s1.to_statevector().data, s2.to_statevector().data
+        )
+        # Warm run: every lookup hits, no new table builds.
+        assert GATHER_CACHE.misses == cold_misses
+
+
+class TestTraceParity:
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_signature_matches_legacy_tracer(self, seed):
+        """Plan execution emits the same ExecutionTrace signature as the
+        op-by-op trace_schedule_execution path, fusion included."""
+        _, schedule = _small_case(seed)
+        plan = plan_for(schedule)
+        telemetry = Telemetry.enabled()
+        trace = plan.execute(_state_for(schedule), telemetry=telemetry)
+
+        legacy = trace_schedule_execution(
+            _state_for(schedule), schedule, telemetry=Telemetry.enabled()
+        )
+        assert trace.signature() == legacy.signature()
+
+    def test_traced_run_through_simulator(self):
+        _, schedule = _small_case(1)
+        sim = DistributedSimulator(_N, _L, telemetry=Telemetry.enabled())
+        res = sim.run_schedule(schedule)
+        assert res.trace is not None
+        assert res.trace.signature()
+
+    def test_untraced_run_returns_no_trace(self):
+        _, schedule = _small_case(1)
+        res = DistributedSimulator(_N, _L).run_schedule(schedule)
+        assert res.trace is None
+
+
+class TestPlanOpInvariants:
+    def test_plan_ops_are_frozen(self):
+        _, schedule = _small_case(0)
+        op = compile_program(schedule).ops[0]
+        assert isinstance(op, PlanOp)
+        with pytest.raises(AttributeError):
+            op.exec_kind = "other"
+
+    def test_compiled_program_reports_compile_seconds(self):
+        _, schedule = _small_case(0)
+        plan = compile_program(schedule)
+        assert isinstance(plan, CompiledProgram)
+        assert plan.compile_seconds >= 0.0

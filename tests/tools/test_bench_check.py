@@ -68,17 +68,26 @@ def test_non_dict_rejected():
 def test_diff_flags_regression_and_changes():
     prev = _record()
     cur = _record(seconds=2.5, bytes=8192, params={"qubits": 14})
-    notes = bench_check.diff_records(cur, prev)
+    errors, notes = bench_check.diff_records(cur, prev)
+    assert errors == []  # "demo" is not a guarded bench
     assert any("regressed" in n for n in notes)
     assert any("bytes changed" in n for n in notes)
     assert any("params changed" in n for n in notes)
     # Small jitter below the threshold is not flagged.
-    assert bench_check.diff_records(_record(seconds=1.6), prev) == []
+    assert bench_check.diff_records(_record(seconds=1.6), prev) == ([], [])
 
 
 @pytest.mark.smoke
-def test_check_results_dir_warn_only(tmp_path, capsys):
-    """A performance regression warns but never errors (exit 0)."""
+def test_diff_guarded_bench_regression_is_error():
+    prev = _record(name="end_to_end")
+    cur = _record(name="end_to_end", seconds=2.5)
+    errors, _ = bench_check.diff_records(cur, prev)
+    assert any("regressed" in e and "guarded" in e for e in errors)
+
+
+@pytest.mark.smoke
+def test_check_results_dir_unguarded_regression_warns_only(tmp_path, capsys):
+    """Regressions on unguarded benches warn but never error (exit 0)."""
     (tmp_path / "BENCH_demo.json").write_text(json.dumps(_record(seconds=9.0)))
     (tmp_path / "BENCH_demo.json.prev").write_text(json.dumps(_record()))
     errors, warnings = bench_check.check_results_dir(tmp_path)
@@ -86,6 +95,34 @@ def test_check_results_dir_warn_only(tmp_path, capsys):
     assert warnings >= 1
     assert "regressed" in capsys.readouterr().out
     assert bench_check.main([str(tmp_path)]) == 0
+
+
+@pytest.mark.smoke
+def test_check_results_dir_guarded_regression_fails(tmp_path, capsys):
+    """>threshold slowdown on a guarded bench exits non-zero."""
+    rec = _record(name="end_to_end")
+    (tmp_path / "BENCH_end_to_end.json").write_text(
+        json.dumps({**rec, "seconds": 9.0})
+    )
+    (tmp_path / "BENCH_end_to_end.json.prev").write_text(json.dumps(rec))
+    errors, _ = bench_check.check_results_dir(tmp_path)
+    assert errors == 1
+    assert "guarded" in capsys.readouterr().out
+    assert bench_check.main([str(tmp_path)]) == 1
+
+
+@pytest.mark.smoke
+def test_unregistered_bench_name_warns(tmp_path, capsys):
+    (tmp_path / "BENCH_demo.json").write_text(json.dumps(_record()))
+    errors, warnings = bench_check.check_results_dir(tmp_path)
+    assert errors == 0
+    assert warnings == 1
+    assert "KNOWN_BENCHES" in capsys.readouterr().out
+
+
+@pytest.mark.smoke
+def test_plan_compile_is_registered():
+    assert "plan_compile" in bench_check.KNOWN_BENCHES
 
 
 @pytest.mark.smoke

@@ -16,16 +16,18 @@ the ``repro.bench/1`` schema::
 
 This tool checks every record against that schema and, when the
 previous generation is present (``BENCH_<name>.json.prev``, kept by the
-fixture), diffs the headline numbers.  Regressions are *warnings*, not
-errors: host timings in CI containers are noisy, so a slowdown note
-should prompt a look, not break the build.
+fixture), diffs the headline numbers.  For most benches regressions are
+*warnings* — host timings in CI containers are noisy — but the guarded
+benches in :data:`FAIL_ON_REGRESSION` (the headline kernel and
+end-to-end numbers) FAIL the check when they slow down by more than
+:data:`REGRESSION_THRESHOLD`.
 
 Usage::
 
     python tools/bench_check.py [results_dir]
 
-Exit status is non-zero only for schema violations (malformed records),
-never for performance regressions.
+Exit status is non-zero for schema violations (malformed records) and
+for guarded-bench performance regressions.
 """
 
 from __future__ import annotations
@@ -38,8 +40,24 @@ from pathlib import Path
 #: Schema tag this checker understands (mirrors benchmarks/conftest.py).
 BENCH_SCHEMA = "repro.bench/1"
 
-#: Relative slowdown beyond which a warn-only regression note is emitted.
+#: Relative slowdown beyond which a regression note is emitted.
 REGRESSION_THRESHOLD = 0.25
+
+#: Benches whose >threshold slowdowns are ERRORS (exit 1), not warnings.
+FAIL_ON_REGRESSION = {"kernels_autotune", "end_to_end"}
+
+#: Bench names the repo's suites are known to emit.  A record with an
+#: unregistered name is flagged as a warning — most likely a bench was
+#: added without registering it here (or renamed without cleanup).
+KNOWN_BENCHES = {
+    "end_to_end",
+    "kernels_autotune",
+    "plan_compile",
+    "recovery_overhead",
+    "sanitizer_overhead",
+    "table2_cori",
+    "telemetry_overhead",
+}
 
 _REQUIRED_FIELDS = {
     "schema": str,
@@ -84,13 +102,18 @@ def validate_record(record: object) -> list[str]:
     return errors
 
 
-def diff_records(current: dict, previous: dict) -> list[str]:
-    """Warn-only comparison of a record against its previous generation.
+def diff_records(
+    current: dict, previous: dict
+) -> tuple[list[str], list[str]]:
+    """Compare a record against its previous generation.
 
-    Returns human-readable notes; an empty list means nothing worth
-    flagging.  Only headline fields are compared — metrics are free-form
-    and bench-specific.
+    Returns ``(errors, warnings)`` as human-readable notes.  A seconds
+    regression beyond :data:`REGRESSION_THRESHOLD` is an error for the
+    guarded :data:`FAIL_ON_REGRESSION` benches and a warning otherwise;
+    byte/param changes always warn.  Only headline fields are compared —
+    metrics are free-form and bench-specific.
     """
+    errors: list[str] = []
     notes: list[str] = []
     prev_s, cur_s = previous.get("seconds"), current.get("seconds")
     if (
@@ -100,10 +123,14 @@ def diff_records(current: dict, previous: dict) -> list[str]:
     ):
         rel = (cur_s - prev_s) / prev_s
         if rel > REGRESSION_THRESHOLD:
-            notes.append(
+            note = (
                 f"seconds regressed {prev_s:.4g} -> {cur_s:.4g} "
                 f"(+{100 * rel:.0f}%)"
             )
+            if current.get("name") in FAIL_ON_REGRESSION:
+                errors.append(note + " [guarded bench]")
+            else:
+                notes.append(note)
     if previous.get("bytes") != current.get("bytes"):
         notes.append(
             f"bytes changed {previous.get('bytes')} -> {current.get('bytes')}"
@@ -113,7 +140,7 @@ def diff_records(current: dict, previous: dict) -> list[str]:
             f"params changed {previous.get('params')} -> "
             f"{current.get('params')} (diff may not be like-for-like)"
         )
-    return notes
+    return errors, notes
 
 
 def check_results_dir(results_dir: Path) -> tuple[int, int]:
@@ -139,6 +166,10 @@ def check_results_dir(results_dir: Path) -> tuple[int, int]:
         errors += len(violations)
         if violations:
             continue
+        if record["name"] not in KNOWN_BENCHES:
+            print(f"WARN  {path.name}: bench name {record['name']!r} not "
+                  f"registered in KNOWN_BENCHES")
+            warnings += 1
         prev_path = path.with_suffix(".json.prev")
         if prev_path.exists():
             try:
@@ -148,9 +179,15 @@ def check_results_dir(results_dir: Path) -> tuple[int, int]:
                       f"skipping diff")
                 warnings += 1
                 continue
-            for note in diff_records(record, previous):
+            diff_errors, diff_notes = diff_records(record, previous)
+            for note in diff_errors:
+                print(f"ERROR {path.name}: {note}")
+                errors += 1
+            for note in diff_notes:
                 print(f"WARN  {path.name}: {note}")
                 warnings += 1
+            if diff_errors:
+                continue
         print(f"ok    {path.name}: {record['name']} "
               f"({record['seconds']:.4g} s)")
     return errors, warnings
@@ -165,8 +202,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     errors, warnings = check_results_dir(results_dir)
     if errors:
-        print(f"bench_check: {errors} schema error(s), "
-              f"{warnings} warning(s)")
+        print(f"bench_check: {errors} error(s) (schema or guarded-bench "
+              f"regression), {warnings} warning(s)")
         return 1
     print(f"bench_check: all records valid ({warnings} warning(s))")
     return 0
