@@ -18,6 +18,7 @@ from repro import (
     schedule_circuit,
 )
 from repro.distributed.checkpoint import CheckpointManager
+from repro.runtime import CheckpointLayer, ExecutionEngine
 
 
 def main() -> None:
@@ -34,8 +35,10 @@ def main() -> None:
 
     with tempfile.TemporaryDirectory(prefix="repro_ckpt_") as tmp:
         manager = CheckpointManager(tmp)
+        layer = CheckpointLayer(manager, every=4, fail_after=9)
+        engine = ExecutionEngine(schedule, use_plan=False, layers=[layer])
         try:
-            manager.run_with_checkpoints(schedule, every=4, fail_after=9)
+            engine.run()
         except RuntimeError as exc:
             print(f"simulated node failure: {exc}")
 

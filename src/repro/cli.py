@@ -308,9 +308,15 @@ def _cmd_simulate(args) -> int:
                 return 1
             print(f"static check: PASS ({len(report.checks_run)} passes)")
         if args.sanitize:
-            from repro.staticcheck import run_sanitized
+            from repro.runtime import ExecutionEngine, SanitizerLayer
+            from repro.staticcheck import ShardSanitizer
 
-            dist_state, san_report = run_sanitized(schedule)
+            sanitizer = ShardSanitizer()
+            engine = ExecutionEngine(
+                schedule, use_plan=False, layers=[SanitizerLayer(sanitizer)]
+            )
+            dist_state = engine.run().state
+            san_report = sanitizer.report
             state = dist_state.to_statevector()
             print(san_report.format())
             print(
@@ -329,9 +335,12 @@ def _cmd_simulate(args) -> int:
                 print(f"resumed checkpoint at op {next_op} "
                       f"from {args.checkpoint_dir}")
             else:
-                dist_state = mgr.run_with_checkpoints(
-                    schedule, every=args.checkpoint_every
-                )
+                from repro.runtime import CheckpointLayer, ExecutionEngine
+
+                ckpt = CheckpointLayer(mgr, every=args.checkpoint_every)
+                dist_state = ExecutionEngine(
+                    schedule, use_plan=False, layers=[ckpt]
+                ).run().state
                 print(f"checkpointed every {args.checkpoint_every} ops "
                       f"to {args.checkpoint_dir}")
             state = dist_state.to_statevector()

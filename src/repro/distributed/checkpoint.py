@@ -10,14 +10,18 @@ everything needed to resume a schedule mid-program:
 * the index of the next operation in the schedule's op stream,
 * the accumulated communication and kernel statistics.
 
-Use :meth:`CheckpointManager.run_with_checkpoints` to execute a schedule
-with periodic checkpoints, and :meth:`resume` to continue after a
-(simulated or real) failure.
+Periodic checkpointing during execution is a
+:class:`~repro.runtime.CheckpointLayer` on the
+:class:`~repro.runtime.ExecutionEngine`;
+:meth:`CheckpointManager.run_with_checkpoints` remains as a deprecation
+shim over that stack, and :meth:`resume` continues after a (simulated or
+real) failure.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -94,12 +98,32 @@ class CheckpointManager:
         self._meta_path.write_text(json.dumps(meta))
         return written + self._meta_path.stat().st_size
 
-    def load(self) -> tuple[DistributedState, int]:
-        """Restore ``(state, next_op_index)`` from the checkpoint."""
+    def load(self, *, state_factory=None) -> tuple[DistributedState, int]:
+        """Restore ``(state, next_op_index)`` from the checkpoint.
+
+        ``state_factory`` builds the vessel the shards are loaded into;
+        this is how a run whose state lives on a custom
+        :class:`~repro.distributed.ShardStorage` backend (e.g.
+        ``DiskShards``) gets its backend back after a restart instead of
+        silently reverting to in-memory shards.  The vessel's dimensions
+        must match the checkpoint's.
+        """
         if not self.has_checkpoint():
             raise FileNotFoundError(f"no checkpoint in {self.directory}")
         meta = json.loads(self._meta_path.read_text())
-        state = DistributedState(meta["num_qubits"], meta["local_qubits"])
+        if state_factory is not None:
+            state = state_factory()
+            if (
+                state.num_qubits != meta["num_qubits"]
+                or state.local_qubits != meta["local_qubits"]
+            ):
+                raise ValueError(
+                    f"state_factory built a ({state.num_qubits}, "
+                    f"{state.local_qubits})-qubit state but the checkpoint "
+                    f"holds ({meta['num_qubits']}, {meta['local_qubits']})"
+                )
+        else:
+            state = DistributedState(meta["num_qubits"], meta["local_qubits"])
         for r in range(state.num_ranks):
             shard = np.load(self.directory / f"ckpt_shard_{r:06d}.npy")
             state.storage.set(r, shard)
@@ -128,9 +152,20 @@ class CheckpointManager:
     ) -> DistributedState:
         """Execute *schedule*, checkpointing every *every* operations.
 
+        .. deprecated::
+            Thin shim over :class:`repro.runtime.ExecutionEngine` with a
+            :class:`~repro.runtime.CheckpointLayer`; build that stack
+            directly.
+
         ``fail_after`` aborts (RuntimeError) after that many operations —
         the failure-injection hook the tests use to prove resumability.
         """
+        warnings.warn(
+            "run_with_checkpoints is deprecated; run the schedule through "
+            "repro.runtime.ExecutionEngine with a CheckpointLayer",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         state = self.initial_state_for(schedule)
         return self._execute(schedule, state, 0, every, fail_after)
 
@@ -147,15 +182,8 @@ class CheckpointManager:
         every: int,
         fail_after: int | None,
     ) -> DistributedState:
-        ops = list(schedule.operations())
-        for index in range(start_index, len(ops)):
-            if fail_after is not None and index - start_index >= fail_after:
-                self.save(state, index)
-                raise RuntimeError(
-                    f"injected failure before op {index} (checkpoint saved)"
-                )
-            ops[index].execute(state)
-            if every > 0 and (index + 1) % every == 0:
-                self.save(state, index + 1)
-        self.save(state, len(ops))
-        return state
+        from repro.runtime import CheckpointLayer, ExecutionEngine
+
+        layer = CheckpointLayer(self, every=every, fail_after=fail_after)
+        engine = ExecutionEngine(schedule, use_plan=False, layers=[layer])
+        return engine.run(state=state, start_index=start_index).state

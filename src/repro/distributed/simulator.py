@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.circuit.circuit import Circuit
@@ -95,6 +94,8 @@ class DistributedSimulator:
         a global-to-local swap bringing their qubits local — the naive
         execution mode the scheduler improves on.
         """
+        from repro.runtime import ExecutionEngine
+
         if circuit.num_qubits != self.num_qubits:
             raise ValueError(
                 f"circuit has {circuit.num_qubits} qubits, simulator has "
@@ -104,12 +105,11 @@ class DistributedSimulator:
             state = self.new_state()
         elif self.telemetry is not None:
             state.use_telemetry(self.telemetry)
-        tel = state.telemetry
-        start = time.perf_counter()
-        with tel.tracer.span("run_circuit", kind="run", gates=len(circuit)):
-            for gate in circuit:
-                state.apply_gate(gate, auto_swap=auto_swap)
-        return DistributedRunResult(state, time.perf_counter() - start)
+        engine = ExecutionEngine.for_circuit(
+            circuit, auto_swap=auto_swap, telemetry=state.telemetry
+        )
+        result = engine.run(state=state)
+        return DistributedRunResult(result.state, result.wall_seconds)
 
     def run_schedule(
         self,
@@ -148,32 +148,15 @@ class DistributedSimulator:
                 single_precision=self._single_precision,
                 telemetry=self.telemetry,
             )
+        from repro.runtime import ExecutionEngine, TracingLayer
+
         traced = self.telemetry is not None and self.telemetry.active
-        if use_plan:
-            from repro.plan import plan_for
-
-            plan = plan_for(schedule)
-            start = time.perf_counter()
-            trace = plan.execute(
-                state, telemetry=self.telemetry if traced else None
-            )
-            return DistributedRunResult(
-                state, time.perf_counter() - start, trace=trace
-            )
-        if traced:
-            from repro.distributed.tracing import trace_schedule_execution
-
-            start = time.perf_counter()
-            trace = trace_schedule_execution(
-                state, schedule, telemetry=self.telemetry
-            )
-            return DistributedRunResult(
-                state, time.perf_counter() - start, trace=trace
-            )
-        start = time.perf_counter()
-        for op in schedule.operations():
-            op.execute(state)
-        return DistributedRunResult(state, time.perf_counter() - start)
+        layers = [TracingLayer(self.telemetry)] if traced else []
+        engine = ExecutionEngine(schedule, use_plan=use_plan, layers=layers)
+        result = engine.run(state=state)
+        return DistributedRunResult(
+            result.state, result.wall_seconds, trace=result.trace
+        )
 
     def run_resilient(
         self,
@@ -191,11 +174,23 @@ class DistributedSimulator:
         Convenience front door to
         :class:`repro.resilience.ResilientExecutor`; see that class for
         the recovery semantics.  Returns a
-        :class:`repro.resilience.ResilientRunResult`.  Restart states are
-        rebuilt in memory from the checkpoint, so custom ``storage``
-        backends are not carried across a restart.
+        :class:`repro.resilience.ResilientRunResult`.  The simulator's
+        ``storage`` backend and precision are carried across restarts: a
+        state factory closing over them rebuilds every restart state and
+        the vessel checkpoints are loaded into, so a ``DiskShards`` run
+        stays SSD-resident through recovery.
         """
         from repro.resilience import ResilientExecutor  # avoid import cycle
+
+        def state_factory() -> DistributedState:
+            return DistributedState(
+                schedule.num_qubits,
+                schedule.local_qubits,
+                storage=self._storage,
+                init=getattr(schedule, "initial_state", self._initial_state),
+                initial_global_qubits=schedule.initial_global_qubits or None,
+                single_precision=self._single_precision,
+            )
 
         return ResilientExecutor(
             schedule,
@@ -206,4 +201,5 @@ class DistributedSimulator:
             verify=verify,
             sanitizer=sanitizer,
             telemetry=self.telemetry,
+            state_factory=state_factory,
         ).run()

@@ -17,7 +17,7 @@ when a finalized trace is frozen, not re-summed per property access.
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass, field
 
 from repro.distributed.state import DistributedState
@@ -206,37 +206,24 @@ def trace_schedule_execution(
 ) -> ExecutionTrace:
     """Execute *schedule* on *state*, timing every operation.
 
+    .. deprecated::
+        Thin shim over :class:`repro.runtime.ExecutionEngine` with a
+        :class:`~repro.runtime.TracingLayer`; build that stack directly.
+
     With no *telemetry* a private span tracer records just the op-level
     spans; pass a live :class:`~repro.telemetry.runtime.Telemetry` to
     also collect the nested kernel/comm spans and stream metrics (the
     bundle is attached to *state* for the duration of the call).
     """
-    if telemetry is None or not telemetry.active:
-        telemetry = Telemetry.spans_only(per_rank=False)
-    previous = state.telemetry
-    state.use_telemetry(telemetry)
-    tracer = telemetry.tracer
-    try:
-        with tracer.span("execute_schedule", kind="run"):
-            stage = 0
-            for index, op in enumerate(schedule.operations()):
-                kind, label = _classify(op)
-                if kind == "swap":
-                    stage += 1
-                bytes_before = state.stats.bytes_on_network
-                start = time.perf_counter()
-                with tracer.span(
-                    label, kind=kind, op_index=index, stage=stage
-                ) as span:
-                    op.execute(state)
-                seconds = time.perf_counter() - start
-                if span is not None and kind == "swap":
-                    span.attrs["bytes"] = (
-                        state.stats.bytes_on_network - bytes_before
-                    )
-                telemetry.metrics.histogram(
-                    "op.seconds", kind=kind
-                ).observe(seconds)
-    finally:
-        state.use_telemetry(previous)
-    return ExecutionTrace.from_spans(tracer.spans)
+    warnings.warn(
+        "trace_schedule_execution is deprecated; run the schedule through "
+        "repro.runtime.ExecutionEngine with a TracingLayer",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.runtime import ExecutionEngine, TracingLayer
+
+    engine = ExecutionEngine(
+        schedule, use_plan=False, layers=[TracingLayer(telemetry)]
+    )
+    return engine.run(state=state).trace

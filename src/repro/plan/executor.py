@@ -2,11 +2,6 @@
 
 from __future__ import annotations
 
-import time
-
-from repro.distributed.tracing import ExecutionTrace
-from repro.kernels.tables import GATHER_CACHE
-
 __all__ = ["execute_plan"]
 
 
@@ -28,65 +23,24 @@ def _run_op(plan_op, state) -> None:
 def execute_plan(plan, state, *, telemetry=None):
     """Run *plan* on *state*; returns an :class:`ExecutionTrace` or ``None``.
 
-    Without an active *telemetry* bundle this is the minimal loop: one
-    pre-resolved kernel call per plan op, nothing re-derived.
+    Delegates to the canonical loop in
+    :class:`repro.runtime.ExecutionEngine`.  Without an active
+    *telemetry* bundle that is the engine's bare fast path: one
+    pre-resolved kernel call per plan op, nothing re-derived, no trace.
 
-    With telemetry the emitted span stream matches the unplanned executor
-    op for op — fused diagonals record their first source's span around
-    the real work plus zero-length spans for the ops folded in — so
+    With telemetry a :class:`~repro.runtime.TracingLayer` records the
+    same span stream as the unplanned executor op for op — fused
+    diagonals record their first source's span around the real work plus
+    zero-length spans for the ops folded in — so
     :meth:`ExecutionTrace.signature` is identical to an unplanned traced
     run of the same schedule.  The shared gather-table cache mirrors its
     counters into the bundle's metrics (``plan.cache.hits`` /
     ``plan.cache.misses``) for the duration of the run.
     """
-    if telemetry is None or not telemetry.active:
-        for plan_op in plan.ops:
-            _run_op(plan_op, state)
-        return None
+    from repro.runtime import ExecutionEngine, TracingLayer
 
-    previous = state.telemetry
-    state.use_telemetry(telemetry)
-    tracer = telemetry.tracer
-    GATHER_CACHE.bind_metrics(telemetry.metrics)
-    try:
-        with tracer.span("execute_schedule", kind="run"):
-            for plan_op in plan.ops:
-                first = plan_op.sources[0]
-                bytes_before = state.stats.bytes_on_network
-                start = time.perf_counter()
-                with tracer.span(
-                    first.label,
-                    kind=first.kind,
-                    op_index=first.op_index,
-                    stage=plan_op.stage,
-                ) as span:
-                    _run_op(plan_op, state)
-                seconds = time.perf_counter() - start
-                if span is not None and first.kind == "swap":
-                    span.attrs["bytes"] = (
-                        state.stats.bytes_on_network - bytes_before
-                    )
-                telemetry.metrics.histogram(
-                    "op.seconds", kind=first.kind
-                ).observe(seconds)
-                if plan_op.num_sources > 1:
-                    # Ops folded into this one still get their (zero-length)
-                    # events, keeping one event per original schedule op.
-                    mark = tracer.now()
-                    for source in plan_op.sources[1:]:
-                        tracer.add_span(
-                            source.label,
-                            kind=source.kind,
-                            start=mark,
-                            end=mark,
-                            op_index=source.op_index,
-                            stage=plan_op.stage,
-                            fused_into=first.op_index,
-                        )
-                        telemetry.metrics.histogram(
-                            "op.seconds", kind=source.kind
-                        ).observe(0.0)
-    finally:
-        GATHER_CACHE.bind_metrics(None)
-        state.use_telemetry(previous)
-    return ExecutionTrace.from_spans(tracer.spans)
+    if telemetry is None or not telemetry.active:
+        layers = ()
+    else:
+        layers = [TracingLayer(telemetry)]
+    return ExecutionEngine(plan, layers=layers).run(state=state).trace

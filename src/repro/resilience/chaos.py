@@ -202,10 +202,11 @@ def default_scenarios() -> list[ChaosScenario]:
 
 def _reference_amplitudes(schedule: Schedule) -> np.ndarray:
     """Fault-free final state of the schedule, in logical order."""
+    from repro.runtime import ExecutionEngine
+
     state = CheckpointManager.initial_state_for(schedule)
-    for op in schedule.operations():
-        op.execute(state)
-    return state.to_statevector().data.copy()
+    result = ExecutionEngine(schedule, use_plan=False).run(state=state)
+    return result.state.to_statevector().data.copy()
 
 
 def run_scenario(

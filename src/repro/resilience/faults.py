@@ -41,6 +41,7 @@ import numpy as np
 from repro.distributed.state import DistributedState
 
 __all__ = [
+    "FATAL_FAULTS",
     "FAULT_KINDS",
     "FaultError",
     "FaultInjector",
@@ -82,6 +83,14 @@ class RetryBudgetExceededError(FaultError):
 
 class RestartBudgetExceededError(FaultError):
     """The run burned through its checkpoint-restart budget."""
+
+
+#: Fault classes that trigger a checkpoint restart rather than a retry.
+FATAL_FAULTS = (
+    RankCrashError,
+    ShardCorruptionError,
+    RetryBudgetExceededError,
+)
 
 
 @dataclass(frozen=True)

@@ -19,10 +19,14 @@ a typed error once its recovery budget is spent.  Three mechanisms:
   :class:`~repro.distributed.checkpoint.CheckpointManager` checkpoint
   (or a fresh initial state) and replay.
 
-Execution is recorded as telemetry spans: one span per op *attempt*
-(transient failures mutate into ``fault`` spans, aborted fatal attempts
-into ``aborted`` ones, excluded from the op-event view), nested under a
-``resilient_run`` root.  The result's
+Since the runtime engine landed this class is a thin assembler: it
+builds an :class:`~repro.runtime.ExecutionEngine` with the resilient
+layer stack (tracing, checkpoint, fault injection, integrity,
+sanitizer) and a :class:`RetryPolicy`, and the engine owns the retry and
+restart machinery.  Execution is recorded as telemetry spans: one span
+per op *attempt* (transient failures mutate into ``fault`` spans,
+aborted fatal attempts into ``aborted`` ones, excluded from the op-event
+view), nested under a ``resilient_run`` root.  The result's
 :class:`~repro.distributed.tracing.ExecutionTrace` is the flat view over
 those spans, so chaos reports and normal traces share one model and the
 timing-free ``signature()`` stays comparable across runs.  All
@@ -33,22 +37,28 @@ schedule, plan and policy.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.distributed.checkpoint import CheckpointManager
 from repro.distributed.comm import CommStats
 from repro.distributed.state import DistributedState
-from repro.distributed.tracing import ExecutionTrace, _classify
-from repro.resilience.faults import (
+from repro.distributed.tracing import ExecutionTrace
+from repro.resilience.faults import (  # noqa: F401  (FATAL_FAULTS re-export)
+    FATAL_FAULTS,
     FaultInjector,
     FaultPlan,
-    RankCrashError,
-    RestartBudgetExceededError,
-    RetryBudgetExceededError,
-    ShardCorruptionError,
-    TransientCommError,
 )
-from repro.scheduling.program import Schedule, SwapOp
+from repro.runtime import (
+    CheckpointLayer,
+    ExecutionEngine,
+    FaultLayer,
+    IntegrityLayer,
+    RecoveryReport,
+    RetryPolicy,
+    SanitizerLayer,
+    TracingLayer,
+)
+from repro.scheduling.program import Schedule
 from repro.telemetry.metrics import NULL_METRICS
 from repro.telemetry.runtime import Telemetry
 from repro.telemetry.spans import Tracer
@@ -59,70 +69,6 @@ __all__ = [
     "ResilientRunResult",
     "RetryPolicy",
 ]
-
-#: fault classes that trigger a checkpoint restart rather than a retry.
-FATAL_FAULTS = (RankCrashError, ShardCorruptionError, RetryBudgetExceededError)
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Recovery budgets and backoff shape.
-
-    ``backoff(attempt)`` returns ``base * factor**attempt`` seconds; the
-    supervisor always *accounts* the delay deterministically and only
-    actually sleeps through the injected ``sleep`` callable (tests pass a
-    no-op).
-    """
-
-    max_retries: int = 3
-    max_restarts: int = 2
-    backoff_base_seconds: float = 0.01
-    backoff_factor: float = 2.0
-
-    def backoff(self, attempt: int) -> float:
-        """Deterministic delay before retry number ``attempt`` (0-based)."""
-        return self.backoff_base_seconds * self.backoff_factor**attempt
-
-
-@dataclass
-class RecoveryReport:
-    """Everything the run spent on surviving faults.
-
-    All fields except ``wall_overhead_seconds`` are deterministic given
-    (schedule, plan, policy); :meth:`to_dict` with
-    ``deterministic=True`` drops the measured field so two runs of the
-    same plan compare equal.
-    """
-
-    faults_injected: list[dict] = field(default_factory=list)
-    transient_retries: int = 0
-    restarts: int = 0
-    redundant_bytes: int = 0
-    backoff_seconds: float = 0.0
-    stall_seconds: float = 0.0
-    integrity_checks: int = 0
-    corruption_detections: int = 0
-    checkpoints_written: int = 0
-    checkpoint_bytes: int = 0
-    wall_overhead_seconds: float = 0.0
-
-    def to_dict(self, *, deterministic: bool = False) -> dict:
-        """Dict form; ``deterministic=True`` excludes measured wall time."""
-        out = {
-            "faults_injected": list(self.faults_injected),
-            "transient_retries": self.transient_retries,
-            "restarts": self.restarts,
-            "redundant_bytes": self.redundant_bytes,
-            "backoff_seconds": round(self.backoff_seconds, 9),
-            "stall_seconds": round(self.stall_seconds, 9),
-            "integrity_checks": self.integrity_checks,
-            "corruption_detections": self.corruption_detections,
-            "checkpoints_written": self.checkpoints_written,
-            "checkpoint_bytes": self.checkpoint_bytes,
-        }
-        if not deterministic:
-            out["wall_overhead_seconds"] = self.wall_overhead_seconds
-        return out
 
 
 @dataclass
@@ -179,10 +125,22 @@ class ResilientExecutor:
         op-pinned diagnostics.
     telemetry:
         Optional :class:`~repro.telemetry.runtime.Telemetry` bundle.  The
-        supervisor *always* records spans (the result's trace is built
+        executor *always* records spans (the result's trace is built
         from them); passing an enabled bundle makes them land in the
         caller's tracer (for export) and streams ``comm.*`` /
         ``resilience.*`` metrics into its registry.
+    state_factory:
+        Builds the state a run or restart starts from (and the vessel a
+        checkpoint loads into).  Defaults to the schedule's canonical
+        in-memory initial state; pass a factory closing over a custom
+        :class:`~repro.distributed.ShardStorage` backend to carry it
+        across restarts.
+    use_plan:
+        Execute through the schedule's compiled plan instead of the raw
+        op stream.  Off by default: with diagonal fusion, plan-unit
+        boundaries differ from raw op boundaries, which shifts
+        checkpoint indices and trace signatures relative to historical
+        resilient runs.
     """
 
     def __init__(
@@ -197,6 +155,8 @@ class ResilientExecutor:
         sleep=time.sleep,
         sanitizer=None,
         telemetry: Telemetry | None = None,
+        state_factory=None,
+        use_plan: bool = False,
     ) -> None:
         if verify not in ("swap", "every", "never"):
             raise ValueError(f"verify must be swap|every|never, got {verify!r}")
@@ -208,6 +168,10 @@ class ResilientExecutor:
         self.verify = verify
         self._sleep = sleep
         self.sanitizer = sanitizer
+        self.use_plan = use_plan
+        self._state_factory = state_factory or (
+            lambda: CheckpointManager.initial_state_for(self.schedule)
+        )
         # The trace is a view over spans, so a live tracer is mandatory:
         # use the caller's when it is collecting, else a private one.
         if telemetry is not None and telemetry.tracer.enabled:
@@ -218,180 +182,39 @@ class ResilientExecutor:
         self.telemetry = Telemetry(tracer=tracer, metrics=metrics)
 
     # ------------------------------------------------------------------
-    def _verify_integrity(
-        self, state: DistributedState, table: list[int], report: RecoveryReport
-    ) -> None:
-        report.integrity_checks += 1
-        bad = [
-            r
-            for r, crc in enumerate(state.shard_checksums())
-            if crc != table[r]
+    def _build_engine(self) -> ExecutionEngine:
+        """The engine + layer stack equivalent of this executor."""
+        layers = [
+            TracingLayer(self.telemetry, mode="resilient", trace_scope="run"),
+            CheckpointLayer(
+                self.manager,
+                every=self.checkpoint_every,
+                resume=True,
+                skip_last=True,
+                state_factory=self._state_factory,
+            ),
         ]
-        if bad:
-            report.corruption_detections += 1
-            raise ShardCorruptionError(bad)
+        if self.injector is not None:
+            layers.append(FaultLayer(self.injector, sleep=self._sleep))
+        if self.verify != "never":
+            layers.append(IntegrityLayer(self.verify))
+        if self.sanitizer is not None:
+            layers.append(SanitizerLayer(self.sanitizer))
+        num_ops = len(list(self.schedule.operations()))
+        return ExecutionEngine(
+            self.schedule,
+            use_plan=self.use_plan,
+            layers=layers,
+            policy=self.policy,
+            state_factory=self._state_factory,
+            sleep=self._sleep,
+            root_span="resilient_run",
+            root_attrs={"ops": num_ops},
+        )
 
-    def _checkpoint(
-        self, state: DistributedState, next_op: int, report: RecoveryReport
-    ) -> None:
-        report.checkpoint_bytes += self.manager.save(state, next_op)
-        report.checkpoints_written += 1
-
-    def _attempt_op(
-        self, op, index: int, state: DistributedState, report: RecoveryReport
-    ) -> tuple[float, int]:
-        """One op with transient retries; returns (seconds, bytes_moved).
-
-        Each attempt is one span: a successful attempt keeps the op's
-        kind/label; a transient failure mutates into a ``fault`` span; a
-        fatally aborted attempt becomes ``aborted`` (dropped from the
-        op-event view — the run-level ``fatal:`` event records it).
-        """
-        tracer = self.telemetry.tracer
-        metrics = self.telemetry.metrics
-        kind, label = _classify(op)
-        for attempt in range(self.policy.max_retries + 1):
-            run_stats = state.stats
-            # Fresh per-attempt counters, streaming into the same registry
-            # the run counters are bound to (so comm.* metrics stay equal
-            # to the cumulative stats).
-            state.stats = CommStats().bind_metrics(run_stats.metrics)
-            start = time.perf_counter()
-            with tracer.span(label, kind=kind, op_index=index) as span:
-                try:
-                    if self.injector is not None:
-                        with self.injector.exchange_guard(index, state):
-                            op.execute(state)
-                    else:
-                        op.execute(state)
-                except BaseException as exc:
-                    # Always restore the run counters — a fatal fault
-                    # escaping here must leave ``state.stats`` cumulative
-                    # so the restart path can compute
-                    # bytes-since-checkpoint.
-                    attempt_stats, state.stats = state.stats, run_stats
-                    run_stats.merge(attempt_stats)
-                    if not isinstance(exc, TransientCommError):
-                        span.kind = "aborted"
-                        raise
-                    # Nothing moved (transients strike before the
-                    # transfer), but any staging work the op performed
-                    # stays counted exactly once: the swap path is
-                    # resumable, so the retry skips what is already done.
-                    report.redundant_bytes += attempt_stats.bytes_on_network
-                    report.transient_retries += 1
-                    metrics.counter("resilience.transient_retries").inc()
-                    span.name = f"transient at op {index} (attempt {attempt})"
-                    span.kind = "fault"
-                else:
-                    seconds = time.perf_counter() - start
-                    attempt_stats, state.stats = state.stats, run_stats
-                    run_stats.merge(attempt_stats)
-                    if kind == "swap":
-                        span.attrs["bytes"] = attempt_stats.bytes_on_network
-                    return seconds, attempt_stats.bytes_on_network
-            if attempt >= self.policy.max_retries:
-                raise RetryBudgetExceededError(
-                    f"op {index}: {self.policy.max_retries} retries exhausted"
-                )
-            delay = self.policy.backoff(attempt)
-            report.backoff_seconds += delay
-            self._sleep(delay)
-        raise AssertionError("unreachable")  # pragma: no cover
-
-    # ------------------------------------------------------------------
     def run(self) -> ResilientRunResult:
         """Execute to completion; raises a typed error past the budget."""
-        ops = list(self.schedule.operations())
-        report = RecoveryReport()
-        policy = self.policy
-        tracer = self.telemetry.tracer
-        metrics = self.telemetry.metrics
-        span_base = len(tracer.spans)
-        restarts = 0
-        wall_start = time.perf_counter()
-        productive_seconds = 0.0  # op time whose results survived
-        if self.sanitizer is not None:
-            self.sanitizer.use_metrics(metrics)
-
-        with tracer.span(
-            "resilient_run", kind="run", ops=len(ops)
-        ) as run_span:
-            while True:
-                if self.manager.has_checkpoint():
-                    state, start_index = self.manager.load()
-                else:
-                    state = CheckpointManager.initial_state_for(self.schedule)
-                    start_index = 0
-                state.use_telemetry(self.telemetry)
-                table = (
-                    state.shard_checksums() if self.verify != "never" else []
-                )
-                if self.sanitizer is not None:
-                    self.sanitizer.reset()
-                    self.sanitizer.attach(state)
-                bytes_at_ckpt = state.stats.bytes_on_network
-                seconds_since_ckpt = 0.0
-                try:
-                    for index in range(start_index, len(ops)):
-                        op = ops[index]
-                        if self.injector is not None:
-                            stall = self.injector.on_op_start(index, state)
-                            if stall:
-                                report.stall_seconds += stall
-                                self._sleep(stall)
-                        if self.verify == "every" or (
-                            self.verify == "swap" and isinstance(op, SwapOp)
-                        ):
-                            self._verify_integrity(state, table, report)
-                        if self.sanitizer is not None:
-                            self.sanitizer.before_op(state, index)
-                        seconds, moved = self._attempt_op(
-                            op, index, state, report
-                        )
-                        if self.sanitizer is not None:
-                            self.sanitizer.after_op(state, index)
-                        productive_seconds += seconds
-                        seconds_since_ckpt += seconds
-                        if self.verify != "never":
-                            table = state.shard_checksums()
-                        if (
-                            self.checkpoint_every
-                            and (index + 1) % self.checkpoint_every == 0
-                            and index + 1 < len(ops)
-                        ):
-                            self._checkpoint(state, index + 1, report)
-                            bytes_at_ckpt = state.stats.bytes_on_network
-                            seconds_since_ckpt = 0.0
-                    if self.verify != "never":
-                        self._verify_integrity(state, table, report)
-                    self._checkpoint(state, len(ops), report)
-                    break
-                except FATAL_FAULTS as exc:
-                    # Bytes moved since the last checkpoint will be
-                    # re-moved by the replay: pure recovery overhead.
-                    report.redundant_bytes += (
-                        state.stats.bytes_on_network - bytes_at_ckpt
-                    )
-                    # Un-checkpointed op time is re-spent by the replay.
-                    productive_seconds -= seconds_since_ckpt
-                    tracer.event(
-                        f"fatal: {type(exc).__name__}: {exc}", kind="fault"
-                    )
-                    restarts += 1
-                    if restarts > policy.max_restarts:
-                        run_span.attrs["outcome"] = "budget_exhausted"
-                        raise RestartBudgetExceededError(
-                            f"{restarts} restarts exceed budget of "
-                            f"{policy.max_restarts} (last fault: {exc})"
-                        ) from exc
-                    report.restarts += 1
-                    metrics.counter("resilience.restarts").inc()
-
-        if self.injector is not None:
-            report.faults_injected = list(self.injector.log)
-        report.wall_overhead_seconds = max(
-            0.0, (time.perf_counter() - wall_start) - productive_seconds
+        result = self._build_engine().run()
+        return ResilientRunResult(
+            state=result.state, trace=result.trace, report=result.report
         )
-        trace = ExecutionTrace.from_spans(tracer.spans[span_base:])
-        return ResilientRunResult(state=state, trace=trace, report=report)

@@ -1,0 +1,45 @@
+"""The composable execution engine.
+
+One canonical op loop (:class:`ExecutionEngine`) replays compiled plans
+or raw schedules; every cross-cutting concern — tracing, shard
+sanitizing, fault injection, integrity verification, checkpointing — is
+a :class:`RuntimeLayer` composed onto that loop, and a
+:class:`RetryPolicy` turns the same loop into the fault-tolerant
+executor.  The legacy per-feature entry points
+(``trace_schedule_execution``, ``run_sanitized``,
+``run_with_checkpoints``, ``ResilientExecutor``) are deprecation shims
+over engine + layer stacks built here.
+"""
+
+from repro.runtime.engine import (
+    EngineResult,
+    ExecUnit,
+    ExecutionContext,
+    ExecutionEngine,
+)
+from repro.runtime.layers import (
+    CallbackLayer,
+    CheckpointLayer,
+    FaultLayer,
+    IntegrityLayer,
+    RuntimeLayer,
+    SanitizerLayer,
+    TracingLayer,
+)
+from repro.runtime.policy import RecoveryReport, RetryPolicy
+
+__all__ = [
+    "CallbackLayer",
+    "CheckpointLayer",
+    "EngineResult",
+    "ExecUnit",
+    "ExecutionContext",
+    "ExecutionEngine",
+    "FaultLayer",
+    "IntegrityLayer",
+    "RecoveryReport",
+    "RetryPolicy",
+    "RuntimeLayer",
+    "SanitizerLayer",
+    "TracingLayer",
+]

@@ -1,0 +1,622 @@
+"""The one canonical execution loop.
+
+Every way this codebase runs a schedule — plain, plan-compiled, traced,
+sanitized, fault-injected, checkpointed, resilient — used to be its own
+executor with its own copy of the op loop.  :class:`ExecutionEngine`
+replaces them all: it replays a :class:`~repro.plan.CompiledProgram` (or
+the raw :class:`~repro.scheduling.Schedule` op stream with
+``use_plan=False``) through a single loop, and every cross-cutting
+concern is a :class:`~repro.runtime.layers.RuntimeLayer` composed onto
+that loop.  The legacy entry points (``run_schedule``,
+``trace_schedule_execution``, ``run_sanitized``,
+``run_with_checkpoints``, ``ResilientExecutor``) are thin shims that
+build an engine plus the matching layer stack.
+
+Hook order is onion-style: ``before_op`` runs in stack order,
+``after_op`` / ``on_run_end`` in reverse stack order, so the first layer
+in the stack is the outermost wrapper.  With a :class:`RetryPolicy` the
+engine owns the retry/restart machinery — per-attempt communication
+counters (so retried swaps never double-count bytes), exponential
+backoff, and a restart loop that re-acquires state from a
+checkpoint-providing layer or the state factory.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import ExitStack
+from dataclasses import dataclass
+from functools import partial
+
+from repro.distributed.comm import CommStats
+from repro.distributed.state import DistributedState
+from repro.distributed.tracing import ExecutionTrace, _classify
+from repro.runtime.policy import RecoveryReport, RetryPolicy
+from repro.telemetry.runtime import NULL_TELEMETRY, Telemetry
+
+__all__ = [
+    "EngineResult",
+    "ExecUnit",
+    "ExecutionContext",
+    "ExecutionEngine",
+]
+
+
+class ExecUnit:
+    """One step of the canonical loop.
+
+    Wraps either a raw schedule op (one source, ``run`` is the op's
+    bound ``execute``) or a plan op (possibly covering several fused
+    source ops).  ``op_index`` is the first covered position in the
+    schedule's op stream; ``kind``/``label``/``stage`` match what the
+    tracing layer records for it.
+    """
+
+    __slots__ = (
+        "index",
+        "op_index",
+        "kind",
+        "label",
+        "stage",
+        "sources",
+        "num_sources",
+        "is_swap",
+        "run",
+    )
+
+    def __init__(
+        self,
+        *,
+        index,
+        op_index,
+        kind,
+        label,
+        stage,
+        sources,
+        num_sources,
+        is_swap,
+        run,
+    ):
+        self.index = index
+        self.op_index = op_index
+        self.kind = kind
+        self.label = label
+        self.stage = stage
+        self.sources = sources
+        self.num_sources = num_sources
+        self.is_swap = is_swap
+        self.run = run
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"ExecUnit(op_index={self.op_index}, kind={self.kind!r}, "
+            f"label={self.label!r})"
+        )
+
+
+class ExecutionContext:
+    """Mutable per-run state shared between the engine and its layers."""
+
+    __slots__ = (
+        "engine",
+        "schedule",
+        "units",
+        "policy",
+        "telemetry",
+        "report",
+        "state",
+        "restarts",
+        "pass_index",
+        "ops_this_pass",
+        "bytes_at_ckpt",
+        "seconds_since_ckpt",
+        "productive_seconds",
+        "total_source_ops",
+        "from_plan",
+        "span_base",
+    )
+
+    def __init__(self, engine, schedule, units, policy, telemetry, report):
+        self.engine = engine
+        self.schedule = schedule
+        self.units = units
+        self.policy = policy
+        self.telemetry = telemetry
+        self.report = report
+        self.state = None
+        self.restarts = 0
+        self.pass_index = 0
+        self.ops_this_pass = 0
+        self.bytes_at_ckpt = 0
+        self.seconds_since_ckpt = 0.0
+        self.productive_seconds = 0.0
+        self.total_source_ops = engine.total_source_ops
+        self.from_plan = engine.from_plan
+        self.span_base = 0
+
+    @property
+    def tracer(self):
+        """The run's span tracer (possibly the shared no-op one)."""
+        return self.telemetry.tracer
+
+    @property
+    def metrics(self):
+        """The run's metrics registry (possibly the shared no-op one)."""
+        return self.telemetry.metrics
+
+
+@dataclass
+class EngineResult:
+    """Output of one :meth:`ExecutionEngine.run` call."""
+
+    state: DistributedState
+    wall_seconds: float
+    trace: ExecutionTrace | None
+    report: RecoveryReport
+
+
+def _units_from_schedule(schedule) -> list[ExecUnit]:
+    units: list[ExecUnit] = []
+    stage = 0
+    for index, op in enumerate(schedule.operations()):
+        kind, label = _classify(op)
+        if kind == "swap":
+            stage += 1
+        units.append(
+            ExecUnit(
+                index=len(units),
+                op_index=index,
+                kind=kind,
+                label=label,
+                stage=stage,
+                sources=None,
+                num_sources=1,
+                is_swap=kind == "swap",
+                run=op.execute,
+            )
+        )
+    return units
+
+
+def _units_from_plan(plan) -> list[ExecUnit]:
+    from repro.plan.executor import _run_op
+
+    units: list[ExecUnit] = []
+    for plan_op in plan.ops:
+        first = plan_op.sources[0]
+        units.append(
+            ExecUnit(
+                index=len(units),
+                op_index=first.op_index,
+                kind=first.kind,
+                label=first.label,
+                stage=plan_op.stage,
+                sources=plan_op.sources,
+                num_sources=plan_op.num_sources,
+                is_swap=first.kind == "swap",
+                run=partial(_run_op, plan_op),
+            )
+        )
+    return units
+
+
+class ExecutionEngine:
+    """Replays a compiled program (or raw schedule) through one loop.
+
+    Parameters
+    ----------
+    program:
+        A :class:`~repro.scheduling.Schedule` or a
+        :class:`~repro.plan.CompiledProgram`.  Schedules are lowered to
+        their memoized plan unless ``use_plan=False`` keeps the raw
+        op-by-op stream (bit-exact with the pre-plan interpreter).
+    layers:
+        The :class:`~repro.runtime.layers.RuntimeLayer` stack, outermost
+        first.  ``before_op`` runs in stack order, ``after_op`` /
+        ``on_run_end`` in reverse.
+    policy:
+        Optional :class:`RetryPolicy`.  When set, transient
+        communication errors are retried with backoff and fatal faults
+        (crashes, detected corruption, exhausted retries) restart the
+        run from the freshest state a layer can provide.
+    state_factory:
+        Builds the fresh initial state for a run or a from-scratch
+        restart; defaults to the schedule's canonical initial state.
+        This is how custom :class:`~repro.distributed.ShardStorage`
+        backends survive a restart.
+    telemetry:
+        Telemetry bundle for the run; when a ``TracingLayer`` is in the
+        stack its (resolved) bundle takes precedence and is attached to
+        the state for the duration of the run.
+    root_span / root_attrs:
+        Name and attributes of the run's root span (``execute_schedule``
+        by default, ``resilient_run`` under the resilient shim).
+    """
+
+    def __init__(
+        self,
+        program=None,
+        *,
+        use_plan: bool = True,
+        layers=(),
+        policy: RetryPolicy | None = None,
+        state_factory=None,
+        telemetry: Telemetry | None = None,
+        sleep=time.sleep,
+        root_span: str = "execute_schedule",
+        root_attrs: dict | None = None,
+    ) -> None:
+        self._layers = tuple(layers)
+        self._policy = policy
+        self._sleep = sleep
+        self._root_span = root_span
+        self._root_attrs = dict(root_attrs or {})
+        self._state_factory = state_factory
+
+        if program is None:
+            self._schedule = None
+            self._units = []
+            self.from_plan = False
+        elif hasattr(program, "operations"):  # a Schedule
+            self._schedule = program
+            if use_plan:
+                from repro.plan import plan_for
+
+                self._units = _units_from_plan(plan_for(program))
+                self.from_plan = True
+            else:
+                self._units = _units_from_schedule(program)
+                self.from_plan = False
+        elif hasattr(program, "ops"):  # a CompiledProgram
+            self._schedule = program.schedule
+            self._units = _units_from_plan(program)
+            self.from_plan = True
+        else:
+            raise TypeError(
+                f"program must be a Schedule or CompiledProgram, got "
+                f"{type(program).__name__}"
+            )
+        self.total_source_ops = sum(u.num_sources for u in self._units)
+        self._unit_of_source = {u.op_index: u.index for u in self._units}
+
+        # A TracingLayer owns the run's effective telemetry bundle.
+        self._tracing = next(
+            (la for la in self._layers if hasattr(la, "trace_scope")), None
+        )
+        if self._tracing is not None:
+            self._telemetry = self._tracing.telemetry
+        else:
+            self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_circuit(
+        cls, circuit, *, auto_swap: bool = True, telemetry=None
+    ) -> "ExecutionEngine":
+        """An engine replaying a raw circuit gate by gate (naive mode)."""
+        engine = cls(
+            None,
+            telemetry=telemetry,
+            root_span="run_circuit",
+            root_attrs={"gates": len(circuit)},
+        )
+        units = []
+        for index, gate in enumerate(circuit):
+            units.append(
+                ExecUnit(
+                    index=index,
+                    op_index=index,
+                    kind="gate",
+                    label=f"{gate.name}{gate.qubits}",
+                    stage=0,
+                    sources=None,
+                    num_sources=1,
+                    is_swap=False,
+                    run=partial(
+                        _apply_circuit_gate, gate=gate, auto_swap=auto_swap
+                    ),
+                )
+            )
+        engine._units = units
+        engine.total_source_ops = len(units)
+        engine._unit_of_source = {u.op_index: u.index for u in units}
+        return engine
+
+    @property
+    def units(self) -> list[ExecUnit]:
+        """The canonical op stream this engine replays."""
+        return self._units
+
+    @property
+    def layers(self):
+        """The composed layer stack, outermost first."""
+        return self._layers
+
+    # ------------------------------------------------------------------
+    def _unit_index_for(self, source_index: int) -> int:
+        """Map a schedule-op index to the unit that starts there."""
+        if source_index <= 0:
+            return 0
+        if source_index >= self.total_source_ops:
+            if source_index == self.total_source_ops:
+                return len(self._units)
+            raise ValueError(
+                f"op index {source_index} is past the end of the program "
+                f"({self.total_source_ops} ops)"
+            )
+        unit_index = self._unit_of_source.get(source_index)
+        if unit_index is None:
+            raise ValueError(
+                f"op index {source_index} falls inside a fused plan op; "
+                f"resume the raw schedule (use_plan=False) or checkpoint "
+                f"at plan-unit boundaries"
+            )
+        return unit_index
+
+    def _default_state(self) -> DistributedState:
+        if self._state_factory is not None:
+            return self._state_factory()
+        schedule = self._schedule
+        if schedule is None:
+            raise RuntimeError(
+                "engine has no schedule and no state_factory; pass "
+                "run(state=...)"
+            )
+        return DistributedState(
+            schedule.num_qubits,
+            schedule.local_qubits,
+            init=getattr(schedule, "initial_state", "zero"),
+            initial_global_qubits=schedule.initial_global_qubits or None,
+        )
+
+    def _acquire_state(self, ctx, explicit_state, start_index):
+        """State + starting unit for this pass (checkpoint > explicit > fresh)."""
+        if ctx.pass_index == 0 and explicit_state is not None:
+            # An explicitly passed state wins on the first pass only;
+            # after a fatal fault it may be torn, so restarts re-acquire.
+            for layer in self._layers:
+                provided = layer.provide_state(ctx)
+                if provided is not None:
+                    return provided[0], self._unit_index_for(provided[1])
+            return explicit_state, self._unit_index_for(start_index)
+        for layer in self._layers:
+            provided = layer.provide_state(ctx)
+            if provided is not None:
+                return provided[0], self._unit_index_for(provided[1])
+        first = ctx.pass_index == 0
+        return self._default_state(), self._unit_index_for(
+            start_index if first else 0
+        )
+
+    # ------------------------------------------------------------------
+    def _run_guarded(self, ctx, unit) -> None:
+        guards = []
+        for layer in self._layers:
+            cm = layer.attempt_context(ctx, unit)
+            if cm is not None:
+                guards.append(cm)
+        if not guards:
+            unit.run(ctx.state)
+            return
+        with ExitStack() as stack:
+            for cm in guards:
+                stack.enter_context(cm)
+            unit.run(ctx.state)
+
+    def _dispatch(self, ctx, unit):
+        """Run one unit (with retries under a policy); returns (s, bytes)."""
+        layers = self._layers
+        state = ctx.state
+        if self._policy is None:
+            bytes_before = state.stats.bytes_on_network
+            for layer in layers:
+                layer.on_attempt_start(ctx, unit, 0)
+            start = time.perf_counter()
+            try:
+                self._run_guarded(ctx, unit)
+            except BaseException as exc:
+                seconds = time.perf_counter() - start
+                for layer in reversed(layers):
+                    layer.on_attempt_end(ctx, unit, 0, seconds, 0, exc, False)
+                raise
+            seconds = time.perf_counter() - start
+            moved = state.stats.bytes_on_network - bytes_before
+            for layer in reversed(layers):
+                layer.on_attempt_end(ctx, unit, 0, seconds, moved, None, False)
+            return seconds, moved
+
+        policy = self._policy
+        report = ctx.report
+        metrics = self._telemetry.metrics
+        transient_error = self._transient_error
+        for attempt in range(policy.max_retries + 1):
+            # Fresh per-attempt counters, streaming into the same
+            # registry the run counters are bound to (so comm.* metrics
+            # stay equal to the cumulative stats).
+            run_stats = state.stats
+            state.stats = CommStats().bind_metrics(run_stats.metrics)
+            for layer in layers:
+                layer.on_attempt_start(ctx, unit, attempt)
+            start = time.perf_counter()
+            try:
+                self._run_guarded(ctx, unit)
+            except BaseException as exc:
+                seconds = time.perf_counter() - start
+                # Always restore the run counters — a fatal fault
+                # escaping here must leave ``state.stats`` cumulative so
+                # the restart path can compute bytes-since-checkpoint.
+                attempt_stats, state.stats = state.stats, run_stats
+                run_stats.merge(attempt_stats)
+                transient = isinstance(exc, transient_error)
+                if transient:
+                    # Nothing moved (transients strike before the
+                    # transfer), but any staging work the op performed
+                    # stays counted exactly once: the swap path is
+                    # resumable, so the retry skips what is already done.
+                    report.redundant_bytes += attempt_stats.bytes_on_network
+                    report.transient_retries += 1
+                    metrics.counter("resilience.transient_retries").inc()
+                for layer in reversed(layers):
+                    layer.on_attempt_end(
+                        ctx, unit, attempt, seconds, 0, exc, transient
+                    )
+                if not transient:
+                    raise
+                if attempt >= policy.max_retries:
+                    raise self._retry_budget_error(
+                        f"op {unit.op_index}: {policy.max_retries} retries "
+                        f"exhausted"
+                    )
+                delay = policy.backoff(attempt)
+                report.backoff_seconds += delay
+                self._sleep(delay)
+                continue
+            seconds = time.perf_counter() - start
+            attempt_stats, state.stats = state.stats, run_stats
+            run_stats.merge(attempt_stats)
+            moved = attempt_stats.bytes_on_network
+            for layer in reversed(layers):
+                layer.on_attempt_end(
+                    ctx, unit, attempt, seconds, moved, None, False
+                )
+            return seconds, moved
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def run(self, *, state=None, start_index: int = 0) -> EngineResult:
+        """Execute to completion; raises a typed error past the budget."""
+        units = self._units
+        policy = self._policy
+        if policy is not None:
+            # Fault taxonomy lives a layer up; import late so plain runs
+            # never touch it (and to keep the import graph acyclic).
+            from repro.resilience.faults import (
+                FATAL_FAULTS,
+                RestartBudgetExceededError,
+                RetryBudgetExceededError,
+                TransientCommError,
+            )
+
+            self._transient_error = TransientCommError
+            self._retry_budget_error = RetryBudgetExceededError
+            fatal_faults = FATAL_FAULTS
+        else:
+            fatal_faults = ()
+
+        report = RecoveryReport()
+        ctx = ExecutionContext(
+            self, self._schedule, units, policy, self._telemetry, report
+        )
+        layers = self._layers
+        tracer = self._telemetry.tracer
+        metrics = self._telemetry.metrics
+        ctx.span_base = len(tracer.spans)
+        attach = self._tracing is not None
+        explicit_state = state
+        wall_start = time.perf_counter()
+        try:
+            with tracer.span(
+                self._root_span, kind="run", **self._root_attrs
+            ) as run_span:
+                if not layers and policy is None:
+                    # Fast path: the bare loop, nothing per-op but the call.
+                    state, start_unit = self._acquire_state(
+                        ctx, explicit_state, start_index
+                    )
+                    ctx.state = state
+                    for unit in units[start_unit:]:
+                        unit.run(state)
+                    return EngineResult(
+                        state,
+                        time.perf_counter() - wall_start,
+                        None,
+                        report,
+                    )
+                while True:
+                    state, start_unit = self._acquire_state(
+                        ctx, explicit_state, start_index
+                    )
+                    ctx.state = state
+                    previous_bundle = state.telemetry
+                    if attach:
+                        state.use_telemetry(self._telemetry)
+                    restore = attach and state is explicit_state
+                    done = False
+                    try:
+                        for layer in layers:
+                            layer.on_run_start(ctx)
+                        ctx.bytes_at_ckpt = state.stats.bytes_on_network
+                        ctx.seconds_since_ckpt = 0.0
+                        try:
+                            for ui in range(start_unit, len(units)):
+                                unit = units[ui]
+                                ctx.ops_this_pass = ui - start_unit
+                                for layer in layers:
+                                    layer.before_op(ctx, unit)
+                                seconds, moved = self._dispatch(ctx, unit)
+                                ctx.productive_seconds += seconds
+                                ctx.seconds_since_ckpt += seconds
+                                for layer in reversed(layers):
+                                    layer.after_op(ctx, unit)
+                                if unit.is_swap:
+                                    for layer in layers:
+                                        layer.on_swap(ctx, unit, moved)
+                            for layer in reversed(layers):
+                                layer.on_run_end(ctx)
+                            done = True
+                        except BaseException as exc:
+                            if policy is None or not isinstance(
+                                exc, fatal_faults
+                            ):
+                                raise
+                            # Bytes moved since the last checkpoint will
+                            # be re-moved by the replay: pure recovery
+                            # overhead.  Un-checkpointed op time is
+                            # re-spent too.
+                            report.redundant_bytes += (
+                                state.stats.bytes_on_network
+                                - ctx.bytes_at_ckpt
+                            )
+                            ctx.productive_seconds -= ctx.seconds_since_ckpt
+                            for layer in layers:
+                                layer.on_failure(ctx, exc)
+                            ctx.restarts += 1
+                            if ctx.restarts > policy.max_restarts:
+                                if run_span is not None:
+                                    run_span.attrs["outcome"] = (
+                                        "budget_exhausted"
+                                    )
+                                raise RestartBudgetExceededError(
+                                    f"{ctx.restarts} restarts exceed budget "
+                                    f"of {policy.max_restarts} "
+                                    f"(last fault: {exc})"
+                                ) from exc
+                            report.restarts += 1
+                            metrics.counter("resilience.restarts").inc()
+                    finally:
+                        if restore:
+                            state.use_telemetry(previous_bundle)
+                    if done:
+                        break
+                    ctx.pass_index += 1
+
+            report.wall_overhead_seconds = max(
+                0.0,
+                (time.perf_counter() - wall_start) - ctx.productive_seconds,
+            )
+            trace = None
+            if self._tracing is not None:
+                spans = tracer.spans
+                if self._tracing.trace_scope == "run":
+                    spans = spans[ctx.span_base:]
+                trace = ExecutionTrace.from_spans(spans)
+            return EngineResult(
+                state, time.perf_counter() - wall_start, trace, report
+            )
+        finally:
+            for layer in reversed(layers):
+                layer.finalize(ctx)
+
+
+def _apply_circuit_gate(state, *, gate, auto_swap):
+    state.apply_gate(gate, auto_swap=auto_swap)

@@ -1,0 +1,419 @@
+"""Composable cross-cutting concerns for the execution engine.
+
+Each layer implements (a subset of) the :class:`RuntimeLayer` protocol —
+``on_run_start / before_op / after_op / on_swap / on_run_end /
+on_failure`` — and the engine threads every unit of the canonical loop
+through the stack.  ``before_op`` runs in stack order, ``after_op`` and
+``on_run_end`` in reverse, so the resilient stack
+
+    [TracingLayer, CheckpointLayer, FaultLayer, IntegrityLayer,
+     SanitizerLayer]
+
+reproduces the legacy supervisor's exact per-op order: inject faults →
+verify checksums → sanitizer pre-scan → *attempt the op* → sanitizer
+post-scan → refresh checksum table → periodic checkpoint.
+
+Layers that need attempt granularity (one telemetry span per retry, a
+fault guard around the communication call) additionally implement the
+``on_attempt_start / on_attempt_end / attempt_context`` extension hooks;
+``provide_state`` lets a layer supply the state a (re)start resumes
+from, and ``finalize`` is the engine's guaranteed cleanup hook.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.distributed.checkpoint import CheckpointManager
+from repro.kernels.tables import GATHER_CACHE
+from repro.telemetry.runtime import Telemetry
+
+__all__ = [
+    "CallbackLayer",
+    "CheckpointLayer",
+    "FaultLayer",
+    "IntegrityLayer",
+    "RuntimeLayer",
+    "SanitizerLayer",
+    "TracingLayer",
+]
+
+
+class RuntimeLayer:
+    """Base layer: every hook is a no-op; override what you need.
+
+    The six core hooks receive the shared
+    :class:`~repro.runtime.engine.ExecutionContext` (``ctx``) and, where
+    applicable, the current :class:`~repro.runtime.engine.ExecUnit`.
+    """
+
+    # -- core protocol -------------------------------------------------
+    def on_run_start(self, ctx) -> None:
+        """A (re)start pass begins; ``ctx.state`` is acquired."""
+
+    def before_op(self, ctx, unit) -> None:
+        """Before a unit is attempted (outside the retry loop)."""
+
+    def after_op(self, ctx, unit) -> None:
+        """After a unit completed successfully (reverse stack order)."""
+
+    def on_swap(self, ctx, unit, bytes_moved: int) -> None:
+        """After a completed global-to-local swap moved *bytes_moved*."""
+
+    def on_run_end(self, ctx) -> None:
+        """All units completed (reverse stack order, still restartable)."""
+
+    def on_failure(self, ctx, exc: BaseException) -> None:
+        """A fatal fault ends this pass; a restart may follow."""
+
+    # -- extension hooks -----------------------------------------------
+    def on_attempt_start(self, ctx, unit, attempt: int) -> None:
+        """One execution attempt of *unit* begins (retries re-enter)."""
+
+    def on_attempt_end(
+        self, ctx, unit, attempt, seconds, bytes_moved, error, will_retry
+    ) -> None:
+        """The attempt finished; *error* is None on success."""
+
+    def attempt_context(self, ctx, unit):
+        """Optional context manager armed around each attempt."""
+        return None
+
+    def provide_state(self, ctx):
+        """Return ``(state, next_op_index)`` to resume from, or None."""
+        return None
+
+    def finalize(self, ctx) -> None:
+        """Guaranteed cleanup after the run (success or error)."""
+
+
+class TracingLayer(RuntimeLayer):
+    """Op-level span recording; subsumes ``trace_schedule_execution``.
+
+    One span per op *attempt*: a successful attempt keeps the op's
+    kind/label; under a retry policy a transient failure mutates into a
+    ``fault`` span and a fatally aborted attempt into ``aborted`` (both
+    excluded from the op-event view — the run-level ``fatal:`` event
+    records the latter).  Fused plan ops additionally emit zero-length
+    spans for their folded sources so traces keep exactly one event per
+    original schedule op, and the trace ``signature()`` is bit-for-bit
+    identical between planned, raw and resilient executions.
+
+    ``mode="schedule"`` mirrors the legacy tracer: ``stage`` span
+    attributes and ``op.seconds`` histograms.  ``mode="resilient"``
+    mirrors the legacy supervisor spans (neither).  ``trace_scope``
+    selects the spans the result trace is built from: ``"all"`` (the
+    tracer's full history, legacy ``trace_schedule_execution``) or
+    ``"run"`` (this run only, legacy ``ResilientExecutor``).
+    """
+
+    def __init__(
+        self,
+        telemetry: Telemetry | None = None,
+        *,
+        mode: str = "schedule",
+        trace_scope: str = "all",
+    ) -> None:
+        if mode not in ("schedule", "resilient"):
+            raise ValueError(f"mode must be schedule|resilient, got {mode!r}")
+        if trace_scope not in ("all", "run"):
+            raise ValueError(
+                f"trace_scope must be all|run, got {trace_scope!r}"
+            )
+        if telemetry is None or not telemetry.active:
+            telemetry = Telemetry.spans_only(per_rank=False)
+        self.telemetry = telemetry
+        self.trace_scope = trace_scope
+        self._full = mode == "schedule"
+        self._cache_bound = False
+        self._span = None
+        self._span_cm = None
+
+    def on_run_start(self, ctx) -> None:
+        if ctx.from_plan and not self._cache_bound:
+            # Mirror the shared gather-table cache counters into the
+            # bundle's metrics for the duration of the run.
+            GATHER_CACHE.bind_metrics(self.telemetry.metrics)
+            self._cache_bound = True
+
+    def on_attempt_start(self, ctx, unit, attempt: int) -> None:
+        kwargs = {"op_index": unit.op_index}
+        if self._full:
+            kwargs["stage"] = unit.stage
+        self._span_cm = self.telemetry.tracer.span(
+            unit.label, kind=unit.kind, **kwargs
+        )
+        self._span = self._span_cm.__enter__()
+
+    def on_attempt_end(
+        self, ctx, unit, attempt, seconds, bytes_moved, error, will_retry
+    ) -> None:
+        span, cm = self._span, self._span_cm
+        self._span = self._span_cm = None
+        if error is not None:
+            if span is not None:
+                if will_retry:
+                    span.name = (
+                        f"transient at op {unit.op_index} (attempt {attempt})"
+                    )
+                    span.kind = "fault"
+                elif ctx.policy is not None:
+                    span.kind = "aborted"
+            cm.__exit__(None, None, None)
+            return
+        if span is not None and unit.is_swap:
+            span.attrs["bytes"] = bytes_moved
+        cm.__exit__(None, None, None)
+        metrics = self.telemetry.metrics
+        if self._full:
+            metrics.histogram("op.seconds", kind=unit.kind).observe(seconds)
+        if unit.num_sources > 1:
+            # Ops folded into this one still get their (zero-length)
+            # events, keeping one event per original schedule op.
+            tracer = self.telemetry.tracer
+            mark = tracer.now()
+            for source in unit.sources[1:]:
+                tracer.add_span(
+                    source.label,
+                    kind=source.kind,
+                    start=mark,
+                    end=mark,
+                    op_index=source.op_index,
+                    stage=unit.stage,
+                    fused_into=unit.op_index,
+                )
+                if self._full:
+                    metrics.histogram(
+                        "op.seconds", kind=source.kind
+                    ).observe(0.0)
+
+    def on_failure(self, ctx, exc: BaseException) -> None:
+        self.telemetry.tracer.event(
+            f"fatal: {type(exc).__name__}: {exc}", kind="fault"
+        )
+
+    def finalize(self, ctx) -> None:
+        if self._cache_bound:
+            GATHER_CACHE.bind_metrics(None)
+            self._cache_bound = False
+
+
+class SanitizerLayer(RuntimeLayer):
+    """Drives a :class:`repro.staticcheck.ShardSanitizer` at op bounds.
+
+    Subsumes ``run_sanitized``: the sanitizer is attached to the pass's
+    state on run start (reset first, so latches clear across restarts
+    while findings accumulate) and scanned before/after every op.
+    """
+
+    def __init__(self, sanitizer) -> None:
+        self.sanitizer = sanitizer
+
+    def on_run_start(self, ctx) -> None:
+        self.sanitizer.use_metrics(ctx.metrics)
+        self.sanitizer.reset()
+        self.sanitizer.attach(ctx.state)
+
+    def before_op(self, ctx, unit) -> None:
+        self.sanitizer.before_op(ctx.state, unit.op_index)
+
+    def after_op(self, ctx, unit) -> None:
+        self.sanitizer.after_op(ctx.state, unit.op_index)
+
+    @property
+    def report(self):
+        """The sanitizer's accumulated findings report."""
+        return self.sanitizer.report
+
+
+class FaultLayer(RuntimeLayer):
+    """Arms a :class:`repro.resilience.FaultInjector` around each op.
+
+    ``before_op`` fires stall / corrupt-at-rest / crash-before faults;
+    ``attempt_context`` arms the exchange guard (transient and crash-mid
+    faults) around every individual attempt, so retries re-arm it.  The
+    injector is *not* reset across restarts — remaining firings persist,
+    which is what lets a ``times=1`` crash pass on replay.
+    """
+
+    def __init__(self, injector, *, sleep=time.sleep) -> None:
+        if not hasattr(injector, "on_op_start"):  # a FaultPlan
+            from repro.resilience.faults import FaultInjector
+
+            injector = FaultInjector(injector)
+        self.injector = injector
+        self._sleep = sleep
+
+    def before_op(self, ctx, unit) -> None:
+        stall = self.injector.on_op_start(unit.op_index, ctx.state)
+        if stall:
+            ctx.report.stall_seconds += stall
+            self._sleep(stall)
+
+    def attempt_context(self, ctx, unit):
+        return self.injector.exchange_guard(unit.op_index, ctx.state)
+
+    def on_run_end(self, ctx) -> None:
+        ctx.report.faults_injected = list(self.injector.log)
+
+
+class IntegrityLayer(RuntimeLayer):
+    """CRC32 shard-checksum verification against silent corruption.
+
+    ``verify="swap"`` (default) checks at swap boundaries and at run
+    end; ``"every"`` before every op; ``"never"`` disables.  The
+    checksum table refreshes after every completed op, so a detected
+    mismatch pins corruption to the window since the last op.
+    """
+
+    def __init__(self, verify: str = "swap") -> None:
+        if verify not in ("swap", "every", "never"):
+            raise ValueError(
+                f"verify must be swap|every|never, got {verify!r}"
+            )
+        self.verify = verify
+        self._table: list[int] = []
+
+    def on_run_start(self, ctx) -> None:
+        self._table = (
+            ctx.state.shard_checksums() if self.verify != "never" else []
+        )
+
+    def before_op(self, ctx, unit) -> None:
+        if self.verify == "every" or (self.verify == "swap" and unit.is_swap):
+            self._check(ctx)
+
+    def after_op(self, ctx, unit) -> None:
+        if self.verify != "never":
+            self._table = ctx.state.shard_checksums()
+
+    def on_run_end(self, ctx) -> None:
+        if self.verify != "never":
+            self._check(ctx)
+
+    def _check(self, ctx) -> None:
+        ctx.report.integrity_checks += 1
+        bad = [
+            r
+            for r, crc in enumerate(ctx.state.shard_checksums())
+            if crc != self._table[r]
+        ]
+        if bad:
+            ctx.report.corruption_detections += 1
+            from repro.resilience.faults import ShardCorruptionError
+
+            raise ShardCorruptionError(bad)
+
+
+class CheckpointLayer(RuntimeLayer):
+    """Periodic checkpointing; subsumes ``run_with_checkpoints``.
+
+    Saves whenever the count of completed source ops crosses an
+    ``every`` boundary (for single-source units that is exactly the
+    legacy ``(index + 1) % every == 0``; fused plan units checkpoint at
+    the unit boundary that crosses it).  ``resume=True`` makes the layer
+    provide the checkpointed state on (re)starts; ``state_factory``
+    rebuilds the state the checkpoint loads into, which is how custom
+    storage backends survive a restart.  ``fail_after`` injects the
+    legacy test failure: checkpoint-then-raise after that many ops of
+    the current pass.
+    """
+
+    def __init__(
+        self,
+        manager,
+        *,
+        every: int = 8,
+        resume: bool = False,
+        state_factory=None,
+        skip_last: bool = False,
+        final_save: bool = True,
+        fail_after: int | None = None,
+    ) -> None:
+        if not hasattr(manager, "save"):  # a directory path
+            manager = CheckpointManager(manager)
+        self.manager = manager
+        self.every = every
+        self.resume = resume
+        self.state_factory = state_factory
+        self.skip_last = skip_last
+        self.final_save = final_save
+        self.fail_after = fail_after
+
+    def provide_state(self, ctx):
+        if not self.resume or not self.manager.has_checkpoint():
+            return None
+        return self.manager.load(state_factory=self.state_factory)
+
+    def before_op(self, ctx, unit) -> None:
+        if self.fail_after is not None and ctx.ops_this_pass >= self.fail_after:
+            self.manager.save(ctx.state, unit.op_index)
+            raise RuntimeError(
+                f"injected failure before op {unit.op_index} "
+                f"(checkpoint saved)"
+            )
+
+    def after_op(self, ctx, unit) -> None:
+        if not self.every:
+            return
+        done = unit.op_index + unit.num_sources
+        if (done // self.every) <= (done - unit.num_sources) // self.every:
+            return
+        if self.skip_last and done >= ctx.total_source_ops:
+            return
+        self._save(ctx, done)
+
+    def on_run_end(self, ctx) -> None:
+        if self.final_save:
+            self._save(ctx, ctx.total_source_ops)
+
+    def _save(self, ctx, next_op: int) -> None:
+        ctx.report.checkpoint_bytes += self.manager.save(ctx.state, next_op)
+        ctx.report.checkpoints_written += 1
+        ctx.bytes_at_ckpt = ctx.state.stats.bytes_on_network
+        ctx.seconds_since_ckpt = 0.0
+
+
+class CallbackLayer(RuntimeLayer):
+    """Ad-hoc layer from plain callables (fault drills, tests, probes)."""
+
+    def __init__(
+        self,
+        *,
+        on_run_start=None,
+        before_op=None,
+        after_op=None,
+        on_swap=None,
+        on_run_end=None,
+        on_failure=None,
+    ) -> None:
+        self._on_run_start = on_run_start
+        self._before_op = before_op
+        self._after_op = after_op
+        self._on_swap = on_swap
+        self._on_run_end = on_run_end
+        self._on_failure = on_failure
+
+    def on_run_start(self, ctx) -> None:
+        if self._on_run_start is not None:
+            self._on_run_start(ctx)
+
+    def before_op(self, ctx, unit) -> None:
+        if self._before_op is not None:
+            self._before_op(ctx, unit)
+
+    def after_op(self, ctx, unit) -> None:
+        if self._after_op is not None:
+            self._after_op(ctx, unit)
+
+    def on_swap(self, ctx, unit, bytes_moved: int) -> None:
+        if self._on_swap is not None:
+            self._on_swap(ctx, unit, bytes_moved)
+
+    def on_run_end(self, ctx) -> None:
+        if self._on_run_end is not None:
+            self._on_run_end(ctx)
+
+    def on_failure(self, ctx, exc: BaseException) -> None:
+        if self._on_failure is not None:
+            self._on_failure(ctx, exc)

@@ -1,0 +1,75 @@
+"""Recovery budgets and accounting for engine-driven execution.
+
+:class:`RetryPolicy` shapes the engine's transient-retry and
+checkpoint-restart budgets; :class:`RecoveryReport` accounts everything a
+run spent on surviving faults.  Both classes are deliberately dependency
+free (``repro.resilience`` re-exports them for backwards compatibility,
+and the engine consumes them without importing the fault machinery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RecoveryReport", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Recovery budgets and backoff shape.
+
+    ``backoff(attempt)`` returns ``base * factor**attempt`` seconds; the
+    engine always *accounts* the delay deterministically and only
+    actually sleeps through the injected ``sleep`` callable (tests pass a
+    no-op).
+    """
+
+    max_retries: int = 3
+    max_restarts: int = 2
+    backoff_base_seconds: float = 0.01
+    backoff_factor: float = 2.0
+
+    def backoff(self, attempt: int) -> float:
+        """Deterministic delay before retry number ``attempt`` (0-based)."""
+        return self.backoff_base_seconds * self.backoff_factor**attempt
+
+
+@dataclass
+class RecoveryReport:
+    """Everything the run spent on surviving faults.
+
+    All fields except ``wall_overhead_seconds`` are deterministic given
+    (schedule, plan, policy); :meth:`to_dict` with
+    ``deterministic=True`` drops the measured field so two runs of the
+    same plan compare equal.
+    """
+
+    faults_injected: list[dict] = field(default_factory=list)
+    transient_retries: int = 0
+    restarts: int = 0
+    redundant_bytes: int = 0
+    backoff_seconds: float = 0.0
+    stall_seconds: float = 0.0
+    integrity_checks: int = 0
+    corruption_detections: int = 0
+    checkpoints_written: int = 0
+    checkpoint_bytes: int = 0
+    wall_overhead_seconds: float = 0.0
+
+    def to_dict(self, *, deterministic: bool = False) -> dict:
+        """Dict form; ``deterministic=True`` excludes measured wall time."""
+        out = {
+            "faults_injected": list(self.faults_injected),
+            "transient_retries": self.transient_retries,
+            "restarts": self.restarts,
+            "redundant_bytes": self.redundant_bytes,
+            "backoff_seconds": round(self.backoff_seconds, 9),
+            "stall_seconds": round(self.stall_seconds, 9),
+            "integrity_checks": self.integrity_checks,
+            "corruption_detections": self.corruption_detections,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoint_bytes": self.checkpoint_bytes,
+        }
+        if not deterministic:
+            out["wall_overhead_seconds"] = self.wall_overhead_seconds
+        return out

@@ -22,6 +22,7 @@ read-only: it never mutates the state and adds no communication.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -273,6 +274,11 @@ def run_sanitized(
 ) -> tuple[DistributedState, SanitizerReport]:
     """Execute *schedule* with the sanitizer armed; returns state+report.
 
+    .. deprecated::
+        Thin shim over :class:`repro.runtime.ExecutionEngine` with a
+        :class:`~repro.runtime.SanitizerLayer`; build that stack
+        directly.
+
     ``corrupt_during`` maps op_index -> callable(state) invoked right
     after that op executes but before its post-op scan — modelling damage
     *inside* the op (detected by the same index).  ``corrupt_after`` maps
@@ -281,21 +287,38 @@ def run_sanitized(
     checksum pass before op ``op_index + 1``).  Both exist for fault
     drills and tests; production runs pass neither.
     """
-    if state is None:
-        state = DistributedState(
-            schedule.num_qubits,
-            schedule.local_qubits,
-            init=schedule.initial_state,
-            initial_global_qubits=schedule.initial_global_qubits or None,
-        )
+    warnings.warn(
+        "run_sanitized is deprecated; run the schedule through "
+        "repro.runtime.ExecutionEngine with a SanitizerLayer",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.runtime import ExecutionEngine, SanitizerLayer
+
     sanitizer = ShardSanitizer(config)
-    sanitizer.attach(state)
-    for op_index, op in enumerate(schedule.operations()):
-        sanitizer.before_op(state, op_index)
-        op.execute(state)
-        if corrupt_during and op_index in corrupt_during:
-            corrupt_during[op_index](state)
-        sanitizer.after_op(state, op_index)
-        if corrupt_after and op_index in corrupt_after:
-            corrupt_after[op_index](state)
-    return state, sanitizer.report
+    # Stack order puts the drills on either side of the sanitizer's
+    # post-op scan: after_op runs in reverse stack order, so
+    # corrupt_during fires before the scan and corrupt_after once the
+    # scan has recorded its checksums.
+    layers = [
+        _corruption_drill(corrupt_after),
+        SanitizerLayer(sanitizer),
+        _corruption_drill(corrupt_during),
+    ]
+    engine = ExecutionEngine(schedule, use_plan=False, layers=layers)
+    result = engine.run(state=state)
+    return result.state, sanitizer.report
+
+
+def _corruption_drill(corruptions: dict | None):
+    """A layer firing ``corruptions[op_index](state)`` after that op."""
+    from repro.runtime import CallbackLayer
+
+    table = corruptions or {}
+
+    def fire(ctx, unit):
+        hook = table.get(unit.op_index)
+        if hook is not None:
+            hook(ctx.state)
+
+    return CallbackLayer(after_op=fire)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.circuit import generate_supremacy_circuit
 from repro.distributed.checkpoint import CheckpointManager
+from repro.runtime import ExecutionEngine
 from repro.scheduling import SchedulerConfig, schedule_circuit
 
 
@@ -22,6 +23,5 @@ def chaos_schedule():
 def chaos_reference(chaos_schedule):
     """Fault-free final amplitudes of the shared schedule."""
     state = CheckpointManager.initial_state_for(chaos_schedule)
-    for op in chaos_schedule.operations():
-        op.execute(state)
-    return state.to_statevector().data.copy()
+    result = ExecutionEngine(chaos_schedule, use_plan=False).run(state=state)
+    return result.state.to_statevector().data.copy()

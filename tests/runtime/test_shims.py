@@ -1,0 +1,90 @@
+"""The legacy entry points must warn but behave identically."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.checkpoint import CheckpointManager
+from repro.distributed.tracing import trace_schedule_execution
+from repro.runtime import (
+    CheckpointLayer,
+    ExecutionEngine,
+    SanitizerLayer,
+    TracingLayer,
+)
+from repro.staticcheck import ShardSanitizer, run_sanitized
+
+from tests.runtime.conftest import initial_state
+
+
+class TestTraceShim:
+    def test_warns_and_matches_engine(self, schedule, reference):
+        state = initial_state(schedule)
+        with pytest.warns(DeprecationWarning, match="trace_schedule_execution"):
+            legacy = trace_schedule_execution(state, schedule)
+        direct = ExecutionEngine(
+            schedule, use_plan=False, layers=[TracingLayer()]
+        ).run()
+        assert legacy.signature() == direct.trace.signature()
+        assert np.array_equal(state.to_statevector().data, reference)
+
+
+class TestSanitizerShim:
+    def test_warns_and_matches_engine(self, schedule, reference):
+        with pytest.warns(DeprecationWarning, match="run_sanitized"):
+            state, report = run_sanitized(schedule)
+        assert report.passed
+        assert report.ops_checked == len(list(schedule.operations()))
+        assert np.array_equal(state.to_statevector().data, reference)
+
+        sanitizer = ShardSanitizer()
+        direct = ExecutionEngine(
+            schedule, use_plan=False, layers=[SanitizerLayer(sanitizer)]
+        ).run()
+        assert sanitizer.report.passed
+        assert sanitizer.report.ops_checked == report.ops_checked
+        assert np.array_equal(
+            direct.state.to_statevector().data, reference
+        )
+
+    def test_corruption_drills_still_fire(self, schedule):
+        def corrupt(state):
+            shard = np.asarray(state.storage.get(0)).copy()
+            shard[0] += 1.0
+            state.storage.set(0, shard)
+
+        with pytest.warns(DeprecationWarning):
+            _, report = run_sanitized(schedule, corrupt_during={2: corrupt})
+        assert any(
+            f.category in ("norm", "checksum", "nan") and f.op_index == 2
+            for f in report.findings
+        )
+
+
+class TestCheckpointShim:
+    def test_warns_and_matches_engine(self, tmp_path, schedule, reference):
+        mgr = CheckpointManager(tmp_path / "legacy")
+        with pytest.warns(DeprecationWarning, match="run_with_checkpoints"):
+            state = mgr.run_with_checkpoints(schedule, every=3)
+        assert np.array_equal(state.to_statevector().data, reference)
+        assert mgr.has_checkpoint()
+
+        layer = CheckpointLayer(tmp_path / "direct", every=3)
+        direct = ExecutionEngine(
+            schedule, use_plan=False, layers=[layer]
+        ).run()
+        assert np.array_equal(
+            direct.state.to_statevector().data, reference
+        )
+        assert layer.manager.has_checkpoint()
+        # Same checkpoint cadence: both directories end at the same op.
+        assert layer.manager.load()[1] == mgr.load()[1]
+
+    def test_fail_after_and_resume_unchanged(
+        self, tmp_path, schedule, reference
+    ):
+        mgr = CheckpointManager(tmp_path)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(RuntimeError, match="injected failure"):
+                mgr.run_with_checkpoints(schedule, every=3, fail_after=4)
+        state = mgr.resume(schedule, every=3)
+        assert np.array_equal(state.to_statevector().data, reference)

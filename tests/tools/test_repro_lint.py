@@ -1,0 +1,77 @@
+"""Tests for the op-loop rule in tools/repro_lint.py."""
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO / "tools"))
+
+from repro_lint import lint_file, lint_paths  # noqa: E402
+
+OP_LOOP = """
+def run(schedule, state):
+    for op in schedule.operations():
+        op.execute(state)
+"""
+
+NESTED_OP_LOOP = """
+def run(schedule, state):
+    for index, op in enumerate(schedule.operations()):
+        if index > 0:
+            op.execute(state)
+"""
+
+LAYOUT_REPLAY = """
+def replay(schedule, layout):
+    for op in schedule.operations():
+        update_layout(op, layout)
+"""
+
+EXECUTE_ELSEWHERE = """
+def run(ops, state):
+    for op in ops:
+        op.execute(state)
+"""
+
+
+def _lint_source(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(source)
+    return lint_file(path)
+
+
+class TestOpLoopRule:
+    def test_flags_hand_rolled_executor(self, tmp_path):
+        findings = _lint_source(tmp_path, OP_LOOP)
+        assert [f.check for f in findings] == ["op-loop"]
+
+    def test_flags_nested_execute(self, tmp_path):
+        findings = _lint_source(tmp_path, NESTED_OP_LOOP)
+        assert [f.check for f in findings] == ["op-loop"]
+
+    def test_layout_replay_is_fine(self, tmp_path):
+        assert _lint_source(tmp_path, LAYOUT_REPLAY) == []
+
+    def test_execute_over_plain_iterable_is_fine(self, tmp_path):
+        # Only loops over schedule.operations() are executor-shaped.
+        assert _lint_source(tmp_path, EXECUTE_ELSEWHERE) == []
+
+    def test_runtime_package_is_exempt(self, tmp_path):
+        nested = tmp_path / "repro" / "runtime"
+        nested.mkdir(parents=True)
+        path = nested / "engine.py"
+        path.write_text(OP_LOOP)
+        assert lint_file(path) == []
+
+    def test_suppressible_inline(self, tmp_path):
+        source = OP_LOOP.replace(
+            "for op in schedule.operations():",
+            "for op in schedule.operations():  # lint: allow-op-loop",
+        )
+        assert _lint_source(tmp_path, source) == []
+
+
+class TestTreeIsClean:
+    def test_src_has_no_op_loops(self):
+        findings = lint_paths([REPO / "src"])
+        assert [f for f in findings if f.check == "op-loop"] == []

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """AST-based self-lint for the repro tree.
 
-Three project-specific checks ruff does not cover in the shapes we care
+Four project-specific checks ruff does not cover in the shapes we care
 about:
 
 * **mutable-default** — a function parameter defaulting to a mutable
@@ -16,6 +16,11 @@ about:
 * **view-return** — a function whose docstring promises a *copy* but
   returns a numpy slice/``reshape``/``ravel``/``view`` expression (all
   may alias the original buffer).
+* **op-loop** — a ``for ... in schedule.operations(...)`` loop whose
+  body calls ``op.execute(...)``: a hand-rolled executor.  The canonical
+  op loop lives in ``repro/runtime`` (exempt); everything else must run
+  through :class:`repro.runtime.ExecutionEngine` so the
+  six-parallel-executors problem cannot silently regrow.
 
 Usage::
 
@@ -71,6 +76,18 @@ def _is_floaty(node: ast.expr) -> bool:
     return False
 
 
+def _calls_attr(node: ast.AST, attr: str) -> bool:
+    """True when *node* (recursively) calls ``something.<attr>(...)``."""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == attr
+        ):
+            return True
+    return False
+
+
 def _returns_view(node: ast.expr) -> bool:
     """Return-expressions that may alias a numpy buffer."""
     if isinstance(node, ast.Subscript):
@@ -90,6 +107,8 @@ class _Linter(ast.NodeVisitor):
         self.path = path
         self.lines = source.splitlines()
         self.findings: list[LintFinding] = []
+        # The canonical loop itself lives in repro/runtime.
+        self.allow_op_loops = "repro/runtime" in path.replace("\\", "/")
 
     # ------------------------------------------------------------------
     def _suppressed(self, line: int, check: str) -> bool:
@@ -124,6 +143,22 @@ class _Linter(ast.NodeVisitor):
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        if (
+            not self.allow_op_loops
+            and _calls_attr(node.iter, "operations")
+            and any(_calls_attr(stmt, "execute") for stmt in node.body)
+        ):
+            self._add(
+                node.lineno,
+                "op-loop",
+                "hand-rolled schedule executor (op.execute loop over "
+                "schedule.operations()); run it through "
+                "repro.runtime.ExecutionEngine instead",
+            )
         self.generic_visit(node)
 
     # ------------------------------------------------------------------
