@@ -48,10 +48,10 @@ def bench_runtime_overhead(benchmark, report_writer, bench_record, schedule_cach
             _run_op(plan_op, state)
 
     def engine_raw():
-        ExecutionEngine(sched, use_plan=False).run()
+        ExecutionEngine(sched, use_plan=False).run()  # lint: allow-engine-direct
 
     def engine_plan():
-        ExecutionEngine(plan).run()
+        ExecutionEngine(plan).run()  # lint: allow-engine-direct
 
     variants = {
         "legacy raw loop": legacy_raw,

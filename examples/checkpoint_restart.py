@@ -36,7 +36,7 @@ def main() -> None:
     with tempfile.TemporaryDirectory(prefix="repro_ckpt_") as tmp:
         manager = CheckpointManager(tmp)
         layer = CheckpointLayer(manager, every=4, fail_after=9)
-        engine = ExecutionEngine(schedule, use_plan=False, layers=[layer])
+        engine = ExecutionEngine(schedule, use_plan=False, layers=[layer])  # lint: allow-engine-direct
         try:
             engine.run()
         except RuntimeError as exc:

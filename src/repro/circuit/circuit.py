@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -26,6 +27,7 @@ class Circuit:
             raise ValueError(f"num_qubits must be positive, got {num_qubits}")
         self.num_qubits = int(num_qubits)
         self._gates: list[Gate] = []
+        self._content_hash: str | None = None
         for gate in gates:
             self.append(gate)
 
@@ -42,6 +44,7 @@ class Circuit:
                     f"gate {gate!r} out of range for {self.num_qubits} qubits"
                 )
         self._gates.append(gate)
+        self._content_hash = None
         return self
 
     def extend(self, gates: Iterable[Gate]) -> "Circuit":
@@ -95,6 +98,35 @@ class Circuit:
     def max_gate_size(self) -> int:
         """Largest k among the circuit's gates (0 for an empty circuit)."""
         return max((g.num_qubits for g in self._gates), default=0)
+
+    def content_hash(self) -> str:
+        """Deterministic structural hash of the circuit (sha256 hex).
+
+        Hashes ``num_qubits`` plus every gate's ``(name, qubits, matrix)``
+        in application order, with the matrix canonicalised to contiguous
+        ``complex128`` bytes — so two circuits built independently from
+        the same gates hash equal regardless of how the matrices were
+        produced, while any change to order, targets or entries changes
+        the digest.  Equivalent-under-commutation orderings are *not*
+        identified: this is a structural key (the one the service layer's
+        result cache and plan cache use), not a semantic one.
+
+        The digest is cached and invalidated by :meth:`append`.
+        """
+        if self._content_hash is not None:
+            return self._content_hash
+        h = hashlib.sha256()
+        h.update(b"repro.circuit/v1")
+        h.update(self.num_qubits.to_bytes(4, "little"))
+        for gate in self._gates:
+            h.update(gate.name.encode("utf-8"))
+            h.update(len(gate.qubits).to_bytes(2, "little"))
+            for q in gate.qubits:
+                h.update(int(q).to_bytes(4, "little"))
+            matrix = np.ascontiguousarray(gate.matrix, dtype=np.complex128)
+            h.update(matrix.tobytes())
+        self._content_hash = h.hexdigest()
+        return self._content_hash
 
     def same_qubit_order_preserved(self, other: "Circuit") -> bool:
         """True when *other* is a per-qubit-order-preserving reordering.

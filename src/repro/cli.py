@@ -16,7 +16,12 @@ Subcommands:
   fault-plan JSON) and print the recovery report;
 * ``trace`` — run a schedule with full telemetry and export a
   Chrome-trace/Perfetto JSON (one lane per rank), plus the
-  predicted-vs-actual performance report.
+  predicted-vs-actual performance report;
+* ``serve`` — run the multi-tenant simulation job service on a local
+  TCP socket (admission control, weighted-fair queueing, cross-request
+  plan/result caching);
+* ``submit`` — submit one circuit-simulation job to a running ``serve``
+  instance and print the result (or query ``--stats``).
 
 ``simulate --sanitize`` arms the runtime shard sanitizer (NaN/Inf, norm
 conservation, checksum divergence); ``simulate --strict`` refuses to
@@ -171,6 +176,54 @@ def build_parser() -> argparse.ArgumentParser:
     trc.add_argument("--tolerance", type=float, default=4.0,
                      help="relative per-stage deviation tolerance for the "
                      "predicted-vs-actual report")
+
+    srv = sub.add_parser(
+        "serve", help="run the multi-tenant simulation job service"
+    )
+    srv.add_argument("--host", type=str, default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=7717)
+    srv.add_argument("--workers", type=int, default=4,
+                     help="concurrent simulation jobs (worker threads)")
+    srv.add_argument("--max-state-bytes", type=int, default=1 << 34,
+                     help="admission: reject jobs whose full statevector "
+                     "exceeds this many bytes")
+    srv.add_argument("--max-predicted-seconds", type=float, default=120.0,
+                     help="admission: reject jobs the perf model prices "
+                     "above this many seconds")
+    srv.add_argument("--max-queue-depth", type=int, default=256,
+                     help="admission: reject once this many jobs queue")
+    srv.add_argument("--max-tenant-active", type=int, default=64,
+                     help="admission: per-tenant queued+running bound")
+    srv.add_argument("--weight", action="append", default=[],
+                     metavar="TENANT=W",
+                     help="fair-share weight for a tenant (repeatable)")
+
+    sbm = sub.add_parser(
+        "submit", help="submit one job to a running `repro serve`"
+    )
+    sbm.add_argument("--host", type=str, default="127.0.0.1")
+    sbm.add_argument("--port", type=int, default=7717)
+    sbm.add_argument("--circuit", type=str,
+                     help="circuit text file (default: generate per "
+                     "--qubits/--depth/--seed)")
+    sbm.add_argument("--qubits", type=int)
+    sbm.add_argument("--depth", type=int, default=12)
+    sbm.add_argument("--seed", type=int, default=0)
+    sbm.add_argument("--local-qubits", type=int,
+                     help="distributed split (required unless --stats)")
+    sbm.add_argument("--kmax", type=int, default=5)
+    sbm.add_argument("--tenant", type=str, default="default")
+    sbm.add_argument("--priority", type=int, default=0)
+    sbm.add_argument("--shots", type=int, default=0)
+    sbm.add_argument("--timeout", type=float,
+                     help="per-job execution timeout in seconds")
+    sbm.add_argument("--no-wait", action="store_true",
+                     help="return the job id immediately instead of "
+                     "waiting for the result")
+    sbm.add_argument("--no-result-cache", action="store_true",
+                     help="bypass the completed-result cache")
+    sbm.add_argument("--stats", action="store_true",
+                     help="print service statistics instead of submitting")
     return parser
 
 
@@ -312,7 +365,7 @@ def _cmd_simulate(args) -> int:
             from repro.staticcheck import ShardSanitizer
 
             sanitizer = ShardSanitizer()
-            engine = ExecutionEngine(
+            engine = ExecutionEngine(  # lint: allow-engine-direct
                 schedule, use_plan=False, layers=[SanitizerLayer(sanitizer)]
             )
             dist_state = engine.run().state
@@ -338,7 +391,7 @@ def _cmd_simulate(args) -> int:
                 from repro.runtime import CheckpointLayer, ExecutionEngine
 
                 ckpt = CheckpointLayer(mgr, every=args.checkpoint_every)
-                dist_state = ExecutionEngine(
+                dist_state = ExecutionEngine(  # lint: allow-engine-direct
                     schedule, use_plan=False, layers=[ckpt]
                 ).run().state
                 print(f"checkpointed every {args.checkpoint_every} ops "
@@ -600,6 +653,134 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import (
+        AdmissionPolicy,
+        ServiceConfig,
+        SimulationService,
+        serve,
+    )
+
+    weights: dict[str, float] = {}
+    for item in args.weight:
+        tenant, sep, value = item.partition("=")
+        if not sep:
+            print(f"error: --weight needs TENANT=W, got {item!r}",
+                  file=sys.stderr)
+            return 2
+        weights[tenant] = float(value)
+    config = ServiceConfig(
+        max_workers=args.workers,
+        admission=AdmissionPolicy(
+            max_state_bytes=args.max_state_bytes,
+            max_predicted_seconds=args.max_predicted_seconds,
+            max_queue_depth=args.max_queue_depth,
+            max_tenant_active=args.max_tenant_active,
+        ),
+        tenant_weights=weights or None,
+    )
+
+    async def run() -> int:
+        service = SimulationService(config)
+        await service.start()
+        server = await serve(service, host=args.host, port=args.port)
+        addr = server.sockets[0].getsockname()
+        print(f"repro service on {addr[0]}:{addr[1]} "
+              f"({args.workers} workers); Ctrl-C to stop")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.shutdown(drain=False)
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nstopped")
+        return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import request
+
+    if args.stats:
+        response = request(args.host, args.port, {"op": "stats"})
+        if not response.get("ok"):
+            print(f"error: {response.get('error')}", file=sys.stderr)
+            return 1
+        stats = response["stats"]
+        print(f"{'queue depth':>18}: {stats['queue_depth']}")
+        print(f"{'running':>18}: {stats['running']}")
+        for key, value in sorted(stats["jobs"].items()):
+            print(f"{'jobs ' + key:>18}: {value}")
+        for cache in ("plan_cache", "result_cache", "gather_cache"):
+            hit_rate = stats[cache]["hit_rate"]
+            print(f"{cache:>18}: {stats[cache]['entries']} entries, "
+                  f"hit rate {hit_rate:.3f}")
+        return 0
+
+    if args.circuit:
+        with open(args.circuit, encoding="utf-8") as fh:
+            circuit_text = fh.read()
+    elif args.qubits:
+        from repro.circuit import circuit_to_text, generate_supremacy_circuit
+
+        circuit_text = circuit_to_text(
+            generate_supremacy_circuit(args.qubits, args.depth, seed=args.seed)
+        )
+    else:
+        print("error: provide --circuit or --qubits", file=sys.stderr)
+        return 2
+    if not args.local_qubits:
+        print("error: --local-qubits is required", file=sys.stderr)
+        return 2
+    response = request(
+        args.host,
+        args.port,
+        {
+            "op": "submit",
+            "tenant": args.tenant,
+            "circuit": circuit_text,
+            "local_qubits": args.local_qubits,
+            "kmax": args.kmax,
+            "priority": args.priority,
+            "shots": args.shots,
+            "seed": args.seed,
+            "timeout_seconds": args.timeout,
+            "use_result_cache": not args.no_result_cache,
+            "wait": not args.no_wait,
+        },
+    )
+    if not response.get("ok"):
+        print(f"error: {response.get('error')}", file=sys.stderr)
+        return 1
+    print(f"{'job':>18}: {response['job_id']} [{response['status']}]")
+    if "predicted_seconds" in response:
+        print(f"{'predicted':>18}: {response['predicted_seconds']:.4g} s, "
+              f"{response['state_bytes']} state bytes")
+    result = response.get("result")
+    if result:
+        for key in ("fingerprint", "signature_digest"):
+            if result.get(key):
+                print(f"{key:>18}: {result[key][:16]}...")
+        print(f"{'wall seconds':>18}: {result['wall_seconds']:.4g}")
+        print(f"{'from cache':>18}: {result['from_cache']}")
+        if result.get("error"):
+            print(f"{'error':>18}: {result['error']}")
+        if result.get("samples"):
+            top = sorted(
+                result["samples"].items(), key=lambda kv: -kv[1]
+            )[:5]
+            print("top outcomes:", ", ".join(f"{k}x{v}" for k, v in top))
+    return 0 if response["status"] in ("completed", "queued", "running") else 1
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -612,6 +793,8 @@ def main(argv=None) -> int:
         "experiments": _cmd_experiments,
         "chaos": _cmd_chaos,
         "trace": _cmd_trace,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }
     return handlers[args.command](args)
 

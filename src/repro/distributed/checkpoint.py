@@ -185,5 +185,5 @@ class CheckpointManager:
         from repro.runtime import CheckpointLayer, ExecutionEngine
 
         layer = CheckpointLayer(self, every=every, fail_after=fail_after)
-        engine = ExecutionEngine(schedule, use_plan=False, layers=[layer])
+        engine = ExecutionEngine(schedule, use_plan=False, layers=[layer])  # lint: allow-engine-direct
         return engine.run(state=state, start_index=start_index).state

@@ -152,7 +152,7 @@ class DistributedSimulator:
 
         traced = self.telemetry is not None and self.telemetry.active
         layers = [TracingLayer(self.telemetry)] if traced else []
-        engine = ExecutionEngine(schedule, use_plan=use_plan, layers=layers)
+        engine = ExecutionEngine(schedule, use_plan=use_plan, layers=layers)  # lint: allow-engine-direct
         result = engine.run(state=state)
         return DistributedRunResult(
             result.state, result.wall_seconds, trace=result.trace

@@ -223,7 +223,7 @@ def trace_schedule_execution(
     )
     from repro.runtime import ExecutionEngine, TracingLayer
 
-    engine = ExecutionEngine(
+    engine = ExecutionEngine(  # lint: allow-engine-direct
         schedule, use_plan=False, layers=[TracingLayer(telemetry)]
     )
     return engine.run(state=state).trace

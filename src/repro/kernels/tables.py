@@ -21,6 +21,7 @@ hits avoided — the numbers ``repro simulate --plan-stats`` reports.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Sequence
 
@@ -77,12 +78,20 @@ class GatherTableCache:
     ``capacity`` bounds the number of cached entries; least-recently-used
     entries are evicted first.  Returned arrays are marked read-only —
     they are shared across every rank and every repetition of an op.
+
+    All cache operations hold an internal :class:`threading.RLock`, so
+    one process-wide instance (:data:`GATHER_CACHE`) can be shared by the
+    service layer's concurrent worker threads: lookups, LRU reordering,
+    insertion/eviction and the counter updates are atomic with respect to
+    each other, and a get-or-build runs the build under the lock so a key
+    is constructed at most once.
     """
 
     def __init__(self, *, capacity: int = 256) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self._lock = threading.RLock()
         self._entries: OrderedDict[tuple, tuple] = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -99,7 +108,20 @@ class GatherTableCache:
         Mirrored keys: ``plan.cache.hits``, ``plan.cache.misses`` and the
         ``plan.cache.bytes_saved`` counter.
         """
-        self._metrics = registry if registry is not None and registry.enabled else None
+        with self._lock:
+            self._metrics = (
+                registry if registry is not None and registry.enabled else None
+            )
+
+    def set_capacity(self, capacity: int) -> None:
+        """Rebound the cache to *capacity* entries, evicting LRU overflow."""
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        with self._lock:
+            self.capacity = capacity
+            while len(self._entries) > self.capacity:
+                _, (_, evicted_bytes) = self._entries.popitem(last=False)
+                self.bytes_cached -= evicted_bytes
 
     def _record(self, *, hit: bool, nbytes: int) -> None:
         if hit:
@@ -144,19 +166,22 @@ class GatherTableCache:
         total_c = 1 << (n - k)
         chunk = total_c if chunk_size is None else min(int(chunk_size), total_c)
         key = ("gather", n, qubits, chunk)
-        entry = self._lookup(key)
-        if entry is not None:
-            return entry[0]
-        tables = []
-        nbytes = 0
-        for c_start in range(0, total_c, chunk):
-            table = _build_gather_table(n, qubits, c_start, min(c_start + chunk, total_c))
-            table.setflags(write=False)
-            nbytes += table.nbytes
-            tables.append(table)
-        value = tuple(tables)
-        self._insert(key, value, nbytes)
-        return value
+        with self._lock:
+            entry = self._lookup(key)
+            if entry is not None:
+                return entry[0]
+            tables = []
+            nbytes = 0
+            for c_start in range(0, total_c, chunk):
+                table = _build_gather_table(
+                    n, qubits, c_start, min(c_start + chunk, total_c)
+                )
+                table.setflags(write=False)
+                nbytes += table.nbytes
+                tables.append(table)
+            value = tuple(tables)
+            self._insert(key, value, nbytes)
+            return value
 
     def diagonal_factor(
         self, n: int, qubits: Sequence[int], diag: np.ndarray
@@ -169,13 +194,14 @@ class GatherTableCache:
         qubits = tuple(int(q) for q in qubits)
         diag = np.asarray(diag)
         key = ("diag", n, qubits, diag.dtype.str, diag.tobytes())
-        entry = self._lookup(key)
-        if entry is not None:
-            return entry[0]
-        factor = _build_diagonal_factor(diag, qubits, n)
-        factor.setflags(write=False)
-        self._insert(key, factor, factor.nbytes)
-        return factor
+        with self._lock:
+            entry = self._lookup(key)
+            if entry is not None:
+                return entry[0]
+            factor = _build_diagonal_factor(diag, qubits, n)
+            factor.setflags(write=False)
+            self._insert(key, factor, factor.nbytes)
+            return factor
 
     # ------------------------------------------------------------------
     @property
@@ -185,21 +211,24 @@ class GatherTableCache:
         return self.hits / total if total else 0.0
 
     def stats(self) -> dict:
-        """Counters snapshot (the ``--plan-stats`` payload)."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hit_rate,
-            "entries": len(self._entries),
-            "bytes_cached": self.bytes_cached,
-            "bytes_saved": self.bytes_saved,
-        }
+        """Consistent counters snapshot (the ``--plan-stats`` payload)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hit_rate,
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "bytes_cached": self.bytes_cached,
+                "bytes_saved": self.bytes_saved,
+            }
 
     def clear(self) -> None:
         """Drop every entry and reset all counters."""
-        self._entries.clear()
-        self.hits = self.misses = 0
-        self.bytes_cached = self.bytes_saved = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = 0
+            self.bytes_cached = self.bytes_saved = 0
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -43,4 +43,4 @@ def execute_plan(plan, state, *, telemetry=None):
         layers = ()
     else:
         layers = [TracingLayer(telemetry)]
-    return ExecutionEngine(plan, layers=layers).run(state=state).trace
+    return ExecutionEngine(plan, layers=layers).run(state=state).trace  # lint: allow-engine-direct

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -285,17 +286,30 @@ def plan_for(
 
     Compiled at most once per ``(chunk_size, fuse_diagonals)`` pair and
     cached on the schedule instance, so every rank, repeat run and
-    benchmark round shares one compilation.
+    benchmark round shares one compilation.  Thread-safe: the service
+    layer shares schedules across concurrent requests, so a miss
+    double-checks under a lock and exactly one thread compiles each key.
     """
     key = (chunk_size, fuse_diagonals)
     cache = getattr(schedule, "_compiled_plans", None)
-    if cache is None:
-        cache = {}
-        schedule._compiled_plans = cache
-    plan = cache.get(key)
-    if plan is None:
-        plan = compile_program(
-            schedule, chunk_size=chunk_size, fuse_diagonals=fuse_diagonals
-        )
-        cache[key] = plan
+    if cache is not None:
+        plan = cache.get(key)
+        if plan is not None:
+            return plan
+    with _PLAN_FOR_LOCK:
+        cache = getattr(schedule, "_compiled_plans", None)
+        if cache is None:
+            cache = {}
+            schedule._compiled_plans = cache
+        plan = cache.get(key)
+        if plan is None:
+            plan = compile_program(
+                schedule, chunk_size=chunk_size, fuse_diagonals=fuse_diagonals
+            )
+            cache[key] = plan
     return plan
+
+
+#: Serialises plan compilation: compiles are rare and fast relative to
+#: execution, so one process-wide lock beats per-schedule bookkeeping.
+_PLAN_FOR_LOCK = threading.Lock()

@@ -205,7 +205,7 @@ def _reference_amplitudes(schedule: Schedule) -> np.ndarray:
     from repro.runtime import ExecutionEngine
 
     state = CheckpointManager.initial_state_for(schedule)
-    result = ExecutionEngine(schedule, use_plan=False).run(state=state)
+    result = ExecutionEngine(schedule, use_plan=False).run(state=state)  # lint: allow-engine-direct
     return result.state.to_statevector().data.copy()
 
 

@@ -201,7 +201,7 @@ class ResilientExecutor:
         if self.sanitizer is not None:
             layers.append(SanitizerLayer(self.sanitizer))
         num_ops = len(list(self.schedule.operations()))
-        return ExecutionEngine(
+        return ExecutionEngine(  # lint: allow-engine-direct
             self.schedule,
             use_plan=self.use_plan,
             layers=layers,

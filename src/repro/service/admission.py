@@ -1,0 +1,109 @@
+"""Admission control: price a request before it can queue.
+
+Every accepted job costs real memory and machine time, so the service
+refuses work it cannot afford *before* queueing it, the way qHiPSTER
+gates runs on available RAM.  The price comes from the same
+:class:`~repro.perfmodel.TimelineModel` the paper-projection CLI uses —
+driven by the job's actual schedule, not a guess — and the checks run
+cheapest-first:
+
+1. ``queue_full`` — global queued-job bound;
+2. ``tenant_quota`` — per-tenant queued+running bound;
+3. ``memory`` — full statevector footprint ``16 * 2**n`` bytes over
+   budget;
+4. ``predicted_time`` — ``TimelineModel.predict(schedule).total_seconds``
+   over budget.
+
+Each rejection increments ``service.jobs.rejected{reason=...}`` so SLO
+dashboards can tell quota pressure from oversized requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perfmodel import (
+    ARIES_DRAGONFLY,
+    CORI_KNL_NODE,
+    MachineSpec,
+    NetworkSpec,
+    TimelineModel,
+)
+from repro.telemetry.metrics import NULL_METRICS
+
+__all__ = ["AdmissionController", "AdmissionDecision", "AdmissionPolicy"]
+
+#: Bytes of one complex128 amplitude.
+_AMPLITUDE_BYTES = 16
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Budgets the controller enforces.
+
+    The defaults are generous for tests and laptop service instances;
+    production deployments shrink them per machine.  ``machine`` /
+    ``network`` select the :class:`TimelineModel` hardware the predicted
+    seconds are priced on (Cori II by default, matching ``repro
+    project``).
+    """
+
+    max_state_bytes: int = 1 << 34  # 16 GiB <=> 30 qubits at complex128
+    max_predicted_seconds: float = 120.0
+    max_queue_depth: int = 256
+    max_tenant_active: int = 64
+    machine: MachineSpec = field(default=CORI_KNL_NODE)
+    network: NetworkSpec = field(default=ARIES_DRAGONFLY)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of pricing one request."""
+
+    admitted: bool
+    reason: str | None
+    predicted_seconds: float
+    state_bytes: int
+
+
+class AdmissionController:
+    """Applies an :class:`AdmissionPolicy` to priced requests."""
+
+    def __init__(self, policy: AdmissionPolicy | None = None, *, metrics=None):
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self._model = TimelineModel(self.policy.machine, self.policy.network)
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+
+    def price(self, schedule) -> tuple[float, int]:
+        """``(predicted_seconds, state_bytes)`` for one run of *schedule*."""
+        predicted = self._model.predict(schedule).total_seconds
+        state_bytes = _AMPLITUDE_BYTES << schedule.num_qubits
+        return predicted, state_bytes
+
+    def evaluate(
+        self,
+        schedule,
+        *,
+        queue_depth: int,
+        tenant_active: int,
+    ) -> AdmissionDecision:
+        """Admit or reject a request whose plan resolved to *schedule*.
+
+        ``queue_depth`` is the global queued-job count at submission;
+        ``tenant_active`` the submitting tenant's queued+running count.
+        """
+        policy = self.policy
+        predicted, state_bytes = self.price(schedule)
+        reason = None
+        if queue_depth >= policy.max_queue_depth:
+            reason = "queue_full"
+        elif tenant_active >= policy.max_tenant_active:
+            reason = "tenant_quota"
+        elif state_bytes > policy.max_state_bytes:
+            reason = "memory"
+        elif predicted > policy.max_predicted_seconds:
+            reason = "predicted_time"
+        if reason is not None:
+            self._metrics.counter("service.jobs.rejected", reason=reason).inc()
+            return AdmissionDecision(False, reason, predicted, state_bytes)
+        return AdmissionDecision(True, None, predicted, state_bytes)

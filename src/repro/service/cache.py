@@ -1,0 +1,142 @@
+"""Cross-request caches: compiled plans and finished results.
+
+Both caches are thread-safe LRUs keyed off
+:meth:`Circuit.content_hash() <repro.circuit.Circuit.content_hash>`:
+
+* :class:`PlanCache` — ``(circuit hash, local_qubits, kmax)`` maps to the
+  scheduled :class:`~repro.scheduling.Schedule` plus its compiled
+  :class:`~repro.plan.CompiledProgram`.  Scheduling + compilation is by
+  far the most expensive per-request setup work, and supremacy-style
+  service traffic repeats circuits heavily; a hit skips all of it and
+  (because every rank and repetition also shares the process-wide
+  :data:`~repro.kernels.GATHER_CACHE`) lands on fully warm kernels.
+  Misses compile under the cache lock, so each key compiles exactly once
+  no matter how many requests race on it.
+* :class:`ResultCache` — ``(plan key, shots, seed)`` maps to a finished
+  :class:`~repro.service.jobs.JobResult`; a hit completes the job
+  without touching the worker pool at all.
+
+Both expose ``stats()`` snapshots; the plan-cache hit rate is the
+guarded number of ``bench_service_throughput``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+
+from repro.plan import plan_for
+from repro.scheduling import SchedulerConfig, schedule_circuit
+from repro.service.jobs import JobResult, JobSpec
+
+__all__ = ["PlanCache", "PlanEntry", "ResultCache"]
+
+
+@dataclass(frozen=True)
+class PlanEntry:
+    """One shared compilation artifact: schedule + compiled program."""
+
+    schedule: object
+    program: object
+
+
+class _LruMixin:
+    """Shared locked-LRU plumbing (entries, counters, stats)."""
+
+    def __init__(self, *, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.RLock()
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _evict(self) -> None:
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def stats(self) -> dict:
+        """Consistent counters snapshot."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hit_rate,
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+            }
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class PlanCache(_LruMixin):
+    """Schedules + compiled plans shared across requests."""
+
+    def __init__(self, *, capacity: int = 64) -> None:
+        super().__init__(capacity=capacity)
+
+    def get(self, spec: JobSpec) -> PlanEntry:
+        """The (memoized) schedule + compiled plan for *spec*.
+
+        Compile-once: concurrent misses on one key serialise on the
+        cache lock and all but the first return the winner's entry.
+        """
+        key = spec.plan_key()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return entry
+            self.misses += 1
+            schedule = schedule_circuit(
+                spec.circuit,
+                SchedulerConfig(
+                    local_qubits=spec.local_qubits, kmax=spec.kmax
+                ),
+            )
+            entry = PlanEntry(schedule=schedule, program=plan_for(schedule))
+            self._entries[key] = entry
+            self._evict()
+            return entry
+
+
+class ResultCache(_LruMixin):
+    """Finished job results shared across requests."""
+
+    def __init__(self, *, capacity: int = 256) -> None:
+        super().__init__(capacity=capacity)
+
+    def get(self, key: tuple) -> JobResult | None:
+        """The cached result for *key*, marked ``from_cache``, or None."""
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return replace(result, from_cache=True)
+
+    def put(self, key: tuple, result: JobResult) -> None:
+        """Store a freshly computed *result* under *key*."""
+        with self._lock:
+            self._entries[key] = replace(result, from_cache=False)
+            self._entries.move_to_end(key)
+            self._evict()

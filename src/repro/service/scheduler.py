@@ -1,0 +1,80 @@
+"""Job execution on the canonical engine: the worker-thread half.
+
+:func:`execute_job` is the synchronous body the service's worker pool
+runs inside a thread: it replays the job's shared compiled plan through
+one :class:`~repro.runtime.ExecutionEngine` with a per-job
+:class:`~repro.runtime.TracingLayer` (the determinism anchor) and a
+:class:`CancelLayer` (cooperative cancellation/timeout at op
+boundaries), then reduces the final state to the result payload —
+fingerprint, trace signature, optional bitstring samples.
+
+Nothing here touches the event loop; shared mutable state is limited to
+the thread-safe plan/gather caches, which is what makes N of these
+running concurrently bit-exact with running them serially.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.runtime import ExecutionEngine, TracingLayer
+from repro.runtime.layers import RuntimeLayer
+from repro.service.jobs import (
+    Job,
+    JobCancelled,
+    JobResult,
+    JobStatus,
+    signature_digest,
+    state_fingerprint,
+)
+from repro.statevector import sample_counts
+
+__all__ = ["CancelLayer", "execute_job"]
+
+
+class CancelLayer(RuntimeLayer):
+    """Aborts a run when the job's cancel event is set.
+
+    Polled in ``before_op``: cancellation/timeout takes effect at the
+    next op boundary, never mid-kernel, so a cancelled job tears down
+    with its state machine consistent (and without needing the retry
+    machinery — :class:`~repro.service.jobs.JobCancelled` is not a
+    fault, it escapes the engine directly).
+    """
+
+    def __init__(self, job: Job) -> None:
+        self._job = job
+
+    def before_op(self, ctx, unit) -> None:
+        if self._job.cancel_event.is_set():
+            raise JobCancelled(self._job.cancel_reason or "cancelled")
+
+
+def execute_job(job: Job) -> JobResult:
+    """Run one admitted job to completion (worker-thread body).
+
+    Raises :class:`JobCancelled` when the job was cancelled or timed
+    out mid-run; any other exception is the job failing.
+    """
+    spec = job.spec
+    entry = job.plan_entry
+    start = time.perf_counter()
+    engine = ExecutionEngine(
+        entry.program,
+        layers=[TracingLayer(), CancelLayer(job)],
+        root_attrs={"job_id": job.job_id, "tenant": spec.tenant},
+    )
+    run = engine.run()
+    statevector = run.state.to_statevector()
+    samples = None
+    if spec.shots:
+        samples = sample_counts(statevector, spec.shots, seed=spec.seed)
+    signature = run.trace.signature()
+    return JobResult(
+        status=JobStatus.COMPLETED,
+        fingerprint=state_fingerprint(statevector),
+        signature=signature,
+        signature_digest=signature_digest(signature),
+        wall_seconds=time.perf_counter() - start,
+        samples=samples,
+    )

@@ -1,0 +1,414 @@
+"""The :class:`SimulationService` orchestrator and its TCP front end.
+
+The service runs on one asyncio event loop that owns all bookkeeping
+(jobs table, fair queue, metrics); only :func:`execute_job` bodies leave
+the loop, onto a bounded :class:`~concurrent.futures.ThreadPoolExecutor`
+— so ``max_workers`` bounds concurrent engine runs while submissions,
+cancellations and status queries stay responsive.  A submission flows::
+
+    submit -> result-cache probe -> plan-cache get/compile
+           -> admission (quota / memory / predicted-time)
+           -> weighted-fair queue -> worker -> result cache + metrics
+
+Per-tenant SLO metrics ride the telemetry registry:
+``service.jobs.submitted{tenant=}``, ``...completed{tenant=}``,
+``...rejected{reason=}``, ``...cancelled{tenant=}``,
+``...failed{tenant=}``, queue-wait and execution-seconds histograms
+(``service.queue.wait_seconds{tenant=}``,
+``service.exec.seconds{tenant=}``).
+
+:func:`serve` exposes a service over a local JSON-lines TCP socket
+(one JSON request per line, one JSON response per line) and
+:func:`request` is the matching blocking client — the transport behind
+``repro serve`` / ``repro submit``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.service.admission import AdmissionController, AdmissionPolicy
+from repro.service.cache import PlanCache, ResultCache
+from repro.service.jobs import Job, JobCancelled, JobResult, JobSpec, JobStatus
+from repro.service.queue import FairQueue
+from repro.service.scheduler import execute_job
+from repro.telemetry import MetricsRegistry
+
+__all__ = ["ServiceConfig", "SimulationService", "request", "serve"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Construction-time knobs of one service instance."""
+
+    max_workers: int = 4
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    tenant_weights: dict[str, float] | None = None
+    plan_cache_capacity: int = 64
+    result_cache_capacity: int = 256
+    #: When set, rebounds the process-wide GATHER_CACHE at startup.
+    gather_cache_capacity: int | None = None
+    collect_metrics: bool = True
+
+
+class SimulationService:
+    """Accepts, admission-controls and concurrently executes jobs."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.metrics = MetricsRegistry(enabled=self.config.collect_metrics)
+        self.plans = PlanCache(capacity=self.config.plan_cache_capacity)
+        self.results = ResultCache(
+            capacity=self.config.result_cache_capacity
+        )
+        self.admission = AdmissionController(
+            self.config.admission, metrics=self.metrics
+        )
+        self.queue = FairQueue(weights=self.config.tenant_weights)
+        self.jobs: dict[str, Job] = {}
+        self._running: set[str] = set()
+        self._next_id = 0
+        self._executor: ThreadPoolExecutor | None = None
+        self._workers: list[asyncio.Task] = []
+        self._wakeup: asyncio.Condition | None = None
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spin up the worker pool on the running event loop."""
+        if self._workers:
+            raise RuntimeError("service already started")
+        if self.config.gather_cache_capacity is not None:
+            from repro.kernels import GATHER_CACHE
+
+            GATHER_CACHE.set_capacity(self.config.gather_cache_capacity)
+        self._closing = False
+        self._wakeup = asyncio.Condition()
+        # One spare thread beyond the worker count: submission-time plan
+        # compiles must never queue behind a fully busy job pool.
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_workers + 1,
+            thread_name_prefix="repro-service",
+        )
+        self._workers = [
+            asyncio.create_task(self._worker(), name=f"service-worker-{i}")
+            for i in range(self.config.max_workers)
+        ]
+
+    async def shutdown(self, *, drain: bool = True) -> None:
+        """Stop the workers (after finishing queued work when *drain*)."""
+        if drain:
+            await self.drain()
+        else:
+            for job in list(self.queue.jobs()):
+                self.queue.remove(job)
+                self._finish_queued_cancel(job, "shutdown")
+            for job_id in list(self._running):
+                self.jobs[job_id].request_cancel("shutdown")
+        self._closing = True
+        async with self._wakeup:
+            self._wakeup.notify_all()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def drain(self) -> None:
+        """Wait until every submitted job reaches a terminal state."""
+        pending = [
+            job.future
+            for job in self.jobs.values()
+            if job.future is not None and not job.future.done()
+        ]
+        if pending:
+            await asyncio.gather(*pending)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def _tenant_active(self, tenant: str) -> int:
+        running = sum(
+            1 for job_id in self._running if self.jobs[job_id].tenant == tenant
+        )
+        return self.queue.depth(tenant) + running
+
+    async def submit(self, spec: JobSpec) -> Job:
+        """Admit (or reject) *spec*; returns its :class:`Job` record.
+
+        Never raises for policy outcomes — rejection, like completion,
+        is a terminal status on the returned job.
+        """
+        if not self._workers:
+            raise RuntimeError("service not started (call start())")
+        loop = asyncio.get_running_loop()
+        self._next_id += 1
+        job = Job(job_id=f"job-{self._next_id:06d}", spec=spec)
+        job.future = loop.create_future()
+        job.submitted_at = loop.time()
+        self.jobs[job.job_id] = job
+        self.metrics.counter(
+            "service.jobs.submitted", tenant=spec.tenant
+        ).inc()
+
+        if spec.use_result_cache:
+            cached = self.results.get(spec.result_key())
+            if cached is not None:
+                self._finish(job, JobStatus.COMPLETED, cached)
+                return job
+
+        # Scheduling + compilation is CPU work; keep it off the loop.
+        job.plan_entry = await loop.run_in_executor(
+            self._executor, self.plans.get, spec
+        )
+        decision = self.admission.evaluate(
+            job.plan_entry.schedule,
+            queue_depth=len(self.queue),
+            tenant_active=self._tenant_active(spec.tenant),
+        )
+        job.decision = decision
+        if not decision.admitted:
+            self._finish(
+                job,
+                JobStatus.REJECTED,
+                JobResult(status=JobStatus.REJECTED, error=decision.reason),
+            )
+            return job
+
+        job.status = JobStatus.QUEUED
+        self.queue.push(job, cost=decision.predicted_seconds)
+        async with self._wakeup:
+            self._wakeup.notify()
+        return job
+
+    async def wait(self, job: Job) -> JobResult:
+        """Await the job's terminal :class:`JobResult`."""
+        return await job.future
+
+    def cancel(self, job_id: str, *, reason: str = "cancelled") -> bool:
+        """Cancel a queued or running job; False when already terminal."""
+        job = self.jobs.get(job_id)
+        if job is None or job.done:
+            return False
+        if self.queue.remove(job):
+            self._finish_queued_cancel(job, reason)
+            return True
+        job.request_cancel(reason)
+        return True
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            async with self._wakeup:
+                while not len(self.queue) and not self._closing:
+                    await self._wakeup.wait()
+                if self._closing and not len(self.queue):
+                    return
+                job = self.queue.pop()
+            if job is None:
+                continue
+            if job.cancel_event.is_set():
+                self._finish_queued_cancel(
+                    job, job.cancel_reason or "cancelled"
+                )
+                continue
+            await self._run_job(loop, job)
+
+    async def _run_job(self, loop, job: Job) -> None:
+        job.status = JobStatus.RUNNING
+        self._running.add(job.job_id)
+        job.started_at = loop.time()
+        self.metrics.histogram(
+            "service.queue.wait_seconds", tenant=job.tenant
+        ).observe(job.started_at - job.submitted_at)
+        timeout_handle = None
+        if job.spec.timeout_seconds is not None:
+            timeout_handle = loop.call_later(
+                job.spec.timeout_seconds, job.request_cancel, "timeout"
+            )
+        try:
+            result = await loop.run_in_executor(
+                self._executor, execute_job, job
+            )
+        except JobCancelled:
+            status = (
+                JobStatus.TIMEOUT
+                if job.cancel_reason == "timeout"
+                else JobStatus.CANCELLED
+            )
+            result = JobResult(status=status, error=job.cancel_reason)
+            self._finish(job, status, result)
+        except Exception as exc:  # job code failed; service stays up
+            result = JobResult(
+                status=JobStatus.FAILED,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            self._finish(job, JobStatus.FAILED, result)
+        else:
+            if job.spec.use_result_cache:
+                self.results.put(job.spec.result_key(), result)
+            self.metrics.histogram(
+                "service.exec.seconds", tenant=job.tenant
+            ).observe(result.wall_seconds)
+            self._finish(job, JobStatus.COMPLETED, result)
+        finally:
+            if timeout_handle is not None:
+                timeout_handle.cancel()
+            self._running.discard(job.job_id)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _finish(self, job: Job, status: JobStatus, result: JobResult) -> None:
+        job.status = status
+        job.result = result
+        try:
+            job.finished_at = asyncio.get_running_loop().time()
+        except RuntimeError:  # pragma: no cover - loop teardown
+            pass
+        key = {
+            JobStatus.COMPLETED: "service.jobs.completed",
+            JobStatus.CANCELLED: "service.jobs.cancelled",
+            JobStatus.TIMEOUT: "service.jobs.cancelled",
+            JobStatus.FAILED: "service.jobs.failed",
+        }.get(status)
+        if key is not None:
+            self.metrics.counter(key, tenant=job.tenant).inc()
+        if job.future is not None and not job.future.done():
+            job.future.set_result(result)
+
+    def _finish_queued_cancel(self, job: Job, reason: str) -> None:
+        job.request_cancel(reason)
+        self._finish(
+            job,
+            JobStatus.CANCELLED,
+            JobResult(status=JobStatus.CANCELLED, error=reason),
+        )
+
+    def stats(self) -> dict:
+        """JSON-ready service snapshot (the ``stats`` wire op)."""
+        from repro.kernels import GATHER_CACHE
+
+        by_status: dict[str, int] = {}
+        for job in self.jobs.values():
+            by_status[job.status.value] = (
+                by_status.get(job.status.value, 0) + 1
+            )
+        return {
+            "jobs": by_status,
+            "queue_depth": len(self.queue),
+            "running": len(self._running),
+            "plan_cache": self.plans.stats(),
+            "result_cache": self.results.stats(),
+            "gather_cache": GATHER_CACHE.stats(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+
+# ----------------------------------------------------------------------
+# JSON-lines TCP front end
+# ----------------------------------------------------------------------
+def _spec_from_wire(message: dict) -> JobSpec:
+    from repro.circuit import circuit_from_text
+
+    circuit = circuit_from_text(message["circuit"])
+    return JobSpec(
+        tenant=str(message.get("tenant", "default")),
+        circuit=circuit,
+        local_qubits=int(message["local_qubits"]),
+        kmax=int(message.get("kmax", 5)),
+        priority=int(message.get("priority", 0)),
+        shots=int(message.get("shots", 0)),
+        seed=int(message.get("seed", 0)),
+        timeout_seconds=(
+            float(message["timeout_seconds"])
+            if message.get("timeout_seconds") is not None
+            else None
+        ),
+        use_result_cache=bool(message.get("use_result_cache", True)),
+    )
+
+
+def _job_view(job: Job) -> dict:
+    view = {"job_id": job.job_id, "status": job.status.value}
+    if job.result is not None:
+        view["result"] = job.result.payload(job.spec.circuit.num_qubits)
+    if job.decision is not None:
+        view["predicted_seconds"] = job.decision.predicted_seconds
+        view["state_bytes"] = job.decision.state_bytes
+    return view
+
+
+async def _handle_message(service: SimulationService, message: dict) -> dict:
+    op = message.get("op")
+    if op == "submit":
+        job = await service.submit(_spec_from_wire(message))
+        if message.get("wait", True) and not job.done:
+            await service.wait(job)
+        return {"ok": True, **_job_view(job)}
+    if op == "status":
+        job = service.jobs.get(message.get("job_id", ""))
+        if job is None:
+            return {"ok": False, "error": "unknown job_id"}
+        return {"ok": True, **_job_view(job)}
+    if op == "cancel":
+        cancelled = service.cancel(
+            message.get("job_id", ""),
+            reason=message.get("reason", "cancelled"),
+        )
+        return {"ok": cancelled}
+    if op == "stats":
+        return {"ok": True, "stats": service.stats()}
+    return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+async def serve(
+    service: SimulationService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> asyncio.AbstractServer:
+    """Start the JSON-lines TCP front end for a started *service*."""
+
+    async def handle(reader, writer):
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    message = json.loads(line)
+                    response = await _handle_message(service, message)
+                except Exception as exc:
+                    response = {
+                        "ok": False,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        finally:
+            writer.close()
+
+    return await asyncio.start_server(handle, host, port)
+
+
+def request(host: str, port: int, message: dict, *, timeout: float = 300.0) -> dict:
+    """Blocking one-shot client: send *message*, return the response."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(json.dumps(message).encode() + b"\n")
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    return json.loads(buf)

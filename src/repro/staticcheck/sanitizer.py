@@ -305,7 +305,7 @@ def run_sanitized(
         SanitizerLayer(sanitizer),
         _corruption_drill(corrupt_during),
     ]
-    engine = ExecutionEngine(schedule, use_plan=False, layers=layers)
+    engine = ExecutionEngine(schedule, use_plan=False, layers=layers)  # lint: allow-engine-direct
     result = engine.run(state=state)
     return result.state, sanitizer.report
 

@@ -102,3 +102,47 @@ class TestTransforms:
     def test_unitary_refuses_large(self):
         with pytest.raises(ValueError, match="refusing"):
             Circuit(13).unitary()
+
+
+class TestContentHash:
+    def test_deterministic_across_instances(self):
+        assert tiny_circuit().content_hash() == tiny_circuit().content_hash()
+
+    def test_is_a_sha256_hexdigest(self):
+        digest = tiny_circuit().content_hash()
+        assert len(digest) == 64
+        assert int(digest, 16) >= 0
+
+    def test_gate_order_matters(self):
+        a = Circuit(2, [Gate("h", (0,)), Gate("t", (1,))])
+        b = Circuit(2, [Gate("t", (1,)), Gate("h", (0,))])
+        assert a.content_hash() != b.content_hash()
+
+    def test_qubit_count_matters(self):
+        a = Circuit(2, [Gate("h", (0,))])
+        b = Circuit(3, [Gate("h", (0,))])
+        assert a.content_hash() != b.content_hash()
+
+    def test_target_qubits_matter(self):
+        a = Circuit(2, [Gate("h", (0,))])
+        b = Circuit(2, [Gate("h", (1,))])
+        assert a.content_hash() != b.content_hash()
+
+    def test_matrix_content_matters(self):
+        h_like = Gate("h", (0,), matrix=T_MATRIX)
+        a = Circuit(1, [Gate("h", (0,))])
+        b = Circuit(1, [h_like])
+        assert a.content_hash() != b.content_hash()
+
+    def test_append_invalidates_the_memo(self):
+        c = Circuit(2, [Gate("h", (0,))])
+        before = c.content_hash()
+        c.append(Gate("cz", (0, 1)))
+        after = c.content_hash()
+        assert before != after
+        reference = Circuit(2, [Gate("h", (0,)), Gate("cz", (0, 1))])
+        assert after == reference.content_hash()
+
+    def test_memoized_value_is_stable(self):
+        c = tiny_circuit()
+        assert c.content_hash() is c.content_hash()

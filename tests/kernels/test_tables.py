@@ -133,6 +133,7 @@ class TestClear:
             "misses": 0,
             "hit_rate": 0.0,
             "entries": 0,
+            "capacity": cache.capacity,
             "bytes_cached": 0,
             "bytes_saved": 0,
         }
@@ -153,3 +154,66 @@ class TestKernelIntegration:
         # Re-applying the same shape hits.
         apply_gate_indexed(cached, u, (1, 6), chunk_size=8, cache=cache)
         assert cache.hits >= 1
+
+
+class TestSetCapacity:
+    def test_shrink_evicts_lru_overflow(self):
+        cache = GatherTableCache(capacity=4)
+        for q in range(4):
+            cache.gather_tables(6, (q,), None)
+        cache.gather_tables(6, (0,), None)  # refresh (0,)
+        cache.set_capacity(2)
+        assert len(cache) == 2
+        assert cache.stats()["capacity"] == 2
+        misses = cache.misses
+        cache.gather_tables(6, (0,), None)  # survivor
+        cache.gather_tables(6, (3,), None)  # survivor
+        assert cache.misses == misses
+        cache.gather_tables(6, (1,), None)  # was evicted
+        assert cache.misses == misses + 1
+
+    def test_grow_keeps_entries(self):
+        cache = GatherTableCache(capacity=1)
+        cache.gather_tables(6, (0,), None)
+        cache.set_capacity(8)
+        assert len(cache) == 1
+        assert cache.capacity == 8
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            GatherTableCache().set_capacity(0)
+
+
+class TestThreadSafety:
+    def test_concurrent_lookups_stay_consistent(self):
+        import threading
+
+        cache = GatherTableCache(capacity=8)
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(seed: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(50):
+                    q = (seed + i) % 6
+                    (table,) = cache.gather_tables(6, (q,), None)
+                    expected = _build_gather_table(6, (q,), 0, 32)
+                    if not np.array_equal(table, expected):
+                        raise AssertionError(f"corrupt table for qubit {q}")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Bookkeeping stayed coherent under contention.
+        assert len(cache) <= 8
+        assert cache.hits + cache.misses == 8 * 50
+        stats = cache.stats()
+        assert stats["entries"] == len(cache)

@@ -23,5 +23,5 @@ def chaos_schedule():
 def chaos_reference(chaos_schedule):
     """Fault-free final amplitudes of the shared schedule."""
     state = CheckpointManager.initial_state_for(chaos_schedule)
-    result = ExecutionEngine(chaos_schedule, use_plan=False).run(state=state)
+    result = ExecutionEngine(chaos_schedule, use_plan=False).run(state=state)  # lint: allow-engine-direct
     return result.state.to_statevector().data.copy()

@@ -1,0 +1,49 @@
+"""Shared fixtures for the service-layer tests."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.circuit import generate_supremacy_circuit
+from repro.service import JobSpec
+
+
+@pytest.fixture
+def run_async():
+    """Run a coroutine to completion on a fresh event loop."""
+
+    def run(coro):
+        return asyncio.run(coro)
+
+    return run
+
+
+@pytest.fixture
+def make_spec():
+    """Build a small-job :class:`JobSpec` with overridable fields."""
+    circuits: dict = {}
+
+    def make(
+        tenant: str = "default",
+        *,
+        qubits: int = 9,
+        depth: int = 8,
+        circuit_seed: int = 7,
+        local_qubits: int = 7,
+        **overrides,
+    ) -> JobSpec:
+        key = (qubits, depth, circuit_seed)
+        if key not in circuits:
+            circuits[key] = generate_supremacy_circuit(
+                qubits, depth, seed=circuit_seed
+            )
+        return JobSpec(
+            tenant=tenant,
+            circuit=circuits[key],
+            local_qubits=local_qubits,
+            **overrides,
+        )
+
+    return make

@@ -1,0 +1,84 @@
+"""Admission control: pricing and every rejection path."""
+
+from __future__ import annotations
+
+from repro.circuit import generate_supremacy_circuit
+from repro.scheduling import SchedulerConfig, schedule_circuit
+from repro.service import AdmissionController, AdmissionPolicy
+from repro.telemetry import MetricsRegistry
+
+
+def _schedule(qubits=9, local=7, depth=8):
+    circuit = generate_supremacy_circuit(qubits, depth, seed=7)
+    return schedule_circuit(circuit, SchedulerConfig(local_qubits=local))
+
+
+class TestPricing:
+    def test_price_matches_timeline_model(self):
+        from repro.perfmodel import ARIES_DRAGONFLY, CORI_KNL_NODE, TimelineModel
+
+        schedule = _schedule()
+        controller = AdmissionController()
+        predicted, state_bytes = controller.price(schedule)
+        expected = TimelineModel(
+            CORI_KNL_NODE, ARIES_DRAGONFLY
+        ).predict(schedule)
+        assert predicted == expected.total_seconds
+        assert state_bytes == 16 << schedule.num_qubits
+
+    def test_decision_carries_the_price(self):
+        controller = AdmissionController()
+        decision = controller.evaluate(
+            _schedule(), queue_depth=0, tenant_active=0
+        )
+        assert decision.admitted
+        assert decision.reason is None
+        assert decision.state_bytes == 16 << 9
+        assert decision.predicted_seconds > 0
+
+
+class TestRejections:
+    def test_memory_budget(self):
+        controller = AdmissionController(
+            AdmissionPolicy(max_state_bytes=(16 << 9) - 1)
+        )
+        decision = controller.evaluate(
+            _schedule(), queue_depth=0, tenant_active=0
+        )
+        assert not decision.admitted
+        assert decision.reason == "memory"
+
+    def test_predicted_time_budget(self):
+        controller = AdmissionController(
+            AdmissionPolicy(max_predicted_seconds=0.0)
+        )
+        decision = controller.evaluate(
+            _schedule(), queue_depth=0, tenant_active=0
+        )
+        assert not decision.admitted
+        assert decision.reason == "predicted_time"
+
+    def test_queue_depth_bound(self):
+        controller = AdmissionController(AdmissionPolicy(max_queue_depth=4))
+        decision = controller.evaluate(
+            _schedule(), queue_depth=4, tenant_active=0
+        )
+        assert decision.reason == "queue_full"
+
+    def test_tenant_quota(self):
+        controller = AdmissionController(AdmissionPolicy(max_tenant_active=2))
+        decision = controller.evaluate(
+            _schedule(), queue_depth=0, tenant_active=2
+        )
+        assert decision.reason == "tenant_quota"
+
+    def test_rejections_count_per_reason(self):
+        registry = MetricsRegistry(enabled=True)
+        controller = AdmissionController(
+            AdmissionPolicy(max_queue_depth=1), metrics=registry
+        )
+        schedule = _schedule()
+        controller.evaluate(schedule, queue_depth=1, tenant_active=0)
+        controller.evaluate(schedule, queue_depth=1, tenant_active=0)
+        snapshot = registry.snapshot()
+        assert snapshot["service.jobs.rejected{reason=queue_full}"] == 2

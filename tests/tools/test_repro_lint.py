@@ -75,3 +75,43 @@ class TestTreeIsClean:
     def test_src_has_no_op_loops(self):
         findings = lint_paths([REPO / "src"])
         assert [f for f in findings if f.check == "op-loop"] == []
+
+
+ENGINE_DIRECT = """
+def run(plan):
+    return ExecutionEngine(plan).run()
+"""
+
+ENGINE_ATTR = """
+def run(plan):
+    return runtime.ExecutionEngine(plan, layers=[]).run()
+"""
+
+
+class TestEngineDirectRule:
+    def test_flags_direct_construction(self, tmp_path):
+        findings = _lint_source(tmp_path, ENGINE_DIRECT)
+        assert [f.check for f in findings] == ["engine-direct"]
+
+    def test_flags_attribute_construction(self, tmp_path):
+        findings = _lint_source(tmp_path, ENGINE_ATTR)
+        assert [f.check for f in findings] == ["engine-direct"]
+
+    def test_runtime_and_service_are_exempt(self, tmp_path):
+        for pkg in ("repro/runtime", "repro/service"):
+            nested = tmp_path / pkg
+            nested.mkdir(parents=True)
+            path = nested / "mod.py"
+            path.write_text(ENGINE_DIRECT)
+            assert lint_file(path) == []
+
+    def test_suppressible_inline(self, tmp_path):
+        source = ENGINE_DIRECT.replace(
+            "ExecutionEngine(plan).run()",
+            "ExecutionEngine(plan).run()  # lint: allow-engine-direct",
+        )
+        assert _lint_source(tmp_path, source) == []
+
+    def test_src_has_no_unsuppressed_construction(self):
+        findings = lint_paths([REPO / "src"])
+        assert [f for f in findings if f.check == "engine-direct"] == []

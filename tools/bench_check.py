@@ -56,6 +56,7 @@ KNOWN_BENCHES = {
     "recovery_overhead",
     "runtime_overhead",
     "sanitizer_overhead",
+    "service_throughput",
     "table2_cori",
     "telemetry_overhead",
 }

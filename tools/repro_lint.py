@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """AST-based self-lint for the repro tree.
 
-Four project-specific checks ruff does not cover in the shapes we care
+Five project-specific checks ruff does not cover in the shapes we care
 about:
 
 * **mutable-default** — a function parameter defaulting to a mutable
@@ -21,6 +21,12 @@ about:
   op loop lives in ``repro/runtime`` (exempt); everything else must run
   through :class:`repro.runtime.ExecutionEngine` so the
   six-parallel-executors problem cannot silently regrow.
+* **engine-direct** — a direct ``ExecutionEngine(...)`` construction
+  outside ``repro/runtime`` (its home) and ``repro/service`` (the job
+  engine that wraps it).  Everything else should go through the
+  ``run_schedule`` family or submit a job to the service so engines
+  pick up the shared layer stacks and caches; deliberate wrappers and
+  benches suppress with ``# lint: allow-engine-direct``.
 
 Usage::
 
@@ -107,8 +113,20 @@ class _Linter(ast.NodeVisitor):
         self.path = path
         self.lines = source.splitlines()
         self.findings: list[LintFinding] = []
+        norm = path.replace("\\", "/")
         # The canonical loop itself lives in repro/runtime.
-        self.allow_op_loops = "repro/runtime" in path.replace("\\", "/")
+        self.allow_op_loops = "repro/runtime" in norm
+        # Engine construction is the runtime's and the service's job
+        # (their own test packages exercise the constructor directly).
+        self.allow_engine_direct = any(
+            part in norm
+            for part in (
+                "repro/runtime",
+                "repro/service",
+                "tests/runtime",
+                "tests/service",
+            )
+        )
 
     # ------------------------------------------------------------------
     def _suppressed(self, line: int, check: str) -> bool:
@@ -158,6 +176,25 @@ class _Linter(ast.NodeVisitor):
                 "hand-rolled schedule executor (op.execute loop over "
                 "schedule.operations()); run it through "
                 "repro.runtime.ExecutionEngine instead",
+            )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name == "ExecutionEngine" and not self.allow_engine_direct:
+            self._add(
+                node.lineno,
+                "engine-direct",
+                "direct ExecutionEngine construction outside repro/runtime "
+                "and repro/service; use the run_schedule family or submit "
+                "a service job (# lint: allow-engine-direct for deliberate "
+                "wrappers)",
             )
         self.generic_visit(node)
 
