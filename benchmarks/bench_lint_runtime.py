@@ -1,0 +1,58 @@
+"""Full-tree lint wall time.
+
+``repro lint`` gates CI, so its cost is part of every iteration loop;
+this bench records how long the nine-rule catalogue takes over the
+whole ``src/`` tree (parse + per-module rules + the whole-program
+lock-order fixpoint).  The guarded expectation is "comfortably
+interactive": a couple of seconds on any development host.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.staticcheck.lint import default_rules, run_lint
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def bench_lint_runtime(benchmark, report_writer, bench_record):
+    rules = default_rules()
+
+    # Best-of-3 full-tree wall time (cold parse every round: the CLI
+    # has no incremental mode).
+    lint_seconds = float("inf")
+    report = None
+    for _ in range(3):
+        start = time.perf_counter()
+        report = run_lint([_SRC], rules=rules)
+        lint_seconds = min(lint_seconds, time.perf_counter() - start)
+
+    assert report is not None
+    assert report.active == [], [f.format() for f in report.findings]
+
+    per_file_ms = lint_seconds * 1e3 / max(report.files_checked, 1)
+    rows = [
+        f"{report.files_checked} files, {len(report.rules_run)} rules "
+        f"(full src tree)",
+        f"lint wall time: {lint_seconds * 1e3:.1f} ms "
+        f"({per_file_ms:.2f} ms/file)",
+        f"findings: {len(report.active)} active, "
+        f"{len(report.baselined)} baselined",
+    ]
+    report_writer("lint_runtime", rows)
+    bench_record(
+        "lint_runtime",
+        seconds=lint_seconds,
+        params={"rules": len(report.rules_run)},
+        metrics={
+            "files": report.files_checked,
+            "findings": len(report.active),
+            "ms_per_file": per_file_ms,
+        },
+    )
+    benchmark.pedantic(
+        run_lint, args=([_SRC],), kwargs={"rules": rules},
+        rounds=3, iterations=1,
+    )

@@ -10,6 +10,9 @@ Subcommands:
   via ``--checkpoint-dir`` / ``--checkpoint-every``;
 * ``check`` — statically verify a schedule (structure, specialization,
   coverage, unitarity, comm plan) and print a ranked findings report;
+* ``lint`` — run the source lint framework
+  (:mod:`repro.staticcheck.lint`) over the tree: nine rules, per-rule
+  severity, baseline grandfathering, text/JSON/SARIF output;
 * ``project`` — price a configuration on the Cori II models and print a
   Table-2-style profile;
 * ``chaos`` — run the fault-injection scenario sweep (or a custom
@@ -117,6 +120,31 @@ def build_parser() -> argparse.ArgumentParser:
                      help="skip comm-plan derivation and verification")
     chk.add_argument("--strict", action="store_true",
                      help="also fail (exit 1) on warnings")
+
+    lnt = sub.add_parser(
+        "lint", help="lint the source tree with the repro rule catalogue"
+    )
+    lnt.add_argument("paths", nargs="*", default=["src"],
+                     help="files/directories to lint (default: src)")
+    lnt.add_argument("--format", choices=["text", "json", "sarif"],
+                     default="text", help="output format")
+    lnt.add_argument("--rule", action="append", default=None,
+                     metavar="NAME",
+                     help="run only this rule (repeatable)")
+    lnt.add_argument("--baseline", type=str,
+                     default="tools/lint_baseline.json",
+                     help="baseline file grandfathering known findings")
+    lnt.add_argument("--no-baseline", action="store_true",
+                     help="ignore the baseline file")
+    lnt.add_argument("--update-baseline", action="store_true",
+                     help="rewrite the baseline from the current findings "
+                     "and exit 0")
+    lnt.add_argument("--strict", action="store_true",
+                     help="also fail (exit 1) on non-baselined warnings")
+    lnt.add_argument("--show-baselined", action="store_true",
+                     help="also print baselined findings (text format)")
+    lnt.add_argument("--list-rules", action="store_true",
+                     help="print the rule catalogue and exit")
 
     proj = sub.add_parser("project", help="project onto Cori II (Table 2 style)")
     proj.add_argument("--qubits", type=int, required=True)
@@ -319,6 +347,48 @@ def _cmd_check(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.staticcheck.lint import (
+        Baseline,
+        default_rules,
+        registered_rules,
+        render_json,
+        render_sarif,
+        render_text,
+        run_lint,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for name, cls in sorted(registered_rules().items()):
+            print(f"{name:<20} {cls.severity:<9} {cls.description}")
+        return 0
+    try:
+        rules = default_rules(args.rule)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    baseline = None
+    if not args.no_baseline and not args.update_baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (ValueError, KeyError) as exc:
+            print(f"error: bad baseline: {exc}", file=sys.stderr)
+            return 2
+    report = run_lint(args.paths, rules=rules, baseline=baseline)
+    if args.update_baseline:
+        count = write_baseline(args.baseline, report.findings)
+        print(f"wrote {count} finding(s) to {args.baseline}")
+        return 0
+    if args.format == "json":
+        print(render_json(report))
+    elif args.format == "sarif":
+        print(render_sarif(report))
+    else:
+        print(render_text(report, show_baselined=args.show_baselined))
+    return report.exit_code(strict=args.strict)
+
+
 def _cmd_simulate(args) -> int:
     from repro.analysis import porter_thomas_entropy_nats, shannon_entropy
     from repro.circuit import generate_supremacy_circuit
@@ -363,15 +433,32 @@ def _cmd_simulate(args) -> int:
         if args.sanitize:
             from repro.runtime import ExecutionEngine, SanitizerLayer
             from repro.staticcheck import ShardSanitizer
+            from repro.util.locktrack import LOCK_TRACKER
 
             sanitizer = ShardSanitizer()
             engine = ExecutionEngine(  # lint: allow-engine-direct
                 schedule, use_plan=False, layers=[SanitizerLayer(sanitizer)]
             )
-            dist_state = engine.run().state
+            LOCK_TRACKER.reset()
+            LOCK_TRACKER.enable()
+            try:
+                dist_state = engine.run().state
+            finally:
+                LOCK_TRACKER.disable()
             san_report = sanitizer.report
             state = dist_state.to_statevector()
             print(san_report.format())
+            lock_stats = LOCK_TRACKER.stats()
+            if lock_stats["acquire_counts"]:
+                print("lock acquisitions:")
+                for name, count in sorted(
+                    lock_stats["acquire_counts"].items()
+                ):
+                    wait = lock_stats["wait_seconds"].get(name, 0.0)
+                    print(f"  {name}: {count} acquires, "
+                          f"{wait:.6f}s waiting")
+                for a, b in lock_stats["edges"]:
+                    print(f"  order: {a} -> {b}")
             print(
                 f"distributed run: {dist_state.stats.alltoall_steps} "
                 f"all-to-all steps (sanitized)"
@@ -415,6 +502,14 @@ def _cmd_simulate(args) -> int:
                     telemetry = Telemetry(
                         metrics=MetricsRegistry(enabled=True)
                     )
+                if args.metrics:
+                    # Lock contention rides the same registry as
+                    # lock.acquire.count{name=} / lock.wait.seconds{name=}.
+                    from repro.util.locktrack import LOCK_TRACKER
+
+                    LOCK_TRACKER.reset()
+                    LOCK_TRACKER.bind_metrics(telemetry.metrics)
+                    LOCK_TRACKER.enable()
             result = DistributedSimulator(
                 args.qubits, args.local_qubits, telemetry=telemetry
             ).run_schedule(schedule)
@@ -431,6 +526,10 @@ def _cmd_simulate(args) -> int:
                 print(f"wrote {len(telemetry.tracer.spans)} spans "
                       f"to {args.trace}")
             if args.metrics:
+                from repro.util.locktrack import LOCK_TRACKER
+
+                LOCK_TRACKER.disable()
+                LOCK_TRACKER.bind_metrics(None)
                 print(telemetry.metrics.format())
             if args.plan_stats:
                 from repro.kernels import GATHER_CACHE
@@ -616,11 +715,18 @@ def _cmd_trace(args) -> int:
         write_jsonl,
     )
 
+    from repro.util.locktrack import LOCK_TRACKER
+
     g = args.qubits - args.local_qubits
     if g < 0:
         print("error: --local-qubits exceeds --qubits", file=sys.stderr)
         return 2
     telemetry = Telemetry.enabled()
+    # Lock contention joins the perf report through the same registry
+    # (lock.acquire.count{name=} / lock.wait.seconds{name=}).
+    LOCK_TRACKER.reset()
+    LOCK_TRACKER.bind_metrics(telemetry.metrics)
+    LOCK_TRACKER.enable()
     circuit = generate_supremacy_circuit(
         args.qubits, args.depth, seed=args.seed
     )
@@ -633,9 +739,13 @@ def _cmd_trace(args) -> int:
         ),
         telemetry=telemetry,
     )
-    result = DistributedSimulator(
-        args.qubits, args.local_qubits, telemetry=telemetry
-    ).run_schedule(schedule)
+    try:
+        result = DistributedSimulator(
+            args.qubits, args.local_qubits, telemetry=telemetry
+        ).run_schedule(schedule)
+    finally:
+        LOCK_TRACKER.disable()
+        LOCK_TRACKER.bind_metrics(None)
     spans = telemetry.tracer.spans
     write_chrome_trace(args.output, spans)
     print(f"wrote {len(spans)} spans ({1 << g} rank lanes) to {args.output}")
@@ -650,6 +760,13 @@ def _cmd_trace(args) -> int:
         schedule, result.trace, result.comm, tolerance=args.tolerance
     )
     print(report.format())
+    lock_stats = LOCK_TRACKER.stats()
+    if lock_stats["acquire_counts"]:
+        print()
+        print("lock contention:")
+        for name, count in sorted(lock_stats["acquire_counts"].items()):
+            wait = lock_stats["wait_seconds"].get(name, 0.0)
+            print(f"  {name}: {count} acquires, {wait:.6f}s waiting")
     return 0
 
 
@@ -788,6 +905,7 @@ def main(argv=None) -> int:
         "generate": _cmd_generate,
         "schedule": _cmd_schedule,
         "check": _cmd_check,
+        "lint": _cmd_lint,
         "simulate": _cmd_simulate,
         "project": _cmd_project,
         "experiments": _cmd_experiments,

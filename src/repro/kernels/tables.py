@@ -21,11 +21,12 @@ hits avoided — the numbers ``repro simulate --plan-stats`` reports.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Sequence
 
 import numpy as np
+
+from repro.util.locktrack import TrackedLock
 
 __all__ = ["GatherTableCache", "GATHER_CACHE"]
 
@@ -79,7 +80,8 @@ class GatherTableCache:
     entries are evicted first.  Returned arrays are marked read-only —
     they are shared across every rank and every repetition of an op.
 
-    All cache operations hold an internal :class:`threading.RLock`, so
+    All cache operations hold an internal re-entrant lock (a named
+    :class:`~repro.util.locktrack.TrackedLock`), so
     one process-wide instance (:data:`GATHER_CACHE`) can be shared by the
     service layer's concurrent worker threads: lookups, LRU reordering,
     insertion/eviction and the counter updates are atomic with respect to
@@ -91,7 +93,9 @@ class GatherTableCache:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._lock = threading.RLock()
+        self._lock = TrackedLock(
+            "repro.kernels.tables.GatherTableCache._lock"
+        )
         self._entries: OrderedDict[tuple, tuple] = OrderedDict()
         self.hits = 0
         self.misses = 0

@@ -12,6 +12,7 @@ from repro.distributed.tracing import _classify
 from repro.kernels import DEFAULT_CHUNK
 from repro.scheduling.program import ClusterOp, GateOp, Schedule, SwapOp
 from repro.util.bits import extract_bits
+from repro.util.locktrack import TrackedLock
 
 __all__ = ["SourceEvent", "PlanOp", "CompiledProgram", "compile_program", "plan_for"]
 
@@ -312,4 +313,6 @@ def plan_for(
 
 #: Serialises plan compilation: compiles are rare and fast relative to
 #: execution, so one process-wide lock beats per-schedule bookkeeping.
-_PLAN_FOR_LOCK = threading.Lock()
+_PLAN_FOR_LOCK = TrackedLock(
+    "repro.plan.program._PLAN_FOR_LOCK", lock=threading.Lock()
+)

@@ -22,13 +22,13 @@ guarded number of ``bench_service_throughput``.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 
 from repro.plan import plan_for
 from repro.scheduling import SchedulerConfig, schedule_circuit
 from repro.service.jobs import JobResult, JobSpec
+from repro.util.locktrack import TrackedLock
 
 __all__ = ["PlanCache", "PlanEntry", "ResultCache"]
 
@@ -48,7 +48,9 @@ class _LruMixin:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._lock = threading.RLock()
+        self._lock = TrackedLock(
+            f"repro.service.cache.{type(self).__name__}._lock"
+        )
         self._entries: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0

@@ -117,8 +117,14 @@ class SimulationService:
         await asyncio.gather(*self._workers, return_exceptions=True)
         self._workers = []
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            executor = self._executor
             self._executor = None
+            # Draining the worker threads blocks until in-flight jobs
+            # finish; hand the join to a default-executor thread so the
+            # loop (and any other service on it) stays responsive.
+            await asyncio.get_running_loop().run_in_executor(
+                None, executor.shutdown
+            )
 
     async def drain(self) -> None:
         """Wait until every submitted job reaches a terminal state."""
@@ -351,7 +357,12 @@ def _job_view(job: Job) -> dict:
 async def _handle_message(service: SimulationService, message: dict) -> dict:
     op = message.get("op")
     if op == "submit":
-        job = await service.submit(_spec_from_wire(message))
+        # Circuit parsing is CPU work proportional to the wire payload;
+        # keep it off the loop like the plan compile it precedes.
+        spec = await asyncio.get_running_loop().run_in_executor(
+            service._executor, _spec_from_wire, message
+        )
+        job = await service.submit(spec)
         if message.get("wait", True) and not job.done:
             await service.wait(job)
         return {"ok": True, **_job_view(job)}

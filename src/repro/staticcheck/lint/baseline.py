@@ -1,0 +1,85 @@
+"""Baseline files: grandfathering pre-existing lint findings.
+
+A baseline is a committed JSON file (schema ``repro.lint-baseline/1``)
+listing the fingerprints of findings that predate a rule's introduction.
+``repro lint`` marks matching findings ``baselined`` — they are shown
+(annotated) but do not gate the exit code — so a new rule can land with
+strict CI without first fixing every historical hit.
+
+Fingerprints come from :func:`repro.staticcheck.lint.core.run_lint`:
+they hash the rule, the normalized path and the stripped source line
+text (not the line *number*), so unrelated edits that shift code around
+do not invalidate the baseline.  The workflow:
+
+1. ``repro lint --update-baseline`` after enabling a new rule writes
+   every current finding's fingerprint.
+2. Fix findings over time; stale fingerprints are harmless (they simply
+   stop matching) and ``--update-baseline`` prunes them.
+3. New findings are never in the baseline, so they gate immediately.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["BASELINE_SCHEMA", "Baseline", "write_baseline"]
+
+BASELINE_SCHEMA = "repro.lint-baseline/1"
+
+
+@dataclass
+class Baseline:
+    """An in-memory set of grandfathered finding fingerprints."""
+
+    fingerprints: frozenset[str] = frozenset()
+    #: Human-readable context rows kept alongside each fingerprint
+    #: (rule/path/message at capture time); informational only.
+    entries: list[dict] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        """Read *path*; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("schema") != BASELINE_SCHEMA:
+            raise ValueError(
+                f"{path}: expected schema {BASELINE_SCHEMA!r}, "
+                f"got {data.get('schema')!r}"
+            )
+        entries = list(data.get("findings", []))
+        return cls(
+            fingerprints=frozenset(e["fingerprint"] for e in entries),
+            entries=entries,
+        )
+
+    def contains(self, fingerprint: str) -> bool:
+        return fingerprint in self.fingerprints
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+
+def write_baseline(path: Path | str, findings) -> int:
+    """Write *findings* (active + already-baselined) as the new baseline.
+
+    Returns the number of entries written.  Re-running after fixes
+    prunes fingerprints that no longer fire.
+    """
+    rows = [
+        {
+            "fingerprint": f.fingerprint,
+            "rule": f.rule,
+            "path": f.path,
+            "message": f.message,
+        }
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    payload = {"schema": BASELINE_SCHEMA, "findings": rows}
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(rows)

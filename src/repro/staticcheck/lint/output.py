@@ -1,0 +1,114 @@
+"""Renderers for lint reports: text, JSON and SARIF 2.1.0.
+
+Each renderer takes a :class:`~repro.staticcheck.lint.core.LintReport`
+and returns a string; the CLI picks one via ``--format``.  SARIF output
+follows the 2.1.0 schema closely enough for code-scanning UIs: one run,
+one ``tool.driver`` with a rule table, one result per active finding
+(baselined findings are emitted with ``"baselineState": "unchanged"``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.staticcheck.lint.core import LintReport, registered_rules
+
+__all__ = ["render_json", "render_sarif", "render_text"]
+
+_SARIF_LEVEL = {"error": "error", "warning": "warning", "advisory": "note"}
+
+
+def render_text(report: LintReport, *, show_baselined: bool = False) -> str:
+    """Human-readable ``path:line: [rule] message`` lines + summary."""
+    lines = [f.format() for f in report.active]
+    if show_baselined:
+        lines.extend(f.format() for f in report.baselined)
+    counts = report.counts()
+    lines.append(
+        "repro lint: {findings} finding(s) "
+        "({error} error, {warning} warning, {advisory} advisory), "
+        "{baselined} baselined, {files} file(s), {rules} rule(s)".format(
+            **counts
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable payload (schema ``repro.lint/1``)."""
+    payload = {
+        "schema": "repro.lint/1",
+        "summary": report.counts(),
+        "rules": report.rules_run,
+        "findings": [f.to_dict() for f in report.findings],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 log with one run and the full rule table."""
+    registry = registered_rules()
+    rule_ids = sorted(
+        set(report.rules_run) | {f.rule for f in report.findings}
+    )
+    rules = []
+    for rule_id in rule_ids:
+        cls = registry.get(rule_id)
+        rules.append(
+            {
+                "id": rule_id,
+                "shortDescription": {
+                    "text": cls.description if cls else rule_id
+                },
+                "defaultConfiguration": {
+                    "level": _SARIF_LEVEL.get(
+                        cls.severity if cls else "error", "error"
+                    )
+                },
+            }
+        )
+    index_of = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = []
+    for f in report.findings:
+        result = {
+            "ruleId": f.rule,
+            "ruleIndex": index_of[f.rule],
+            "level": _SARIF_LEVEL.get(f.severity, "error"),
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace("\\", "/")
+                        },
+                        "region": {"startLine": max(f.line, 1)},
+                    }
+                }
+            ],
+            "partialFingerprints": {"reproLint/v1": f.fingerprint},
+        }
+        if f.baselined:
+            result["baselineState"] = "unchanged"
+        results.append(result)
+    log = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/repro/repro"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)

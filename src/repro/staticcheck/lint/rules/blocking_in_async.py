@@ -1,0 +1,153 @@
+"""blocking-in-async: synchronous blocking work on the event loop.
+
+Inside an ``async def`` body, any statement runs on the event loop
+thread; a blocking call there stalls *every* coroutine — in the service
+layer, every connected client.  Flags, when the innermost enclosing
+function is async:
+
+* ``time.sleep(...)`` (use ``asyncio.sleep``),
+* blocking socket/subprocess/OS calls (``socket.create_connection``,
+  ``socket.getaddrinfo``, ``subprocess.run`` and friends,
+  ``os.system``),
+* synchronous file I/O: ``open(...)`` and
+  ``Path.read_text/write_text/read_bytes/write_bytes``,
+* ``future.result(...)`` on a concurrent future (await
+  ``loop.run_in_executor`` / ``asyncio.wrap_future`` instead),
+* ``.shutdown(...)`` on an executor-ish receiver (or with ``wait=True``)
+  and ``.join()`` on thread/worker/process-ish receivers.
+
+Statements in *nested sync* defs are fine — they only block if someone
+calls them on the loop, which is their caller's problem.  Lambdas are
+transparent (a lambda body executes wherever it is invoked, and in this
+codebase that is overwhelmingly inline).  Deliberate cases (startup
+paths, teardown where the loop is idle) suppress with
+``# lint: allow-blocking-in-async`` plus a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.lint.core import LintRule, ModuleContext, register
+
+#: ``module.attr`` call paths that always block.
+_BLOCKING_DOTTED = {
+    ("time", "sleep"),
+    ("socket", "create_connection"),
+    ("socket", "getaddrinfo"),
+    ("subprocess", "run"),
+    ("subprocess", "check_output"),
+    ("subprocess", "check_call"),
+    ("subprocess", "call"),
+    ("os", "system"),
+}
+#: Pathlib-style synchronous file I/O method names.
+_FILE_IO_ATTRS = {"read_text", "write_text", "read_bytes", "write_bytes"}
+
+
+def _dotted(node: ast.expr) -> tuple[str, ...] | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _receiver_text(node: ast.expr) -> str:
+    dotted = _dotted(node)
+    return ".".join(dotted).lower() if dotted else ""
+
+
+def _has_kwarg(node: ast.Call, name: str, value: bool) -> bool:
+    for kw in node.keywords:
+        if (
+            kw.arg == name
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is value
+        ):
+            return True
+    return False
+
+
+def _classify_blocking(node: ast.Call) -> str | None:
+    """A message when *node* is a blocking call, else ``None``."""
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        return "synchronous open() on the event loop"
+    dotted = _dotted(func)
+    if dotted and len(dotted) >= 2 and dotted[-2:] in _BLOCKING_DOTTED:
+        return f"blocking {'.'.join(dotted[-2:])}() on the event loop"
+    if isinstance(func, ast.Attribute):
+        attr = func.attr
+        receiver = _receiver_text(func.value)
+        if attr in _FILE_IO_ATTRS:
+            return f"synchronous file I/O (.{attr}()) on the event loop"
+        if attr == "result":
+            return (
+                "blocking future.result() on the event loop; await "
+                "asyncio.wrap_future / run_in_executor instead"
+            )
+        if attr == "shutdown" and (
+            "executor" in receiver
+            or "pool" in receiver
+            or _has_kwarg(node, "wait", True)
+        ):
+            return (
+                "executor.shutdown() blocks until workers drain; run it "
+                "in an executor"
+            )
+        if attr == "join" and any(
+            word in receiver for word in ("thread", "worker", "proc")
+        ):
+            return "blocking .join() on the event loop"
+    return None
+
+
+class _AsyncVisitor(ast.NodeVisitor):
+    def __init__(self) -> None:
+        #: Innermost-def stack: True entries are async frames.
+        self.stack: list[bool] = []
+        self.hits: list[tuple[int, str]] = []
+
+    def _visit_def(self, node, is_async: bool) -> None:
+        self.stack.append(is_async)
+        self.generic_visit(node)
+        self.stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_def(node, False)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_def(node, True)
+
+    # Lambdas are transparent: no stack frame pushed.
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.stack and self.stack[-1]:
+            message = _classify_blocking(node)
+            if message is not None:
+                self.hits.append((node.lineno, message))
+        self.generic_visit(node)
+
+
+@register
+class BlockingInAsyncRule(LintRule):
+    name = "blocking-in-async"
+    severity = "error"
+    description = (
+        "blocking call inside an async def stalls the whole event loop"
+    )
+
+    def check_module(self, module: ModuleContext):
+        visitor = _AsyncVisitor()
+        visitor.visit(module.tree)
+        for line, message in visitor.hits:
+            yield self.finding(
+                module,
+                line,
+                message,
+                hint="await asyncio.sleep / loop.run_in_executor(None, ...)",
+            )

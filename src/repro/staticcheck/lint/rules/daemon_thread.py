@@ -1,0 +1,181 @@
+"""daemon-thread-leak: threads and executors created but never reaped.
+
+A ``Thread``/``Timer``/``Process``/``ThreadPoolExecutor``/
+``ProcessPoolExecutor`` that is started and never joined (or shut down)
+either leaks worker threads or — for non-daemon threads — blocks
+interpreter exit; in the service layer it also hides work past the
+point a test believes the system is quiescent.
+
+A creation is fine when any of these hold:
+
+* it is the context of a ``with`` block (``with ThreadPoolExecutor(...)``),
+* it is assigned to a name or attribute for which the module contains a
+  matching ``.join(...)`` / ``.shutdown(...)`` / ``.cancel(...)`` call
+  (receiver names are compared with leading underscores stripped, so
+  ``self._executor`` created in ``__init__`` and a local ``executor``
+  shut down in ``shutdown()`` still match),
+* it is registered for cleanup via ``atexit.register`` or
+  ``weakref.finalize``,
+* it is created inside a comprehension — per-element tracking is out of
+  static reach, so the check relaxes to "does the module join/shutdown
+  *anything*".
+
+Everything else — unassigned ``Thread(...).start()`` chains, fire-and-
+forget executors — is flagged.  Deliberate daemons suppress with
+``# lint: allow-daemon-thread-leak`` plus a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.lint.core import LintRule, ModuleContext, register
+
+_FACTORIES = {
+    "Thread",
+    "Timer",
+    "Process",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+}
+_CLEANUP_ATTRS = {"join", "shutdown", "cancel"}
+
+
+def _factory_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in _FACTORIES:
+        return func.id
+    if isinstance(func, ast.Attribute) and func.attr in _FACTORIES:
+        return func.attr
+    return None
+
+
+def _receiver_key(node: ast.expr) -> str | None:
+    """Canonical name of an assignment target / method receiver.
+
+    ``self._executor`` and a bare ``executor`` both canonicalise to
+    ``executor``: creation and cleanup commonly live in different
+    methods with different spellings of the same object.
+    """
+    if isinstance(node, ast.Attribute):
+        return node.attr.lstrip("_")
+    if isinstance(node, ast.Name):
+        return node.id.lstrip("_")
+    return None
+
+
+class _Collector(ast.NodeVisitor):
+    def __init__(self) -> None:
+        #: (line, factory, assigned key or None, inside comprehension)
+        self.creations: list[tuple[int, str, str | None, bool]] = []
+        self.cleaned: set[str] = set()
+        self.any_cleanup = False
+        self.registered_finalizers = False
+        self._with_context: set[int] = set()
+        self._assign_value: list[tuple[ast.expr, str | None]] = []
+        self._in_comprehension = 0
+
+    # -- context marking ------------------------------------------------
+    def visit_With(self, node) -> None:
+        for item in node.items:
+            for sub in ast.walk(item.context_expr):
+                if isinstance(sub, ast.Call):
+                    self._with_context.add(id(sub))
+        self.generic_visit(node)
+
+    visit_AsyncWith = visit_With
+
+    def _mark_assign(self, target: ast.expr, value: ast.expr) -> None:
+        key = _receiver_key(target)
+        for sub in ast.walk(value):
+            if isinstance(sub, ast.Call) and _factory_name(sub):
+                self._assign_value.append((sub, key))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._mark_assign(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._mark_assign(node.target, node.value)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        self._in_comprehension += 1
+        self.generic_visit(node)
+        self._in_comprehension -= 1
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+    visit_DictComp = _visit_comp
+
+    # -- the observations -----------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # A cleanup method *reference* counts too: the idiomatic async
+        # teardown is ``run_in_executor(None, executor.shutdown)``, and
+        # ``atexit.register(pool.shutdown)`` defers the same call.
+        if node.attr in _CLEANUP_ATTRS:
+            self.any_cleanup = True
+            key = _receiver_key(node.value)
+            if key:
+                self.cleaned.add(key)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        factory = _factory_name(node)
+        if factory and id(node) not in self._with_context:
+            key = None
+            for call, assigned in self._assign_value:
+                if call is node:
+                    key = assigned
+                    break
+            self.creations.append(
+                (node.lineno, factory, key, self._in_comprehension > 0)
+            )
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in ("register", "finalize"):
+                base = func.value
+                if isinstance(base, ast.Name) and base.id in (
+                    "atexit",
+                    "weakref",
+                ):
+                    self.registered_finalizers = True
+        self.generic_visit(node)
+
+
+@register
+class DaemonThreadRule(LintRule):
+    name = "daemon-thread-leak"
+    severity = "warning"
+    description = (
+        "thread/executor created without a matching join/shutdown or "
+        "cleanup registration"
+    )
+
+    def check_module(self, module: ModuleContext):
+        collector = _Collector()
+        collector.visit(module.tree)
+        if collector.registered_finalizers:
+            return
+        for line, factory, key, in_comp in collector.creations:
+            if in_comp:
+                # Comprehension-created workers: per-element tracking is
+                # out of static reach, so settle for module-level
+                # evidence that *something* is joined/shut down.
+                if collector.any_cleanup:
+                    continue
+            elif key is not None and key in collector.cleaned:
+                continue
+            # Unassigned creations (Thread(...).start() chains) always
+            # flag: there is nothing to join them *by*.
+            yield self.finding(
+                module,
+                line,
+                f"{factory} created but never joined/shut down in this "
+                "module; leaked workers outlive the owner",
+                hint="use a with block, call join()/shutdown(), or "
+                "register atexit/weakref cleanup",
+            )

@@ -1,0 +1,57 @@
+"""engine-direct: ExecutionEngine constructed outside its home layers.
+
+Direct ``ExecutionEngine(...)`` construction belongs to
+``repro/runtime`` (its home) and ``repro/service`` (the job engine that
+wraps it); their test packages exercise the constructor directly and
+are exempt too.  Everything else should use the ``run_schedule`` family
+or submit a service job so engines pick up the shared layer stacks and
+caches.  Deliberate wrappers and benches suppress with ``# lint:
+allow-engine-direct``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.lint.core import LintRule, ModuleContext, register
+
+_EXEMPT_PARTS = (
+    "repro/runtime",
+    "repro/service",
+    "tests/runtime",
+    "tests/service",
+)
+
+
+@register
+class EngineDirectRule(LintRule):
+    name = "engine-direct"
+    severity = "error"
+    description = (
+        "direct ExecutionEngine construction outside repro/runtime and "
+        "repro/service"
+    )
+
+    def check_module(self, module: ModuleContext):
+        if any(part in module.norm_path for part in _EXEMPT_PARTS):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name == "ExecutionEngine":
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    "direct ExecutionEngine construction outside "
+                    "repro/runtime and repro/service; use the "
+                    "run_schedule family or submit a service job "
+                    "(# lint: allow-engine-direct for deliberate "
+                    "wrappers)",
+                    hint="use run_schedule or the service API",
+                )

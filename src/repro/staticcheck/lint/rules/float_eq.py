@@ -1,0 +1,52 @@
+"""float-eq: exact ``==`` / ``!=`` against a float-valued expression.
+
+Amplitude code must compare with tolerances (``math.isclose``,
+``np.allclose``, ``abs(a-b) < tol``); exact float equality is only ever
+right for sentinel checks, which suppress with ``# lint:
+allow-float-eq``.  "Obviously float-valued" means a float constant, a
+unary op over one, or an attribute named like a float constant
+(``math.pi``, ``np.inf``, ...).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.lint.core import LintRule, ModuleContext, register
+
+_FLOAT_ATTRS = {"pi", "e", "inf", "nan", "tau"}
+
+
+def _is_floaty(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floaty(node.operand)
+    if isinstance(node, ast.Attribute):
+        return node.attr in _FLOAT_ATTRS
+    return False
+
+
+@register
+class FloatEqRule(LintRule):
+    name = "float-eq"
+    severity = "warning"
+    description = (
+        "exact == / != against a float; compare with a tolerance instead"
+    )
+
+    def check_module(self, module: ModuleContext):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(
+                isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+            ) and any(_is_floaty(n) for n in operands):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    "== / != against a float; compare with a tolerance "
+                    "(math.isclose / np.allclose / abs(a-b) < tol)",
+                    hint="use math.isclose or np.allclose",
+                )

@@ -1,0 +1,332 @@
+"""lock-order: the whole-program lock-acquisition graph, checked for cycles.
+
+Two threads that acquire the same locks in different orders can
+deadlock; a *consistent global order* is the standard discipline, and a
+cycle in the may-acquire-while-holding graph is exactly an order
+violation.  This rule builds that graph statically:
+
+1. **Lock identification** — a ``with`` item whose context expression
+   is a plain name or ``self.<attr>`` whose terminal identifier
+   contains ``lock`` (case-insensitive).  Locks get qualified names
+   matching the runtime :class:`~repro.util.locktrack.TrackedLock`
+   naming: ``{module}.{Class}.{attr}`` for ``self.<attr>`` inside a
+   method, ``{module}.{name}`` for module-level names.  Only sync
+   ``with`` counts — ``async with`` guards asyncio primitives, which
+   suspend rather than block.
+2. **Call resolution** — one level, by simple name, and only when the
+   name resolves to exactly one function in the analyzed program and is
+   not a common container-method name (``get``/``put``/``append``/...).
+   Deliberately conservative: a missed resolution under-approximates
+   the graph, a wrong one invents deadlocks.
+3. **Transitive closure** — a fixpoint computes ``may_acquire`` per
+   function; an edge ``A -> B`` means some thread may acquire ``B``
+   (possibly through calls) while holding ``A``.  This matches the
+   runtime tracker, which records an edge from *every* held lock, so
+   :meth:`LockTracker.observed_edges` must be a subset of this graph on
+   any run the analysis covers.
+
+Cycles are reported as error findings at one participating acquisition
+site.  :func:`build_lock_graph` exposes the graph for the runtime
+cross-check test.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.staticcheck.lint.core import (
+    LintRule,
+    ModuleContext,
+    parse_module,
+    register,
+)
+
+__all__ = ["LockGraph", "LockOrderRule", "build_lock_graph"]
+
+#: Simple names never resolved to program functions: they are ubiquitous
+#: container/concurrency method names, and resolving them would invent
+#: call edges (e.g. ``self._entries.get`` -> ``PlanCache.get``).
+_COMMON_NAMES = {
+    "acquire",
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "close",
+    "copy",
+    "discard",
+    "extend",
+    "format",
+    "get",
+    "inc",
+    "insert",
+    "items",
+    "join",
+    "keys",
+    "move_to_end",
+    "observe",
+    "pop",
+    "popitem",
+    "put",
+    "release",
+    "remove",
+    "reset",
+    "result",
+    "run",
+    "setdefault",
+    "split",
+    "start",
+    "stats",
+    "submit",
+    "update",
+    "values",
+}
+
+
+def _lock_name(expr: ast.expr, module: str, cls: str | None) -> str | None:
+    """The qualified lock name of a with-context expression, or None."""
+    if isinstance(expr, ast.Attribute):
+        if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+            if "lock" in expr.attr.lower():
+                owner = f"{module}.{cls}" if cls else module
+                return f"{owner}.{expr.attr}"
+        return None
+    if isinstance(expr, ast.Name) and "lock" in expr.id.lower():
+        return f"{module}.{expr.id}"
+    return None
+
+
+@dataclass
+class _FunctionInfo:
+    qualname: str
+    path: str
+    #: Direct with-acquisitions: (lock, line, held stack at acquisition).
+    acquires: list = field(default_factory=list)
+    #: Calls: (simple callee name, held stack at call site, line).
+    calls: list = field(default_factory=list)
+
+
+class _FunctionVisitor(ast.NodeVisitor):
+    """Collects acquisitions and calls within one function body."""
+
+    def __init__(self, info: _FunctionInfo, module: str, cls: str | None):
+        self.info = info
+        self.module = module
+        self.cls = cls
+        self.held: list[str] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        entered: list[str] = []
+        for item in node.items:
+            lock = _lock_name(item.context_expr, self.module, self.cls)
+            if lock is not None:
+                self.info.acquires.append(
+                    (lock, node.lineno, tuple(self.held))
+                )
+                self.held.append(lock)
+                entered.append(lock)
+        self.generic_visit(node)
+        for _ in entered:
+            self.held.pop()
+
+    # async with guards asyncio primitives (suspend, not block): skip.
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name:
+            self.info.calls.append((name, tuple(self.held), node.lineno))
+        self.generic_visit(node)
+
+    # Nested defs run on their own call stack position; their bodies are
+    # analyzed as separate functions by the module walk.
+    def visit_FunctionDef(self, node) -> None:
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node) -> None:
+        pass
+
+
+def _collect_functions(ctx: ModuleContext) -> list[_FunctionInfo]:
+    """Every function/method in *ctx*, each with acquisitions and calls."""
+    infos: list[_FunctionInfo] = []
+
+    def handle(node, cls: str | None) -> None:
+        owner = f"{ctx.module_name}.{cls}" if cls else ctx.module_name
+        info = _FunctionInfo(qualname=f"{owner}.{node.name}", path=ctx.path)
+        visitor = _FunctionVisitor(info, ctx.module_name, cls)
+        for stmt in node.body:
+            visitor.visit(stmt)
+        infos.append(info)
+        # Nested defs become their own entries (same class context).
+        for stmt in ast.walk(node):
+            if stmt is not node and isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                handle_nested(stmt, cls)
+
+    seen: set[int] = set()
+
+    def handle_nested(node, cls: str | None) -> None:
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        owner = f"{ctx.module_name}.{cls}" if cls else ctx.module_name
+        info = _FunctionInfo(qualname=f"{owner}.{node.name}", path=ctx.path)
+        visitor = _FunctionVisitor(info, ctx.module_name, cls)
+        for stmt in node.body:
+            visitor.visit(stmt)
+        infos.append(info)
+
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            handle(stmt, None)
+        elif isinstance(stmt, ast.ClassDef):
+            for sub in stmt.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    handle(sub, stmt.name)
+    return infos
+
+
+@dataclass
+class LockGraph:
+    """The static may-acquire-while-holding graph.
+
+    ``edges`` maps ``(held, acquired)`` to one witnessing source site;
+    the runtime tracker's :meth:`observed_edges` must be a subset of
+    ``set(edges)`` on runs the analysis covered.
+    """
+
+    nodes: set[str] = field(default_factory=set)
+    edges: dict = field(default_factory=dict)
+    may_acquire: dict = field(default_factory=dict)
+
+    def edge_set(self) -> frozenset:
+        return frozenset(self.edges)
+
+    def cycles(self) -> list[list[str]]:
+        """Simple cycles in the edge graph (each reported once)."""
+        adjacency: dict[str, set[str]] = {}
+        for a, b in self.edges:
+            adjacency.setdefault(a, set()).add(b)
+        cycles: list[list[str]] = []
+        seen_keys: set[frozenset] = set()
+
+        def dfs(start: str, node: str, path: list[str]) -> None:
+            for nxt in adjacency.get(node, ()):  # pragma: no branch
+                if nxt == start:
+                    key = frozenset(path)
+                    if key not in seen_keys:
+                        seen_keys.add(key)
+                        cycles.append(path[:])
+                elif nxt not in path and nxt > start:
+                    # Only explore nodes ordered after start so each
+                    # cycle is found from its smallest member exactly once.
+                    dfs(start, nxt, path + [nxt])
+
+        for start in sorted(adjacency):
+            dfs(start, start, [start])
+        return cycles
+
+
+def _analyze(modules: list[ModuleContext]) -> LockGraph:
+    functions: list[_FunctionInfo] = []
+    for ctx in modules:
+        functions.extend(_collect_functions(ctx))
+
+    # Name-based one-level resolution, unique names only.
+    by_name: dict[str, list[_FunctionInfo]] = {}
+    for info in functions:
+        simple = info.qualname.rsplit(".", 1)[-1]
+        by_name.setdefault(simple, []).append(info)
+    resolvable = {
+        name: infos[0]
+        for name, infos in by_name.items()
+        if len(infos) == 1 and name not in _COMMON_NAMES
+    }
+
+    # Fixpoint: may_acquire[f] = direct acquires + callees' sets.
+    may: dict[str, set[str]] = {
+        info.qualname: {lock for lock, _, _ in info.acquires}
+        for info in functions
+    }
+    changed = True
+    while changed:
+        changed = False
+        for info in functions:
+            acc = may[info.qualname]
+            before = len(acc)
+            for callee, _, _ in info.calls:
+                target = resolvable.get(callee)
+                if target is not None:
+                    acc |= may[target.qualname]
+            if len(acc) != before:
+                changed = True
+
+    graph = LockGraph(may_acquire={k: frozenset(v) for k, v in may.items()})
+    for info in functions:
+        for lock, line, held in info.acquires:
+            graph.nodes.add(lock)
+            for h in held:
+                if h != lock:
+                    graph.edges.setdefault((h, lock), (info.path, line))
+        for callee, held, line in info.calls:
+            if not held:
+                continue
+            target = resolvable.get(callee)
+            if target is None:
+                continue
+            for lock in may[target.qualname]:
+                graph.nodes.add(lock)
+                for h in held:
+                    if h != lock:
+                        graph.edges.setdefault((h, lock), (info.path, line))
+    return graph
+
+
+def build_lock_graph(paths) -> LockGraph:
+    """The static lock graph of every ``*.py`` under *paths*."""
+    modules: list[ModuleContext] = []
+    for root in paths:
+        root = Path(root)
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for file in files:
+            parsed = parse_module(file)
+            if isinstance(parsed, ModuleContext):
+                modules.append(parsed)
+    return _analyze(modules)
+
+
+@register
+class LockOrderRule(LintRule):
+    name = "lock-order"
+    severity = "error"
+    description = (
+        "cyclic lock-acquisition order across the program (potential "
+        "deadlock)"
+    )
+    program_wide = True
+
+    def check_program(self, modules: list[ModuleContext]):
+        graph = _analyze(modules)
+        for cycle in graph.cycles():
+            # Anchor the finding at the witnessing site of the cycle's
+            # first edge.
+            first = (cycle[0], cycle[1 % len(cycle)])
+            path, line = graph.edges.get(first, (modules[0].path, 1))
+            ordering = " -> ".join(cycle + [cycle[0]])
+            yield self.finding(
+                path,
+                line,
+                f"lock-order cycle: {ordering}; threads taking these "
+                "locks in different orders can deadlock",
+                hint="impose one global acquisition order",
+            )

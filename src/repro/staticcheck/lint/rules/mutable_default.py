@@ -1,0 +1,55 @@
+"""mutable-default: a parameter defaulting to a mutable literal.
+
+Defaults are evaluated once at ``def`` time and shared across every
+call, so ``def f(x=[])`` aliases one list for the function's lifetime —
+the classic Python aliasing bug.  Flags literal lists/dicts/sets and
+no-argument ``list()``/``dict()``/``set()``/``bytearray()`` calls in
+positional and keyword-only defaults (sync and async functions alike).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.lint.core import LintRule, ModuleContext, register
+
+MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in MUTABLE_CALLS and not node.args
+    return False
+
+
+@register
+class MutableDefaultRule(LintRule):
+    name = "mutable-default"
+    severity = "error"
+    description = (
+        "function parameter defaults to a mutable literal; the object is "
+        "shared across calls"
+    )
+
+    def check_module(self, module: ModuleContext):
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            name = getattr(node, "name", "<lambda>")
+            args = node.args
+            for default in list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        module,
+                        default.lineno,
+                        f"function {name!r} has a mutable default "
+                        "argument; use None and create inside",
+                        hint="default to None and build the container "
+                        "in the body",
+                    )

@@ -1,0 +1,216 @@
+"""unguarded-global: shared module state mutated without its lock.
+
+Active only in modules that *declare* a module-level lock (an
+assignment of ``threading.Lock()``/``RLock()``/``TrackedLock(...)``, or
+any module-level name ending in ``_lock``): such a module has announced
+that its globals are shared across threads, so every in-function
+mutation of a module-level mutable container (or ``global`` rebind)
+should happen under a ``with <lock>:`` block.  Modules without a
+declared lock are exempt — plenty of module state is single-threaded by
+design, and flagging it all would be noise.
+
+Flagged mutations: subscript assignment/deletion, ``AugAssign``,
+mutator method calls (``append``/``add``/``update``/``pop``/...), and
+rebinding through a ``global`` statement.  Module-level statements
+(import-time initialization, which runs under the import lock) are
+exempt.  Deliberate lock-free fast paths (e.g. double-checked reads)
+suppress with ``# lint: allow-unguarded-global`` plus a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.lint.core import LintRule, ModuleContext, register
+
+_LOCK_CALLS = {"Lock", "RLock", "TrackedLock"}
+_MUTATORS = {
+    "append",
+    "add",
+    "update",
+    "pop",
+    "popitem",
+    "clear",
+    "setdefault",
+    "extend",
+    "remove",
+    "discard",
+    "insert",
+    "move_to_end",
+    "appendleft",
+}
+_CONTAINER_CALLS = {
+    "list",
+    "dict",
+    "set",
+    "OrderedDict",
+    "defaultdict",
+    "deque",
+    "Counter",
+}
+
+
+def _is_lock_expr(node: ast.expr) -> bool:
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+        return name in _LOCK_CALLS
+    return False
+
+
+def _is_container_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+        return name in _CONTAINER_CALLS
+    return False
+
+
+def _module_decls(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """(lock names, mutable container names) assigned at module level."""
+    locks: set[str] = set()
+    containers: set[str] = set()
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if _is_lock_expr(value) or target.id.lower().endswith("_lock"):
+                locks.add(target.id)
+            elif _is_container_expr(value):
+                containers.add(target.id)
+    return locks, containers
+
+
+def _with_holds_lock(node: ast.With, locks: set[str]) -> bool:
+    for item in node.items:
+        expr = item.context_expr
+        # ``with lock:`` / ``with mod.lock:`` — not a call result.
+        dotted: list[str] = []
+        probe = expr
+        while isinstance(probe, ast.Attribute):
+            dotted.append(probe.attr)
+            probe = probe.value
+        if isinstance(probe, ast.Name):
+            dotted.append(probe.id)
+            terminal = dotted[0]
+            if terminal in locks or "lock" in terminal.lower():
+                return True
+    return False
+
+
+class _GuardVisitor(ast.NodeVisitor):
+    def __init__(self, locks: set[str], containers: set[str]) -> None:
+        self.locks = locks
+        self.containers = containers
+        self.depth = 0  # function nesting
+        self.guard = 0  # with-lock nesting
+        self.global_names: list[set[str]] = []
+        self.hits: list[tuple[int, str]] = []
+
+    # -- scope tracking -------------------------------------------------
+    def _visit_def(self, node) -> None:
+        self.depth += 1
+        self.global_names.append(set())
+        self.generic_visit(node)
+        self.global_names.pop()
+        self.depth -= 1
+
+    visit_FunctionDef = _visit_def
+    visit_AsyncFunctionDef = _visit_def
+
+    def visit_Global(self, node: ast.Global) -> None:
+        if self.global_names:
+            self.global_names[-1].update(node.names)
+
+    def visit_With(self, node: ast.With) -> None:
+        held = _with_holds_lock(node, self.locks)
+        if held:
+            self.guard += 1
+        self.generic_visit(node)
+        if held:
+            self.guard -= 1
+
+    visit_AsyncWith = visit_With
+
+    # -- mutation checks ------------------------------------------------
+    def _target_global(self, node: ast.expr) -> str | None:
+        """The module-level container a mutation target refers to."""
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Name) and node.id in self.containers:
+            return node.id
+        return None
+
+    def _flag(self, line: int, name: str, what: str) -> None:
+        if self.depth and not self.guard:
+            self.hits.append((line, f"{what} of module global {name!r}"))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                name = self._target_global(target)
+                if name:
+                    self._flag(node.lineno, name, "subscript assignment")
+            elif (
+                isinstance(target, ast.Name)
+                and self.global_names
+                and target.id in self.global_names[-1]
+                and target.id in self.containers
+            ):
+                self._flag(node.lineno, target.id, "rebind")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        name = self._target_global(node.target)
+        if name:
+            self._flag(node.lineno, name, "augmented assignment")
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                name = self._target_global(target)
+                if name:
+                    self._flag(node.lineno, name, "subscript deletion")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            name = self._target_global(func.value)
+            if name:
+                self._flag(node.lineno, name, f".{func.attr}()")
+        self.generic_visit(node)
+
+
+@register
+class UnguardedGlobalRule(LintRule):
+    name = "unguarded-global"
+    severity = "warning"
+    description = (
+        "module-level mutable state mutated outside a with-lock block in "
+        "a module that declares a lock"
+    )
+
+    def check_module(self, module: ModuleContext):
+        locks, containers = _module_decls(module.tree)
+        if not locks or not containers:
+            return
+        visitor = _GuardVisitor(locks, containers)
+        visitor.visit(module.tree)
+        for line, what in visitor.hits:
+            yield self.finding(
+                module,
+                line,
+                f"{what} outside a 'with <lock>:' block (module declares "
+                f"{sorted(locks)[0]!r})",
+                hint="wrap the mutation in the module's lock",
+            )

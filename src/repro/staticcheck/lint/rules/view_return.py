@@ -1,0 +1,77 @@
+"""view-return: a docstring that promises a copy, a return that aliases.
+
+Functions whose docstring first line mentions a copy ("copy", "copies",
+"fresh array", "new array") but whose ``return`` is a numpy
+slice/``reshape``/``ravel``/``view``-style expression, all of which may
+alias the original buffer — callers who mutate the "copy" corrupt
+shared state.
+
+The pre-framework linter only ran this check on sync functions
+(``visit_AsyncFunctionDef`` skipped ``_check_copy_doc``); this port
+walks sync and async defs through one code path, so async helpers get
+the same contract check.  Nested function bodies are excluded — a
+closure's return is not the documented function's return.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.lint.core import LintRule, ModuleContext, register
+
+#: numpy-array producing expressions that may alias their input.
+VIEW_ATTRS = {"view", "ravel", "reshape", "transpose", "swapaxes", "T"}
+COPY_WORDS = ("copy", "copies", "fresh array", "new array")
+
+
+def _returns_view(node: ast.expr) -> bool:
+    if isinstance(node, ast.Subscript):
+        sub = node.slice
+        parts = sub.elts if isinstance(sub, ast.Tuple) else [sub]
+        return any(isinstance(p, ast.Slice) for p in parts)
+    if isinstance(node, ast.Attribute):
+        return node.attr in VIEW_ATTRS
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        return node.func.attr in VIEW_ATTRS
+    return False
+
+
+def _own_returns(node):
+    """Return statements belonging to *node* itself, not nested defs."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        sub = stack.pop()
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(sub, ast.Return):
+            yield sub
+        stack.extend(ast.iter_child_nodes(sub))
+
+
+@register
+class ViewReturnRule(LintRule):
+    name = "view-return"
+    severity = "error"
+    description = (
+        "docstring documents a copy but the return may be a numpy view"
+    )
+
+    def check_module(self, module: ModuleContext):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            doc = ast.get_docstring(node)
+            if not doc:
+                continue
+            head = doc.splitlines()[0].lower()
+            if not any(w in head for w in COPY_WORDS):
+                continue
+            for ret in _own_returns(node):
+                if ret.value is not None and _returns_view(ret.value):
+                    yield self.finding(
+                        module,
+                        ret.lineno,
+                        f"{node.name!r} documents a copy but returns a "
+                        "possible numpy view; add .copy()",
+                        hint="append .copy() to the returned expression",
+                    )

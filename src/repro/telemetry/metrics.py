@@ -144,15 +144,17 @@ class MetricsRegistry:
             )
         return inst
 
-    def counter(self, name: str, **labels) -> Counter:
+    # The instrument name is positional-only so ``name`` stays usable as
+    # a *label* key (e.g. ``lock.acquire.count{name=...}``).
+    def counter(self, name: str, /, **labels) -> Counter:
         """Get or create the counter ``name{labels}``."""
         return self._get(Counter, name, labels)
 
-    def gauge(self, name: str, **labels) -> Gauge:
+    def gauge(self, name: str, /, **labels) -> Gauge:
         """Get or create the gauge ``name{labels}``."""
         return self._get(Gauge, name, labels)
 
-    def histogram(self, name: str, **labels) -> Histogram:
+    def histogram(self, name: str, /, **labels) -> Histogram:
         """Get or create the histogram ``name{labels}``."""
         return self._get(Histogram, name, labels)
 

@@ -52,6 +52,7 @@ FAIL_ON_REGRESSION = {"kernels_autotune", "end_to_end", "runtime_overhead"}
 KNOWN_BENCHES = {
     "end_to_end",
     "kernels_autotune",
+    "lint_runtime",
     "plan_compile",
     "recovery_overhead",
     "runtime_overhead",

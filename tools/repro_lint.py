@@ -1,266 +1,39 @@
 #!/usr/bin/env python
-"""AST-based self-lint for the repro tree.
+"""Thin CI-compatibility shim over :mod:`repro.staticcheck.lint`.
 
-Five project-specific checks ruff does not cover in the shapes we care
-about:
+The lint checks that used to live here are now rule modules in the
+pluggable framework under ``src/repro/staticcheck/lint/`` — run them
+with ``python -m repro lint`` (severities, suppression, baselines and
+text/JSON/SARIF output live there).  This shim preserves the historical
+entry points so existing CI invocations and imports keep working:
 
-* **mutable-default** — a function parameter defaulting to a mutable
-  literal (``[]``, ``{}``, ``set()``, ...).  Shared across calls; the
-  classic aliasing bug.
-* **float-eq** — ``==`` / ``!=`` where either side is a float literal or
-  an expression that is obviously float-valued (``math.pi``, a float
-  constant attribute).  Amplitude code must compare with tolerances
-  (``math.isclose``, ``np.allclose``, ``abs(a-b) < tol``).  Comparisons
-  against ``0.0`` sentinels in kernel fast paths are still flagged as
-  advisory — suppress with ``# lint: allow-float-eq`` on the line.
-* **view-return** — a function whose docstring promises a *copy* but
-  returns a numpy slice/``reshape``/``ravel``/``view`` expression (all
-  may alias the original buffer).
-* **op-loop** — a ``for ... in schedule.operations(...)`` loop whose
-  body calls ``op.execute(...)``: a hand-rolled executor.  The canonical
-  op loop lives in ``repro/runtime`` (exempt); everything else must run
-  through :class:`repro.runtime.ExecutionEngine` so the
-  six-parallel-executors problem cannot silently regrow.
-* **engine-direct** — a direct ``ExecutionEngine(...)`` construction
-  outside ``repro/runtime`` (its home) and ``repro/service`` (the job
-  engine that wraps it).  Everything else should go through the
-  ``run_schedule`` family or submit a job to the service so engines
-  pick up the shared layer stacks and caches; deliberate wrappers and
-  benches suppress with ``# lint: allow-engine-direct``.
-
-Usage::
-
-    python tools/repro_lint.py [paths...]   # default: src/
-
-Exit code 0 when clean, 1 when any finding is emitted.  Suppress a
-specific line with a ``# lint: allow-<check>`` comment.
+* ``python tools/repro_lint.py [paths...]`` — lint (default: ``src/``),
+  print ``path:line: [rule] message`` lines and a count, exit 1 on any
+  finding.  No baseline is applied: the old tool had none.
+* ``from repro_lint import LintFinding, lint_file, lint_paths`` — the
+  framework's engine functions; findings keep the legacy ``.check``
+  attribute and ``format()`` rendering.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
-from dataclasses import dataclass
 from pathlib import Path
 
-MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
-#: numpy-array producing expressions that may alias their input.
-VIEW_ATTRS = {"view", "ravel", "reshape", "transpose", "swapaxes", "T"}
-COPY_WORDS = ("copy", "copies", "fresh array", "new array")
+_REPO = Path(__file__).resolve().parent.parent
 
+try:
+    from repro.staticcheck.lint import LintFinding, lint_file, lint_paths
+except ModuleNotFoundError:  # invoked without PYTHONPATH=src
+    sys.path.insert(0, str(_REPO / "src"))
+    from repro.staticcheck.lint import LintFinding, lint_file, lint_paths
 
-@dataclass(frozen=True)
-class LintFinding:
-    """One lint hit."""
-
-    path: str
-    line: int
-    check: str
-    message: str
-
-    def format(self) -> str:
-        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
-
-
-def _is_mutable_default(node: ast.expr) -> bool:
-    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
-        return True
-    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-        return node.func.id in MUTABLE_CALLS and not node.args
-    return False
-
-
-def _is_floaty(node: ast.expr) -> bool:
-    """Expressions that are obviously float-valued."""
-    if isinstance(node, ast.Constant):
-        return isinstance(node.value, float)
-    if isinstance(node, ast.UnaryOp):
-        return _is_floaty(node.operand)
-    if isinstance(node, ast.Attribute):
-        # math.pi / math.e / np.pi style constants
-        return node.attr in {"pi", "e", "inf", "nan", "tau"}
-    return False
-
-
-def _calls_attr(node: ast.AST, attr: str) -> bool:
-    """True when *node* (recursively) calls ``something.<attr>(...)``."""
-    for sub in ast.walk(node):
-        if (
-            isinstance(sub, ast.Call)
-            and isinstance(sub.func, ast.Attribute)
-            and sub.func.attr == attr
-        ):
-            return True
-    return False
-
-
-def _returns_view(node: ast.expr) -> bool:
-    """Return-expressions that may alias a numpy buffer."""
-    if isinstance(node, ast.Subscript):
-        # arr[...] with a slice component can alias
-        sub = node.slice
-        parts = sub.elts if isinstance(sub, ast.Tuple) else [sub]
-        return any(isinstance(p, ast.Slice) for p in parts)
-    if isinstance(node, ast.Attribute):
-        return node.attr in VIEW_ATTRS
-    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-        return node.func.attr in VIEW_ATTRS
-    return False
-
-
-class _Linter(ast.NodeVisitor):
-    def __init__(self, path: str, source: str) -> None:
-        self.path = path
-        self.lines = source.splitlines()
-        self.findings: list[LintFinding] = []
-        norm = path.replace("\\", "/")
-        # The canonical loop itself lives in repro/runtime.
-        self.allow_op_loops = "repro/runtime" in norm
-        # Engine construction is the runtime's and the service's job
-        # (their own test packages exercise the constructor directly).
-        self.allow_engine_direct = any(
-            part in norm
-            for part in (
-                "repro/runtime",
-                "repro/service",
-                "tests/runtime",
-                "tests/service",
-            )
-        )
-
-    # ------------------------------------------------------------------
-    def _suppressed(self, line: int, check: str) -> bool:
-        if 1 <= line <= len(self.lines):
-            return f"lint: allow-{check}" in self.lines[line - 1]
-        return False
-
-    def _add(self, line: int, check: str, message: str) -> None:
-        if not self._suppressed(line, check):
-            self.findings.append(
-                LintFinding(self.path, line, check, message)
-            )
-
-    # ------------------------------------------------------------------
-    def _check_defaults(self, node) -> None:
-        args = node.args
-        for default in list(args.defaults) + [
-            d for d in args.kw_defaults if d is not None
-        ]:
-            if _is_mutable_default(default):
-                self._add(
-                    default.lineno,
-                    "mutable-default",
-                    f"function {node.name!r} has a mutable default "
-                    "argument; use None and create inside",
-                )
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._check_defaults(node)
-        self._check_copy_doc(node)
-        self.generic_visit(node)
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._check_defaults(node)
-        self.generic_visit(node)
-
-    # ------------------------------------------------------------------
-    def visit_For(self, node: ast.For) -> None:
-        if (
-            not self.allow_op_loops
-            and _calls_attr(node.iter, "operations")
-            and any(_calls_attr(stmt, "execute") for stmt in node.body)
-        ):
-            self._add(
-                node.lineno,
-                "op-loop",
-                "hand-rolled schedule executor (op.execute loop over "
-                "schedule.operations()); run it through "
-                "repro.runtime.ExecutionEngine instead",
-            )
-        self.generic_visit(node)
-
-    # ------------------------------------------------------------------
-    def visit_Call(self, node: ast.Call) -> None:
-        func = node.func
-        name = None
-        if isinstance(func, ast.Name):
-            name = func.id
-        elif isinstance(func, ast.Attribute):
-            name = func.attr
-        if name == "ExecutionEngine" and not self.allow_engine_direct:
-            self._add(
-                node.lineno,
-                "engine-direct",
-                "direct ExecutionEngine construction outside repro/runtime "
-                "and repro/service; use the run_schedule family or submit "
-                "a service job (# lint: allow-engine-direct for deliberate "
-                "wrappers)",
-            )
-        self.generic_visit(node)
-
-    # ------------------------------------------------------------------
-    def visit_Compare(self, node: ast.Compare) -> None:
-        floaty = [node.left, *node.comparators]
-        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops) and any(
-            _is_floaty(n) for n in floaty
-        ):
-            self._add(
-                node.lineno,
-                "float-eq",
-                "== / != against a float; compare with a tolerance "
-                "(math.isclose / np.allclose / abs(a-b) < tol)",
-            )
-        self.generic_visit(node)
-
-    # ------------------------------------------------------------------
-    def _check_copy_doc(self, node: ast.FunctionDef) -> None:
-        doc = ast.get_docstring(node)
-        if not doc:
-            return
-        head = doc.splitlines()[0].lower()
-        if not any(w in head for w in COPY_WORDS):
-            return
-        for sub in ast.walk(node):
-            if isinstance(sub, ast.Return) and sub.value is not None:
-                if _returns_view(sub.value):
-                    self._add(
-                        sub.lineno,
-                        "view-return",
-                        f"{node.name!r} documents a copy but returns a "
-                        "possible numpy view; add .copy()",
-                    )
-
-
-def lint_file(path: Path) -> list[LintFinding]:
-    """Lint one Python file; unparseable files yield a single finding."""
-    source = path.read_text(encoding="utf-8")
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [
-            LintFinding(
-                str(path), exc.lineno or 0, "syntax", f"cannot parse: {exc}"
-            )
-        ]
-    linter = _Linter(str(path), source)
-    linter.visit(tree)
-    return linter.findings
-
-
-def lint_paths(paths: list[Path]) -> list[LintFinding]:
-    """Lint every ``*.py`` under the given files/directories."""
-    findings: list[LintFinding] = []
-    for root in paths:
-        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
-        for file in files:
-            findings.extend(lint_file(file))
-    return findings
+__all__ = ["LintFinding", "lint_file", "lint_paths", "main"]
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    repo = Path(__file__).resolve().parent.parent
-    paths = [Path(a) for a in argv] or [repo / "src"]
+    paths = [Path(a) for a in argv] or [_REPO / "src"]
     findings = lint_paths(paths)
     for finding in findings:
         print(finding.format())
