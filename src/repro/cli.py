@@ -24,7 +24,17 @@ Subcommands:
   TCP socket (admission control, weighted-fair queueing, cross-request
   plan/result caching);
 * ``submit`` — submit one circuit-simulation job to a running ``serve``
-  instance and print the result (or query ``--stats``).
+  instance and print the result (or query ``--stats``);
+* ``top`` — poll a serving instance's ``/statusz`` and render a
+  refreshing per-tenant table (queued/running/done, p95 queue wait,
+  rejection reasons).
+
+``serve --metrics-port`` adds the live observability plane (Prometheus
+``/metrics``, ``/healthz``, ``/statusz``); ``serve --postmortem-dir``
+dumps flight-recorder JSONL bundles for failed/timed-out jobs and on
+SIGTERM.  ``submit`` mints a ``trace_id`` on the wire so one id
+correlates client output, server spans, flight-recorder records and
+metrics.
 
 ``simulate --sanitize`` arms the runtime shard sanitizer (NaN/Inf, norm
 conservation, checksum divergence); ``simulate --strict`` refuses to
@@ -36,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
 
 __all__ = ["main", "build_parser"]
@@ -225,6 +236,12 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--weight", action="append", default=[],
                      metavar="TENANT=W",
                      help="fair-share weight for a tenant (repeatable)")
+    srv.add_argument("--metrics-port", type=int, default=None,
+                     help="also serve the live observability plane "
+                     "(/metrics, /healthz, /statusz) on this port")
+    srv.add_argument("--postmortem-dir", type=str, default=None,
+                     help="dump flight-recorder JSONL bundles for "
+                     "failed/timed-out jobs (and on SIGTERM) here")
 
     sbm = sub.add_parser(
         "submit", help="submit one job to a running `repro serve`"
@@ -252,6 +269,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="bypass the completed-result cache")
     sbm.add_argument("--stats", action="store_true",
                      help="print service statistics instead of submitting")
+    sbm.add_argument("--trace-id", type=str, default=None,
+                     help="correlation id for the job (minted client-side "
+                     "when omitted; threads through spans, flight-recorder "
+                     "records and the response)")
+
+    top = sub.add_parser(
+        "top", help="live per-tenant view of a serving `repro serve`"
+    )
+    top.add_argument("--host", type=str, default="127.0.0.1")
+    top.add_argument("--metrics-port", type=int, required=True,
+                     help="the service's --metrics-port")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes")
+    top.add_argument("-n", "--iterations", type=int, default=0,
+                     help="stop after N refreshes (0 = run until Ctrl-C)")
     return parser
 
 
@@ -797,20 +829,60 @@ def _cmd_serve(args) -> int:
             max_tenant_active=args.max_tenant_active,
         ),
         tenant_weights=weights or None,
+        postmortem_dir=args.postmortem_dir,
     )
 
     async def run() -> int:
+        import signal
+
         service = SimulationService(config)
         await service.start()
         server = await serve(service, host=args.host, port=args.port)
         addr = server.sockets[0].getsockname()
         print(f"repro service on {addr[0]}:{addr[1]} "
               f"({args.workers} workers); Ctrl-C to stop")
+        exposition = None
+        if args.metrics_port is not None:
+            exposition = service.exposition_server()
+            mport = await exposition.start(
+                host=args.host, port=args.metrics_port
+            )
+            print(f"observability plane on http://{args.host}:{mport}"
+                  f"/metrics /healthz /statusz")
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+
+        def on_sigterm() -> None:
+            # Last-gasp postmortem: the whole ring, before teardown
+            # (per-job bundles only cover failed/timed-out jobs).
+            if config.postmortem_dir is not None:
+                os.makedirs(config.postmortem_dir, exist_ok=True)
+                service.recorder.dump_jsonl(
+                    os.path.join(
+                        config.postmortem_dir,
+                        f"sigterm-{os.getpid()}.jsonl",
+                    )
+                )
+            stop.set()
+
         try:
-            await server.serve_forever()
+            loop.add_signal_handler(signal.SIGTERM, on_sigterm)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platforms without signal-handler support
+        try:
+            forever = asyncio.create_task(server.serve_forever())
+            waiter = asyncio.create_task(stop.wait())
+            _, pending = await asyncio.wait(
+                {forever, waiter}, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
         except asyncio.CancelledError:
             pass
         finally:
+            if exposition is not None:
+                await exposition.stop()
             server.close()
             await server.wait_closed()
             await service.shutdown(drain=False)
@@ -857,6 +929,9 @@ def _cmd_submit(args) -> int:
     if not args.local_qubits:
         print("error: --local-qubits is required", file=sys.stderr)
         return 2
+    import uuid
+
+    trace_id = args.trace_id or uuid.uuid4().hex[:16]
     response = request(
         args.host,
         args.port,
@@ -872,12 +947,14 @@ def _cmd_submit(args) -> int:
             "timeout_seconds": args.timeout,
             "use_result_cache": not args.no_result_cache,
             "wait": not args.no_wait,
+            "trace_id": trace_id,
         },
     )
     if not response.get("ok"):
         print(f"error: {response.get('error')}", file=sys.stderr)
         return 1
     print(f"{'job':>18}: {response['job_id']} [{response['status']}]")
+    print(f"{'trace id':>18}: {response.get('trace_id', trace_id)}")
     if "predicted_seconds" in response:
         print(f"{'predicted':>18}: {response['predicted_seconds']:.4g} s, "
               f"{response['state_bytes']} state bytes")
@@ -898,6 +975,72 @@ def _cmd_submit(args) -> int:
     return 0 if response["status"] in ("completed", "queued", "running") else 1
 
 
+def _render_top(status: dict) -> str:
+    """Render one ``/statusz`` payload as the ``repro top`` table.
+
+    Pure function of the JSON payload (exposed for testing).
+    """
+    recorder = status.get("flight_recorder", {})
+    lines = [
+        f"repro top — uptime {status.get('uptime_seconds', 0.0):.1f}s  "
+        f"queue {status.get('queue_depth', 0)}  "
+        f"inflight {len(status.get('inflight', []))}  "
+        f"recorder {recorder.get('size', 0)}/{recorder.get('capacity', 0)}",
+        f"{'TENANT':<14} {'QUEUED':>6} {'RUNNING':>7} {'DONE':>6} "
+        f"{'P95-WAIT':>9} {'VCLOCK':>8}  REJECTED",
+    ]
+    tenants = status.get("tenants", {})
+    for tenant in sorted(tenants):
+        view = tenants[tenant]
+        rejected = ", ".join(
+            f"{reason}:{count}"
+            for reason, count in sorted(view.get("rejected", {}).items())
+        )
+        lines.append(
+            f"{tenant:<14} {view.get('queued', 0):>6} "
+            f"{view.get('running', 0):>7} {view.get('done', 0):>6} "
+            f"{view.get('p95_queue_wait_seconds', 0.0):>9.4f} "
+            f"{view.get('virtual_clock', 0.0):>8.3f}  {rejected or '-'}"
+        )
+    if not tenants:
+        lines.append("(no tenants yet)")
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    import json as json_module
+    import time
+
+    from repro.telemetry.live import http_get
+
+    iteration = 0
+    try:
+        while True:
+            try:
+                status_code, body = http_get(
+                    args.metrics_port, "/statusz", host=args.host
+                )
+            except OSError as exc:
+                print(f"error: cannot reach /statusz: {exc}", file=sys.stderr)
+                return 1
+            if status_code != 200:
+                print(f"error: /statusz returned {status_code}",
+                      file=sys.stderr)
+                return 1
+            table = _render_top(json_module.loads(body))
+            iteration += 1
+            if args.iterations != 1:
+                # Refreshing view: clear and home before each redraw.
+                print("\x1b[2J\x1b[H", end="")
+            print(table, flush=True)
+            if args.iterations and iteration >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -913,6 +1056,7 @@ def main(argv=None) -> int:
         "trace": _cmd_trace,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
+        "top": _cmd_top,
     }
     return handlers[args.command](args)
 

@@ -21,6 +21,7 @@ from repro.runtime.layers import (
     CallbackLayer,
     CheckpointLayer,
     FaultLayer,
+    FlightRecorderLayer,
     IntegrityLayer,
     RuntimeLayer,
     SanitizerLayer,
@@ -36,6 +37,7 @@ __all__ = [
     "ExecutionContext",
     "ExecutionEngine",
     "FaultLayer",
+    "FlightRecorderLayer",
     "IntegrityLayer",
     "RecoveryReport",
     "RetryPolicy",

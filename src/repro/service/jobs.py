@@ -88,6 +88,10 @@ class JobSpec:
     seed: int = 0
     timeout_seconds: float | None = None
     use_result_cache: bool = True
+    #: Client-minted correlation id (``repro submit`` puts one on the
+    #: wire); the service mints one when absent.  Deliberately excluded
+    #: from plan_key/result_key — trace identity never splits caches.
+    trace_id: str | None = None
 
     def plan_key(self) -> tuple:
         """Key under which requests share one schedule + compiled plan."""
@@ -129,6 +133,10 @@ class JobResult:
     from_cache: bool = False
     samples: dict[int, int] | None = None
     error: str | None = None
+    #: Correlation id of the job that produced this result.  Stamped by
+    #: the service at finish time, so a cache-served result carries the
+    #: *requesting* job's id, not the original producer's.
+    trace_id: str | None = None
 
     def payload(self, num_qubits: int | None = None) -> dict:
         """JSON-ready summary (the wire/CLI view of this result)."""
@@ -147,6 +155,7 @@ class JobResult:
             "from_cache": self.from_cache,
             "samples": samples,
             "error": self.error,
+            "trace_id": self.trace_id,
         }
 
 
@@ -156,6 +165,10 @@ class Job:
 
     job_id: str
     spec: JobSpec
+    #: End-to-end correlation id: spec-supplied or service-minted at
+    #: submit; threads through spans, flight-recorder records and the
+    #: response payload.
+    trace_id: str = ""
     status: JobStatus = JobStatus.PENDING
     result: JobResult | None = None
     #: Admission verdict (set before queueing; None for cache hits).
@@ -171,6 +184,10 @@ class Job:
     future: object | None = None
     #: Plan-cache entry the worker executes (set at admission).
     plan_entry: object | None = None
+    #: Flight recorder the worker streams op attempts into (service-set;
+    #: rides the job so monkeypatched execute_job fakes keep their
+    #: one-argument signature).
+    recorder: object | None = None
     #: Queue bookkeeping (set by FairQueue.push).
     queue_cost: float = 0.0
 

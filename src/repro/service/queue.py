@@ -67,6 +67,10 @@ class FairQueue:
         """Tenants with at least one queued job (sorted)."""
         return sorted(t for t, heap in self._heaps.items() if heap)
 
+    def clocks(self) -> dict[str, float]:
+        """Per-tenant virtual clocks (the ``/statusz`` fairness view)."""
+        return dict(self._vtime)
+
     def jobs(self) -> Iterable[Job]:
         """Every queued job (no particular order)."""
         for heap in self._heaps.values():

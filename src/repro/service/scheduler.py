@@ -18,7 +18,7 @@ from __future__ import annotations
 import time
 
 from repro.runtime import ExecutionEngine, TracingLayer
-from repro.runtime.layers import RuntimeLayer
+from repro.runtime.layers import FlightRecorderLayer, RuntimeLayer
 from repro.service.jobs import (
     Job,
     JobCancelled,
@@ -50,19 +50,36 @@ class CancelLayer(RuntimeLayer):
             raise JobCancelled(self._job.cancel_reason or "cancelled")
 
 
-def execute_job(job: Job) -> JobResult:
+def execute_job(job: Job, recorder=None) -> JobResult:
     """Run one admitted job to completion (worker-thread body).
 
     Raises :class:`JobCancelled` when the job was cancelled or timed
-    out mid-run; any other exception is the job failing.
+    out mid-run; any other exception is the job failing.  When the
+    service passes its :class:`~repro.telemetry.recorder.FlightRecorder`,
+    a :class:`~repro.runtime.FlightRecorderLayer` streams this run's op
+    attempts into the ring tagged with the job's ``trace_id``.
+
+    The extra layer sits *after* the tracing layer and records only —
+    trace ``signature()`` parity with the bare two-layer stack is an
+    invariant the observability tests pin.
     """
     spec = job.spec
     entry = job.plan_entry
     start = time.perf_counter()
+    if recorder is None:
+        recorder = job.recorder
+    layers = [TracingLayer(), CancelLayer(job)]
+    if recorder is not None:
+        layers.append(
+            FlightRecorderLayer(recorder, trace_id=job.trace_id or None)
+        )
+    root_attrs = {"job_id": job.job_id, "tenant": spec.tenant}
+    if job.trace_id:
+        root_attrs["trace_id"] = job.trace_id
     engine = ExecutionEngine(
         entry.program,
-        layers=[TracingLayer(), CancelLayer(job)],
-        root_attrs={"job_id": job.job_id, "tenant": spec.tenant},
+        layers=layers,
+        root_attrs=root_attrs,
     )
     run = engine.run()
     statevector = run.state.to_statevector()

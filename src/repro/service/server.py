@@ -15,7 +15,19 @@ Per-tenant SLO metrics ride the telemetry registry:
 ``...rejected{reason=}``, ``...cancelled{tenant=}``,
 ``...failed{tenant=}``, queue-wait and execution-seconds histograms
 (``service.queue.wait_seconds{tenant=}``,
-``service.exec.seconds{tenant=}``).
+``service.exec.seconds{tenant=}``), plus pull-model gauges refreshed at
+read time (``service.queue.depth{tenant=}``, ``service.inflight``,
+``service.uptime.seconds``).
+
+The live observability plane hangs off the same instance: every status
+change appends a ``transition`` record (tagged with the job's
+``trace_id``) to the service's :class:`FlightRecorder`, the worker
+threads stream per-op ``span`` records into the same ring, failed and
+timed-out jobs dump a JSONL postmortem bundle to
+``ServiceConfig.postmortem_dir``, and :meth:`SimulationService.
+exposition_server` wires ``/metrics`` / ``/healthz`` / ``/statusz`` to
+the registry, :meth:`SimulationService.health_view` and
+:meth:`SimulationService.status_view`.
 
 :func:`serve` exposes a service over a local JSON-lines TCP socket
 (one JSON request per line, one JSON response per line) and
@@ -27,7 +39,10 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import socket
+import time
+import uuid
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -37,6 +52,8 @@ from repro.service.jobs import Job, JobCancelled, JobResult, JobSpec, JobStatus
 from repro.service.queue import FairQueue
 from repro.service.scheduler import execute_job
 from repro.telemetry import MetricsRegistry
+from repro.telemetry.live import ExpositionServer
+from repro.telemetry.recorder import FlightRecorder
 
 __all__ = ["ServiceConfig", "SimulationService", "request", "serve"]
 
@@ -53,6 +70,11 @@ class ServiceConfig:
     #: When set, rebounds the process-wide GATHER_CACHE at startup.
     gather_cache_capacity: int | None = None
     collect_metrics: bool = True
+    #: Ring capacity of the service's flight recorder.
+    flight_recorder_capacity: int = 4096
+    #: When set, failed / timed-out jobs dump a JSONL postmortem bundle
+    #: (``<job_id>-<trace_id>.jsonl``) into this directory.
+    postmortem_dir: str | None = None
 
 
 class SimulationService:
@@ -69,8 +91,11 @@ class SimulationService:
             self.config.admission, metrics=self.metrics
         )
         self.queue = FairQueue(weights=self.config.tenant_weights)
+        self.recorder = FlightRecorder(self.config.flight_recorder_capacity)
         self.jobs: dict[str, Job] = {}
         self._running: set[str] = set()
+        self._seen_tenants: set[str] = set()
+        self._started_monotonic: float | None = None
         self._next_id = 0
         self._executor: ThreadPoolExecutor | None = None
         self._workers: list[asyncio.Task] = []
@@ -100,6 +125,7 @@ class SimulationService:
             asyncio.create_task(self._worker(), name=f"service-worker-{i}")
             for i in range(self.config.max_workers)
         ]
+        self._started_monotonic = time.monotonic()
 
     async def shutdown(self, *, drain: bool = True) -> None:
         """Stop the workers (after finishing queued work when *drain*)."""
@@ -155,10 +181,16 @@ class SimulationService:
             raise RuntimeError("service not started (call start())")
         loop = asyncio.get_running_loop()
         self._next_id += 1
-        job = Job(job_id=f"job-{self._next_id:06d}", spec=spec)
+        job = Job(
+            job_id=f"job-{self._next_id:06d}",
+            spec=spec,
+            trace_id=spec.trace_id or uuid.uuid4().hex[:16],
+        )
         job.future = loop.create_future()
         job.submitted_at = loop.time()
         self.jobs[job.job_id] = job
+        self._seen_tenants.add(spec.tenant)
+        self._record_transition(job)
         self.metrics.counter(
             "service.jobs.submitted", tenant=spec.tenant
         ).inc()
@@ -188,6 +220,7 @@ class SimulationService:
             return job
 
         job.status = JobStatus.QUEUED
+        self._record_transition(job)
         self.queue.push(job, cost=decision.predicted_seconds)
         async with self._wakeup:
             self._wakeup.notify()
@@ -231,6 +264,8 @@ class SimulationService:
 
     async def _run_job(self, loop, job: Job) -> None:
         job.status = JobStatus.RUNNING
+        self._record_transition(job)
+        job.recorder = self.recorder
         self._running.add(job.job_id)
         job.started_at = loop.time()
         self.metrics.histogram(
@@ -277,6 +312,8 @@ class SimulationService:
     def _finish(self, job: Job, status: JobStatus, result: JobResult) -> None:
         job.status = status
         job.result = result
+        result.trace_id = job.trace_id
+        self._record_transition(job, error=result.error)
         try:
             job.finished_at = asyncio.get_running_loop().time()
         except RuntimeError:  # pragma: no cover - loop teardown
@@ -289,6 +326,10 @@ class SimulationService:
         }.get(status)
         if key is not None:
             self.metrics.counter(key, tenant=job.tenant).inc()
+        if status in (JobStatus.FAILED, JobStatus.TIMEOUT) or (
+            status is JobStatus.CANCELLED and job.cancel_reason == "shutdown"
+        ):
+            self.dump_postmortem(job)
         if job.future is not None and not job.future.done():
             job.future.set_result(result)
 
@@ -300,10 +341,137 @@ class SimulationService:
             JobResult(status=JobStatus.CANCELLED, error=reason),
         )
 
+    def _record_transition(self, job: Job, *, error: str | None = None) -> None:
+        """Append the job's current state to the flight-recorder ring."""
+        fields = {
+            "trace_id": job.trace_id,
+            "job_id": job.job_id,
+            "tenant": job.tenant,
+            "status": job.status.value,
+        }
+        if error is not None:
+            fields["error"] = error
+        self.recorder.record("transition", **fields)
+
+    def dump_postmortem(self, job: Job) -> str | None:
+        """Write the job's flight-recorder bundle; returns its path.
+
+        The bundle is the ring filtered to the job's ``trace_id``:
+        state transitions, op-attempt spans, and any lock events the
+        tracker streamed in — one JSON object per line.  No-op without a
+        configured ``postmortem_dir``.
+        """
+        directory = self.config.postmortem_dir
+        if directory is None or not job.trace_id:
+            return None
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{job.job_id}-{job.trace_id}.jsonl")
+        self.recorder.dump_jsonl(path, trace_id=job.trace_id)
+        return path
+
+    # ------------------------------------------------------------------
+    # Live observability plane
+    # ------------------------------------------------------------------
+    def uptime_seconds(self) -> float:
+        """Seconds since :meth:`start` (0.0 before the first start)."""
+        if self._started_monotonic is None:
+            return 0.0
+        return time.monotonic() - self._started_monotonic
+
+    def _refresh_gauges(self) -> None:
+        """Mirror queue/in-flight/uptime into the registry.
+
+        Pull model: refreshed when something reads the metrics (a
+        scrape, ``stats()``, ``/statusz``), never on the submit/dispatch
+        hot path.  Tenants the service has ever seen keep their
+        ``service.queue.depth`` gauge (zeroed when idle), so a scraper
+        watches depth fall rather than the series vanishing.
+        """
+        if not self.metrics.enabled:
+            return
+        self.metrics.gauge("service.inflight").set(len(self._running))
+        self.metrics.gauge("service.uptime.seconds").set(
+            self.uptime_seconds()
+        )
+        for tenant in sorted(self._seen_tenants):
+            self.metrics.gauge("service.queue.depth", tenant=tenant).set(
+                self.queue.depth(tenant)
+            )
+
+    def health_view(self) -> tuple[bool, str]:
+        """Liveness + saturation verdict for ``/healthz``."""
+        if not self._workers or self._closing:
+            return False, "no workers running"
+        dead = sorted(
+            task.get_name() for task in self._workers if task.done()
+        )
+        if dead:
+            return False, f"dead workers: {', '.join(dead)}"
+        depth = len(self.queue)
+        limit = self.admission.policy.max_queue_depth
+        if depth >= limit:
+            return False, f"queue saturated ({depth}/{limit})"
+        return True, f"ok workers={len(self._workers)} queued={depth}"
+
+    def status_view(self) -> dict:
+        """The ``/statusz`` JSON page: fairness, load, caches, uptime."""
+        self._refresh_gauges()
+        clocks = self.queue.clocks()
+        tenants: dict[str, dict] = {}
+        for tenant in sorted(self._seen_tenants):
+            tenants[tenant] = {
+                "queued": 0,
+                "running": 0,
+                "done": 0,
+                "rejected": {},
+                "virtual_clock": clocks.get(tenant, 0.0),
+                "p95_queue_wait_seconds": self.metrics.histogram(
+                    "service.queue.wait_seconds", tenant=tenant
+                ).quantile(0.95),
+            }
+        for job in self.jobs.values():
+            view = tenants.get(job.tenant)
+            if view is None:  # pragma: no cover - tenants tracks jobs
+                continue
+            if job.status is JobStatus.QUEUED:
+                view["queued"] += 1
+            elif job.status is JobStatus.RUNNING:
+                view["running"] += 1
+            elif job.done:
+                view["done"] += 1
+            if job.status is JobStatus.REJECTED and job.result is not None:
+                reason = job.result.error or "unknown"
+                view["rejected"][reason] = view["rejected"].get(reason, 0) + 1
+        return {
+            "uptime_seconds": self.uptime_seconds(),
+            "queue_depth": len(self.queue),
+            "inflight": sorted(self._running),
+            "tenants": tenants,
+            "plan_cache": self.plans.stats(),
+            "result_cache": self.results.stats(),
+            "flight_recorder": self.recorder.stats(),
+        }
+
+    def exposition_server(self) -> ExpositionServer:
+        """A live-plane HTTP server wired to this service.
+
+        ``/metrics`` renders the service registry (gauges refreshed per
+        scrape), ``/healthz`` maps :meth:`health_view` to 200/503, and
+        ``/statusz`` serves :meth:`status_view` — start it on the
+        service's event loop (``repro serve --metrics-port`` does).
+        """
+        return ExpositionServer(
+            self.metrics,
+            status_provider=self.status_view,
+            health_provider=self.health_view,
+            on_scrape=self._refresh_gauges,
+        )
+
     def stats(self) -> dict:
         """JSON-ready service snapshot (the ``stats`` wire op)."""
         from repro.kernels import GATHER_CACHE
 
+        self._refresh_gauges()
         by_status: dict[str, int] = {}
         for job in self.jobs.values():
             by_status[job.status.value] = (
@@ -313,9 +481,11 @@ class SimulationService:
             "jobs": by_status,
             "queue_depth": len(self.queue),
             "running": len(self._running),
+            "uptime_seconds": self.uptime_seconds(),
             "plan_cache": self.plans.stats(),
             "result_cache": self.results.stats(),
             "gather_cache": GATHER_CACHE.stats(),
+            "flight_recorder": self.recorder.stats(),
             "metrics": self.metrics.snapshot(),
         }
 
@@ -341,11 +511,20 @@ def _spec_from_wire(message: dict) -> JobSpec:
             else None
         ),
         use_result_cache=bool(message.get("use_result_cache", True)),
+        trace_id=(
+            str(message["trace_id"])
+            if message.get("trace_id") is not None
+            else None
+        ),
     )
 
 
 def _job_view(job: Job) -> dict:
-    view = {"job_id": job.job_id, "status": job.status.value}
+    view = {
+        "job_id": job.job_id,
+        "status": job.status.value,
+        "trace_id": job.trace_id,
+    }
     if job.result is not None:
         view["result"] = job.result.payload(job.spec.circuit.num_qubits)
     if job.decision is not None:

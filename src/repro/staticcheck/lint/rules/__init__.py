@@ -3,8 +3,9 @@
 Importing this package registers every built-in rule with the framework
 registry (each module applies :func:`repro.staticcheck.lint.register`
 at import).  Five rules are ports of the pre-framework
-``tools/repro_lint.py`` checks; four are new concurrency rules aimed at
-the service layer's async/thread mix.
+``tools/repro_lint.py`` checks; four are concurrency rules aimed at
+the service layer's async/thread mix; ``metric-name`` guards the
+observability plane's naming convention.
 
 ==================== ======== =============================================
 rule                 severity what it catches
@@ -18,6 +19,7 @@ blocking-in-async    error    blocking call on the event loop
 unguarded-global     warning  module global mutated outside its lock
 lock-order           error    cyclic lock-acquisition graph (deadlock)
 daemon-thread-leak   warning  thread/executor created, never joined
+metric-name          warning  instrument name off the dot convention
 ==================== ======== =============================================
 """
 
@@ -27,6 +29,7 @@ from repro.staticcheck.lint.rules import (  # noqa: F401  (self-register)
     engine_direct,
     float_eq,
     lock_order,
+    metric_name,
     mutable_default,
     op_loop,
     unguarded_global,

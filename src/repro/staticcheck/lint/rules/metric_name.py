@@ -1,0 +1,67 @@
+"""metric-name: registry instrument names must follow the dot convention.
+
+Every instrument registered on a :class:`~repro.telemetry.metrics.
+MetricsRegistry` is named ``subsystem.quantity[.unit]`` — lowercase
+dot-separated segments like ``comm.bytes_on_network``,
+``kernel.apply.seconds`` or ``service.queue.depth`` (see
+docs/architecture.md "Observability").  A name outside the convention
+breaks the exposition page's family grouping and every dashboard query
+that assumes the prefix is the subsystem, so this rule flags literal
+first arguments of ``.counter(...)`` / ``.gauge(...)`` /
+``.histogram(...)`` calls that don't match.
+
+Only string literals are checked (a name built at runtime is the
+caller's responsibility), and single-segment throwaway names in tests
+suppress with ``# lint: allow-metric-name`` or a baseline entry.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.staticcheck.lint.core import LintRule, ModuleContext, register
+
+#: Lowercase dot-path with at least two segments; segments are
+#: ``[a-z][a-z0-9_]*`` so units like ``wait_seconds`` are one segment.
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+_INSTRUMENT_METHODS = {"counter", "gauge", "histogram"}
+
+
+@register
+class MetricNameRule(LintRule):
+    name = "metric-name"
+    severity = "warning"
+    description = (
+        "registry instrument name breaks the subsystem.quantity[.unit] "
+        "dot convention"
+    )
+
+    def check_module(self, module: ModuleContext):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            if (
+                not isinstance(func, ast.Attribute)
+                or func.attr not in _INSTRUMENT_METHODS
+            ):
+                continue
+            first = node.args[0]
+            if not isinstance(first, ast.Constant) or not isinstance(
+                first.value, str
+            ):
+                continue
+            metric = first.value
+            if _NAME_RE.match(metric):
+                continue
+            yield self.finding(
+                module,
+                node.lineno,
+                f"metric name {metric!r} breaks the "
+                f"subsystem.quantity[.unit] convention "
+                f"(lowercase dot-separated, >= 2 segments)",
+                hint="rename to subsystem.quantity[.unit], e.g. "
+                "service.queue.depth",
+            )

@@ -14,7 +14,15 @@ repo's equivalent layer:
 * :mod:`repro.telemetry.export` — Chrome-trace/Perfetto JSON (one lane
   per rank), a JSONL event stream and a flamegraph-style text summary;
 * :mod:`repro.telemetry.report` — the predicted-vs-actual join of a
-  run's spans against the :mod:`repro.perfmodel` timeline predictions.
+  run's spans against the :mod:`repro.perfmodel` timeline predictions;
+* :mod:`repro.telemetry.exposition` — Prometheus text-format 0.0.4
+  rendering of a registry snapshot;
+* :mod:`repro.telemetry.live` — the live plane: an asyncio HTTP
+  exposition server (``/metrics``, ``/healthz``, ``/statusz``) for
+  long-running processes;
+* :mod:`repro.telemetry.recorder` — the :class:`FlightRecorder` ring
+  buffer of recent spans/lock events/job transitions, dumped as a JSONL
+  postmortem bundle when a job dies.
 
 Everything is disabled by default: components accept ``telemetry=None``
 and fall back to :data:`NULL_TELEMETRY`, whose tracer and registry are
@@ -29,19 +37,26 @@ from repro.telemetry.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.telemetry.exposition import prometheus_exposition
+from repro.telemetry.live import ExpositionServer, http_get
 from repro.telemetry.metrics import (
     NULL_METRICS,
+    QUANTILES,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.recorder import FLIGHT_RECORDER, FlightRecorder
 from repro.telemetry.report import PerfReport, StageComparison, perf_report
 from repro.telemetry.runtime import NULL_TELEMETRY, Telemetry
 from repro.telemetry.spans import NULL_TRACER, Span, Tracer, verify_nesting
 
 __all__ = [
     "Counter",
+    "ExpositionServer",
+    "FLIGHT_RECORDER",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -49,13 +64,16 @@ __all__ = [
     "NULL_TELEMETRY",
     "NULL_TRACER",
     "PerfReport",
+    "QUANTILES",
     "Span",
     "StageComparison",
     "Telemetry",
     "Tracer",
     "chrome_trace",
     "format_flamegraph",
+    "http_get",
     "perf_report",
+    "prometheus_exposition",
     "span_records",
     "verify_nesting",
     "write_chrome_trace",

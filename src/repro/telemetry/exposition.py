@@ -1,0 +1,190 @@
+"""Prometheus text exposition (format 0.0.4) for a metrics registry.
+
+The registry's flat ``name{label=value,...}`` snapshot keys are parsed
+back into (name, labels) pairs, metric names are mangled into the
+Prometheus charset (dots become underscores: ``service.queue.depth`` ->
+``service_queue_depth``), label values are escaped per the spec
+(backslash, double quote, newline), and everything is emitted in a
+deterministic order — names sorted, then label sets sorted — so two
+scrapes of an idle process produce byte-identical pages.
+
+Instrument types map directly: :class:`~repro.telemetry.metrics.Counter`
+-> ``counter``, :class:`~repro.telemetry.metrics.Gauge` -> ``gauge``,
+and :class:`~repro.telemetry.metrics.Histogram` -> ``summary`` (one
+``{quantile="..."}`` sample per :data:`~repro.telemetry.metrics.QUANTILES`
+entry plus ``_sum`` / ``_count``), which is how queue-wait and exec-time
+SLO percentiles surface to a scraper.
+
+:func:`prometheus_exposition` is the one-call entry point the
+``/metrics`` endpoint (:mod:`repro.telemetry.live`) serves.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QUANTILES,
+)
+
+__all__ = [
+    "CONTENT_TYPE",
+    "escape_label_value",
+    "parse_metric_key",
+    "prometheus_exposition",
+    "prometheus_name",
+    "render_prometheus",
+]
+
+#: The Content-Type a 0.0.4 text-format scrape response must carry.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_LABEL_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def parse_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Split a flat registry key into ``(name, labels)``.
+
+    Inverts :func:`repro.telemetry.metrics._render_key`:
+    ``"x{a=1,b=}"`` -> ``("x", {"a": "1", "b": ""})``.  Empty label
+    values (the locktrack ``{k=}`` shape) survive the round trip.
+    """
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    name, inner = key[:brace], key[brace + 1 : key.rfind("}")]
+    labels: dict[str, str] = {}
+    if inner:
+        for item in inner.split(","):
+            label, _, value = item.partition("=")
+            labels[label] = value
+    return name, labels
+
+
+def prometheus_name(name: str) -> str:
+    """Mangle a dotted metric name into the Prometheus charset."""
+    mangled = _INVALID_NAME_CHARS.sub("_", name)
+    if mangled and mangled[0].isdigit():
+        mangled = "_" + mangled
+    return mangled
+
+
+def _label_name(name: str) -> str:
+    mangled = _INVALID_LABEL_CHARS.sub("_", name)
+    if mangled and mangled[0].isdigit():
+        mangled = "_" + mangled
+    return mangled
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text-format spec."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value) -> str:
+    """Render a sample value (Go-parseable floats, special cases)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def _label_block(labels: dict[str, str], extra: tuple[str, str] | None = None):
+    items = [
+        (_label_name(k), escape_label_value(str(v)))
+        for k, v in sorted(labels.items())
+    ]
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in items) + "}"
+
+
+def _type_of(instrument) -> str:
+    if isinstance(instrument, Counter):
+        return "counter"
+    if isinstance(instrument, Gauge):
+        return "gauge"
+    if isinstance(instrument, Histogram):
+        return "summary"
+    return "untyped"
+
+
+def render_prometheus(snapshot: dict, *, types: dict[str, str] | None = None) -> str:
+    """Render a ``MetricsRegistry.snapshot()`` dict as text format 0.0.4.
+
+    *types* maps raw (pre-mangling) metric names to Prometheus types
+    (``counter`` / ``gauge`` / ``summary``); names not in the map are
+    typed by shape — dict-valued samples (histogram summaries) render as
+    summaries, scalars as ``untyped``.  Output order is deterministic:
+    metric names sorted, label sets sorted within each name.
+    """
+    types = types or {}
+    families: dict[str, list[tuple[tuple, dict, object]]] = {}
+    for key in sorted(snapshot):
+        name, labels = parse_metric_key(key)
+        sort_key = tuple(sorted(labels.items()))
+        families.setdefault(name, []).append((sort_key, labels, snapshot[key]))
+
+    lines: list[str] = []
+    for name in sorted(families):
+        samples = sorted(families[name], key=lambda entry: entry[0])
+        metric_type = types.get(name)
+        if metric_type is None:
+            summary_shaped = all(isinstance(v, dict) for _, _, v in samples)
+            metric_type = "summary" if summary_shaped else "untyped"
+        mangled = prometheus_name(name)
+        lines.append(f"# TYPE {mangled} {metric_type}")
+        for _, labels, value in samples:
+            if isinstance(value, dict):
+                for q in QUANTILES:
+                    quantile = value.get(f"p{int(q * 100)}", 0.0)
+                    block = _label_block(labels, ("quantile", repr(q)))
+                    lines.append(
+                        f"{mangled}{block} {_format_value(quantile)}"
+                    )
+                block = _label_block(labels)
+                lines.append(
+                    f"{mangled}_sum{block} "
+                    f"{_format_value(value.get('sum', 0.0))}"
+                )
+                lines.append(
+                    f"{mangled}_count{block} "
+                    f"{_format_value(value.get('count', 0))}"
+                )
+            else:
+                lines.append(
+                    f"{mangled}{_label_block(labels)} {_format_value(value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def prometheus_exposition(registry: MetricsRegistry) -> str:
+    """The full ``/metrics`` page for a live registry.
+
+    Types come from the registry's actual instrument classes; values
+    from one :meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot`
+    call, so the page is a consistent point-in-time view.
+    """
+    types: dict[str, str] = {}
+    for key, instrument in registry.instruments().items():
+        name, _ = parse_metric_key(key)
+        kind = _type_of(instrument)
+        if types.setdefault(name, kind) != kind:
+            types[name] = "untyped"  # mixed types under one name
+    return render_prometheus(registry.snapshot(), types=types)

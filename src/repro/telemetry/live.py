@@ -1,0 +1,171 @@
+"""Live observability plane: asyncio HTTP exposition for long-running runs.
+
+:class:`ExpositionServer` is a minimal HTTP/1.0 listener (asyncio
+streams, one short-lived connection per request — scrapers poll, they
+do not pipeline) serving three endpoints:
+
+- ``/metrics`` — the registry rendered as Prometheus text format 0.0.4
+  (:func:`repro.telemetry.exposition.prometheus_exposition`).
+- ``/healthz`` — liveness: ``200 ok`` / ``503`` with a one-line reason,
+  from a caller-supplied probe (the service wires worker-pool liveness
+  and queue saturation in; standalone runs default to always-healthy).
+- ``/statusz`` — a JSON status page from a caller-supplied provider
+  (per-tenant virtual clocks, in-flight jobs, cache hit rates, uptime).
+
+The server is deliberately dependency-free and side-effect-free: it
+never mutates the registry and holds no references into the engine, so
+it can wrap *any* run — ``repro serve --metrics-port`` starts one around
+the service, and a bench or notebook can start one around a bare
+:class:`~repro.telemetry.metrics.MetricsRegistry`.
+
+:func:`http_get` is the matching blocking client (stdlib sockets, no
+HTTP library) used by ``repro top``, the benches, and the tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Callable
+
+from repro.telemetry.exposition import CONTENT_TYPE, prometheus_exposition
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = [
+    "ExpositionServer",
+    "http_get",
+]
+
+_MAX_REQUEST_BYTES = 8192
+
+
+def _default_health() -> tuple[bool, str]:
+    return True, "ok"
+
+
+class ExpositionServer:
+    """Asyncio HTTP listener for ``/metrics``, ``/healthz``, ``/statusz``."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        status_provider: Callable[[], dict] | None = None,
+        health_provider: Callable[[], tuple[bool, str]] | None = None,
+        on_scrape: Callable[[], None] | None = None,
+    ) -> None:
+        self.registry = registry
+        self._status_provider = status_provider or (lambda: {})
+        self._health_provider = health_provider or _default_health
+        #: Called before rendering /metrics — pull-model gauges (queue
+        #: depth, uptime) refresh here instead of on every mutation.
+        self._on_scrape = on_scrape
+        self._server: asyncio.base_events.Server | None = None
+        self.port: int | None = None
+
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Bind and start serving; returns the bound port (0 = ephemeral)."""
+        if self._server is not None:
+            raise RuntimeError("exposition server already started")
+        self._server = await asyncio.start_server(
+            self._handle, host=host, port=port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        """Stop accepting connections and release the socket."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        self.port = None
+
+    # ------------------------------------------------------------------
+    def _respond(self, path: str) -> tuple[int, str, str]:
+        """Route one GET; returns (status, content_type, body).
+
+        Pure CPU — no awaits needed, which keeps the handler's critical
+        section trivially free of blocking calls.
+        """
+        if path == "/metrics":
+            if self._on_scrape is not None:
+                self._on_scrape()
+            return 200, CONTENT_TYPE, prometheus_exposition(self.registry)
+        if path == "/healthz":
+            healthy, detail = self._health_provider()
+            status = 200 if healthy else 503
+            return status, "text/plain; charset=utf-8", detail + "\n"
+        if path == "/statusz":
+            body = json.dumps(
+                self._status_provider(), sort_keys=True, default=str
+            )
+            return 200, "application/json; charset=utf-8", body + "\n"
+        return 404, "text/plain; charset=utf-8", "not found\n"
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            if len(request_line) > _MAX_REQUEST_BYTES:
+                return
+            parts = request_line.decode("ascii", "replace").split()
+            if len(parts) < 2 or parts[0] != "GET":
+                status, ctype, body = 400, "text/plain; charset=utf-8", (
+                    "bad request\n"
+                )
+            else:
+                # Drain (and ignore) headers up to the blank line.
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                status, ctype, body = self._respond(parts[1])
+            payload = body.encode("utf-8")
+            reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                      503: "Service Unavailable"}.get(status, "OK")
+            head = (
+                f"HTTP/1.0 {status} {reason}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("ascii") + payload)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # scraper went away mid-request; nothing to clean up
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+
+def http_get(
+    port: int, path: str, *, host: str = "127.0.0.1", timeout: float = 5.0
+) -> tuple[int, str]:
+    """Blocking one-shot GET against an :class:`ExpositionServer`.
+
+    Returns ``(status_code, body)``.  Call from a plain thread (CLI,
+    tests, benches) — never from the event loop that runs the server.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        conn.sendall(
+            f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode("ascii")
+        )
+        chunks = []
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    raw = b"".join(chunks).decode("utf-8", "replace")
+    head, _, body = raw.partition("\r\n\r\n")
+    status_line = head.split("\r\n", 1)[0]
+    status = int(status_line.split()[1])
+    return status, body

@@ -20,6 +20,7 @@ dot-separated ``subsystem.quantity[.unit]`` — ``comm.bytes_on_network``,
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -28,7 +29,17 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_METRICS",
+    "QUANTILES",
 ]
+
+#: The quantiles every histogram summary reports (SLO percentiles).
+QUANTILES = (0.5, 0.95, 0.99)
+
+#: Log-bucket growth factor: ~19% relative width per bucket, so a
+#: quantile estimate is within ~9% of the true value after clamping to
+#: the observed [min, max].
+_BUCKET_BASE = 2.0 ** 0.25
+_LOG_BASE = math.log(_BUCKET_BASE)
 
 
 @dataclass
@@ -57,12 +68,25 @@ class Gauge:
 
 @dataclass
 class Histogram:
-    """Streaming summary of observed values (count/sum/min/max)."""
+    """Streaming summary of observed values with log-bucketed quantiles.
+
+    Alongside the running count/sum/min/max, every positive observation
+    lands in a logarithmic bucket (``floor(log(v) / log(base))`` with
+    base :data:`_BUCKET_BASE`); non-positive observations share one
+    underflow bucket.  :meth:`quantile` walks the cumulative bucket
+    counts and returns the hit bucket's geometric midpoint clamped into
+    the observed ``[min, max]`` — an estimate with bounded relative
+    error, constant memory, and no stored samples.
+    """
 
     count: int = 0
     total: float = 0.0
     min: float = field(default=float("inf"))
     max: float = field(default=float("-inf"))
+    #: Log-bucket index -> observation count (positive values only).
+    buckets: dict[int, int] = field(default_factory=dict)
+    #: Observations <= 0 (queue waits can round to exactly 0.0).
+    nonpositive: int = 0
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -72,23 +96,54 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if value > 0:
+            index = int(math.floor(math.log(value) / _LOG_BASE))
+            self.buckets[index] = self.buckets.get(index, 0) + 1
+        else:
+            self.nonpositive += 1
 
     @property
     def mean(self) -> float:
         """Average observation (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
-    def summary(self) -> dict:
-        """JSON-ready summary dict."""
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (0.0 when empty).
+
+        Deterministic: depends only on the multiset of observations,
+        never on their order.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
         if not self.count:
-            return {"count": 0, "sum": 0.0, "min": None, "max": None, "mean": 0.0}
-        return {
+            return 0.0
+        if q == 1.0:  # lint: allow-float-eq
+            return self.max  # p100 is exact, not a bucket estimate
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = self.nonpositive
+        if cumulative >= rank:
+            # All ranked observations are <= 0; min is the best estimate.
+            return self.min
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= rank:
+                estimate = _BUCKET_BASE ** (index + 0.5)
+                return min(max(estimate, self.min), self.max)
+        return self.max  # pragma: no cover - counts always add up
+
+    def summary(self) -> dict:
+        """JSON-ready summary dict (fixed key order for stable diffs)."""
+        empty = not self.count
+        summary = {
             "count": self.count,
             "sum": self.total,
-            "min": self.min,
-            "max": self.max,
+            "min": None if empty else self.min,
+            "max": None if empty else self.max,
             "mean": self.mean,
         }
+        for q in QUANTILES:
+            summary[f"p{int(q * 100)}"] = self.quantile(q)
+        return summary
 
 
 class _NullInstrument:
@@ -108,6 +163,9 @@ class _NullInstrument:
 
     def observe(self, value: float) -> None:
         pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
 
 
 _NULL_INSTRUMENT = _NullInstrument()
@@ -161,6 +219,10 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._instruments)
+
+    def instruments(self) -> dict[str, object]:
+        """Flat key -> live instrument (read-only view for exporters)."""
+        return dict(self._instruments)
 
     def snapshot(self) -> dict:
         """Flat JSON-ready dict of every instrument's current value."""

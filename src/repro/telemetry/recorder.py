@@ -1,0 +1,131 @@
+"""Flight recorder: a bounded ring of recent runtime events.
+
+A :class:`FlightRecorder` keeps the last *capacity* records — span
+completions, lock events, job state transitions — in a
+``collections.deque`` so a long-running service retains a recent-history
+window at constant memory.  Producers call :meth:`FlightRecorder.record`
+from any thread (one lock, O(1) append); consumers pull a consistent
+:meth:`snapshot`, optionally filtered by ``trace_id`` so one job's
+history can be extracted from the shared ring.
+
+When a job dies — failure, cancellation-on-timeout, SIGTERM — the
+service dumps the matching records as a JSONL *postmortem bundle* via
+:meth:`dump_jsonl`: one JSON object per line, in arrival order, ready
+for ``grep``/``jq`` or re-ingestion.  The engine side feeds the ring
+through :class:`repro.runtime.layers.FlightRecorderLayer`; the lock side
+through :meth:`repro.util.locktrack.LockTracker.bind_recorder`.
+
+This module deliberately imports nothing from ``repro.runtime`` or
+``repro.service`` (they import us), mirroring the metrics/tracer layering.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+
+__all__ = [
+    "FLIGHT_RECORDER",
+    "FlightRecorder",
+]
+
+#: Default ring capacity: enough for the tail of a multi-job burst
+#: without growing the resident set (records are small dicts).
+DEFAULT_CAPACITY = 4096
+
+
+class FlightRecorder:
+    """Thread-safe bounded ring buffer of telemetry records.
+
+    Each record is a plain dict with a monotonically increasing ``seq``
+    (assigned under the ring's lock, so arrival order is total), a
+    ``kind`` discriminator (``"span"``, ``"lock"``, ``"transition"``,
+    ...), and whatever fields the producer supplied — by convention a
+    ``trace_id`` whenever the event belongs to a job.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._dropped = 0
+
+    # ------------------------------------------------------------------
+    def record(self, kind: str, **fields) -> None:
+        """Append one event to the ring (evicting the oldest when full)."""
+        with self._lock:
+            self._seq += 1
+            if len(self._ring) == self.capacity:
+                self._dropped += 1
+            entry = {"seq": self._seq, "kind": kind}
+            entry.update(fields)
+            self._ring.append(entry)
+
+    def snapshot(
+        self,
+        *,
+        trace_id: str | None = None,
+        kinds: tuple[str, ...] | None = None,
+    ) -> list[dict]:
+        """Copy out the current ring contents, oldest first.
+
+        ``trace_id`` keeps only records carrying that id; ``kinds``
+        keeps only the listed ``kind`` values.  Filters compose.
+        """
+        with self._lock:
+            records = list(self._ring)
+        if trace_id is not None:
+            records = [r for r in records if r.get("trace_id") == trace_id]
+        if kinds is not None:
+            records = [r for r in records if r["kind"] in kinds]
+        return records
+
+    def dump_jsonl(self, path, *, trace_id: str | None = None) -> int:
+        """Write a postmortem bundle (one JSON object per line) to *path*.
+
+        Returns the number of records written.  Sorted keys keep bundles
+        diff-stable across runs of the same deterministic workload.
+        """
+        records = self.snapshot(trace_id=trace_id)
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record, sort_keys=True, default=str))
+                fh.write("\n")
+        return len(records)
+
+    def clear(self) -> None:
+        """Drop every record (seq keeps counting, for cross-clear order)."""
+        with self._lock:
+            self._ring.clear()
+            self._dropped = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted by the ring since the last :meth:`clear`."""
+        with self._lock:
+            return self._dropped
+
+    def stats(self) -> dict:
+        """Ring occupancy summary for ``/statusz``."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._ring),
+                "recorded": self._seq,
+                "dropped": self._dropped,
+            }
+
+
+#: Process-global ring for code paths without an obvious recorder to
+#: thread through (mirrors LOCK_TRACKER / NULL_METRICS).  The service
+#: builds its own per-instance recorder instead of sharing this one.
+FLIGHT_RECORDER = FlightRecorder()

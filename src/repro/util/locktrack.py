@@ -47,6 +47,7 @@ class LockTracker:
         self._acquire_counts: dict[str, int] = {}
         self._wait_seconds: dict[str, float] = {}
         self._metrics = None
+        self._recorder = None
 
     # ------------------------------------------------------------------
     def enable(self) -> None:
@@ -80,6 +81,18 @@ class LockTracker:
                 registry if registry is not None and registry.enabled else None
             )
 
+    def bind_recorder(self, recorder) -> None:
+        """Stream lock events into a flight recorder (``None`` detaches).
+
+        Each acquisition appends a ``kind="lock"`` record (lock name +
+        wait seconds) to the bound
+        :class:`~repro.telemetry.recorder.FlightRecorder`, so a
+        postmortem bundle shows which guarded sections a dying job was
+        contending on.
+        """
+        with self._state_lock:
+            self._recorder = recorder
+
     # ------------------------------------------------------------------
     def _held(self) -> list[str]:
         stack = getattr(self._tls, "stack", None)
@@ -103,6 +116,10 @@ class LockTracker:
                 self._metrics.histogram(
                     "lock.wait.seconds", name=name
                 ).observe(wait_seconds)
+            recorder = self._recorder
+        if recorder is not None:
+            # Outside the state lock: the ring has its own leaf lock.
+            recorder.record("lock", name=name, wait_seconds=wait_seconds)
         stack.append(name)
 
     def on_released(self, name: str) -> None:

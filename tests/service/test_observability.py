@@ -1,0 +1,439 @@
+"""The live observability plane wired through :class:`SimulationService`.
+
+Covers the acceptance anchors of the live plane: a 12-job concurrent
+stress run scraped mid-flight must serve valid Prometheus text (checked
+by a test-side parser) with per-tenant quantile histograms while
+preserving trace ``signature()`` parity vs serial execution, and a job
+killed by timeout must leave a flight-recorder JSONL bundle carrying its
+``trace_id``, spans, and state transitions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import threading
+
+import pytest
+
+from repro.service import (
+    Job,
+    JobCancelled,
+    JobResult,
+    JobStatus,
+    PlanCache,
+    ServiceConfig,
+    SimulationService,
+    execute_job,
+)
+from repro.telemetry.live import http_get
+
+import repro.service.server as server_module
+
+
+async def _until(predicate, *, timeout: float = 5.0) -> None:
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not predicate():
+        if loop.time() > deadline:
+            pytest.fail("condition not reached within timeout")
+        await asyncio.sleep(0.001)
+
+
+# ----------------------------------------------------------------------
+# Test-side Prometheus text parser
+# ----------------------------------------------------------------------
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_TYPE_RE = re.compile(rf"^# TYPE ({_NAME}) (counter|gauge|summary|untyped)$")
+_SAMPLE_RE = re.compile(rf"^({_NAME})(?:\{{(.*)\}})? (\S+)$")
+_LABEL_RE = re.compile(rf'({_NAME})="((?:[^"\\\n]|\\.)*)"(?:,|$)')
+
+
+def parse_prometheus(text: str):
+    """Strictly parse exposition text; fail the test on any bad line.
+
+    Returns ``(samples, types)`` where samples is a list of
+    ``(name, labels, value)`` triples.
+    """
+    samples, types = [], {}
+    for line in text.splitlines():
+        typed = _TYPE_RE.match(line)
+        if typed:
+            name, kind = typed.groups()
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = kind
+            continue
+        match = _SAMPLE_RE.match(line)
+        assert match, f"unparseable exposition line: {line!r}"
+        name, raw_labels, raw_value = match.groups()
+        labels = {}
+        if raw_labels:
+            consumed = 0
+            for pair in _LABEL_RE.finditer(raw_labels):
+                labels[pair.group(1)] = pair.group(2)
+                consumed = pair.end()
+            assert consumed == len(raw_labels), (
+                f"trailing garbage in label block: {raw_labels!r}"
+            )
+        try:
+            value = float(raw_value.replace("Inf", "inf"))
+        except ValueError:
+            pytest.fail(f"bad sample value: {raw_value!r}")
+        samples.append((name, labels, value))
+    return samples, types
+
+
+class _RecordingBlockingExecute:
+    """execute_job stand-in: streams one span, then blocks until cancel."""
+
+    def __call__(self, job: Job) -> JobResult:
+        job.recorder.record(
+            "span",
+            trace_id=job.trace_id,
+            label="h 0",
+            op_index=0,
+            seconds=0.001,
+        )
+        while True:
+            if job.cancel_event.is_set():
+                raise JobCancelled(job.cancel_reason or "cancelled")
+            threading.Event().wait(0.002)
+
+
+# ----------------------------------------------------------------------
+# Acceptance: concurrent stress + mid-flight scrape + parity
+# ----------------------------------------------------------------------
+class TestStressScrape:
+    def test_midflight_scrape_is_valid_and_parity_holds(
+        self, run_async, make_spec
+    ):
+        specs = [
+            make_spec(
+                tenant,
+                qubits=qubits,
+                depth=depth,
+                local_qubits=qubits - 2,
+                seed=seed,
+                shots=16,
+                use_result_cache=False,
+            )
+            for seed, (tenant, qubits, depth) in enumerate(
+                [
+                    ("alpha", 9, 8),
+                    ("beta", 10, 8),
+                    ("gamma", 11, 6),
+                ]
+                * 4
+            )
+        ]
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            service = SimulationService(ServiceConfig(max_workers=4))
+            await service.start()
+            exposition = service.exposition_server()
+            port = await exposition.start(port=0)
+            try:
+                jobs = [await service.submit(spec) for spec in specs]
+                await _until(lambda: service._running)
+                midflight = await loop.run_in_executor(
+                    None, http_get, port, "/metrics"
+                )
+                results = await asyncio.gather(
+                    *(service.wait(job) for job in jobs)
+                )
+                settled = await loop.run_in_executor(
+                    None, http_get, port, "/metrics"
+                )
+            finally:
+                await exposition.stop()
+                await service.shutdown()
+            return jobs, results, midflight, settled
+
+        jobs, concurrent, midflight, settled = run_async(scenario())
+        assert all(j.status is JobStatus.COMPLETED for j in jobs)
+
+        # Mid-flight page parses strictly and already carries quantile
+        # histograms for at least the tenant whose job is running.
+        status, text = midflight
+        assert status == 200
+        samples, types = parse_prometheus(text)
+        assert types["service_queue_wait_seconds"] == "summary"
+        wait_quantiles = [
+            labels
+            for name, labels, _ in samples
+            if name == "service_queue_wait_seconds" and "quantile" in labels
+        ]
+        assert wait_quantiles
+        assert all(
+            labels["quantile"] in ("0.5", "0.95", "0.99")
+            and labels["tenant"] in ("alpha", "beta", "gamma")
+            for labels in wait_quantiles
+        )
+        # Jobs can drain between the running-job poll and the scrape
+        # landing (single-core hosts), so assert the pull-model gauges
+        # are mirrored rather than pinning a momentary inflight value.
+        gauges = {
+            name: value for name, labels, value in samples if not labels
+        }
+        assert gauges["service_inflight"] >= 0
+        assert gauges["service_uptime_seconds"] > 0.0
+        assert types["service_inflight"] == "gauge"
+
+        # Once settled, every tenant owns a quantile series and the
+        # pull-model gauges have wound down.
+        samples, types = parse_prometheus(settled[1])
+        tenants_with_quantiles = {
+            labels["tenant"]
+            for name, labels, _ in samples
+            if name == "service_queue_wait_seconds" and "quantile" in labels
+        }
+        assert tenants_with_quantiles == {"alpha", "beta", "gamma"}
+        depth_by_tenant = {
+            labels["tenant"]: value
+            for name, labels, value in samples
+            if name == "service_queue_depth"
+        }
+        assert depth_by_tenant == {"alpha": 0.0, "beta": 0.0, "gamma": 0.0}
+
+        # Unique trace ids were minted per job and echoed on results.
+        trace_ids = {job.trace_id for job in jobs}
+        assert len(trace_ids) == len(jobs)
+        assert {r.trace_id for r in concurrent} == trace_ids
+
+        # Observability riding along must not perturb the computation.
+        plans = PlanCache()
+        for spec, result in zip(specs, concurrent):
+            job = Job(job_id="serial", spec=spec, plan_entry=plans.get(spec))
+            serial = execute_job(job)
+            assert result.fingerprint == serial.fingerprint
+            assert result.samples == serial.samples
+            assert result.signature == serial.signature
+            assert result.signature_digest == serial.signature_digest
+
+
+# ----------------------------------------------------------------------
+# Acceptance: timeout postmortem bundle
+# ----------------------------------------------------------------------
+class TestTimeoutPostmortem:
+    def test_timeout_killed_job_leaves_jsonl_bundle(
+        self, run_async, make_spec, monkeypatch, tmp_path
+    ):
+        monkeypatch.setattr(
+            server_module, "execute_job", _RecordingBlockingExecute()
+        )
+
+        async def scenario():
+            service = SimulationService(
+                ServiceConfig(
+                    max_workers=1, postmortem_dir=str(tmp_path / "pm")
+                )
+            )
+            await service.start()
+            try:
+                job = await service.submit(
+                    make_spec("acme", timeout_seconds=0.05)
+                )
+                result = await service.wait(job)
+            finally:
+                await service.shutdown()
+            return job, result
+
+        job, result = run_async(scenario())
+        assert job.status is JobStatus.TIMEOUT
+        assert result.trace_id == job.trace_id
+
+        bundle = tmp_path / "pm" / f"{job.job_id}-{job.trace_id}.jsonl"
+        assert bundle.exists()
+        records = [
+            json.loads(line)
+            for line in bundle.read_text(encoding="utf-8").splitlines()
+        ]
+        assert records
+        assert all(r["trace_id"] == job.trace_id for r in records)
+        statuses = [
+            r["status"] for r in records if r["kind"] == "transition"
+        ]
+        assert statuses == ["pending", "queued", "running", "timeout"]
+        spans = [r for r in records if r["kind"] == "span"]
+        assert spans and spans[0]["label"] == "h 0"
+        final = [r for r in records if r.get("status") == "timeout"]
+        assert final and final[0]["error"] == "timeout"
+
+    def test_completed_jobs_leave_no_bundle(self, run_async, make_spec, tmp_path):
+        async def scenario():
+            service = SimulationService(
+                ServiceConfig(max_workers=1, postmortem_dir=str(tmp_path))
+            )
+            await service.start()
+            try:
+                job = await service.submit(make_spec("acme"))
+                await service.wait(job)
+            finally:
+                await service.shutdown()
+            return job
+
+        job = run_async(scenario())
+        assert job.status is JobStatus.COMPLETED
+        assert list(tmp_path.iterdir()) == []
+
+
+# ----------------------------------------------------------------------
+# Real-engine spans in the service ring
+# ----------------------------------------------------------------------
+class TestRecorderIntegration:
+    def test_engine_run_streams_spans_into_the_ring(
+        self, run_async, make_spec
+    ):
+        async def scenario():
+            service = SimulationService(ServiceConfig(max_workers=1))
+            await service.start()
+            try:
+                job = await service.submit(make_spec("acme"))
+                await service.wait(job)
+            finally:
+                await service.shutdown()
+            return service, job
+
+        service, job = run_async(scenario())
+        spans = service.recorder.snapshot(
+            trace_id=job.trace_id, kinds=("span",)
+        )
+        assert spans
+        assert all(
+            "label" in span and "seconds" in span and "op_index" in span
+            for span in spans
+        )
+        markers = service.recorder.snapshot(
+            trace_id=job.trace_id, kinds=("run_start", "run_end")
+        )
+        assert [m["kind"] for m in markers] == ["run_start", "run_end"]
+
+
+# ----------------------------------------------------------------------
+# Trace-id propagation
+# ----------------------------------------------------------------------
+class TestTraceIds:
+    def test_caller_supplied_trace_id_is_preserved(
+        self, run_async, make_spec
+    ):
+        async def scenario():
+            service = SimulationService(ServiceConfig(max_workers=1))
+            await service.start()
+            try:
+                job = await service.submit(
+                    make_spec("acme", trace_id="feedbeefcafe0001")
+                )
+                result = await service.wait(job)
+            finally:
+                await service.shutdown()
+            return job, result
+
+        job, result = run_async(scenario())
+        assert job.trace_id == "feedbeefcafe0001"
+        assert result.trace_id == "feedbeefcafe0001"
+        assert result.payload(9)["trace_id"] == "feedbeefcafe0001"
+        assert server_module._job_view(job)["trace_id"] == "feedbeefcafe0001"
+
+    def test_trace_id_minted_when_absent(self, run_async, make_spec):
+        async def scenario():
+            service = SimulationService(ServiceConfig(max_workers=1))
+            await service.start()
+            try:
+                job = await service.submit(make_spec("acme"))
+                await service.wait(job)
+            finally:
+                await service.shutdown()
+            return job
+
+        job = run_async(scenario())
+        assert re.fullmatch(r"[0-9a-f]{16}", job.trace_id)
+
+    def test_trace_id_does_not_affect_cache_keys(self, make_spec):
+        a = make_spec("acme", trace_id="aaaa")
+        b = make_spec("acme", trace_id="bbbb")
+        assert a.plan_key() == b.plan_key()
+        assert a.result_key() == b.result_key()
+
+
+# ----------------------------------------------------------------------
+# Status / health endpoints over HTTP
+# ----------------------------------------------------------------------
+class TestStatusEndpoints:
+    def test_statusz_and_healthz_reflect_the_service(
+        self, run_async, make_spec
+    ):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            service = SimulationService(ServiceConfig(max_workers=2))
+            await service.start()
+            exposition = service.exposition_server()
+            port = await exposition.start(port=0)
+            try:
+                job = await service.submit(make_spec("acme"))
+                await service.wait(job)
+                health = await loop.run_in_executor(
+                    None, http_get, port, "/healthz"
+                )
+                status = await loop.run_in_executor(
+                    None, http_get, port, "/statusz"
+                )
+            finally:
+                await exposition.stop()
+                await service.shutdown()
+            down = service.health_view()
+            return health, status, down
+
+        health, status, down = run_async(scenario())
+        code, body = health
+        assert code == 200 and body.startswith("ok workers=2")
+
+        code, body = status
+        assert code == 200
+        page = json.loads(body)
+        assert page["uptime_seconds"] > 0.0
+        assert page["queue_depth"] == 0 and page["inflight"] == []
+        acme = page["tenants"]["acme"]
+        assert acme["done"] == 1 and acme["queued"] == 0
+        assert acme["p95_queue_wait_seconds"] >= 0.0
+        assert "virtual_clock" in acme
+        assert page["flight_recorder"]["capacity"] == 4096
+        assert page["plan_cache"]["misses"] >= 1
+
+        healthy, detail = down
+        assert not healthy and detail == "no workers running"
+
+    def test_healthz_reports_queue_saturation(
+        self, run_async, make_spec, monkeypatch
+    ):
+        from repro.service import AdmissionPolicy
+
+        monkeypatch.setattr(
+            server_module, "execute_job", _RecordingBlockingExecute()
+        )
+
+        async def scenario():
+            service = SimulationService(
+                ServiceConfig(
+                    max_workers=1,
+                    admission=AdmissionPolicy(max_queue_depth=1),
+                )
+            )
+            await service.start()
+            try:
+                first = await service.submit(make_spec("acme"))
+                await _until(lambda: first.status is JobStatus.RUNNING)
+                second = await service.submit(
+                    make_spec("acme", circuit_seed=8)
+                )
+                healthy, detail = service.health_view()
+                service.cancel(second.job_id)
+                service.cancel(first.job_id)
+            finally:
+                await service.shutdown()
+            return healthy, detail
+
+        healthy, detail = run_async(scenario())
+        assert not healthy
+        assert detail == "queue saturated (1/1)"

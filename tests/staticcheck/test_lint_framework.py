@@ -25,6 +25,7 @@ EXPECTED_RULES = {
     "engine-direct": "error",
     "float-eq": "warning",
     "lock-order": "error",
+    "metric-name": "warning",
     "mutable-default": "error",
     "op-loop": "error",
     "unguarded-global": "warning",
@@ -33,7 +34,7 @@ EXPECTED_RULES = {
 
 
 class TestRegistry:
-    def test_all_nine_rules_registered(self):
+    def test_all_catalogue_rules_registered(self):
         registry = registered_rules()
         assert {n: c.severity for n, c in registry.items()} == EXPECTED_RULES
 

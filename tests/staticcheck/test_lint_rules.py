@@ -439,6 +439,47 @@ class TestDaemonThreadLeak:
         assert lint_snippet(tmp_path, code, "daemon-thread-leak") == []
 
 
+class TestMetricName:
+    def test_flags_off_convention_names(self, tmp_path):
+        code = """
+        def instrument(registry):
+            registry.counter("jobs")
+            registry.gauge("QueueDepth.size")
+            registry.histogram("service.Wait.Seconds")
+        """
+        found = lint_snippet(tmp_path, code, "metric-name")
+        assert len(found) == 3
+        assert all(f.severity == "warning" for f in found)
+        assert "jobs" in found[0].message
+
+    def test_silent_on_convention_names(self, tmp_path):
+        code = """
+        def instrument(registry):
+            registry.counter("comm.bytes_on_network")
+            registry.gauge("service.queue.depth", tenant="a")
+            registry.histogram("kernel.apply.seconds", k=4)
+            registry.histogram("service.queue.wait_seconds")
+        """
+        assert lint_snippet(tmp_path, code, "metric-name") == []
+
+    def test_silent_on_dynamic_names_and_other_calls(self, tmp_path):
+        code = """
+        def instrument(registry, name):
+            registry.counter(name)
+            registry.counter(f"service.{name}")
+            registry.lookup("not a metric")
+            counter("bare call, not a method")
+        """
+        assert lint_snippet(tmp_path, code, "metric-name") == []
+
+    def test_line_suppression(self, tmp_path):
+        code = """
+        def instrument(registry):
+            registry.counter("tmp")  # lint: allow-metric-name
+        """
+        assert lint_snippet(tmp_path, code, "metric-name") == []
+
+
 # ----------------------------------------------------------------------
 # Suppression and baseline machinery
 # ----------------------------------------------------------------------

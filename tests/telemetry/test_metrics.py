@@ -1,4 +1,5 @@
 """MetricsRegistry unit tests: instruments, labels, snapshots."""
+# lint: skip-file=metric-name -- throwaway one-letter instrument names
 
 from __future__ import annotations
 
@@ -34,13 +35,62 @@ class TestInstruments:
         for v in (1.0, 3.0, 2.0):
             h.observe(v)
         assert h.count == 3 and h.mean == 2.0
-        assert h.summary() == {
-            "count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0,
-        }
+        summary = h.summary()
+        assert {
+            k: summary[k] for k in ("count", "sum", "min", "max", "mean")
+        } == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+        # Quantile estimates are clamped into the observed range and
+        # ordered; the top percentile lands on the max.
+        assert 1.0 <= summary["p50"] <= summary["p95"] <= summary["p99"]
+        assert summary["p99"] == 3.0
+
+    def test_summary_key_order_is_deterministic(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(1.0)
+        assert list(h.summary()) == [
+            "count", "sum", "min", "max", "mean", "p50", "p95", "p99",
+        ]
 
     def test_empty_histogram_summary(self):
         h = MetricsRegistry().histogram("h")
-        assert h.summary()["count"] == 0 and h.mean == 0.0
+        summary = h.summary()
+        assert summary["count"] == 0 and h.mean == 0.0
+        assert summary["min"] is None and summary["max"] is None
+        assert summary["p50"] == summary["p99"] == 0.0
+
+    def test_quantiles_track_a_known_distribution(self):
+        h = MetricsRegistry().histogram("h")
+        for i in range(1, 101):
+            h.observe(float(i))
+        # Log-bucketed estimates carry ~9% relative error at base 2^0.25.
+        assert h.quantile(0.5) == pytest.approx(50.0, rel=0.15)
+        assert h.quantile(0.95) == pytest.approx(95.0, rel=0.15)
+        assert h.quantile(0.0) == 1.0 or h.quantile(0.0) <= h.quantile(0.5)
+        assert h.quantile(1.0) == 100.0
+
+    def test_quantile_is_order_independent(self):
+        a = MetricsRegistry().histogram("a")
+        b = MetricsRegistry().histogram("b")
+        values = [0.01, 5.0, 0.3, 2.5, 0.07, 9.0, 1.1]
+        for v in values:
+            a.observe(v)
+        for v in reversed(values):
+            b.observe(v)
+        for q in (0.5, 0.95, 0.99):
+            assert a.quantile(q) == b.quantile(q)
+
+    def test_nonpositive_observations_share_underflow_bucket(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (0.0, -1.0, 0.0, 4.0):
+            h.observe(v)
+        assert h.count == 4 and h.nonpositive == 3
+        assert h.quantile(0.5) == -1.0  # min is the best estimate
+        assert h.quantile(1.0) == 4.0
+
+    def test_quantile_rejects_out_of_range(self):
+        h = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
 
 
 class TestRegistry:

@@ -1,0 +1,112 @@
+"""FlightRecorder ring-buffer semantics and postmortem bundles."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry.recorder import FlightRecorder
+
+
+class TestRing:
+    def test_records_in_arrival_order_with_seq(self):
+        ring = FlightRecorder(capacity=10)
+        ring.record("span", label="a")
+        ring.record("transition", status="running")
+        records = ring.snapshot()
+        assert [r["kind"] for r in records] == ["span", "transition"]
+        assert [r["seq"] for r in records] == [1, 2]
+
+    def test_capacity_evicts_oldest(self):
+        ring = FlightRecorder(capacity=3)
+        for i in range(5):
+            ring.record("span", i=i)
+        records = ring.snapshot()
+        assert [r["i"] for r in records] == [2, 3, 4]
+        assert len(ring) == 3
+        assert ring.dropped == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_filter_by_trace_id_and_kind(self):
+        ring = FlightRecorder()
+        ring.record("span", trace_id="t1", label="a")
+        ring.record("span", trace_id="t2", label="b")
+        ring.record("transition", trace_id="t1", status="done")
+        ring.record("lock", name="plan-cache")
+        t1 = ring.snapshot(trace_id="t1")
+        assert [r["kind"] for r in t1] == ["span", "transition"]
+        spans = ring.snapshot(kinds=("span",))
+        assert len(spans) == 2
+        both = ring.snapshot(trace_id="t1", kinds=("transition",))
+        assert [r["status"] for r in both] == ["done"]
+
+    def test_clear_keeps_seq_counting(self):
+        ring = FlightRecorder()
+        ring.record("span")
+        ring.clear()
+        assert len(ring) == 0 and ring.dropped == 0
+        ring.record("span")
+        assert ring.snapshot()[0]["seq"] == 2
+
+    def test_stats(self):
+        ring = FlightRecorder(capacity=2)
+        for _ in range(3):
+            ring.record("span")
+        assert ring.stats() == {
+            "capacity": 2,
+            "size": 2,
+            "recorded": 3,
+            "dropped": 1,
+        }
+
+
+class TestDump:
+    def test_jsonl_round_trip(self, tmp_path):
+        ring = FlightRecorder()
+        ring.record("span", trace_id="t1", label="op", seconds=0.25)
+        ring.record("transition", trace_id="t2", status="failed")
+        path = tmp_path / "bundle.jsonl"
+        written = ring.dump_jsonl(path)
+        assert written == 2
+        lines = path.read_text(encoding="utf-8").splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["label"] == "op"
+        assert parsed[1]["status"] == "failed"
+
+    def test_trace_filtered_dump(self, tmp_path):
+        ring = FlightRecorder()
+        for trace in ("t1", "t2", "t1"):
+            ring.record("span", trace_id=trace)
+        path = tmp_path / "t1.jsonl"
+        assert ring.dump_jsonl(path, trace_id="t1") == 2
+        parsed = [
+            json.loads(line)
+            for line in path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert all(r["trace_id"] == "t1" for r in parsed)
+
+
+class TestThreadSafety:
+    def test_concurrent_producers_never_lose_seq(self):
+        ring = FlightRecorder(capacity=10_000)
+        threads = [
+            threading.Thread(
+                target=lambda t=t: [
+                    ring.record("span", producer=t) for _ in range(200)
+                ]
+            )
+            for t in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = ring.snapshot()
+        assert len(records) == 1600
+        seqs = [r["seq"] for r in records]
+        assert seqs == sorted(seqs) and len(set(seqs)) == 1600

@@ -51,6 +51,7 @@ FAIL_ON_REGRESSION = {"kernels_autotune", "end_to_end", "runtime_overhead"}
 #: added without registering it here (or renamed without cleanup).
 KNOWN_BENCHES = {
     "end_to_end",
+    "exposition_overhead",
     "kernels_autotune",
     "lint_runtime",
     "plan_compile",
