@@ -111,6 +111,15 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--metrics", action="store_true",
                      help="collect and print the metrics registry "
                      "(plain distributed runs only)")
+    sim.add_argument("--pipeline", action="store_true",
+                     help="overlap compute with background table prefetch "
+                     "and shard I/O (composes with --sanitize, --trace, "
+                     "--checkpoint-dir; biggest win with --storage-dir)")
+    sim.add_argument("--pipeline-depth", type=int, default=2,
+                     help="ops of lookahead prefetch (with --pipeline)")
+    sim.add_argument("--storage-dir", type=str,
+                     help="out-of-core run: keep the state in DiskShards "
+                     "files under this directory")
 
     chk = sub.add_parser(
         "check", help="statically verify a schedule and its comm plan"
@@ -273,6 +282,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="correlation id for the job (minted client-side "
                      "when omitted; threads through spans, flight-recorder "
                      "records and the response)")
+    sbm.add_argument("--pipeline", action="store_true",
+                     help="run the job with pipelined lookahead prefetch")
 
     top = sub.add_parser(
         "top", help="live per-tenant view of a serving `repro serve`"
@@ -433,6 +444,13 @@ def _cmd_simulate(args) -> int:
         print("error: --sanitize/--strict need a distributed run "
               "(--local-qubits)", file=sys.stderr)
         return 2
+    if (args.pipeline or args.storage_dir) and not args.local_qubits:
+        print("error: --pipeline/--storage-dir need a distributed run "
+              "(--local-qubits)", file=sys.stderr)
+        return 2
+    if args.pipeline_depth < 1:
+        print("error: --pipeline-depth must be >= 1", file=sys.stderr)
+        return 2
     if (args.trace or args.metrics or args.plan_stats) and not args.local_qubits:
         print("error: --trace/--metrics/--plan-stats need a distributed run "
               "(--local-qubits)", file=sys.stderr)
@@ -452,6 +470,33 @@ def _cmd_simulate(args) -> int:
         schedule = schedule_circuit(
             circuit, SchedulerConfig(local_qubits=args.local_qubits)
         )
+        storage = None
+        state_factory = None
+        if args.storage_dir:
+            from repro.distributed import DiskShards
+            from repro.distributed.state import DistributedState
+
+            storage = DiskShards(
+                1 << (args.qubits - args.local_qubits),
+                1 << args.local_qubits,
+                args.storage_dir,
+            )
+
+            def state_factory():
+                return DistributedState(
+                    schedule.num_qubits,
+                    schedule.local_qubits,
+                    storage=storage,
+                    init=getattr(schedule, "initial_state", "zero"),
+                    initial_global_qubits=schedule.initial_global_qubits
+                    or None,
+                )
+
+        pipeline_layers = []
+        if args.pipeline:
+            from repro.runtime import PipelineLayer
+
+            pipeline_layers = [PipelineLayer(depth=args.pipeline_depth)]
         if args.strict:
             from repro.staticcheck import verify_schedule
 
@@ -469,7 +514,10 @@ def _cmd_simulate(args) -> int:
 
             sanitizer = ShardSanitizer()
             engine = ExecutionEngine(  # lint: allow-engine-direct
-                schedule, use_plan=False, layers=[SanitizerLayer(sanitizer)]
+                schedule,
+                use_plan=False,
+                layers=pipeline_layers + [SanitizerLayer(sanitizer)],
+                state_factory=state_factory,
             )
             LOCK_TRACKER.reset()
             LOCK_TRACKER.enable()
@@ -501,7 +549,8 @@ def _cmd_simulate(args) -> int:
             from repro.distributed.checkpoint import CheckpointManager
 
             mgr = CheckpointManager(args.checkpoint_dir)
-            if mgr.has_checkpoint():
+            resuming = mgr.has_checkpoint()
+            if resuming and not (args.pipeline or args.storage_dir):
                 _, next_op = mgr.load()
                 dist_state = mgr.resume(schedule, every=args.checkpoint_every)
                 print(f"resumed checkpoint at op {next_op} "
@@ -509,10 +558,20 @@ def _cmd_simulate(args) -> int:
             else:
                 from repro.runtime import CheckpointLayer, ExecutionEngine
 
-                ckpt = CheckpointLayer(mgr, every=args.checkpoint_every)
+                ckpt = CheckpointLayer(
+                    mgr,
+                    every=args.checkpoint_every,
+                    resume=resuming,
+                    state_factory=state_factory,
+                )
                 dist_state = ExecutionEngine(  # lint: allow-engine-direct
-                    schedule, use_plan=False, layers=[ckpt]
+                    schedule,
+                    use_plan=False,
+                    layers=pipeline_layers + [ckpt],
+                    state_factory=state_factory,
                 ).run().state
+                if resuming:
+                    print(f"resumed checkpoint from {args.checkpoint_dir}")
                 print(f"checkpointed every {args.checkpoint_every} ops "
                       f"to {args.checkpoint_dir}")
             state = dist_state.to_statevector()
@@ -543,8 +602,11 @@ def _cmd_simulate(args) -> int:
                     LOCK_TRACKER.bind_metrics(telemetry.metrics)
                     LOCK_TRACKER.enable()
             result = DistributedSimulator(
-                args.qubits, args.local_qubits, telemetry=telemetry
-            ).run_schedule(schedule)
+                args.qubits,
+                args.local_qubits,
+                storage=storage,
+                telemetry=telemetry,
+            ).run_schedule(schedule, layers=pipeline_layers)
             state = result.state.to_statevector()
             print(
                 f"distributed run: {result.comm.alltoall_steps} "
@@ -574,6 +636,8 @@ def _cmd_simulate(args) -> int:
                 for key, value in GATHER_CACHE.stats().items():
                     shown = f"{value:.4f}" if key == "hit_rate" else value
                     print(f"  {key:>20}: {shown}")
+        if storage is not None:
+            storage.close()
     else:
         run = Simulator(args.qubits).run(circuit)
         state = run.state
@@ -948,6 +1012,7 @@ def _cmd_submit(args) -> int:
             "use_result_cache": not args.no_result_cache,
             "wait": not args.no_wait,
             "trace_id": trace_id,
+            "pipeline": args.pipeline,
         },
     )
     if not response.get("ok"):

@@ -117,6 +117,7 @@ class DistributedSimulator:
         *,
         state: DistributedState | None = None,
         use_plan: bool = True,
+        layers=(),
     ) -> DistributedRunResult:
         """Execute a :class:`repro.scheduling.Schedule` program.
 
@@ -135,7 +136,9 @@ class DistributedSimulator:
 
         With an active telemetry bundle the result carries the op-level
         trace; planned and unplanned runs produce identical trace
-        signatures.
+        signatures.  Extra *layers* (e.g. a
+        :class:`~repro.runtime.PipelineLayer`) are appended after the
+        tracing layer.
         """
         if state is None:
             initial = getattr(schedule, "initial_state", self._initial_state)
@@ -151,8 +154,9 @@ class DistributedSimulator:
         from repro.runtime import ExecutionEngine, TracingLayer
 
         traced = self.telemetry is not None and self.telemetry.active
-        layers = [TracingLayer(self.telemetry)] if traced else []
-        engine = ExecutionEngine(schedule, use_plan=use_plan, layers=layers)  # lint: allow-engine-direct
+        stack = [TracingLayer(self.telemetry)] if traced else []
+        stack.extend(layers)
+        engine = ExecutionEngine(schedule, use_plan=use_plan, layers=stack)  # lint: allow-engine-direct
         result = engine.run(state=state)
         return DistributedRunResult(
             result.state, result.wall_seconds, trace=result.trace

@@ -150,10 +150,10 @@ class DistributedState:
         """Number of virtual nodes (``2**g``)."""
         return self.storage.num_shards
 
-    @staticmethod
-    def _sync(shard: np.ndarray) -> None:
-        if isinstance(shard, np.memmap):
-            shard.flush()
+    def _sync(self, shard: np.ndarray) -> None:
+        # Delegated so a pipelined DiskShards can turn the synchronous
+        # per-op msync into a scheduled background fsync.
+        self.storage.sync(shard)
 
     @classmethod
     def from_statevector(

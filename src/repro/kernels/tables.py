@@ -103,6 +103,15 @@ class GatherTableCache:
         self.bytes_cached = 0
         #: Bytes of table construction avoided by hits so far.
         self.bytes_saved = 0
+        #: Entries built by the silent warm-up path (pipeline prefetch).
+        #: Not part of :meth:`stats` — warms must leave the ``--plan-stats``
+        #: payload bit-identical to a non-pipelined run.
+        self.prefetched = 0
+        #: Warmed keys whose first *real* lookup has not happened yet;
+        #: that lookup records a miss (exactly what a run without the
+        #: warm-up would have counted), so pipelined and serial runs
+        #: report identical plan.cache.* numbers.
+        self._uncounted: set[tuple] = set()
         self._metrics = None
 
     # ------------------------------------------------------------------
@@ -144,15 +153,29 @@ class GatherTableCache:
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
-            self._record(hit=True, nbytes=entry[1])
+            if key in self._uncounted:
+                self._uncounted.discard(key)
+                self._record(hit=False, nbytes=entry[1])
+            else:
+                self._record(hit=True, nbytes=entry[1])
         return entry
 
     def _insert(self, key: tuple, value, nbytes: int) -> None:
         self._record(hit=False, nbytes=nbytes)
+        self._store(key, value, nbytes)
+
+    def _insert_silent(self, key: tuple, value, nbytes: int) -> None:
+        """Insert without touching hit/miss counters (warm-up path)."""
+        self.prefetched += 1
+        self._uncounted.add(key)
+        self._store(key, value, nbytes)
+
+    def _store(self, key: tuple, value, nbytes: int) -> None:
         self._entries[key] = (value, nbytes)
         self.bytes_cached += nbytes
         while len(self._entries) > self.capacity:
-            _, (_, evicted_bytes) = self._entries.popitem(last=False)
+            evicted_key, (_, evicted_bytes) = self._entries.popitem(last=False)
+            self._uncounted.discard(evicted_key)
             self.bytes_cached -= evicted_bytes
 
     # ------------------------------------------------------------------
@@ -165,27 +188,38 @@ class GatherTableCache:
         across ranks and repeated ops.  ``chunk_size=None`` means one
         block covering all ``2**(n-k)`` substrings.
         """
-        qubits = tuple(int(q) for q in qubits)
-        k = len(qubits)
-        total_c = 1 << (n - k)
-        chunk = total_c if chunk_size is None else min(int(chunk_size), total_c)
-        key = ("gather", n, qubits, chunk)
+        key, chunk, total_c = self._gather_key(n, qubits, chunk_size)
         with self._lock:
             entry = self._lookup(key)
             if entry is not None:
                 return entry[0]
-            tables = []
-            nbytes = 0
-            for c_start in range(0, total_c, chunk):
-                table = _build_gather_table(
-                    n, qubits, c_start, min(c_start + chunk, total_c)
-                )
-                table.setflags(write=False)
-                nbytes += table.nbytes
-                tables.append(table)
-            value = tuple(tables)
+            value, nbytes = self._build_gather_value(n, key[2], chunk, total_c)
             self._insert(key, value, nbytes)
             return value
+
+    @staticmethod
+    def _gather_key(
+        n: int, qubits: Sequence[int], chunk_size: int | None
+    ) -> tuple[tuple, int, int]:
+        qubits = tuple(int(q) for q in qubits)
+        total_c = 1 << (n - len(qubits))
+        chunk = total_c if chunk_size is None else min(int(chunk_size), total_c)
+        return ("gather", n, qubits, chunk), chunk, total_c
+
+    @staticmethod
+    def _build_gather_value(
+        n: int, qubits: tuple[int, ...], chunk: int, total_c: int
+    ) -> tuple[tuple, int]:
+        tables = []
+        nbytes = 0
+        for c_start in range(0, total_c, chunk):
+            table = _build_gather_table(
+                n, qubits, c_start, min(c_start + chunk, total_c)
+            )
+            table.setflags(write=False)
+            nbytes += table.nbytes
+            tables.append(table)
+        return tuple(tables), nbytes
 
     def diagonal_factor(
         self, n: int, qubits: Sequence[int], diag: np.ndarray
@@ -206,6 +240,49 @@ class GatherTableCache:
             factor.setflags(write=False)
             self._insert(key, factor, factor.nbytes)
             return factor
+
+    # ------------------------------------------------------------------
+    # Silent warm-up (pipeline lookahead prefetch)
+    # ------------------------------------------------------------------
+    def warm_gather_tables(
+        self, n: int, qubits: Sequence[int], chunk_size: int | None
+    ) -> bool:
+        """Build-if-absent *without* touching the hit/miss counters.
+
+        The pipeline layer's background prefetch warms the next op's
+        tables through this so ``plan.cache.hits`` / ``misses`` (and the
+        ``--plan-stats`` payload) stay bit-identical with and without
+        pipelining; the later real lookup records the hit.  Returns
+        ``True`` when the entry was already cached.  LRU order is left
+        untouched on a warm hit — the real lookup refreshes it.
+        """
+        key, chunk, total_c = self._gather_key(n, qubits, chunk_size)
+        with self._lock:
+            if key in self._entries:
+                return True
+            value, nbytes = self._build_gather_value(n, key[2], chunk, total_c)
+            self._insert_silent(key, value, nbytes)
+            return False
+
+    def warm_diagonal_factor(
+        self, n: int, qubits: Sequence[int], diag: np.ndarray
+    ) -> bool:
+        """Counter-neutral build-if-absent twin of :meth:`diagonal_factor`.
+
+        *diag* must already carry the dtype the kernel will look up with
+        (the state dtype) — the key includes the dtype string and raw
+        bytes, so a float64 warm would never serve a complex128 lookup.
+        """
+        qubits = tuple(int(q) for q in qubits)
+        diag = np.asarray(diag)
+        key = ("diag", n, qubits, diag.dtype.str, diag.tobytes())
+        with self._lock:
+            if key in self._entries:
+                return True
+            factor = _build_diagonal_factor(diag, qubits, n)
+            factor.setflags(write=False)
+            self._insert_silent(key, factor, factor.nbytes)
+            return False
 
     # ------------------------------------------------------------------
     @property
@@ -231,8 +308,9 @@ class GatherTableCache:
         """Drop every entry and reset all counters."""
         with self._lock:
             self._entries.clear()
+            self._uncounted.clear()
             self.hits = self.misses = 0
-            self.bytes_cached = self.bytes_saved = 0
+            self.bytes_cached = self.bytes_saved = self.prefetched = 0
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -27,6 +27,7 @@ from repro.runtime.layers import (
     SanitizerLayer,
     TracingLayer,
 )
+from repro.runtime.pipeline import PipelineLayer
 from repro.runtime.policy import RecoveryReport, RetryPolicy
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "FaultLayer",
     "FlightRecorderLayer",
     "IntegrityLayer",
+    "PipelineLayer",
     "RecoveryReport",
     "RetryPolicy",
     "RuntimeLayer",

@@ -73,6 +73,12 @@ def execute_job(job: Job, recorder=None) -> JobResult:
         layers.append(
             FlightRecorderLayer(recorder, trace_id=job.trace_id or None)
         )
+    if spec.pipeline:
+        from repro.runtime import PipelineLayer
+
+        layers.append(
+            PipelineLayer(recorder=recorder, trace_id=job.trace_id or None)
+        )
     root_attrs = {"job_id": job.job_id, "tenant": spec.tenant}
     if job.trace_id:
         root_attrs["trace_id"] = job.trace_id

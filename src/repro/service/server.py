@@ -516,6 +516,7 @@ def _spec_from_wire(message: dict) -> JobSpec:
             if message.get("trace_id") is not None
             else None
         ),
+        pipeline=bool(message.get("pipeline", False)),
     )
 
 

@@ -36,6 +36,11 @@ class OutOfCoreStateVector(DistributedState):
     init:
         ``"zero"``, ``"plus"``, or ``None`` to keep existing file contents
         (resume after a previous session).
+    initial_global_qubits:
+        Optional starting global qubit set (a schedule's
+        ``initial_global_qubits``), forwarded to
+        :class:`~repro.distributed.DistributedState` so a schedule whose
+        first stage adopts a non-identity layout runs on disk unchanged.
     """
 
     def __init__(
@@ -45,6 +50,7 @@ class OutOfCoreStateVector(DistributedState):
         directory: str | Path,
         *,
         init: str | None = "zero",
+        initial_global_qubits=None,
     ) -> None:
         storage = DiskShards(
             1 << (num_qubits - local_qubits), 1 << local_qubits, directory
@@ -62,11 +68,32 @@ class OutOfCoreStateVector(DistributedState):
             from repro.distributed.comm import CommStats
             from repro.kernels.cost import KernelCostModel
 
+            from repro.kernels import DEFAULT_CHUNK
+            from repro.telemetry.runtime import NULL_TELEMETRY
+
+            self.chunk_size = DEFAULT_CHUNK
             self.stats = CommStats()
             self.kernel_cost = KernelCostModel()
+            self.telemetry = NULL_TELEMETRY
+            if initial_global_qubits is not None:
+                raise ValueError(
+                    "initial_global_qubits requires init='zero'/'plus' — "
+                    "with init=None the on-disk layout is whatever the "
+                    "previous session left"
+                )
         else:
-            super().__init__(num_qubits, local_qubits, storage=storage, init=init)
+            super().__init__(
+                num_qubits,
+                local_qubits,
+                storage=storage,
+                init=init,
+                initial_global_qubits=initial_global_qubits,
+            )
         self.directory = Path(directory)
+
+    def close(self) -> None:
+        """Release the underlying shard files' handles (idempotent)."""
+        self.storage.close()
 
     @classmethod
     def from_statevector_on_disk(

@@ -16,6 +16,11 @@ A creation is fine when any of these hold:
   shut down in ``shutdown()`` still match),
 * it is registered for cleanup via ``atexit.register`` or
   ``weakref.finalize``,
+* it is handed to the process-wide executor registry
+  (:func:`repro.util.executors.register_executor`), whose atexit hook
+  shuts down anything still alive — either by name
+  (``register_executor(self._pool)`` marks ``pool`` cleaned) or inline
+  (``register_executor(ThreadPoolExecutor(...))``),
 * it is created inside a comprehension — per-element tracking is out of
   static reach, so the check relaxes to "does the module join/shutdown
   *anything*".
@@ -39,6 +44,9 @@ _FACTORIES = {
     "ProcessPoolExecutor",
 }
 _CLEANUP_ATTRS = {"join", "shutdown", "cancel"}
+#: Functions that take ownership of an executor's shutdown (the
+#: repro.util.executors registry backs them with an atexit sweep).
+_REGISTRY_FUNCS = {"register_executor"}
 
 
 def _factory_name(node: ast.Call) -> str | None:
@@ -72,6 +80,7 @@ class _Collector(ast.NodeVisitor):
         self.any_cleanup = False
         self.registered_finalizers = False
         self._with_context: set[int] = set()
+        self._registered_calls: set[int] = set()
         self._assign_value: list[tuple[ast.expr, str | None]] = []
         self._in_comprehension = 0
 
@@ -124,8 +133,27 @@ class _Collector(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        func_name = (
+            func.id if isinstance(func, ast.Name)
+            else getattr(func, "attr", None)
+        )
+        if func_name in _REGISTRY_FUNCS:
+            # register_executor(x): the registry owns x's shutdown.
+            for arg in node.args:
+                key = _receiver_key(arg)
+                if key:
+                    self.cleaned.add(key)
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Call) and _factory_name(sub):
+                        self._registered_calls.add(id(sub))
+            self.any_cleanup = True
         factory = _factory_name(node)
-        if factory and id(node) not in self._with_context:
+        if (
+            factory
+            and id(node) not in self._with_context
+            and id(node) not in self._registered_calls
+        ):
             key = None
             for call, assigned in self._assign_value:
                 if call is node:
@@ -134,7 +162,6 @@ class _Collector(ast.NodeVisitor):
             self.creations.append(
                 (node.lineno, factory, key, self._in_comprehension > 0)
             )
-        func = node.func
         if isinstance(func, ast.Attribute):
             if func.attr in ("register", "finalize"):
                 base = func.value

@@ -25,6 +25,12 @@ from repro.util.bits import (
     scatter_bits,
     set_bits,
 )
+from repro.util.executors import (
+    register_executor,
+    registered_executors,
+    shutdown_registered,
+    unregister_executor,
+)
 from repro.util.flops import GateCost, bytes_touched, gate_flops, operational_intensity
 from repro.util.rng import ensure_rng
 from repro.util.validation import (
@@ -49,6 +55,10 @@ __all__ = [
     "insert_zero_bits",
     "is_power_of_two",
     "operational_intensity",
+    "register_executor",
+    "registered_executors",
     "scatter_bits",
     "set_bits",
+    "shutdown_registered",
+    "unregister_executor",
 ]

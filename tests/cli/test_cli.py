@@ -110,6 +110,49 @@ class TestSimulate:
         # Both report the same entropy line (same final state).
         assert first.splitlines()[-1] == second.splitlines()[-1]
 
+    def test_pipeline_matches_serial(self, tmp_path, capsys):
+        base = [
+            "simulate", "--qubits", "10", "--depth", "8",
+            "--local-qubits", "7",
+        ]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--pipeline", "--pipeline-depth", "3"]) == 0
+        piped = capsys.readouterr().out
+        assert piped == serial  # same entropy, same counters
+        storage_dir = str(tmp_path / "shards")
+        assert main(base + ["--pipeline", "--storage-dir", storage_dir]) == 0
+        out_of_core = capsys.readouterr().out
+        assert out_of_core.splitlines()[-1] == serial.splitlines()[-1]
+
+    def test_pipeline_composes_with_sanitize_and_checkpoint(
+        self, tmp_path, capsys
+    ):
+        base = [
+            "simulate", "--qubits", "10", "--depth", "8",
+            "--local-qubits", "7", "--pipeline",
+        ]
+        assert main(base + ["--sanitize"]) == 0
+        assert "sanitized" in capsys.readouterr().out
+        ckpt = str(tmp_path / "ckpt")
+        assert main(base + ["--checkpoint-dir", ckpt]) == 0
+        assert "checkpointed" in capsys.readouterr().out
+
+    def test_pipeline_requires_distributed_run(self, capsys):
+        assert main(["simulate", "--qubits", "8", "--pipeline"]) == 2
+        assert "--local-qubits" in capsys.readouterr().err
+        assert main(["simulate", "--qubits", "8", "--storage-dir", "x"]) == 2
+
+    def test_pipeline_depth_validated(self, capsys):
+        code = main(
+            [
+                "simulate", "--qubits", "10", "--local-qubits", "7",
+                "--pipeline", "--pipeline-depth", "0",
+            ]
+        )
+        assert code == 2
+        assert "pipeline-depth" in capsys.readouterr().err
+
 
 class TestExperiments:
     @pytest.mark.slow

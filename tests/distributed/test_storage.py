@@ -110,3 +110,107 @@ class TestDiskSpecific:
         st.set(1, np.arange(4, dtype=np.complex128))
         st2 = DiskShards(2, 4, tmp_path)
         assert np.array_equal(np.asarray(st2.get(1)), np.arange(4))
+
+
+class TestDiskShardsHandles:
+    """Satellite: memmap handle reuse and idempotent close."""
+
+    def test_get_reuses_one_handle(self, tmp_path):
+        st = DiskShards(4, 8, tmp_path)
+        assert st.get(1) is st.get(1)
+        assert len(st._handles) == 1
+
+    def test_close_is_idempotent_and_reopens(self, tmp_path):
+        st = DiskShards(4, 8, tmp_path)
+        data = np.arange(8, dtype=np.complex128)
+        st.set(3, data)
+        st.close()
+        st.close()  # second close is a no-op, not an error
+        assert not st._handles
+        # Handles reopen lazily; the data survived the close.
+        assert np.array_equal(np.asarray(st.get(3)), data)
+        st.close()
+
+    def test_close_after_permute_keeps_labels(self, tmp_path):
+        st = DiskShards(2, 4, tmp_path)
+        st.set(0, np.full(4, 1.0, dtype=np.complex128))
+        st.set(1, np.full(4, 2.0, dtype=np.complex128))
+        st.permute_shards(np.array([1, 0]))
+        st.close()
+        assert np.asarray(st.get(0))[0] == 2.0
+        st.close()
+
+
+class TestDiskShardsPipelined:
+    """Armed mode: background fsync/read-ahead, bit-exact exchanges."""
+
+    def test_armed_exchange_matches_serial(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        serial = DiskShards(8, 16, tmp_path / "serial")
+        armed = DiskShards(8, 16, tmp_path / "armed")
+        rng = np.random.default_rng(5)
+        for r in range(8):
+            data = rng.normal(size=16) + 1j * rng.normal(size=16)
+            serial.set(r, data.astype(np.complex128))
+            armed.set(r, data.astype(np.complex128))
+        serial.exchange_blocks(2)
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            armed.arm_pipeline(pool, depth=2)
+            armed.exchange_blocks(2)
+            armed.disarm_pipeline()
+        for r in range(8):
+            assert np.array_equal(
+                np.asarray(armed.get(r)), np.asarray(serial.get(r))
+            ), r
+        assert armed.io_stats["exchange_prefetched_pairs"] > 0
+        assert serial.io_stats["exchange_prefetched_pairs"] == 0
+        serial.close()
+        armed.close()
+
+    def test_armed_sync_defers_until_drain(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        st = DiskShards(4, 8, tmp_path)
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            st.arm_pipeline(pool, depth=1)
+            st.set(0, np.arange(8, dtype=np.complex128))
+            st.drain()
+            st.disarm_pipeline()
+        assert st.io_stats["async_syncs"] >= 1
+        assert st.io_stats["sync_flushes"] == 0
+        # Disarmed again: syncs are synchronous msyncs once more.
+        st.set(1, np.arange(8, dtype=np.complex128))
+        assert st.io_stats["sync_flushes"] == 1
+        st.close()
+
+    def test_prefetch_counts_read_aheads(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        st = DiskShards(4, 8, tmp_path)
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            st.arm_pipeline(pool, depth=2)
+            st.prefetch([1, 2, 99])  # out-of-range ranks are ignored
+            st.disarm_pipeline()
+        assert st.io_stats["read_aheads"] == 2
+        st.close()
+
+    def test_prefetch_without_arming_is_noop(self, tmp_path):
+        st = DiskShards(4, 8, tmp_path)
+        st.prefetch([0, 1])
+        assert st.io_stats["read_aheads"] == 0
+        st.close()
+
+    def test_arm_depth_validated(self, tmp_path):
+        st = DiskShards(2, 4, tmp_path)
+        with pytest.raises(ValueError):
+            st.arm_pipeline(object(), depth=0)
+        st.close()
+
+    def test_in_memory_hooks_are_noops(self):
+        st = InMemoryShards(2, 4)
+        st.arm_pipeline(object(), depth=3)
+        st.prefetch([0])
+        st.drain()
+        st.disarm_pipeline()
+        st.sync(st.get(0))

@@ -462,3 +462,52 @@ class TestConcurrencyParity:
             assert result.samples == serial.samples
             assert result.signature == serial.signature
             assert result.signature_digest == serial.signature_digest
+
+
+class TestPipelinedJobs:
+    def test_pipelined_job_matches_serial(self, run_async, make_spec):
+        """spec.pipeline only changes execution timing, never the result
+        — which is why it is excluded from plan_key/result_key."""
+
+        async def scenario():
+            service = SimulationService(ServiceConfig(max_workers=1))
+            await service.start()
+            try:
+                serial = await service.submit(
+                    make_spec(use_result_cache=False)
+                )
+                piped = await service.submit(
+                    make_spec(use_result_cache=False, pipeline=True)
+                )
+                results = [
+                    await service.wait(serial),
+                    await service.wait(piped),
+                ]
+            finally:
+                await service.shutdown()
+            return results
+
+        serial, piped = run_async(scenario())
+        assert serial.status is JobStatus.COMPLETED
+        assert piped.status is JobStatus.COMPLETED
+        assert not piped.from_cache
+        assert piped.fingerprint == serial.fingerprint
+        assert piped.signature == serial.signature
+        assert piped.signature_digest == serial.signature_digest
+
+    def test_pipeline_shares_cache_keys(self, make_spec):
+        serial = make_spec()
+        piped = make_spec(pipeline=True)
+        assert piped.plan_key() == serial.plan_key()
+        assert piped.result_key() == serial.result_key()
+
+    def test_pipeline_parsed_from_wire(self, make_spec):
+        from repro.circuit import circuit_to_text
+        from repro.service.server import _spec_from_wire
+
+        wire = {
+            "circuit": circuit_to_text(make_spec().circuit),
+            "local_qubits": 7,
+        }
+        assert _spec_from_wire(wire).pipeline is False
+        assert _spec_from_wire({**wire, "pipeline": True}).pipeline is True

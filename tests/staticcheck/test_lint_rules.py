@@ -438,6 +438,48 @@ class TestDaemonThreadLeak:
         """
         assert lint_snippet(tmp_path, code, "daemon-thread-leak") == []
 
+    def test_registered_executor_by_name_is_clean(self, tmp_path):
+        # The pipeline layer's shape: create in one method, hand to the
+        # process-wide registry, shut down + unregister in finalize.
+        code = """
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.util.executors import register_executor
+
+        class Layer:
+            def on_run_start(self):
+                self._executor = ThreadPoolExecutor(max_workers=1)
+                register_executor(self._executor)
+        """
+        assert lint_snippet(tmp_path, code, "daemon-thread-leak") == []
+
+    def test_registered_executor_inline_is_clean(self, tmp_path):
+        code = """
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.util.executors import register_executor
+
+        def make_pool():
+            register_executor(ThreadPoolExecutor(max_workers=1))
+        """
+        assert lint_snippet(tmp_path, code, "daemon-thread-leak") == []
+
+    def test_unregistered_executor_still_flags(self, tmp_path):
+        # register_executor in the module must not blanket-suppress:
+        # a *different*, unregistered pool is still a leak.
+        code = """
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.util.executors import register_executor
+
+        def make_pools():
+            register_executor(ThreadPoolExecutor(max_workers=1))
+            stray = ThreadPoolExecutor(max_workers=2)
+            stray.submit(print)
+        """
+        found = lint_snippet(tmp_path, code, "daemon-thread-leak")
+        assert len(found) == 1
+
 
 class TestMetricName:
     def test_flags_off_convention_names(self, tmp_path):

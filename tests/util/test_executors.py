@@ -1,0 +1,37 @@
+"""Tests for the process-wide executor cleanup registry."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.util import (
+    register_executor,
+    registered_executors,
+    shutdown_registered,
+    unregister_executor,
+)
+
+
+class TestExecutorRegistry:
+    def test_register_and_unregister(self):
+        pool = ThreadPoolExecutor(max_workers=1)
+        try:
+            register_executor(pool)
+            assert pool in registered_executors()
+            register_executor(pool)  # idempotent: keyed by identity
+            assert registered_executors().count(pool) == 1
+        finally:
+            unregister_executor(pool)
+            pool.shutdown(wait=True)
+        assert pool not in registered_executors()
+
+    def test_unregister_unknown_is_noop(self):
+        unregister_executor(object())
+
+    def test_shutdown_registered_drains(self):
+        pools = [ThreadPoolExecutor(max_workers=1) for _ in range(2)]
+        for pool in pools:
+            register_executor(pool)
+        count = shutdown_registered(wait=True)
+        assert count >= 2
+        for pool in pools:
+            assert pool not in registered_executors()
+            assert pool._shutdown

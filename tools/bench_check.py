@@ -44,7 +44,12 @@ BENCH_SCHEMA = "repro.bench/1"
 REGRESSION_THRESHOLD = 0.25
 
 #: Benches whose >threshold slowdowns are ERRORS (exit 1), not warnings.
-FAIL_ON_REGRESSION = {"kernels_autotune", "end_to_end", "runtime_overhead"}
+FAIL_ON_REGRESSION = {
+    "kernels_autotune",
+    "end_to_end",
+    "runtime_overhead",
+    "pipeline",
+}
 
 #: Bench names the repo's suites are known to emit.  A record with an
 #: unregistered name is flagged as a warning — most likely a bench was
@@ -54,6 +59,7 @@ KNOWN_BENCHES = {
     "exposition_overhead",
     "kernels_autotune",
     "lint_runtime",
+    "pipeline",
     "plan_compile",
     "recovery_overhead",
     "runtime_overhead",
