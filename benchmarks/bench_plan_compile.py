@@ -42,16 +42,21 @@ def bench_plan_compile(benchmark, schedule, report_writer, bench_record):
         plan = compile_program(schedule)
         compile_seconds = min(compile_seconds, time.perf_counter() - start)
 
-    # Execute the plan from a cold gather-table cache and measure the
-    # hit rate: 16 virtual ranks share every table, so >=15/16 of
-    # lookups must hit even on the very first run.
+    # Execute the plan from a cold gather-table cache.  Compilation
+    # pre-warms every layout-determined table (repro.plan.warmup), and
+    # the batched apply paths fetch each table once per op, so even the
+    # cold run's counted lookups mostly hit; the remaining misses are
+    # compile-time lift tables and rank-conditional global sub-diagonal
+    # factors.  A second run must then be fully warm: zero new misses.
     GATHER_CACHE.clear()
     sim = DistributedSimulator(_N, _L)
     result = sim.run_schedule(schedule)
     hits, misses = GATHER_CACHE.hits, GATHER_CACHE.misses
     hit_rate = hits / max(hits + misses, 1)
     assert result.state.norm() == pytest.approx(1.0)
-    assert hit_rate > 0.9, f"plan-cache hit rate {hit_rate:.4f} <= 0.9"
+    assert hit_rate > 0.5, f"cold plan-cache hit rate {hit_rate:.4f} <= 0.5"
+    sim.run_schedule(schedule)
+    assert GATHER_CACHE.misses == misses, "warm run built new tables"
 
     counts = plan.counts
     rows = [
@@ -59,7 +64,10 @@ def bench_plan_compile(benchmark, schedule, report_writer, bench_record):
         f"(l={_L})",
         f"compile: {len(plan.ops)} plan ops from {plan.num_source_ops} "
         f"schedule ops in {compile_seconds * 1e3:.2f} ms",
-        f"  kernel={counts['kernel_ops']} diagonal={counts['diagonal_ops']} "
+        f"  kernel={counts['kernel_ops']} "
+        f"fused_kernel={counts['fused_kernel_ops']} "
+        f"(refused away {counts['refused_away_ops']}) "
+        f"diagonal={counts['diagonal_ops']} "
         f"fused_diagonal={counts['fused_diagonal_ops']} "
         f"(fused away {counts['fused_away_ops']}) "
         f"swap={counts['swap_ops']} passthrough={counts['passthrough_ops']}",
@@ -76,6 +84,8 @@ def bench_plan_compile(benchmark, schedule, report_writer, bench_record):
             "plan_ops": len(plan.ops),
             "source_ops": plan.num_source_ops,
             "fused_away_ops": counts["fused_away_ops"],
+            "fused_kernel_ops": counts["fused_kernel_ops"],
+            "refused_away_ops": counts["refused_away_ops"],
             "cache_hits": hits,
             "cache_misses": misses,
             "hit_rate": hit_rate,

@@ -104,6 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--trace", type=str, metavar="FILE",
                      help="record telemetry spans and write a Chrome-trace "
                      "JSON here (plain distributed runs only)")
+    sim.add_argument("--fusion-kmax", type=int, default=None,
+                     metavar="K",
+                     help="widest qubit union the plan compiler may refuse "
+                          "adjacent ops into one batched kernel over "
+                          "(default: autotuned; 0 disables refusion)")
     sim.add_argument("--plan-stats", action="store_true",
                      help="print the compiled execution plan summary and "
                      "kernel-table cache statistics after a plain "
@@ -601,12 +606,19 @@ def _cmd_simulate(args) -> int:
                     LOCK_TRACKER.reset()
                     LOCK_TRACKER.bind_metrics(telemetry.metrics)
                     LOCK_TRACKER.enable()
+            plan_config = None
+            if args.fusion_kmax is not None:
+                from repro.plan import PlanConfig
+
+                plan_config = PlanConfig(fusion_kmax=args.fusion_kmax)
             result = DistributedSimulator(
                 args.qubits,
                 args.local_qubits,
                 storage=storage,
                 telemetry=telemetry,
-            ).run_schedule(schedule, layers=pipeline_layers)
+            ).run_schedule(
+                schedule, plan_config=plan_config, layers=pipeline_layers
+            )
             state = result.state.to_statevector()
             print(
                 f"distributed run: {result.comm.alltoall_steps} "
@@ -629,8 +641,11 @@ def _cmd_simulate(args) -> int:
                 from repro.kernels import GATHER_CACHE
                 from repro.plan import plan_for
 
+                # Same config as the run above: plan_for memoizes on the
+                # frozen PlanConfig, so this reuses the executed plan.
                 print("compiled plan:")
-                for key, value in plan_for(schedule).summary().items():
+                summary = plan_for(schedule, plan_config).summary()
+                for key, value in summary.items():
                     print(f"  {key:>20}: {value}")
                 print("kernel-table cache:")
                 for key, value in GATHER_CACHE.stats().items():

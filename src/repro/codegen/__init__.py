@@ -15,9 +15,12 @@ performance portability.  The Python analogue:
   against the generic indexed kernel (with several blocking chunk sizes)
   on the actual array shape, then caches the winner — the same
   measurement-driven selection loop the paper uses to pick block sizes.
+  :func:`tune_plan` lifts the same loop to whole-plan granularity,
+  searching fusion depth x kernel strategy x chunk size jointly (fusion
+  changes *which* kernels run, so it can only be tuned end to end).
 """
 
-from repro.codegen.autotune import AutoTuner, TuneResult
+from repro.codegen.autotune import AutoTuner, TuneResult, tune_plan
 from repro.codegen.generator import (
     generate_einsum_kernel,
     generate_single_qubit_kernel,
@@ -27,6 +30,7 @@ from repro.codegen.generator import (
 __all__ = [
     "AutoTuner",
     "TuneResult",
+    "tune_plan",
     "generate_einsum_kernel",
     "generate_single_qubit_kernel",
     "generated_kernel",

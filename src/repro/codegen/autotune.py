@@ -17,7 +17,7 @@ from repro.kernels.apply import (
 from repro.kernels.split import SplitGateMatrix, apply_gate_split_real
 from repro.util.rng import random_statevector
 
-__all__ = ["TuneResult", "AutoTuner"]
+__all__ = ["TuneResult", "AutoTuner", "tune_plan"]
 
 #: Blocking chunk sizes (in ``c`` substrings) tried for the indexed kernel.
 _CHUNK_CANDIDATES: tuple[int | None, ...] = (1 << 12, 1 << 14, 1 << 16, None)
@@ -171,3 +171,81 @@ class AutoTuner:
         num_qubits = int(np.log2(state.shape[0]))
         self.best_kernel(num_qubits, tuple(qubits))(state, matrix)
         return state
+
+
+#: Best times within this fraction of the fastest candidate are treated
+#: as a tie and broken toward the plan with the fewest ops (see
+#: :func:`tune_plan`).
+_TUNE_NOISE_FRACTION = 0.05
+
+
+def tune_plan(
+    schedule,
+    state_factory: Callable[[], object],
+    *,
+    fusion_candidates: Sequence[int] = (0, 2, 4, 5, 6, 7),
+    chunk_candidates: Sequence[int | None] = (None,),
+    strategies: Sequence[str | None] = (None,),
+    repeats: int = 2,
+) -> TuneResult:
+    """Joint plan-compile search: fusion depth x strategy x chunk size.
+
+    Per-kernel tuning (:class:`AutoTuner`) cannot see fusion: merging two
+    ops changes *which* kernels run, not just how each runs, so the
+    refusion width has to be searched at whole-plan granularity.  Each
+    grid point compiles the schedule under the corresponding
+    :class:`~repro.plan.PlanConfig` (memoized on the schedule, so
+    repeated timings share one compile) and times a full execution on a
+    fresh state from *state_factory*; the best-of-*repeats* wall time is
+    the candidate's score.
+
+    The winner label — ``plan[kmax=6 strategy=auto chunk=4096]`` — is
+    what ``benchmarks/bench_fusion.py`` persists to
+    ``BENCH_fusion.json``, where
+    :data:`repro.plan.DEFAULT_FUSION_KMAX` reads the ``kmax=`` field
+    back at import time: exactly the mechanism that sources
+    :data:`repro.kernels.DEFAULT_CHUNK` from the kernels-autotune
+    record.
+
+    Candidates whose best times land within :data:`_TUNE_NOISE_FRACTION`
+    of the fastest are treated as a measurement-noise tie, broken toward
+    the *fewest plan ops*: repeated in-process timings run against warm
+    CPU caches, which systematically understate the fixed per-sweep
+    state-streaming cost that makes fewer, wider sweeps win cold.
+    """
+    from repro.plan import PlanConfig, plan_for
+
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    timings: dict[str, float] = {}
+    plan_ops: dict[str, int] = {}
+    for kmax in fusion_candidates:
+        for strategy in strategies:
+            for chunk in chunk_candidates:
+                config = PlanConfig(
+                    chunk_size=chunk,
+                    fusion_kmax=kmax,
+                    kernel_strategy=strategy,
+                )
+                program = plan_for(schedule, config)
+                label = (
+                    f"plan[kmax={config.fusion_kmax} "
+                    f"strategy={strategy or 'auto'} "
+                    f"chunk={config.chunk_size}]"
+                )
+                best = float("inf")
+                for _ in range(repeats):
+                    state = state_factory()
+                    start = time.perf_counter()
+                    program.execute(state)
+                    best = min(best, time.perf_counter() - start)
+                timings[label] = best
+                plan_ops[label] = len(program.ops)
+    cutoff = min(timings.values()) * (1.0 + _TUNE_NOISE_FRACTION)
+    winner = min(
+        (label for label, seconds in timings.items() if seconds <= cutoff),
+        key=lambda label: (plan_ops[label], timings[label]),
+    )
+    return TuneResult(
+        strategy=winner, seconds_per_call=timings[winner], timings=timings
+    )

@@ -117,6 +117,7 @@ class DistributedSimulator:
         *,
         state: DistributedState | None = None,
         use_plan: bool = True,
+        plan_config=None,
         layers=(),
     ) -> DistributedRunResult:
         """Execute a :class:`repro.scheduling.Schedule` program.
@@ -131,8 +132,11 @@ class DistributedSimulator:
         By default the schedule is lowered (once, memoized on the
         schedule) to a :class:`repro.plan.CompiledProgram` and that plan
         is executed — pre-resolved strategies, cached gather tables,
-        fused diagonal runs.  ``use_plan=False`` keeps the original
-        op-by-op interpreter.
+        fused diagonal runs and refused multi-op kernels.  A
+        :class:`repro.plan.PlanConfig` passed as *plan_config* selects
+        (and memoizes under) a specific compile configuration, e.g. a
+        non-default ``fusion_kmax``.  ``use_plan=False`` keeps the
+        original op-by-op interpreter.
 
         With an active telemetry bundle the result carries the op-level
         trace; planned and unplanned runs produce identical trace
@@ -156,7 +160,9 @@ class DistributedSimulator:
         traced = self.telemetry is not None and self.telemetry.active
         stack = [TracingLayer(self.telemetry)] if traced else []
         stack.extend(layers)
-        engine = ExecutionEngine(schedule, use_plan=use_plan, layers=stack)  # lint: allow-engine-direct
+        engine = ExecutionEngine(  # lint: allow-engine-direct
+            schedule, use_plan=use_plan, plan_config=plan_config, layers=stack
+        )
         result = engine.run(state=state)
         return DistributedRunResult(
             result.state, result.wall_seconds, trace=result.trace

@@ -20,8 +20,14 @@ from repro.distributed.comm import CommStats
 from repro.distributed.storage import InMemoryShards, ShardStorage
 from repro.gates.gate import Gate
 from repro.gates.matrices import SWAP_MATRIX
-from repro.kernels import DEFAULT_CHUNK, apply_diagonal_gate, apply_gate
+from repro.kernels import (
+    DEFAULT_CHUNK,
+    apply_diagonal_gate,
+    apply_fused_kernel,
+    apply_gate,
+)
 from repro.kernels.apply import matrix_is_diagonal
+from repro.kernels.tables import GATHER_CACHE
 from repro.kernels.cost import KernelCostModel
 from repro.statevector.state import StateVector
 from repro.telemetry.runtime import NULL_TELEMETRY, Telemetry
@@ -270,16 +276,39 @@ class DistributedState:
                 chunk_size = self.chunk_size
         tel = self.telemetry
         if not tel.active:
-            for r in range(self.num_ranks):
-                shard = self.storage.get(r)
-                if diagonal:
-                    apply_diagonal_gate(shard, diag, bits)
-                else:
+            if diagonal:
+                # Batched sweep: the memoized phase factor is resolved
+                # once for all 2**g ranks instead of once per shard.
+                l = self.local_qubits
+                factor = GATHER_CACHE.diagonal_factor(
+                    l, tuple(int(b) for b in bits),
+                    np.asarray(diag, dtype=self.storage.dtype),
+                )
+                flat = factor.ndim == 1
+                for r in range(self.num_ranks):
+                    shard = self.storage.get(r)
+                    if flat:
+                        shard *= factor
+                    else:
+                        psi = shard.reshape((2,) * l)
+                        psi *= factor
+                    self._sync(shard)
+            elif strategy in ("indexed", "fused"):
+                # Batched sweep: tables/matrix/panels resolved once for
+                # all 2**g ranks instead of once per shard.
+                apply_fused_kernel(
+                    self.storage, self.num_ranks, matrix, bits,
+                    self.local_qubits,
+                    chunk_size=chunk_size, sync=self._sync,
+                )
+            else:
+                for r in range(self.num_ranks):
+                    shard = self.storage.get(r)
                     apply_gate(
                         shard, matrix, bits,
                         strategy=strategy, chunk_size=chunk_size,
                     )
-                self._sync(shard)
+                    self._sync(shard)
             self.kernel_cost.record(
                 self.num_qubits, len(bits), diagonal=diagonal
             )
@@ -600,6 +629,41 @@ class DistributedState:
         self.stats.record_local_swap()
         self.kernel_cost.record(self.num_qubits, 2)
 
+    def _apply_local_bit_permutation(
+        self, transpositions: Sequence[tuple[int, int]]
+    ) -> None:
+        """Apply a chain of local-bit swaps as ONE gather per shard.
+
+        Composes *transpositions* (already reflected in ``bit_of_qubit``
+        by the caller) into a single memoized index permutation and
+        applies it with one ``np.take`` per rank — bit-exact with the
+        per-swap SWAP kernels it replaces (a pure index shuffle touches
+        no amplitude arithmetic) at a fraction of the memory traffic.
+        Swap/kernel counters still advance once per transposition so
+        ``CommStats`` and the cost model keep their Sec. 3.4 accounting.
+        """
+        if not transpositions:
+            return
+        l = self.local_qubits
+        perm_bits = list(range(l))
+        for bit_a, bit_b in transpositions:
+            perm_bits[bit_a], perm_bits[bit_b] = (
+                perm_bits[bit_b], perm_bits[bit_a],
+            )
+        perm = GATHER_CACHE.bit_permutation(l, perm_bits)
+        with self.telemetry.tracer.span(
+            "comm.staging_swap", kind="staging", swaps=len(transpositions)
+        ):
+            buf = np.empty_like(self.storage.get(0))
+            for r in range(self.num_ranks):
+                shard = self.storage.get(r)
+                np.take(shard, perm, out=buf)
+                shard[:] = buf
+                self._sync(shard)
+        for _ in transpositions:
+            self.stats.record_local_swap()
+            self.kernel_cost.record(self.num_qubits, 2)
+
     def swap_global_set(self, new_global_qubits: Iterable[int]) -> None:
         """Global-to-local swap so that exactly *new_global_qubits* are global.
 
@@ -634,12 +698,19 @@ class DistributedState:
         new_positions.update({qq: l + q + i for i, qq in enumerate(staying)})
         self._permute_global_bits(new_positions)
 
-        # 2. Local swaps: outgoing qubits to local bits l-q..l-1.
+        # 2. Local swaps: outgoing qubits to local bits l-q..l-1, composed
+        #    into one permutation gather per shard instead of one SWAP
+        #    kernel per transposition.
+        transpositions: list[tuple[int, int]] = []
         for i, qq in enumerate(outgoing):
             target = l - q + i
             current = self.bit_of_qubit[qq]
             if current != target:
-                self._swap_local_bits(current, target)
+                transpositions.append((current, target))
+                other = self._qubit_at_bit(target)
+                self.bit_of_qubit[qq] = target
+                self.bit_of_qubit[other] = current
+        self._apply_local_bit_permutation(transpositions)
 
         # 3. One communication step: group-local all-to-alls.
         tel = self.telemetry

@@ -147,16 +147,23 @@ class InMemoryShards(ShardStorage):
         self._shards[rank] = np.ascontiguousarray(data, dtype=self.dtype)
 
     def exchange_blocks(self, swap_qubits: int) -> None:
+        # shard[s] block t <-> shard[t] block s within each group: the
+        # all-to-all of Fig. 3 as pairwise in-place block swaps (the same
+        # scheme DiskShards uses).  Diagonal blocks stay put, so the
+        # traffic is the off-diagonal data actually exchanged — less than
+        # half of what a stack/transpose/copy round-trip moves.
         group, block, num_groups = self._check_exchange_args(swap_qubits)
+        buf = np.empty(block, dtype=self.dtype)
         for g in range(num_groups):
-            ranks = range(g * group, (g + 1) * group)
-            stacked = np.stack([self._shards[r] for r in ranks])
-            # stacked[s, b*block + j] -> new[b, s*block + j]: a transpose of
-            # the (rank, block) axes — the all-to-all of Fig. 3.
-            blocks = stacked.reshape(group, group, block)
-            swapped = blocks.swapaxes(0, 1).reshape(group, self.shard_size)
-            for i, r in enumerate(ranks):
-                self._shards[r] = np.ascontiguousarray(swapped[i])
+            base = g * group
+            for s in range(group):
+                shard_s = self._shards[base + s]
+                for t in range(s + 1, group):
+                    a = shard_s[t * block:(t + 1) * block]
+                    b = self._shards[base + t][s * block:(s + 1) * block]
+                    buf[:] = a
+                    a[:] = b
+                    b[:] = buf
 
     def permute_shards(self, permutation: np.ndarray) -> None:
         if sorted(permutation) != list(range(self.num_shards)):

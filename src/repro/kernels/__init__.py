@@ -13,6 +13,9 @@ Several strategies are provided, mirroring the paper's optimization steps:
   stand-in) via ``chunk_size``.
 * :func:`apply_diagonal_gate` — fast path for diagonal gates
   (CZ, T, Z, S): one complex multiply per amplitude, no gather.
+* :func:`apply_fused_kernel` — batched multi-op path: one (possibly
+  fused) unitary swept over every rank's shard with tables, matrix
+  fixup and panel buffers resolved once for all ranks.
 * :func:`apply_gate` — dispatcher choosing a strategy per gate structure.
 
 All in-place kernels mutate ``state`` and also return it, so call sites can
@@ -22,6 +25,7 @@ chain or ignore the return value.
 from repro.kernels.apply import (
     DEFAULT_CHUNK,
     apply_diagonal_gate,
+    apply_fused_kernel,
     apply_gate,
     apply_gate_indexed,
     apply_gate_naive,
@@ -38,6 +42,7 @@ __all__ = [
     "GatherTableCache",
     "KernelCostModel",
     "apply_diagonal_gate",
+    "apply_fused_kernel",
     "apply_gate",
     "apply_gate_indexed",
     "apply_gate_naive",

@@ -31,6 +31,7 @@ __all__ = [
     "apply_gate_indexed",
     "apply_gate_two_vector",
     "apply_diagonal_gate",
+    "apply_fused_kernel",
     "apply_gate",
     "matrix_is_diagonal",
 ]
@@ -76,22 +77,24 @@ _DEFAULT_CACHE = GATHER_CACHE
 _panel_buffers = threading.local()
 
 
-def _panels(k: int, block: int, dtype: np.dtype) -> tuple[np.ndarray, np.ndarray]:
-    """Per-thread reusable (gathered, product) panels of shape (2**k, block).
+def _panels_t(
+    k: int, block: int, dtype: np.dtype
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-thread reusable (gathered, product) panels of shape (block, 2**k).
 
     Keyed on the exact shape so the buffers stay contiguous (``np.take`` /
     ``np.matmul`` with ``out=`` skip their buffered fallbacks); a chunked
     sweep uses at most two shapes (full block + remainder).
     """
-    pool = getattr(_panel_buffers, "pool", None)
+    pool = getattr(_panel_buffers, "pool_t", None)
     if pool is None:
-        pool = _panel_buffers.pool = {}
+        pool = _panel_buffers.pool_t = {}
     key = (k, block, dtype.str)
     bufs = pool.get(key)
     if bufs is None:
         bufs = (
-            np.empty((1 << k, block), dtype=dtype),
-            np.empty((1 << k, block), dtype=dtype),
+            np.empty((block, 1 << k), dtype=dtype),
+            np.empty((block, 1 << k), dtype=dtype),
         )
         pool[key] = bufs
     return bufs
@@ -193,11 +196,16 @@ def apply_gate_indexed(
 ) -> np.ndarray:
     """The paper's kernel: gather / small matmul / scatter, in place.
 
-    For each block of ``c`` index substrings, gathers a ``(2**k, block)``
-    panel of amplitudes, multiplies by the ``2**k x 2**k`` gate matrix
-    (one BLAS call covering ``block`` matrix-vector products at once), and
-    scatters the result back.  ``chunk_size`` is the number of ``c`` values
-    per block — the numpy analogue of the paper's register/MCDRAM blocking.
+    For each block of ``c`` index substrings, gathers a ``(block, 2**k)``
+    panel of amplitudes, multiplies by the transposed ``2**k x 2**k`` gate
+    matrix (one BLAS call covering ``block`` matrix-vector products at
+    once), and scatters the result back.  ``chunk_size`` is the number of
+    ``c`` values per block — the numpy analogue of the paper's
+    register/MCDRAM blocking.  The column-major orientation keeps the
+    gather/scatter walking the state nearly sequentially, and is shared
+    bit-for-bit with the batched multi-rank sweep
+    (:func:`apply_fused_kernel`), so traced per-rank and batched
+    executions of the same op agree exactly.
 
     Gather-index tables come from *cache* (default: the process-wide
     :data:`~repro.kernels.tables.GATHER_CACHE`; pass ``None`` to rebuild
@@ -207,21 +215,40 @@ def apply_gate_indexed(
     n = _num_qubits_of(state)
     qubits = check_qubit_indices(qubits, n)
     k = len(qubits)
-    matrix = np.ascontiguousarray(matrix, dtype=state.dtype)
+    matrix_t = np.ascontiguousarray(
+        np.asarray(matrix, dtype=state.dtype).T
+    )
     total_c = 1 << (n - k)
     chunk = total_c if chunk_size is None else min(chunk_size, total_c)
     if cache is not None:
-        tables = cache.gather_tables(n, qubits, chunk)
+        tables = cache.gather_tables_t(n, qubits, chunk)
     else:
         tables = tuple(
-            _gather_indices(n, qubits, c_start, min(c_start + chunk, total_c))
+            np.ascontiguousarray(
+                _gather_indices(
+                    n, qubits, c_start, min(c_start + chunk, total_c)
+                ).T
+            )
             for c_start in range(0, total_c, chunk)
         )
+    inverse = _gather_inverse_of(tables, n, qubits, chunk, cache)
+    real_w = (
+        _real_gemm_operand(matrix_t) if k <= _REAL_GEMM_MAX_QUBITS else None
+    )
     for idx in tables:
-        gathered, product = _panels(k, idx.shape[1], state.dtype)
+        gathered, product = _panels_t(k, idx.shape[0], state.dtype)
         np.take(state, idx, out=gathered, mode="clip")
-        np.matmul(matrix, gathered, out=product)
-        state[idx] = product
+        if real_w is not None:
+            np.matmul(
+                gathered.view(np.float64), real_w,
+                out=product.view(np.float64),
+            )
+        else:
+            np.matmul(gathered, matrix_t, out=product)
+        if inverse is not None:
+            np.take(product.reshape(-1), inverse, out=state, mode="clip")
+        else:
+            state[idx] = product
     return state
 
 
@@ -243,10 +270,12 @@ def apply_diagonal_gate(
 ) -> np.ndarray:
     """Apply a diagonal gate given its diagonal (length ``2**k``), in place.
 
-    One complex multiply per amplitude via broadcasting — no index gather,
-    no temporary of state size.  This is the specialization that makes CZ
-    and T gates (Sec. 3.5) cheap even locally.  The broadcastable phase
-    tensor is memoized in *cache* (pass ``None`` to rebuild per call).
+    One complex multiply per amplitude — no index gather, no temporary of
+    state size.  This is the specialization that makes CZ and T gates
+    (Sec. 3.5) cheap even locally.  The memoized phase factor (from
+    *cache*; pass ``None`` to rebuild per call) is either a flat ``2**n``
+    vector — one contiguous SIMD multiply — or, for states too large to
+    expand, a broadcastable tensor over the ``(2,)*n`` view.
     """
     n = _num_qubits_of(state)
     qubits = check_qubit_indices(qubits, n)
@@ -255,9 +284,137 @@ def apply_diagonal_gate(
         factor = cache.diagonal_factor(n, qubits, diag)
     else:
         factor = _diagonal_factor_tensor(diag, qubits, n)
-    psi = state.reshape((2,) * n)
-    psi *= factor
+    if factor.ndim == 1:
+        state *= factor
+    else:
+        psi = state.reshape((2,) * n)
+        psi *= factor
     return state
+
+
+#: Widest gate for which the real-block GEMM beats complex GEMM on the
+#: reference host (small inner dimensions leave zgemm overhead-bound;
+#: from k=4 up the two are within noise of each other).
+_REAL_GEMM_MAX_QUBITS = 3
+
+
+def _real_gemm_operand(matrix_t: np.ndarray) -> np.ndarray | None:
+    """Real block matrix ``W`` with ``(g.view(f8) @ W).view(c16) == g @ matrix_t``.
+
+    Interleaved re/im columns: for ``y = x @ M`` with ``M = A + iB``,
+    ``Re y_i = sum_j (Re x_j * A_ji - Im x_j * B_ji)`` and
+    ``Im y_i = sum_j (Re x_j * B_ji + Im x_j * A_ji)`` — each complex
+    product contributes two adjacent real terms, so one dgemm over the
+    float64 view computes the whole panel.  Only used for small gates
+    (see :data:`_REAL_GEMM_MAX_QUBITS`); returns ``None`` for dtypes
+    other than complex128.
+    """
+    if matrix_t.dtype != np.complex128:
+        return None
+    d = matrix_t.shape[0]
+    w = np.empty((2 * d, 2 * d), dtype=np.float64)
+    w[0::2, 0::2] = matrix_t.real
+    w[1::2, 0::2] = -matrix_t.imag
+    w[0::2, 1::2] = matrix_t.imag
+    w[1::2, 1::2] = matrix_t.real
+    return w
+
+
+def _gather_inverse_of(tables, n, qubits, chunk, cache):
+    """Inverse write-back permutation, or ``None`` for chunked sweeps.
+
+    When one block covers the whole ``c`` range the flattened gather
+    table visits every state index exactly once, so the write-back
+    ``state[idx] = product`` is a pure permutation — expressible as a
+    sequential-output ``np.take`` of the product panel, which is
+    measurably faster than the fancy-index scatter.  The values written
+    are identical either way, so bit-exactness is unaffected.
+    """
+    if len(tables) != 1:
+        return None
+    if cache is not None:
+        return cache.gather_inverse(n, qubits, chunk)
+    return np.argsort(tables[0].reshape(-1)).astype(np.intp, copy=False)
+
+
+def apply_fused_kernel(
+    storage,
+    num_ranks: int,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    n: int,
+    *,
+    chunk_size: int | None = None,
+    cache: GatherTableCache | None = _DEFAULT_CACHE,
+    sync=None,
+) -> None:
+    """Batched apply path: one dense op swept over every rank's shard.
+
+    The per-call work of :func:`apply_gate_indexed` — gather-table
+    lookup, matrix dtype/contiguity fixup, panel-buffer resolution — is
+    hoisted out of the rank loop, so applying one (possibly fused
+    multi-op) ``2**k`` unitary to ``2**g`` shards pays it once instead
+    of ``2**g`` times.  *storage* provides ``get(rank) -> shard`` (each
+    a ``2**n`` vector); *sync* (optional) is called with each shard
+    after its sweep, mirroring ``DistributedState._sync``.
+
+    This is the executor path for ``exec_kind="fused_kernel"`` plan ops
+    and for pre-resolved indexed kernels on multi-rank states.
+    """
+    qubits = check_qubit_indices(qubits, n)
+    k = len(qubits)
+    total_c = 1 << (n - k)
+    chunk = total_c if chunk_size is None else min(chunk_size, total_c)
+    first = storage.get(0)
+    # Column-major sweep: tables of shape (block, 2**k) list each c
+    # substring's amplitudes contiguously, so take/scatter walk the
+    # shard nearly sequentially; gathered @ matrix.T computes the same
+    # dot products bit-for-bit as matrix @ gathered row-major.
+    matrix_t = np.ascontiguousarray(
+        np.asarray(matrix, dtype=first.dtype).T
+    )
+    if cache is not None:
+        tables = cache.gather_tables_t(n, qubits, chunk)
+    else:
+        tables = tuple(
+            np.ascontiguousarray(
+                _gather_indices(
+                    n, qubits, c_start, min(c_start + chunk, total_c)
+                ).T
+            )
+            for c_start in range(0, total_c, chunk)
+        )
+    panels = [
+        (idx, *_panels_t(k, idx.shape[0], first.dtype)) for idx in tables
+    ]
+    inverse = _gather_inverse_of(tables, n, qubits, chunk, cache)
+    real_w = (
+        _real_gemm_operand(matrix_t) if k <= _REAL_GEMM_MAX_QUBITS else None
+    )
+
+    def _panel_matmul(gathered, product):
+        if real_w is not None:
+            np.matmul(
+                gathered.view(np.float64), real_w,
+                out=product.view(np.float64),
+            )
+        else:
+            np.matmul(gathered, matrix_t, out=product)
+
+    for rank in range(num_ranks):
+        shard = first if rank == 0 else storage.get(rank)
+        if inverse is not None:
+            idx, gathered, product = panels[0]
+            np.take(shard, idx, out=gathered, mode="clip")
+            _panel_matmul(gathered, product)
+            np.take(product.reshape(-1), inverse, out=shard, mode="clip")
+        else:
+            for idx, gathered, product in panels:
+                np.take(shard, idx, out=gathered, mode="clip")
+                _panel_matmul(gathered, product)
+                shard[idx] = product
+        if sync is not None:
+            sync(shard)
 
 
 def matrix_is_diagonal(matrix: np.ndarray, *, atol: float = 1e-12) -> bool:
@@ -306,7 +463,9 @@ def apply_gate(
         return apply_gate_naive(state, matrix, qubits)
     if strategy == "reference":
         return apply_gate_reference(state, matrix, qubits)
-    if strategy == "indexed":
+    if strategy in ("indexed", "fused"):
+        # "fused" marks a batched multi-op kernel in compiled plans; on a
+        # single shard it reduces to the indexed gather/matmul/scatter.
         return apply_gate_indexed(
             state, matrix, qubits, chunk_size=chunk_size, cache=cache
         )

@@ -50,7 +50,33 @@ def _build_gather_table(
     return offsets[:, None] + base[None, :]
 
 
+#: Widest state for which diagonal factors are expanded to a flat dense
+#: vector.  Flat factors turn the diagonal fast path into one contiguous
+#: SIMD multiply (``state *= factor``) instead of a strided broadcast;
+#: above this the ``2**n`` expansion would dwarf the shard itself, so the
+#: broadcastable tensor is kept.
+_FLAT_DIAG_MAX_QUBITS = 16
+
+
 def _build_diagonal_factor(
+    diag: np.ndarray, qubits: Sequence[int], n: int
+) -> np.ndarray:
+    """Per-amplitude phase factor for a diagonal gate.
+
+    Returns a flat dense ``2**n`` vector when ``n`` is small enough
+    (:data:`_FLAT_DIAG_MAX_QUBITS`) — elementwise identical to the
+    broadcast expansion, so switching representations is bit-exact — and
+    the broadcastable ``(2,)*n``-compatible tensor otherwise.
+    """
+    tensor = _build_diagonal_tensor(diag, qubits, n)
+    if n <= _FLAT_DIAG_MAX_QUBITS:
+        return np.ascontiguousarray(
+            np.broadcast_to(tensor, (2,) * n)
+        ).reshape(1 << n)
+    return tensor
+
+
+def _build_diagonal_tensor(
     diag: np.ndarray, qubits: Sequence[int], n: int
 ) -> np.ndarray:
     """Broadcastable tensor of per-amplitude phases for a diagonal gate."""
@@ -221,6 +247,97 @@ class GatherTableCache:
             tables.append(table)
         return tuple(tables), nbytes
 
+    def gather_tables_t(
+        self, n: int, qubits: Sequence[int], chunk_size: int | None
+    ) -> tuple[np.ndarray, ...]:
+        """Column-major twins of :meth:`gather_tables`.
+
+        Shape ``(block, 2**k)`` instead of ``(2**k, block)``: each *row*
+        lists the ``2**k`` amplitudes of one ``c`` substring, which sit
+        close together in memory, so the batched sweep's ``np.take`` and
+        scatter walk the shard nearly sequentially (measured ~10% faster
+        per sweep than the row-major orientation).  The matmul flips to
+        ``gathered @ matrix.T``, which computes the exact same dot
+        products — results are bit-identical.
+        """
+        key, chunk, total_c = self._gather_key_t(n, qubits, chunk_size)
+        with self._lock:
+            entry = self._lookup(key)
+            if entry is not None:
+                return entry[0]
+            value, nbytes = self._build_gather_value_t(
+                n, key[2], chunk, total_c
+            )
+            self._insert(key, value, nbytes)
+            return value
+
+    @staticmethod
+    def _gather_key_t(
+        n: int, qubits: Sequence[int], chunk_size: int | None
+    ) -> tuple[tuple, int, int]:
+        qubits = tuple(int(q) for q in qubits)
+        total_c = 1 << (n - len(qubits))
+        chunk = total_c if chunk_size is None else min(int(chunk_size), total_c)
+        return ("gatherT", n, qubits, chunk), chunk, total_c
+
+    @classmethod
+    def _build_gather_value_t(
+        cls, n: int, qubits: tuple[int, ...], chunk: int, total_c: int
+    ) -> tuple[tuple, int]:
+        tables, _ = cls._build_gather_value(n, qubits, chunk, total_c)
+        out = []
+        nbytes = 0
+        for table in tables:
+            t = np.ascontiguousarray(table.T)
+            t.setflags(write=False)
+            nbytes += t.nbytes
+            out.append(t)
+        return tuple(out), nbytes
+
+    def gather_inverse(
+        self, n: int, qubits: Sequence[int], chunk_size: int | None
+    ) -> np.ndarray:
+        """Inverse permutation of the single-block column-major table.
+
+        When one block covers the whole ``c`` range, the gather table's
+        flattened entries visit every state index exactly once, so the
+        write-back is a pure permutation: ``state[i] = product.flat[inv[i]]``
+        — a sequential-output ``np.take`` instead of a fancy-index
+        scatter (measured ~2.5x faster per write-back).  Only defined for
+        the single-block case; chunked sweeps must scatter per block.
+        """
+        key, chunk, total_c = self._gather_inverse_key(n, qubits, chunk_size)
+        with self._lock:
+            entry = self._lookup(key)
+            if entry is not None:
+                return entry[0]
+            value, nbytes = self._build_gather_inverse(n, key[2], total_c)
+            self._insert(key, value, nbytes)
+            return value
+
+    @staticmethod
+    def _gather_inverse_key(
+        n: int, qubits: Sequence[int], chunk_size: int | None
+    ) -> tuple[tuple, int, int]:
+        qubits = tuple(int(q) for q in qubits)
+        total_c = 1 << (n - len(qubits))
+        chunk = total_c if chunk_size is None else min(int(chunk_size), total_c)
+        if chunk != total_c:
+            raise ValueError(
+                "gather_inverse is only defined when one block covers the "
+                f"whole c range (chunk {chunk} < total {total_c})"
+            )
+        return ("gatherI", n, qubits, chunk), chunk, total_c
+
+    @classmethod
+    def _build_gather_inverse(
+        cls, n: int, qubits: tuple[int, ...], total_c: int
+    ) -> tuple[np.ndarray, int]:
+        (table,), _ = cls._build_gather_value_t(n, qubits, total_c, total_c)
+        inv = np.argsort(table.reshape(-1)).astype(np.intp, copy=False)
+        inv.setflags(write=False)
+        return inv, inv.nbytes
+
     def diagonal_factor(
         self, n: int, qubits: Sequence[int], diag: np.ndarray
     ) -> np.ndarray:
@@ -240,6 +357,60 @@ class GatherTableCache:
             factor.setflags(write=False)
             self._insert(key, factor, factor.nbytes)
             return factor
+
+    def lift_index_table(
+        self, union_qubits: int, positions: Sequence[int]
+    ) -> np.ndarray:
+        """Bit-extraction indices for lifting a diagonal into a union space.
+
+        Entry ``x`` of the returned ``2**union_qubits`` array is the
+        compact index formed by the bits of ``x`` at *positions* — i.e.
+        ``diag[table]`` is the diagonal lifted onto the fused union.
+        Memoized on ``(union size, positions)`` so repeated fusions of
+        the same qubit sets (every CZ layer of a supremacy circuit)
+        share one table.
+        """
+        from repro.util.bits import extract_bits
+
+        positions = tuple(int(p) for p in positions)
+        key = ("lift", int(union_qubits), positions)
+        with self._lock:
+            entry = self._lookup(key)
+            if entry is not None:
+                return entry[0]
+            table = extract_bits(
+                np.arange(1 << union_qubits, dtype=np.int64), positions
+            )
+            table.setflags(write=False)
+            self._insert(key, table, table.nbytes)
+            return table
+
+    def bit_permutation(
+        self, n: int, perm_bits: Sequence[int]
+    ) -> np.ndarray:
+        """Gather indices realizing a local-bit permutation, memoized.
+
+        ``perm_bits[i] = src`` means destination bit ``i`` takes its
+        value from source bit ``src``; the returned ``2**n`` index array
+        applies the whole permutation as one ``np.take``.  The staging
+        swap uses this to collapse a chain of pairwise local swaps into
+        a single gather per rank, and supremacy schedules repeat the
+        same swap sets every stage, so the table is shared across stages
+        and ranks alike.
+        """
+        perm_bits = tuple(int(b) for b in perm_bits)
+        key = ("bitperm", int(n), perm_bits)
+        with self._lock:
+            entry = self._lookup(key)
+            if entry is not None:
+                return entry[0]
+            ar = np.arange(1 << n, dtype=np.int64)
+            perm = np.zeros_like(ar)
+            for i, src in enumerate(perm_bits):
+                perm |= ((ar >> i) & 1) << src
+            perm.setflags(write=False)
+            self._insert(key, perm, perm.nbytes)
+            return perm
 
     # ------------------------------------------------------------------
     # Silent warm-up (pipeline lookahead prefetch)
@@ -262,6 +433,58 @@ class GatherTableCache:
                 return True
             value, nbytes = self._build_gather_value(n, key[2], chunk, total_c)
             self._insert_silent(key, value, nbytes)
+            return False
+
+    def warm_gather_tables_t(
+        self, n: int, qubits: Sequence[int], chunk_size: int | None
+    ) -> bool:
+        """Counter-neutral build-if-absent twin of :meth:`gather_tables_t`."""
+        key, chunk, total_c = self._gather_key_t(n, qubits, chunk_size)
+        with self._lock:
+            if key in self._entries:
+                return True
+            value, nbytes = self._build_gather_value_t(
+                n, key[2], chunk, total_c
+            )
+            self._insert_silent(key, value, nbytes)
+            return False
+
+    def warm_gather_inverse(
+        self, n: int, qubits: Sequence[int], chunk_size: int | None
+    ) -> bool:
+        """Counter-neutral build-if-absent twin of :meth:`gather_inverse`.
+
+        Returns ``True`` (nothing to build) for chunked sweeps, where the
+        inverse is undefined and the kernel scatters per block.
+        """
+        try:
+            key, chunk, total_c = self._gather_inverse_key(
+                n, qubits, chunk_size
+            )
+        except ValueError:
+            return True
+        with self._lock:
+            if key in self._entries:
+                return True
+            value, nbytes = self._build_gather_inverse(n, key[2], total_c)
+            self._insert_silent(key, value, nbytes)
+            return False
+
+    def warm_bit_permutation(
+        self, n: int, perm_bits: Sequence[int]
+    ) -> bool:
+        """Counter-neutral build-if-absent twin of :meth:`bit_permutation`."""
+        perm_bits = tuple(int(b) for b in perm_bits)
+        key = ("bitperm", int(n), perm_bits)
+        with self._lock:
+            if key in self._entries:
+                return True
+            ar = np.arange(1 << n, dtype=np.int64)
+            perm = np.zeros_like(ar)
+            for i, src in enumerate(perm_bits):
+                perm |= ((ar >> i) & 1) << src
+            perm.setflags(write=False)
+            self._insert_silent(key, perm, perm.nbytes)
             return False
 
     def warm_diagonal_factor(

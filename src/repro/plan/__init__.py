@@ -1,17 +1,26 @@
-"""Compiled execution plans (kernel-plan cache).
+"""Compiled execution plans (pass-based plan compiler + kernel-plan cache).
 
 A :class:`~repro.scheduling.Schedule` describes *what* to run; every
 kernel decision — diagonal vs indexed vs reference strategy, the gather
-index tables, the extracted diagonals, the chunk size — is re-derivable
-from it, and the pre-plan executor re-derived all of it on every shard of
-every rank.  :func:`compile_program` resolves those decisions exactly
-once, producing a :class:`CompiledProgram` of flat :class:`PlanOp`\\ s
-that every rank replays:
+index tables, the extracted diagonals, fusion, the chunk size — is
+re-derivable from it, and the pre-plan executor re-derived all of it on
+every shard of every rank.  :func:`compile_program` resolves those
+decisions exactly once through a staged pass pipeline
+(:data:`repro.plan.passes.PIPELINE`)::
+
+    lower  ->  refuse  ->  specialize  ->  finalize
+
+Each pass consumes and produces a typed stream of frozen
+:class:`PlanOp`\\ s that every rank replays:
 
 * dense cluster ops carry their fused matrix, pre-resolved strategy and
   the autotuned chunk size (gather tables come from the process-wide
   :data:`repro.kernels.GATHER_CACHE`, shared across ranks and repeated
   layers);
+* the *refuse* pass merges adjacent dense/diagonal ops whose qubit
+  union stays within ``PlanConfig.fusion_kmax`` into one batched
+  multi-op kernel (``exec_kind="fused_kernel"``), executed through
+  :func:`repro.kernels.apply.apply_fused_kernel`;
 * diagonal ops carry their extracted ``2**k`` diagonal, and consecutive
   runs of them are fused into a single per-amplitude multiply;
 * swaps and rank-conditional ops pass through to the distributed state
@@ -19,13 +28,15 @@ that every rank replays:
 
 Execution preserves the op-level
 :meth:`~repro.distributed.tracing.ExecutionTrace.signature` exactly: a
-fused diagonal emits its first source op's span for the real work plus
-zero-length spans for the ops folded into it.
+fused diagonal or fused kernel emits its first source op's span for the
+real work plus zero-length spans for the ops folded into it.
 
-Use :func:`plan_for` to get the memoized plan of a schedule (compiled at
-most once per ``(chunk_size, fuse_diagonals)`` combination).
+All compile options live in a frozen :class:`PlanConfig`; use
+:func:`plan_for` to get the memoized plan of a schedule (compiled at
+most once per config — the config object is the entire cache key).
 """
 
+from repro.plan.config import DEFAULT_FUSION_KMAX, PlanConfig
 from repro.plan.executor import execute_plan
 from repro.plan.program import (
     CompiledProgram,
@@ -37,6 +48,8 @@ from repro.plan.program import (
 
 __all__ = [
     "CompiledProgram",
+    "DEFAULT_FUSION_KMAX",
+    "PlanConfig",
     "PlanOp",
     "SourceEvent",
     "compile_program",

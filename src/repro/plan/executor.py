@@ -7,7 +7,7 @@ __all__ = ["execute_plan"]
 
 def _run_op(plan_op, state) -> None:
     kind = plan_op.exec_kind
-    if kind == "kernel":
+    if kind in ("kernel", "fused_kernel"):
         state.apply_compiled(
             plan_op.matrix,
             plan_op.qubits,

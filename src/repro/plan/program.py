@@ -1,4 +1,15 @@
-"""Compiling a schedule into a flat, pre-resolved kernel program."""
+"""Compiling a schedule into a flat, pre-resolved kernel program.
+
+Compilation is a staged pass pipeline (see :mod:`repro.plan.passes`)::
+
+    lower  ->  refuse  ->  specialize  ->  finalize
+
+Every pass consumes and produces a typed stream of frozen
+:class:`PlanOp`; compile options live in a frozen
+:class:`~repro.plan.config.PlanConfig`, which is the single memoization
+key for :func:`plan_for` (and for the service plan cache and
+``--plan-stats``).
+"""
 
 from __future__ import annotations
 
@@ -8,16 +19,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.distributed.tracing import _classify
-from repro.kernels import DEFAULT_CHUNK
-from repro.scheduling.program import ClusterOp, GateOp, Schedule, SwapOp
-from repro.util.bits import extract_bits
+from repro.plan.config import PlanConfig
+from repro.plan.passes import PIPELINE, PassContext
+from repro.scheduling.program import Schedule
 from repro.util.locktrack import TrackedLock
 
-__all__ = ["SourceEvent", "PlanOp", "CompiledProgram", "compile_program", "plan_for"]
-
-#: Dense kernels stay indexed up to this k; larger clusters use tensordot.
-_INDEXED_MAX_QUBITS = 6
+__all__ = [
+    "SourceEvent",
+    "PlanOp",
+    "CompiledProgram",
+    "compile_program",
+    "plan_for",
+]
 
 
 @dataclass(frozen=True)
@@ -37,6 +50,10 @@ class PlanOp:
 
     * ``"kernel"`` — dense op: *matrix*, *strategy* and *chunk_size* are
       fixed; gather tables come from the shared cache at run time.
+    * ``"fused_kernel"`` — several adjacent dense/diagonal schedule ops
+      refused into one batched multi-op kernel over the qubit union
+      (strategy ``"fused"``: the batched apply path of
+      :func:`repro.kernels.apply.apply_fused_kernel`).
     * ``"diagonal"`` — one diagonal op: *diag* is the extracted ``2**k``
       diagonal (local or global qubits; no communication either way).
     * ``"fused_diagonal"`` — several consecutive diagonal schedule ops
@@ -46,8 +63,8 @@ class PlanOp:
       absorbed clusters).
 
     ``sources`` lists the covered schedule ops in op-stream order — one
-    entry except for fused diagonals — so executed traces keep exactly
-    one event per original op.
+    entry except for fused diagonals and fused kernels — so executed
+    traces keep exactly one event per original op.
     """
 
     exec_kind: str
@@ -62,8 +79,48 @@ class PlanOp:
 
     @property
     def num_sources(self) -> int:
-        """Schedule ops covered (>1 only for fused diagonals)."""
+        """Schedule ops covered (>1 only for fused diagonals/kernels)."""
         return len(self.sources)
+
+
+def _counts_of(ops: tuple[PlanOp, ...]) -> dict:
+    """Per-kind op tallies of a final op stream.
+
+    The reconciliation identity the tests pin down::
+
+        num_source_ops == len(ops) + fused_away_ops + refused_away_ops
+
+    ``fused_away_ops`` counts sources folded into surviving fused
+    *diagonal* ops; ``refused_away_ops`` counts sources folded into
+    fused *kernel* ops (including diagonals first fused into a run that
+    a fused kernel then absorbed).
+    """
+    counts = {
+        "kernel_ops": 0,
+        "fused_kernel_ops": 0,
+        "diagonal_ops": 0,
+        "fused_diagonal_ops": 0,
+        "fused_away_ops": 0,
+        "refused_away_ops": 0,
+        "passthrough_ops": 0,
+        "swap_ops": 0,
+    }
+    for op in ops:
+        if op.exec_kind == "kernel":
+            counts["kernel_ops"] += 1
+        elif op.exec_kind == "fused_kernel":
+            counts["fused_kernel_ops"] += 1
+            counts["refused_away_ops"] += op.num_sources - 1
+        elif op.exec_kind == "diagonal":
+            counts["diagonal_ops"] += 1
+        elif op.exec_kind == "fused_diagonal":
+            counts["fused_diagonal_ops"] += 1
+            counts["fused_away_ops"] += op.num_sources - 1
+        elif op.exec_kind == "swap":
+            counts["swap_ops"] += 1
+        else:
+            counts["passthrough_ops"] += 1
+    return counts
 
 
 @dataclass
@@ -78,10 +135,19 @@ class CompiledProgram:
 
     schedule: Schedule
     ops: tuple[PlanOp, ...]
-    chunk_size: int
-    fuse_diagonals: bool
+    config: PlanConfig
     compile_seconds: float
     counts: dict = field(default_factory=dict)
+
+    @property
+    def chunk_size(self) -> int:
+        """Blocking chunk every dense op was resolved with."""
+        return self.config.chunk_size
+
+    @property
+    def fuse_diagonals(self) -> bool:
+        """Whether diagonal-run fusion was enabled."""
+        return self.config.fuse_diagonals
 
     @property
     def num_source_ops(self) -> int:
@@ -99,199 +165,112 @@ class CompiledProgram:
         return {
             "num_source_ops": self.num_source_ops,
             "num_plan_ops": len(self.ops),
-            "chunk_size": self.chunk_size,
+            "chunk_size": self.config.chunk_size,
+            "fusion_kmax": self.config.fusion_kmax,
+            "max_fused_qubits": self.config.max_fused_qubits,
             "compile_seconds": round(self.compile_seconds, 6),
             **self.counts,
         }
 
 
-def _lift_diag(
-    diag: np.ndarray, qubits: tuple[int, ...], union: tuple[int, ...]
-) -> np.ndarray:
-    """Expand a ``2**k`` diagonal over *qubits* to the *union* space."""
-    pos_of = {q: p for p, q in enumerate(union)}
-    idx = extract_bits(
-        np.arange(1 << len(union), dtype=np.int64),
-        [pos_of[q] for q in qubits],
+def _resolve_config(
+    config: PlanConfig | None,
+    *,
+    chunk_size=None,
+    fuse_diagonals=True,
+    max_fused_qubits=10,
+    fusion_kmax=None,
+    kernel_strategy=None,
+) -> PlanConfig:
+    if config is not None:
+        if not isinstance(config, PlanConfig):
+            raise TypeError(
+                f"config must be a PlanConfig, got {type(config).__name__}"
+            )
+        return config
+    return PlanConfig(
+        chunk_size=chunk_size,
+        fuse_diagonals=fuse_diagonals,
+        max_fused_qubits=max_fused_qubits,
+        fusion_kmax=fusion_kmax,
+        kernel_strategy=kernel_strategy,
     )
-    return np.asarray(diag)[idx]
-
-
-def _fuse_diagonal_run(run: list[PlanOp], max_fused_qubits: int) -> list[PlanOp]:
-    """Collapse a run of consecutive diagonal plan ops into one multiply.
-
-    Diagonal operators commute, so the fused diagonal over the qubit
-    union is their elementwise product in any order; one broadcast
-    multiply then replaces ``len(run)`` state sweeps.  Runs whose union
-    exceeds *max_fused_qubits* (a ``2**u`` table would get large) are
-    left as-is.
-    """
-    if len(run) < 2:
-        return run
-    union: list[int] = []
-    for op in run:
-        for q in op.qubits:
-            if q not in union:
-                union.append(q)
-    if len(union) > max_fused_qubits:
-        return run
-    union_t = tuple(union)
-    combined = np.ones(1 << len(union_t), dtype=np.complex128)
-    for op in run:
-        combined *= _lift_diag(op.diag, op.qubits, union_t)
-    sources = tuple(src for op in run for src in op.sources)
-    return [
-        PlanOp(
-            exec_kind="fused_diagonal",
-            sources=sources,
-            stage=run[0].stage,
-            qubits=union_t,
-            diag=combined,
-        )
-    ]
 
 
 def compile_program(
     schedule: Schedule,
+    config: PlanConfig | None = None,
     *,
     chunk_size: int | None = None,
     fuse_diagonals: bool = True,
     max_fused_qubits: int = 10,
+    fusion_kmax: int | None = None,
+    kernel_strategy: str | None = None,
 ) -> CompiledProgram:
     """Lower *schedule* into a :class:`CompiledProgram`.
 
     Every per-call decision of the old executor — diagonality scans,
-    strategy choice, diagonal extraction, chunk size — happens here, once.
-    ``chunk_size`` defaults to the autotuned
-    :data:`repro.kernels.DEFAULT_CHUNK`.
+    strategy choice, diagonal extraction, fusion, chunk size — happens
+    here, once, in the pass pipeline.  Pass a :class:`PlanConfig` (or
+    the equivalent keyword options; a given *config* wins over them).
     """
-    t0 = time.perf_counter()
-    chunk = int(chunk_size) if chunk_size is not None else DEFAULT_CHUNK
-    ops: list[PlanOp] = []
-    pending_diagonals: list[PlanOp] = []
-    counts = {
-        "kernel_ops": 0,
-        "diagonal_ops": 0,
-        "fused_diagonal_ops": 0,
-        "fused_away_ops": 0,
-        "passthrough_ops": 0,
-        "swap_ops": 0,
-    }
-
-    def flush_diagonals() -> None:
-        if not pending_diagonals:
-            return
-        fused = (
-            _fuse_diagonal_run(pending_diagonals, max_fused_qubits)
-            if fuse_diagonals
-            else list(pending_diagonals)
-        )
-        for op in fused:
-            if op.exec_kind == "fused_diagonal":
-                counts["fused_diagonal_ops"] += 1
-                counts["fused_away_ops"] += op.num_sources - 1
-            else:
-                counts["diagonal_ops"] += 1
-        ops.extend(fused)
-        pending_diagonals.clear()
-
-    stage = 0
-    for index, op in enumerate(schedule.operations()):
-        kind, label = _classify(op)
-        if kind == "swap":
-            stage += 1
-        source = SourceEvent(op_index=index, kind=kind, label=label)
-        if isinstance(op, SwapOp):
-            flush_diagonals()
-            counts["swap_ops"] += 1
-            ops.append(
-                PlanOp(
-                    exec_kind="swap", sources=(source,), stage=stage,
-                    source_op=op,
-                )
-            )
-            continue
-        if isinstance(op, GateOp):
-            gate = op.gate
-            if gate.is_diagonal:
-                pending_diagonals.append(
-                    PlanOp(
-                        exec_kind="diagonal", sources=(source,), stage=stage,
-                        qubits=gate.qubits, diag=np.diagonal(gate.matrix),
-                    )
-                )
-                continue
-            # Monomial specialization: rank renumbering logic stays with
-            # the state; nothing to pre-resolve.
-            flush_diagonals()
-            counts["passthrough_ops"] += 1
-            ops.append(
-                PlanOp(
-                    exec_kind="passthrough", sources=(source,), stage=stage,
-                    source_op=op,
-                )
-            )
-            continue
-        if isinstance(op, ClusterOp):
-            fused_gate = op.fused
-            if fused_gate.is_diagonal:
-                pending_diagonals.append(
-                    PlanOp(
-                        exec_kind="diagonal", sources=(source,), stage=stage,
-                        qubits=op.qubits,
-                        diag=np.diagonal(fused_gate.matrix),
-                    )
-                )
-                continue
-            flush_diagonals()
-            k = len(op.qubits)
-            counts["kernel_ops"] += 1
-            ops.append(
-                PlanOp(
-                    exec_kind="kernel", sources=(source,), stage=stage,
-                    qubits=op.qubits,
-                    matrix=fused_gate.matrix,
-                    strategy="indexed" if k <= _INDEXED_MAX_QUBITS else "reference",
-                    chunk_size=chunk,
-                )
-            )
-            continue
-        # AbsorbedClusterOp (or any future op type): per-rank matrices are
-        # built at execution time, so it passes through unchanged.
-        flush_diagonals()
-        counts["passthrough_ops"] += 1
-        ops.append(
-            PlanOp(
-                exec_kind="passthrough", sources=(source,), stage=stage,
-                source_op=op,
-            )
-        )
-    flush_diagonals()
-    return CompiledProgram(
-        schedule=schedule,
-        ops=tuple(ops),
-        chunk_size=chunk,
+    resolved = _resolve_config(
+        config,
+        chunk_size=chunk_size,
         fuse_diagonals=fuse_diagonals,
-        compile_seconds=time.perf_counter() - t0,
-        counts=counts,
+        max_fused_qubits=max_fused_qubits,
+        fusion_kmax=fusion_kmax,
+        kernel_strategy=kernel_strategy,
     )
+    t0 = time.perf_counter()
+    ctx = PassContext.for_schedule(schedule, resolved)
+    ops: tuple[PlanOp, ...] = ()
+    for pipeline_pass in PIPELINE:
+        ops = pipeline_pass(ops, ctx)
+    program = CompiledProgram(
+        schedule=schedule,
+        ops=ops,
+        config=resolved,
+        compile_seconds=0.0,
+        counts=_counts_of(ops),
+    )
+    # Precompute gather tables / phase factors off the execution clock;
+    # counter-neutral, so --plan-stats is unchanged by the warm-up.
+    from repro.plan.warmup import warm_plan_tables
+
+    warm_plan_tables(program)
+    program.compile_seconds = time.perf_counter() - t0
+    return program
 
 
 def plan_for(
     schedule: Schedule,
+    config: PlanConfig | None = None,
     *,
     chunk_size: int | None = None,
     fuse_diagonals: bool = True,
+    max_fused_qubits: int = 10,
+    fusion_kmax: int | None = None,
+    kernel_strategy: str | None = None,
 ) -> CompiledProgram:
     """The memoized compiled plan of *schedule*.
 
-    Compiled at most once per ``(chunk_size, fuse_diagonals)`` pair and
+    Compiled at most once per :class:`PlanConfig` — the frozen config is
+    the *entire* cache key, so every compile option participates and two
+    callers asking for different fusion widths never share a plan — and
     cached on the schedule instance, so every rank, repeat run and
     benchmark round shares one compilation.  Thread-safe: the service
     layer shares schedules across concurrent requests, so a miss
     double-checks under a lock and exactly one thread compiles each key.
     """
-    key = (chunk_size, fuse_diagonals)
+    key = _resolve_config(
+        config,
+        chunk_size=chunk_size,
+        fuse_diagonals=fuse_diagonals,
+        max_fused_qubits=max_fused_qubits,
+        fusion_kmax=fusion_kmax,
+        kernel_strategy=kernel_strategy,
+    )
     cache = getattr(schedule, "_compiled_plans", None)
     if cache is not None:
         plan = cache.get(key)
@@ -304,9 +283,7 @@ def plan_for(
             schedule._compiled_plans = cache
         plan = cache.get(key)
         if plan is None:
-            plan = compile_program(
-                schedule, chunk_size=chunk_size, fuse_diagonals=fuse_diagonals
-            )
+            plan = compile_program(schedule, key)
             cache[key] = plan
     return plan
 

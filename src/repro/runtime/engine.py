@@ -245,6 +245,7 @@ class ExecutionEngine:
         program=None,
         *,
         use_plan: bool = True,
+        plan_config=None,
         layers=(),
         policy: RetryPolicy | None = None,
         state_factory=None,
@@ -269,7 +270,9 @@ class ExecutionEngine:
             if use_plan:
                 from repro.plan import plan_for
 
-                self._units = _units_from_plan(plan_for(program))
+                self._units = _units_from_plan(
+                    plan_for(program, plan_config)
+                )
                 self.from_plan = True
             else:
                 self._units = _units_from_schedule(program)

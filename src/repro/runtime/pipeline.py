@@ -203,13 +203,20 @@ class PipelineLayer(RuntimeLayer):
 
     def _warm_task_plan(self, state, plan_op, bit_of_qubit):
         kind = plan_op.exec_kind
-        if kind == "kernel":
-            if plan_op.strategy == "indexed":
+        if kind in ("kernel", "fused_kernel"):
+            if plan_op.strategy in ("indexed", "fused"):
+                # A fused group's batched kernel gathers through the same
+                # table family as a plain indexed kernel over the union.
                 bits = [bit_of_qubit[q] for q in plan_op.qubits]
                 if any(b >= state.local_qubits for b in bits):
                     return None
                 n, chunk = state.local_qubits, plan_op.chunk_size
-                return lambda: GATHER_CACHE.warm_gather_tables(n, bits, chunk)
+
+                def warm_kernel():
+                    GATHER_CACHE.warm_gather_tables_t(n, bits, chunk)
+                    GATHER_CACHE.warm_gather_inverse(n, bits, chunk)
+
+                return warm_kernel
             if plan_op.strategy == "diagonal":
                 return self._diag_warm(state, plan_op.qubits, plan_op.diag,
                                        bit_of_qubit)
@@ -242,7 +249,8 @@ class PipelineLayer(RuntimeLayer):
                     )
                     GATHER_CACHE.warm_diagonal_factor(n, bits, diag)
                 else:
-                    GATHER_CACHE.warm_gather_tables(n, bits, chunk)
+                    GATHER_CACHE.warm_gather_tables_t(n, bits, chunk)
+                    GATHER_CACHE.warm_gather_inverse(n, bits, chunk)
 
             return warm_cluster
         if gate.is_diagonal:

@@ -3,7 +3,8 @@
 Both caches are thread-safe LRUs keyed off
 :meth:`Circuit.content_hash() <repro.circuit.Circuit.content_hash>`:
 
-* :class:`PlanCache` — ``(circuit hash, local_qubits, kmax)`` maps to the
+* :class:`PlanCache` — ``(circuit hash, local_qubits, kmax, PlanConfig)``
+  maps to the
   scheduled :class:`~repro.scheduling.Schedule` plus its compiled
   :class:`~repro.plan.CompiledProgram`.  Scheduling + compilation is by
   far the most expensive per-request setup work, and supremacy-style
@@ -25,7 +26,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 
-from repro.plan import plan_for
+from repro.plan import PlanConfig, plan_for
 from repro.scheduling import SchedulerConfig, schedule_circuit
 from repro.service.jobs import JobResult, JobSpec
 from repro.util.locktrack import TrackedLock
@@ -93,13 +94,20 @@ class PlanCache(_LruMixin):
     def __init__(self, *, capacity: int = 64) -> None:
         super().__init__(capacity=capacity)
 
-    def get(self, spec: JobSpec) -> PlanEntry:
+    def get(
+        self, spec: JobSpec, config: PlanConfig | None = None
+    ) -> PlanEntry:
         """The (memoized) schedule + compiled plan for *spec*.
 
         Compile-once: concurrent misses on one key serialise on the
         cache lock and all but the first return the winner's entry.
+        The cache key is ``(*spec.plan_key(), config)`` with the frozen
+        :class:`~repro.plan.PlanConfig` carrying *every* compile option
+        — two requests differing in any option (fusion width, chunk
+        size, strategy, …) never share an entry.
         """
-        key = spec.plan_key()
+        config = config if config is not None else PlanConfig()
+        key = (*spec.plan_key(), config)
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
@@ -113,7 +121,9 @@ class PlanCache(_LruMixin):
                     local_qubits=spec.local_qubits, kmax=spec.kmax
                 ),
             )
-            entry = PlanEntry(schedule=schedule, program=plan_for(schedule))
+            entry = PlanEntry(
+                schedule=schedule, program=plan_for(schedule, config)
+            )
             self._entries[key] = entry
             self._evict()
             return entry

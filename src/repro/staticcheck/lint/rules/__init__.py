@@ -20,6 +20,7 @@ unguarded-global     warning  module global mutated outside its lock
 lock-order           error    cyclic lock-acquisition graph (deadlock)
 daemon-thread-leak   warning  thread/executor created, never joined
 metric-name          warning  instrument name off the dot convention
+plan-pass-mutation   error    compiler pass mutates its input op stream
 ==================== ======== =============================================
 """
 
@@ -32,6 +33,7 @@ from repro.staticcheck.lint.rules import (  # noqa: F401  (self-register)
     metric_name,
     mutable_default,
     op_loop,
+    pass_mutation,
     unguarded_global,
     view_return,
 )

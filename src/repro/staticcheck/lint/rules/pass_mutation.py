@@ -1,0 +1,114 @@
+"""plan-pass-mutation: a compiler pass mutating its input op stream.
+
+The plan pipeline's contract (see :mod:`repro.plan.passes`) is that
+every pass is a pure function from one op stream to the next: it may
+build and return a brand-new stream but must never mutate the stream it
+was handed, because ``plan_for`` memoizes compiled programs on frozen
+configs and a mutated intermediate corrupts every later consumer of the
+same objects.
+
+Flags, inside any function named ``*_pass`` in a ``repro.plan`` module,
+every statement that mutates the first parameter (the op stream):
+mutating method calls (``append``/``extend``/``insert``/``pop``/
+``remove``/``sort``/``reverse``/``clear``), subscript assignment or
+deletion, and augmented assignment to the parameter or an element of
+it.  Rebinding the name (``ops = ...``) is fine — that is how a pass is
+supposed to produce its output.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.lint.core import LintRule, ModuleContext, register
+
+_MUTATING_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "pop",
+    "remove",
+    "sort",
+    "reverse",
+    "clear",
+}
+
+
+def _roots_to(node: ast.expr, name: str) -> bool:
+    """Whether *node* is *name* or a subscript/attribute chain off it."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == name
+
+
+@register
+class PassMutationRule(LintRule):
+    name = "plan-pass-mutation"
+    severity = "error"
+    description = (
+        "a plan-compiler pass mutates its input op stream; passes must "
+        "build and return a new stream"
+    )
+
+    def check_module(self, module: ModuleContext):
+        if not module.module_name.startswith("repro.plan"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not node.name.endswith("_pass"):
+                continue
+            params = node.args.posonlyargs + node.args.args
+            if not params:
+                continue
+            stream = params[0].arg
+            if stream == "self" and len(params) > 1:
+                stream = params[1].arg
+            yield from self._check_pass(module, node, stream)
+
+    def _check_pass(self, module, func, stream: str):
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                f = node.func
+                if (
+                    isinstance(f, ast.Attribute)
+                    and f.attr in _MUTATING_METHODS
+                    and _roots_to(f.value, stream)
+                ):
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"pass {func.name!r} calls mutating method "
+                        f"{f.attr!r} on its input op stream {stream!r}",
+                        hint="build a new list/tuple and return it",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                    if isinstance(node, ast.AugAssign)
+                    else node.targets
+                )
+                for target in targets:
+                    if isinstance(node, ast.AugAssign) and isinstance(
+                        target, ast.Name
+                    ):
+                        # ops += [...] rebinds for tuples; flag only
+                        # subscript/attribute augments, which mutate.
+                        continue
+                    if isinstance(
+                        target, (ast.Subscript, ast.Attribute)
+                    ) and _roots_to(target, stream):
+                        verb = (
+                            "deletes from"
+                            if isinstance(node, ast.Delete)
+                            else "assigns into"
+                        )
+                        yield self.finding(
+                            module,
+                            node.lineno,
+                            f"pass {func.name!r} {verb} its input op "
+                            f"stream {stream!r}",
+                            hint="build a new list/tuple and return it",
+                        )

@@ -53,10 +53,12 @@ class TestCompile:
         assert plan.num_source_ops == sum(op.num_sources for op in plan.ops)
         c = plan.counts
         assert len(plan.ops) == (
-            c["kernel_ops"] + c["diagonal_ops"] + c["fused_diagonal_ops"]
-            + c["swap_ops"] + c["passthrough_ops"]
+            c["kernel_ops"] + c["fused_kernel_ops"] + c["diagonal_ops"]
+            + c["fused_diagonal_ops"] + c["swap_ops"] + c["passthrough_ops"]
         )
-        assert plan.num_source_ops == len(plan.ops) + c["fused_away_ops"]
+        assert plan.num_source_ops == (
+            len(plan.ops) + c["fused_away_ops"] + c["refused_away_ops"]
+        )
 
     def test_strategy_resolved_at_compile_time(self):
         _, schedule = _small_case(1)
@@ -105,11 +107,13 @@ class TestExecutionCorrectness:
 
     @pytest.mark.parametrize("seed", [0, 7, 13])
     def test_unfused_plan_bit_exact_vs_direct_execution(self, seed):
-        """Without diagonal fusion the plan replays the exact same kernel
+        """With all fusion off the plan replays the exact same kernel
         calls as op.execute, so amplitudes are bit-identical."""
         _, schedule = _small_case(seed)
         state = _state_for(schedule)
-        compile_program(schedule, fuse_diagonals=False).execute(state)
+        compile_program(
+            schedule, fuse_diagonals=False, fusion_kmax=0
+        ).execute(state)
 
         ref = DistributedSimulator(_N, _L).run_schedule(schedule, use_plan=False)
         assert np.array_equal(
@@ -135,11 +139,10 @@ class TestExecutionCorrectness:
         GATHER_CACHE.clear()
         s1 = _state_for(schedule)
         plan.execute(s1)
-        cold_hits, cold_misses = GATHER_CACHE.hits, GATHER_CACHE.misses
-        if cold_hits + cold_misses:
-            # 8 virtual ranks share each table: >= 7/8 of lookups hit
-            # even on the cold run.
-            assert cold_hits / (cold_hits + cold_misses) >= 0.8
+        # Batched apply paths fetch each table once per op (every rank
+        # then sweeps the shared arrays), so the cold run records one
+        # miss per distinct table — not per-rank re-hits.
+        cold_misses = GATHER_CACHE.misses
         s2 = _state_for(schedule)
         assert plan_for(schedule) is plan
         plan.execute(s2)

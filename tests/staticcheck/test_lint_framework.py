@@ -28,6 +28,7 @@ EXPECTED_RULES = {
     "metric-name": "warning",
     "mutable-default": "error",
     "op-loop": "error",
+    "plan-pass-mutation": "error",
     "unguarded-global": "warning",
     "view-return": "error",
 }

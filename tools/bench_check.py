@@ -49,6 +49,8 @@ FAIL_ON_REGRESSION = {
     "end_to_end",
     "runtime_overhead",
     "pipeline",
+    "fusion",
+    "plan_compile",
 }
 
 #: Bench names the repo's suites are known to emit.  A record with an
@@ -57,6 +59,7 @@ FAIL_ON_REGRESSION = {
 KNOWN_BENCHES = {
     "end_to_end",
     "exposition_overhead",
+    "fusion",
     "kernels_autotune",
     "lint_runtime",
     "pipeline",
